@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Benches run the figure experiments at the scale selected by
+``REPRO_SCALE`` (default: ``full`` — month-long traces at quarter
+volume) and print the regenerated figure tables straight to the
+terminal (bypassing capture) so ``pytest benchmarks/ --benchmark-only``
+output doubles as the reproduction report.
+"""
+
+import pytest
+
+from repro.experiments import FULL, scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env(default=FULL)
+
+
+@pytest.fixture(scope="session")
+def strict(scale):
+    """Whether to enforce the reproduction-shape assertions.
+
+    The shape criteria are calibrated for FULL/PAPER scale; QUICK
+    traces are too small and noisy to hold them reliably, so at QUICK
+    the benches only smoke-run and print their tables.
+    """
+    return scale.name != "quick"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print through the capture so tables land in the bench output."""
+
+    def _print(*parts):
+        with capsys.disabled():
+            print()
+            for part in parts:
+                print(part)
+
+    return _print

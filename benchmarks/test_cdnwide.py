@@ -1,0 +1,41 @@
+"""CDN-wide bench: Cafe as the hierarchy's building block (§10).
+
+Not a paper figure — the paper leaves CDN-wide experiments as future
+work ("We are currently working on CDN-wide experiments with Cafe
+Cache") — but the single-server results predict the outcome, which this
+bench checks: with everything else fixed, Cafe edges pull less backbone
+(ingress) traffic than xLRU edges at better efficiency, and classic
+pull-through LRU edges flood the backbone.
+"""
+
+from repro.experiments import cdnwide
+
+
+def test_cdnwide_hierarchy(benchmark, scale, report, strict):
+    result = benchmark.pedantic(lambda: cdnwide.run(scale), rounds=1, iterations=1)
+    report(result.to_text())
+
+    if not strict:
+        return  # QUICK scale: smoke-run only, shapes asserted at FULL
+
+    rows = {r["edge_algo"]: r for r in result.rows}
+    cafe, xlru, pull = rows["Cafe"], rows["xLRU"], rows["PullLRU"]
+
+    # the constrained tier's backbone traffic: Cafe < xLRU < PullLRU
+    assert cafe["edge_ingress_gb"] < xlru["edge_ingress_gb"]
+    assert xlru["edge_ingress_gb"] < pull["edge_ingress_gb"]
+
+    # and Cafe pays for it with *better*, not worse, edge efficiency
+    assert cafe["edge_eff_mean"] > xlru["edge_eff_mean"]
+    assert cafe["edge_eff_mean"] > pull["edge_eff_mean"]
+
+    # every variant keeps most user traffic off the origin
+    for row in result.rows:
+        assert row["origin_share_of_user_bytes"] < 0.6, row["edge_algo"]
+
+    benchmark.extra_info["origin_gb"] = {
+        algo: round(rows[algo]["origin_gb"], 2) for algo in rows
+    }
+    benchmark.extra_info["edge_ingress_gb"] = {
+        algo: round(rows[algo]["edge_ingress_gb"], 2) for algo in rows
+    }

@@ -1,0 +1,73 @@
+"""Disk-interference bench: the physical cost of ingress (Section 2).
+
+Applies the write/read-interference disk model ("for every extra
+write-block operation we lose 1.2-1.3 reads") to every algorithm's
+replay on the European trace at alpha = 2.  A disk array provisioned
+for Cafe's peak load (plus 15% headroom) must never overload under
+Cafe, while the eager fillers spill over — the quantified argument for
+constrained-ingress caching on disk-bound servers.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import scaled_disk_chunks, server_trace
+from repro.sim.diskmodel import DiskModel, analyze_disk_load
+from repro.sim.runner import RunConfig, run_matrix
+
+SERVER = "europe"
+ALPHA = 2.0
+ALGORITHMS = ("PullLRU", "xLRU", "Cafe", "Psychic")
+
+
+def test_disk_interference(benchmark, scale, report, strict):
+    trace = server_trace(SERVER, scale)
+    disk = scaled_disk_chunks(SERVER, scale)
+
+    def run():
+        configs = [RunConfig(a, disk, ALPHA, label=a) for a in ALGORITHMS]
+        results = run_matrix(configs, trace)
+        probe = DiskModel(read_blocks_per_second=1.0)
+        cafe_peak = max(
+            s.read_blocks_per_second
+            + probe.write_read_penalty * s.write_blocks_per_second
+            for s in analyze_disk_load(results["Cafe"], probe).samples
+        )
+        model = DiskModel(read_blocks_per_second=1.15 * cafe_peak)
+        return {
+            algo: analyze_disk_load(results[algo], model)
+            for algo in ALGORITHMS
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "algorithm": algo,
+            "reads_lost_to_writes": r.reads_lost_to_writes,
+            "overloaded_buckets": r.overloaded_buckets,
+            "overload_fraction": r.overload_fraction,
+            "peak_utilization": r.peak_utilization,
+        }
+        for algo, r in reports.items()
+    ]
+    report(format_table(
+        rows,
+        title=f"Disk interference on {SERVER} (alpha={ALPHA}, "
+        f"array sized to Cafe peak + 15%)",
+    ))
+
+    if not strict:
+        return  # QUICK scale: smoke-run only, shapes asserted at FULL
+
+    assert reports["Cafe"].overloaded_buckets == 0
+    assert reports["PullLRU"].overloaded_buckets > 0
+    assert (
+        reports["Cafe"].reads_lost_to_writes
+        < 0.5 * reports["PullLRU"].reads_lost_to_writes
+    )
+    assert (
+        reports["Cafe"].reads_lost_to_writes
+        < reports["xLRU"].reads_lost_to_writes
+    )
+    benchmark.extra_info["overloaded_buckets"] = {
+        algo: r.overloaded_buckets for algo, r in reports.items()
+    }

@@ -1,0 +1,46 @@
+"""Figure 4 bench: efficiency vs alpha_F2R on the European server.
+
+Regenerates the 4x3 bar chart (alpha in {0.5, 1, 2, 4} x
+{xLRU, Cafe, Psychic}) plus the Section 9.2 derived headline: the
+relative inefficiency reduction Cafe achieves over xLRU at alpha = 2
+(the paper computes 29% from 62% -> 73%).
+
+Reproduction criteria asserted:
+* alpha <= 1: Cafe and xLRU comparable (paper: Cafe up to ~2% higher);
+* alpha = 2: Cafe clearly above xLRU and within reach of Psychic;
+* alpha = 4: the gap grows further;
+* Psychic tops every column.
+"""
+
+from repro.experiments import fig4
+
+
+def test_fig4_alpha_sweep(benchmark, scale, report, strict):
+    result = benchmark.pedantic(lambda: fig4.run(scale), rounds=1, iterations=1)
+    report(result.to_text())
+
+    if not strict:
+        return  # QUICK scale: smoke-run only, shapes asserted at FULL
+
+    rows = {r["alpha"]: r for r in result.rows}
+
+    # alpha <= 1: comparable
+    assert abs(rows[0.5]["Cafe"] - rows[0.5]["xLRU"]) < 0.08
+    assert abs(rows[1.0]["Cafe"] - rows[1.0]["xLRU"]) < 0.10
+
+    # constrained ingress: Cafe pulls away and approaches Psychic
+    assert rows[2.0]["Cafe"] - rows[2.0]["xLRU"] > 0.05
+    assert rows[4.0]["Cafe"] - rows[4.0]["xLRU"] > rows[2.0]["Cafe"] - rows[2.0]["xLRU"] - 0.03
+    assert rows[2.0]["Psychic"] - rows[2.0]["Cafe"] < 0.15
+
+    # Psychic upper-bounds both online caches everywhere
+    for alpha, row in rows.items():
+        assert row["Psychic"] >= row["Cafe"] - 0.02, f"alpha={alpha}"
+        assert row["Psychic"] >= row["xLRU"] - 0.02, f"alpha={alpha}"
+
+    reduction = result.extras["relative_inefficiency_reduction_alpha2"]
+    assert reduction > 0.10, "Cafe must cut xLRU's inefficiency at alpha=2"
+    benchmark.extra_info["relative_inefficiency_reduction"] = reduction
+    benchmark.extra_info["cafe_minus_xlru_alpha2"] = (
+        rows[2.0]["Cafe"] - rows[2.0]["xLRU"]
+    )

@@ -1,0 +1,58 @@
+"""Figure 6 bench: efficiency vs disk capacity (European server).
+
+Regenerates the disk sweep at alpha_F2R = 2 for xLRU/Cafe/Psychic, plus
+the derived "equivalent disk" claim of the Section 9.2 text: at
+alpha = 2 xLRU needs 2-3x Cafe's disk for equal efficiency, at
+alpha = 1 only up to ~33% more.
+
+Reproduction criteria asserted:
+* every algorithm improves (weakly) with more disk;
+* the Cafe-over-xLRU gap widens as disk shrinks;
+* the equivalent-disk factor at alpha = 2 is >= 2 somewhere in range;
+* at alpha = 1 the factor is much smaller than at alpha = 2.
+"""
+
+import math
+
+from repro.experiments import fig6
+
+
+def test_fig6_disk_sweep(benchmark, scale, report, strict):
+    result = benchmark.pedantic(lambda: fig6.run(scale), rounds=1, iterations=1)
+    report(result.to_text())
+
+    if not strict:
+        return  # QUICK scale: smoke-run only, shapes asserted at FULL
+
+    rows = result.rows
+    for algo in ("xLRU", "Cafe", "Psychic"):
+        effs = [r[algo] for r in rows]
+        for small, large in zip(effs, effs[1:]):
+            assert large >= small - 0.03, f"{algo} degraded with more disk"
+
+    gaps = [r["Cafe"] - r["xLRU"] for r in rows]
+    assert gaps[0] > gaps[-1] - 0.03, "gap must widen for small disks"
+    assert gaps[0] > 0.05
+
+    factors2 = [
+        f for f in result.extras["xlru_disk_factor_vs_cafe"] if math.isfinite(f)
+    ]
+    assert factors2, "every factor infinite: xLRU never catches Cafe in range"
+    assert max(
+        f for f in result.extras["xlru_disk_factor_vs_cafe"][:3]
+        if True
+    ) >= 2.0 or any(
+        math.isinf(f) for f in result.extras["xlru_disk_factor_vs_cafe"][:3]
+    ), "paper: xLRU needs 2-3x disk at alpha=2"
+
+    factors1 = result.extras["xlru_disk_factor_vs_cafe_alpha1"]
+    finite1 = [f for f in factors1 if math.isfinite(f)]
+    if finite1 and factors2:
+        assert min(finite1) < max(
+            factors2 + [2.0]
+        ), "alpha=1 factor should be far below the alpha=2 factor"
+
+    benchmark.extra_info["disk_factors_alpha2"] = [
+        round(f, 2) if math.isfinite(f) else "inf"
+        for f in result.extras["xlru_disk_factor_vs_cafe"]
+    ]

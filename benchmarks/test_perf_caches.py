@@ -1,0 +1,74 @@
+"""Request-throughput benches for the full cache algorithms.
+
+Measures handled requests per second on a slice of the European trace
+(the figure in the bench report is seconds per slice; divide the slice
+size by it for req/s).  xLRU should be fastest (two O(1) structures),
+Cafe and Psychic pay their O(log n) tree and future-index costs.
+"""
+
+import pytest
+
+from repro.core.baselines import PullThroughLruCache
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.psychic import PsychicCache
+from repro.core.xlru import XlruCache
+from repro.experiments.common import scaled_disk_chunks, server_trace
+
+SLICE = 5_000
+ALPHA = 2.0
+
+
+@pytest.fixture(scope="module")
+def trace(scale):
+    full = server_trace("europe", scale)
+    return full[: min(SLICE, len(full))]
+
+
+@pytest.fixture(scope="module")
+def disk(scale):
+    return max(64, scaled_disk_chunks("europe", scale) // 4)
+
+
+def _bench_online(benchmark, cache_cls, trace, disk):
+    def setup():
+        return (cache_cls(disk, cost_model=CostModel(ALPHA)),), {}
+
+    def run(cache):
+        for request in trace:
+            cache.handle(request)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+    benchmark.extra_info["requests_per_round"] = len(trace)
+
+
+def test_throughput_xlru(benchmark, trace, disk):
+    _bench_online(benchmark, XlruCache, trace, disk)
+
+
+def test_throughput_cafe(benchmark, trace, disk):
+    _bench_online(benchmark, CafeCache, trace, disk)
+
+
+def test_throughput_pull_lru(benchmark, trace, disk):
+    _bench_online(benchmark, PullThroughLruCache, trace, disk)
+
+
+def test_throughput_psychic(benchmark, trace, disk):
+    def setup():
+        cache = PsychicCache(disk, cost_model=CostModel(ALPHA))
+        cache.prepare(trace)
+        return (cache,), {}
+
+    def run(cache):
+        for request in trace:
+            cache.handle(request)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+    benchmark.extra_info["requests_per_round"] = len(trace)
+
+
+def test_throughput_psychic_prepare(benchmark, trace, disk):
+    """Index-building cost of the offline cache, separately."""
+    cache = PsychicCache(disk, cost_model=CostModel(ALPHA))
+    benchmark(cache.prepare, trace)

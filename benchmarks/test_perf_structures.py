@@ -1,0 +1,88 @@
+"""Throughput benches for the low-level data structures.
+
+These are real pytest-benchmark measurements (multiple rounds): the
+paper's structures promise O(1) recency-list operations and O(log n)
+treap operations, and the caches' request rates bottleneck on them.
+"""
+
+import random
+
+from repro.structures.ewma import IatEstimator
+from repro.structures.lru import AccessRecencyList
+from repro.structures.treap import TreapMap
+
+N = 10_000
+
+
+def test_lru_touch_churn(benchmark):
+    """touch() over a working set with constant churn."""
+    keys = list(range(N))
+
+    def run():
+        lru = AccessRecencyList()
+        t = 0.0
+        for key in keys:
+            lru.touch(key % 2048, t)
+            t += 1.0
+        return lru
+
+    lru = benchmark(run)
+    assert len(lru) <= 2048
+
+
+def test_lru_pop_oldest(benchmark):
+    def setup():
+        lru = AccessRecencyList()
+        for i in range(N):
+            lru.touch(i, float(i))
+        return (lru,), {}
+
+    def run(lru):
+        while lru:
+            lru.pop_oldest()
+
+    benchmark.pedantic(run, setup=setup, rounds=10)
+
+
+def test_treap_insert_remove_mixed(benchmark):
+    """The Cafe access pattern: re-key hot items, evict cold ones."""
+    rng = random.Random(7)
+    ops = [(rng.randrange(4096), rng.random()) for _ in range(N)]
+
+    def run():
+        treap = TreapMap(seed=1)
+        for item, score in ops:
+            treap.insert(item, score)
+            if len(treap) > 2048:
+                treap.pop_min()
+        return treap
+
+    treap = benchmark(run)
+    assert len(treap) <= 2048
+
+
+def test_treap_n_smallest(benchmark):
+    treap = TreapMap(seed=2)
+    rng = random.Random(8)
+    for i in range(N):
+        treap.insert(i, rng.random())
+
+    result = benchmark(treap.n_smallest, 16)
+    assert len(result) == 16
+
+
+def test_ewma_record_and_key(benchmark):
+    """Per-request stats updates: one record + key per chunk."""
+    items = [(i % 4096) for i in range(N)]
+
+    def run():
+        est = IatEstimator(0.25)
+        t = 0.0
+        for item in items:
+            est.record(item, t)
+            est.key(item)
+            t += 0.5
+        return est
+
+    est = benchmark(run)
+    assert len(est) == 4096

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Holding a server at a target ingress with the alpha_F2R control loop.
+
+An operator knows what a server's uplink can take — say, ingress at no
+more than 5% of egress — but the right alpha_F2R to get there depends
+on the workload and drifts with it.  The paper's Section 10 suggests
+"dynamic adjustment of alpha_F2R ... in a small range through a control
+loop"; this example runs that loop (repro.cdn.AlphaController) around a
+Cafe cache and compares it against fixed settings.
+
+Run:  python examples/alpha_autotune.py
+"""
+
+from repro import CafeCache, CostModel, SERVER_PROFILES, TraceGenerator
+from repro.cdn import AlphaController
+from repro.sim.engine import replay
+from repro.sim.metrics import MetricsCollector
+
+TARGET_INGRESS = 0.05
+
+
+def main() -> None:
+    profile = SERVER_PROFILES["europe"].scaled(0.08)
+    trace = TraceGenerator(profile).generate(days=14.0)
+    print(f"{len(trace)} requests over 14 days; target ingress: "
+          f"{TARGET_INGRESS:.0%} of egress\n")
+
+    print(f"{'configuration':<28} {'ingress':>8} {'redirect':>9} {'eff':>7}")
+    for alpha in (1.0, 2.0, 4.0):
+        cache = CafeCache(768, cost_model=CostModel(alpha))
+        steady = replay(cache, trace).steady
+        print(f"fixed alpha = {alpha:<14g} {steady.ingress_fraction:>8.3f} "
+              f"{steady.redirect_ratio:>9.3f} {steady.efficiency:>7.3f}")
+
+    cache = CafeCache(768, cost_model=CostModel(2.0))
+    controller = AlphaController(
+        cache,
+        target_ingress_fraction=TARGET_INGRESS,
+        interval=6 * 3600.0,
+        min_window_egress=32 << 20,
+    )
+    metrics = MetricsCollector(cache.cost_model)
+    for request in trace:
+        metrics.record(request, controller.handle(request))
+    steady = metrics.steady_state()
+    print(f"{'controlled (start alpha=2)':<28} {steady.ingress_fraction:>8.3f} "
+          f"{steady.redirect_ratio:>9.3f} {steady.efficiency:>7.3f}")
+
+    print(f"\nfinal alpha: {controller.alpha:.2f} "
+          f"after {len(controller.adjustments)} adjustments")
+    print("trajectory (time, measured ingress, alpha):")
+    for step in controller.adjustments[:: max(1, len(controller.adjustments) // 8)]:
+        print(f"  day {step.t / 86400.0:5.1f}   "
+              f"ingress {step.measured_ingress_fraction:.3f}   "
+              f"alpha {step.alpha_before:.2f} -> {step.alpha_after:.2f}")
+
+
+if __name__ == "__main__":
+    main()

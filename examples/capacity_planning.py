@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Capacity planning: how much disk does each algorithm need?
+
+Figure 6 of the paper shows that at alpha_F2R = 2, xLRU needs 2-3x the
+disk of Cafe Cache to reach the same efficiency.  For an operator, that
+is the difference between doubling every rack's storage and shipping a
+software change.
+
+This example sweeps disk sizes on one server's trace, prints the
+efficiency curves, and interpolates the "equivalent disk" factor: the
+disk multiple xLRU needs to match Cafe at each measured point.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import SERVER_PROFILES, TraceGenerator, TraceStats
+from repro.analysis import equivalent_disk_factor, format_table
+from repro.sim.runner import sweep_disk
+
+
+def main() -> None:
+    profile = SERVER_PROFILES["europe"].scaled(0.08)
+    trace = TraceGenerator(profile).generate(days=10.0)
+    stats = TraceStats.from_requests(trace)
+    footprint = stats.num_unique_chunks
+    print(f"{len(trace)} requests; unique footprint = {footprint} chunks "
+          f"({stats.footprint_bytes / 1e9:.1f} GB)\n")
+
+    disks = sorted({max(16, int(footprint * f))
+                    for f in (0.05, 0.10, 0.20, 0.40)})
+    sweep = sweep_disk(trace, disks, alpha_f2r=2.0,
+                       algorithms=("xLRU", "Cafe", "Psychic"))
+
+    rows = []
+    for disk in disks:
+        row = {"disk_chunks": disk, "disk_pct_of_footprint": disk / footprint}
+        for algo, result in sweep[disk].items():
+            row[algo] = result.steady.efficiency
+        rows.append(row)
+    print(format_table(rows, title="Efficiency vs disk size (alpha_F2R = 2)"))
+
+    cafe = [r["Cafe"] for r in rows]
+    xlru = [r["xLRU"] for r in rows]
+    factors = equivalent_disk_factor(disks, cafe, xlru)
+    print("\nDisk xLRU needs to match Cafe's efficiency, per point:")
+    for disk, factor in zip(disks, factors):
+        shown = f"{factor:.1f}x" if factor != float("inf") else ">measured range"
+        print(f"  at {disk} chunks: {shown}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Warm restart: checkpoint a cache, 'restart', continue the replay.
+
+Production cache servers restart without losing their disks — and a
+long simulation should be able to do the same.  This example warms a
+Cafe cache on the first half of a trace, snapshots it to JSON,
+restores into a fresh process-equivalent instance, and shows that (a)
+the restored cache continues with byte-identical decisions and (b) a
+cold restart instead would pay the whole warm-up again.
+
+Run:  python examples/warm_restart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import CafeCache, CostModel, SERVER_PROFILES, TraceGenerator
+from repro.core.snapshot import load_snapshot, save_snapshot
+from repro.sim.metrics import MetricsCollector
+
+
+def drive(cache, trace):
+    metrics = MetricsCollector(cache.cost_model)
+    for request in trace:
+        metrics.record(request, cache.handle(request))
+    return metrics.totals()
+
+
+def main() -> None:
+    profile = SERVER_PROFILES["europe"].scaled(0.06)
+    trace = TraceGenerator(profile).generate(days=10.0)
+    half = len(trace) // 2
+    warmup, continuation = trace[:half], trace[half:]
+    print(f"{len(trace)} requests; checkpoint after {half}\n")
+
+    cost_model = CostModel(alpha_f2r=2.0)
+    original = CafeCache(512, cost_model=cost_model)
+    drive(original, warmup)
+    print(f"warmed cache: {len(original)} chunks resident, "
+          f"{original.tracked_chunks} chunks with IAT history")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cafe-checkpoint.json"
+        save_snapshot(original, path)
+        print(f"snapshot: {path.stat().st_size / 1024:.0f} KiB of JSON")
+
+        restored = CafeCache(512, cost_model=CostModel(alpha_f2r=2.0))
+        load_snapshot(restored, path)
+
+    warm_totals = drive(restored, continuation)
+    reference = drive(original, continuation)
+    cold = CafeCache(512, cost_model=CostModel(alpha_f2r=2.0))
+    cold_totals = drive(cold, continuation)
+
+    print(f"\n{'continuation (2nd half)':<26} {'efficiency':>10} {'ingress GB':>11}")
+    print(f"{'original (never stopped)':<26} {reference.efficiency:>10.3f} "
+          f"{reference.ingress_bytes / 1e9:>11.2f}")
+    print(f"{'restored from snapshot':<26} {warm_totals.efficiency:>10.3f} "
+          f"{warm_totals.ingress_bytes / 1e9:>11.2f}")
+    print(f"{'cold restart':<26} {cold_totals.efficiency:>10.3f} "
+          f"{cold_totals.ingress_bytes / 1e9:>11.2f}")
+    identical = (
+        warm_totals.efficiency == reference.efficiency
+        and warm_totals.ingress_bytes == reference.ingress_bytes
+    )
+    print(f"\nrestored == never-stopped: {identical}")
+
+
+if __name__ == "__main__":
+    main()

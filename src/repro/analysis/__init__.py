@@ -1,0 +1,26 @@
+"""Result formatting and headline-number extraction.
+
+Pure presentation/derivation helpers: turning experiment outputs into
+the rows and series the paper's figures show, plus the derived claims
+quoted in the Section 9 text (relative inefficiency reduction,
+equivalent-disk factors).
+"""
+
+from repro.analysis.headline import (
+    equivalent_disk_factor,
+    interpolate_disk_for_efficiency,
+    relative_inefficiency_reduction,
+)
+from repro.analysis.report import experiment_to_markdown, markdown_table, render_report
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "markdown_table",
+    "experiment_to_markdown",
+    "render_report",
+    "relative_inefficiency_reduction",
+    "equivalent_disk_factor",
+    "interpolate_disk_for_efficiency",
+]

@@ -1,0 +1,95 @@
+"""Derived headline numbers quoted in the Section 9 text.
+
+Three claims in the paper are derived quantities rather than raw
+measurements; these helpers compute them from experiment output:
+
+* "compared to xLRU, Cafe reduces the inefficiency (which translates
+  into cost) from 38% to 27%, which is a relative 29% reduction"
+  — :func:`relative_inefficiency_reduction`;
+* "to achieve the same efficiency xLRU requires 2 to 3 times larger
+  disk space than Cafe Cache" (Figure 6) —
+  :func:`equivalent_disk_factor` via log-space interpolation of the
+  efficiency-vs-disk curve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = [
+    "relative_inefficiency_reduction",
+    "interpolate_disk_for_efficiency",
+    "equivalent_disk_factor",
+]
+
+
+def relative_inefficiency_reduction(eff_from: float, eff_to: float) -> float:
+    """Relative reduction of (1 - efficiency) going from -> to.
+
+    ``relative_inefficiency_reduction(0.62, 0.73) ≈ 0.289`` — the
+    paper's "relative 29% reduction".
+    """
+    inefficiency_from = 1.0 - eff_from
+    inefficiency_to = 1.0 - eff_to
+    if inefficiency_from <= 0:
+        raise ValueError("source efficiency must be below 1")
+    return (inefficiency_from - inefficiency_to) / inefficiency_from
+
+
+def interpolate_disk_for_efficiency(
+    disk_sizes: Sequence[float],
+    efficiencies: Sequence[float],
+    target_efficiency: float,
+) -> float:
+    """Disk size at which a (monotone) efficiency curve hits a target.
+
+    Interpolates linearly in log(disk) between bracketing points, the
+    natural scale for cache-size/hit-rate curves.  Returns ``inf`` when
+    the target exceeds the curve's reach, and the smallest measured disk
+    when the target is below the curve's start.
+    """
+    if len(disk_sizes) != len(efficiencies):
+        raise ValueError("disk_sizes and efficiencies must align")
+    if len(disk_sizes) < 2:
+        raise ValueError("need at least two points to interpolate")
+    pairs = sorted(zip(disk_sizes, efficiencies))
+    disks = [p[0] for p in pairs]
+    effs = [p[1] for p in pairs]
+    if any(b <= a for a, b in zip(effs, effs[1:])) and effs[-1] < target_efficiency:
+        # Non-monotone tails can occur from noise; fall through to scan.
+        pass
+    if target_efficiency <= effs[0]:
+        return float(disks[0])
+    for i in range(1, len(disks)):
+        if effs[i] >= target_efficiency:
+            lo_d, hi_d = math.log(disks[i - 1]), math.log(disks[i])
+            lo_e, hi_e = effs[i - 1], effs[i]
+            if hi_e == lo_e:
+                return float(disks[i])
+            frac = (target_efficiency - lo_e) / (hi_e - lo_e)
+            return math.exp(lo_d + frac * (hi_d - lo_d))
+    return float("inf")
+
+
+def equivalent_disk_factor(
+    disk_sizes: Sequence[float],
+    eff_better: Mapping[float, float] | Sequence[float],
+    eff_worse: Mapping[float, float] | Sequence[float],
+) -> list[float]:
+    """How much more disk the worse algorithm needs per measured point.
+
+    For each disk size ``d``: the factor ``d' / d`` where ``d'`` is the
+    (interpolated) disk at which the worse algorithm matches the better
+    algorithm's efficiency at ``d``.  ``inf`` entries mean the worse
+    algorithm never catches up within the measured range.
+    """
+    if isinstance(eff_better, Mapping):
+        eff_better = [eff_better[d] for d in disk_sizes]
+    if isinstance(eff_worse, Mapping):
+        eff_worse = [eff_worse[d] for d in disk_sizes]
+    factors = []
+    for d, target in zip(disk_sizes, eff_better):
+        needed = interpolate_disk_for_efficiency(disk_sizes, list(eff_worse), target)
+        factors.append(needed / d if math.isfinite(needed) else float("inf"))
+    return factors

@@ -1,0 +1,90 @@
+"""Markdown report generation from experiment results.
+
+Turns :class:`~repro.experiments.common.ExperimentResult` objects into
+a self-contained Markdown document — the machine-written counterpart of
+EXPERIMENTS.md — so a full reproduction run can be archived or diffed:
+
+    repro-experiment all --markdown report.md
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = ["markdown_table", "experiment_to_markdown", "render_report"]
+
+
+def _cell(value, floatfmt: str) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return format(value, floatfmt)
+    return str(value).replace("|", "\\|")
+
+
+def markdown_table(
+    rows: Sequence[Mapping],
+    columns: Optional[Sequence[str]] = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render dict rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "*(no rows)*"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    rule = "|" + "|".join("---" for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(_cell(row.get(c), floatfmt) for c in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def experiment_to_markdown(result, floatfmt: str = ".3f") -> str:
+    """One experiment as a Markdown section (table + scalar extras).
+
+    Non-scalar extras (per-server detail lists, series) are summarized
+    by length rather than dumped — the rows are the figure's content.
+    """
+    lines = [f"## {result.name}", "", result.description, ""]
+    lines.append(markdown_table(result.rows, columns=result.columns, floatfmt=floatfmt))
+    scalars = {
+        k: v
+        for k, v in result.extras.items()
+        if isinstance(v, (int, float, str, bool))
+    }
+    collections = {
+        k: v for k, v in result.extras.items() if isinstance(v, (list, dict))
+    }
+    if scalars or collections:
+        lines.append("")
+        for key, value in scalars.items():
+            lines.append(f"- **{key}**: {_cell(value, floatfmt)}")
+        for key, value in collections.items():
+            if isinstance(value, list) and value and isinstance(value[0], dict):
+                lines.append(f"- **{key}**: {len(value)} rows (omitted)")
+            else:
+                lines.append(f"- **{key}**: `{value}`")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(
+    results: Iterable,
+    title: str = "Reproduction report",
+    preamble: str = "",
+    floatfmt: str = ".3f",
+) -> str:
+    """A complete Markdown document for a set of experiment results."""
+    parts = [f"# {title}", ""]
+    if preamble:
+        parts.extend([preamble, ""])
+    for result in results:
+        parts.append(experiment_to_markdown(result, floatfmt=floatfmt))
+    return "\n".join(parts)

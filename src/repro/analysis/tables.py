@@ -1,0 +1,91 @@
+"""Plain-text tables for experiment output.
+
+No third-party table library: the benches print through these so their
+output is stable and dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(value, floatfmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Optional[Sequence[str]] = None,
+    floatfmt: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows ``columns`` when given, else the key order of
+    the first row.  Missing cells render as ``-``.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [_fmt(row.get(col), floatfmt) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    times: Iterable[float],
+    series: Mapping[str, Sequence[float]],
+    t_unit: float = 86400.0,
+    t_label: str = "day",
+    floatfmt: str = ".3f",
+    title: Optional[str] = None,
+    max_rows: Optional[int] = None,
+) -> str:
+    """Render aligned time series (Figure 3-style) as a text table.
+
+    ``times`` are seconds; they render divided by ``t_unit``.  With
+    ``max_rows``, the series is down-sampled by striding (first and last
+    rows always kept).
+    """
+    times = list(times)
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(times):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(times)}"
+            )
+    indices = range(len(times))
+    if max_rows is not None and len(times) > max_rows > 1:
+        stride = (len(times) - 1) / (max_rows - 1)
+        indices = sorted({round(i * stride) for i in range(max_rows)})
+    rows = [
+        {t_label: times[i] / t_unit, **{name: series[name][i] for name in names}}
+        for i in indices
+    ]
+    return format_table(rows, columns=[t_label, *names], floatfmt=floatfmt, title=title)

@@ -1,0 +1,76 @@
+"""Multi-server CDN substrate.
+
+The paper deliberately scopes to a single cache server, but its system
+model (Section 2) assumes a surrounding CDN: user networks mapped to
+primary server locations by cost/constraints, a *secondary map* or
+cache hierarchy receiving redirected requests, and fill origins serving
+cache-fill traffic.  This package implements that substrate so the
+"CDN-wide optimality with Cafe Cache" direction of Section 10 is
+runnable:
+
+* :mod:`repro.cdn.topology` — servers, user networks, primary/secondary
+  maps and standard topology builders (two-level hierarchy, peered
+  siblings);
+* :mod:`repro.cdn.multiserver` — hierarchical replay: redirected
+  requests follow the secondary map, cache-fills become upstream
+  requests ("a request ... may be received from a user or from another
+  (downstream) server for a cache fill"), the origin backstops
+  everything;
+* :mod:`repro.cdn.proactive` — the Section 10 "proactive caching"
+  extension: prefetch popular content during off-peak hours using spare
+  ingress;
+* :mod:`repro.cdn.networks` — §2 fn. 3's user-network→server mapping
+  under cost and capacity, with the secondary (redirect) map;
+* :mod:`repro.cdn.sharding` — §2 fn. 2's hash-mod bucketization of the
+  file-ID space over co-located caches;
+* :mod:`repro.cdn.alpha_control` — §10's bounded alpha_F2R control
+  loop;
+* :mod:`repro.cdn.fleet` — §10's fleet-level alpha assignment: measured
+  tradeoff curves + exact knapsack optimization under a backbone
+  ingress budget.
+"""
+
+from repro.cdn.alpha_control import AlphaAdjustment, AlphaController
+from repro.cdn.fleet import (
+    FleetAssignment,
+    OperatingPoint,
+    measure_tradeoff_curves,
+    optimize_alpha_assignment,
+)
+from repro.cdn.multiserver import CdnSimulationResult, CdnSimulator
+from repro.cdn.networks import (
+    NetworkAssignment,
+    ServerLocation,
+    UserNetwork,
+    assign_networks,
+    regional_cost,
+    split_trace,
+)
+from repro.cdn.proactive import PrefetchStats, ProactiveFiller
+from repro.cdn.sharding import ShardedServer, bucket_of
+from repro.cdn.topology import CdnServer, CdnTopology, hierarchy, peered_edges
+
+__all__ = [
+    "AlphaController",
+    "AlphaAdjustment",
+    "OperatingPoint",
+    "FleetAssignment",
+    "measure_tradeoff_curves",
+    "optimize_alpha_assignment",
+    "UserNetwork",
+    "ServerLocation",
+    "NetworkAssignment",
+    "assign_networks",
+    "regional_cost",
+    "split_trace",
+    "ShardedServer",
+    "bucket_of",
+    "CdnServer",
+    "CdnTopology",
+    "hierarchy",
+    "peered_edges",
+    "CdnSimulator",
+    "CdnSimulationResult",
+    "ProactiveFiller",
+    "PrefetchStats",
+]

@@ -1,0 +1,129 @@
+"""Dynamic alpha_F2R adjustment: the Section 10 control-loop extension.
+
+"Furthermore, dynamic adjustment of alpha_F2R, although not recommended
+in a wide range due to the resultant cache pollution and cache churn,
+can be considered in a small range through a control loop for better
+responsiveness to dynamics."
+
+:class:`AlphaController` wraps an online cache and nudges its
+``alpha_f2r`` multiplicatively so the measured ingress-to-egress
+fraction converges to an operator-set target — the quantity Figure 5
+shows alpha controls.  The loop is deliberately conservative:
+
+* bounded range (default half/double the base alpha — the paper's
+  "small range");
+* multiplicative-increase/decrease with a small gain, evaluated on
+  windowed counters rather than per request;
+* a minimum egress volume per window before acting, so quiet hours do
+  not swing the knob on noise.
+
+Works with any online cache because every algorithm in
+:mod:`repro.core` reads its cost model at decision time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.base import CacheResponse, VideoCache
+from repro.core.costs import CostModel
+from repro.trace.requests import Request
+
+__all__ = ["AlphaController", "AlphaAdjustment"]
+
+
+@dataclass(frozen=True, slots=True)
+class AlphaAdjustment:
+    """One control-loop step, for inspection/plotting."""
+
+    t: float
+    measured_ingress_fraction: float
+    alpha_before: float
+    alpha_after: float
+
+
+@dataclass
+class AlphaController:
+    """Integral-style controller holding a cache at a target ingress."""
+
+    cache: VideoCache
+    target_ingress_fraction: float
+    #: seconds between adjustments (a few hours keeps churn low)
+    interval: float = 4 * 3600.0
+    #: multiplicative step size per unit of relative error
+    gain: float = 0.5
+    #: clamp range as multiples of the cache's starting alpha
+    range_factor: float = 2.0
+    #: minimum egress bytes in a window before adjusting (noise guard)
+    min_window_egress: int = 64 << 20
+
+    adjustments: List[AlphaAdjustment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cache.offline:
+            raise ValueError("alpha control requires an online cache")
+        if not 0.0 < self.target_ingress_fraction < 1.0:
+            raise ValueError("target_ingress_fraction must be in (0, 1)")
+        if self.interval <= 0 or self.gain <= 0:
+            raise ValueError("interval and gain must be positive")
+        if self.range_factor < 1.0:
+            raise ValueError("range_factor must be >= 1")
+        base = self.cache.cost_model.alpha_f2r
+        self._alpha_min = base / self.range_factor
+        self._alpha_max = base * self.range_factor
+        self._window_start: float | None = None
+        self._window_ingress = 0
+        self._window_egress = 0
+
+    @property
+    def alpha(self) -> float:
+        return self.cache.cost_model.alpha_f2r
+
+    def handle(self, request: Request) -> CacheResponse:
+        """Drop-in replacement for ``cache.handle`` with control."""
+        response = self.cache.handle(request)
+        self._observe(request, response)
+        return response
+
+    # -- internals -----------------------------------------------------------
+
+    def _observe(self, request: Request, response: CacheResponse) -> None:
+        now = request.t
+        if self._window_start is None:
+            self._window_start = now
+        if response.served:
+            self._window_egress += request.num_bytes
+            self._window_ingress += response.filled_chunks * self.cache.chunk_bytes
+        if now - self._window_start >= self.interval:
+            self._adjust(now)
+            self._window_start = now
+            self._window_ingress = 0
+            self._window_egress = 0
+
+    def _adjust(self, now: float) -> None:
+        if self._window_egress < self.min_window_egress:
+            return
+        measured = self._window_ingress / self._window_egress
+        # relative error > 0 means too much ingress -> raise alpha
+        # (make fills costlier); the log keeps steps symmetric, and the
+        # clamp stops a near-zero window (e.g. right after a big fill
+        # burst completed) from slamming alpha across its whole range.
+        error = math.log(max(measured, 1e-6) / self.target_ingress_fraction)
+        error = max(-1.0, min(1.0, error))
+        before = self.alpha
+        after = min(
+            self._alpha_max,
+            max(self._alpha_min, before * math.exp(self.gain * error)),
+        )
+        if after != before:
+            self.cache.cost_model = CostModel(after)
+        self.adjustments.append(
+            AlphaAdjustment(
+                t=now,
+                measured_ingress_fraction=measured,
+                alpha_before=before,
+                alpha_after=after,
+            )
+        )

@@ -1,0 +1,194 @@
+"""Fleet-level alpha_F2R assignment (the §10 optimization layer).
+
+"Cafe Cache with defined behavior through alpha_F2R (Figure 5) can as
+well be used as the underlying building block to adjust traffic between
+any group of constrained/non-constrained servers, which can be done
+through finer tuning of alpha_F2R for correlated servers."
+
+The cache gives each server a *measurable* tradeoff curve: every alpha
+maps to an (ingress bytes, redirected bytes) operating point (Figure 5).
+Given those curves, the CDN-wide question is an assignment problem:
+
+    choose one alpha per server
+    minimizing   total redirected bytes
+    subject to   total ingress <= budget
+
+— the natural formulation for a shared, constrained backbone that all
+cache-fill traffic traverses.  With per-server curves this is a
+multiple-choice knapsack, solved here exactly by dynamic programming
+over a discretized budget grid.
+
+Pipeline: :func:`measure_tradeoff_curves` replays each server's trace
+across an alpha grid (Figure 5 per server), then
+:func:`optimize_alpha_assignment` picks the fleet's operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.sim.engine import replay
+from repro.sim.runner import build_cache
+from repro.trace.requests import Request
+
+__all__ = [
+    "OperatingPoint",
+    "FleetAssignment",
+    "measure_tradeoff_curves",
+    "optimize_alpha_assignment",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OperatingPoint:
+    """One measured (alpha -> traffic) point of a server's curve."""
+
+    alpha: float
+    ingress_bytes: int
+    redirected_bytes: int
+    egress_bytes: int
+    efficiency: float
+
+
+@dataclass
+class FleetAssignment:
+    """The optimizer's output."""
+
+    #: server -> chosen alpha
+    alphas: Dict[str, float]
+    total_ingress_bytes: int
+    total_redirected_bytes: int
+    ingress_budget_bytes: int
+
+    @property
+    def budget_utilization(self) -> float:
+        if self.ingress_budget_bytes == 0:
+            return float("nan")
+        return self.total_ingress_bytes / self.ingress_budget_bytes
+
+
+def measure_tradeoff_curves(
+    traces: Mapping[str, Sequence[Request]],
+    disk_chunks: Mapping[str, int],
+    alphas: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    algorithm: str = "Cafe",
+    steady_fraction: float = 0.5,
+) -> Dict[str, List[OperatingPoint]]:
+    """Per-server Figure 5 curves: replay each trace at every alpha.
+
+    Traffic is measured over the steady-state window so warm-up fills
+    do not distort the curves.
+    """
+    if not traces:
+        raise ValueError("no traces given")
+    missing = [s for s in traces if s not in disk_chunks]
+    if missing:
+        raise ValueError(f"servers without disk size: {missing}")
+    curves: Dict[str, List[OperatingPoint]] = {}
+    for server, trace in traces.items():
+        points = []
+        for alpha in alphas:
+            cache = build_cache(algorithm, disk_chunks[server], alpha_f2r=alpha)
+            result = replay(cache, trace)
+            steady = result.metrics.steady_state(steady_fraction)
+            points.append(
+                OperatingPoint(
+                    alpha=alpha,
+                    ingress_bytes=steady.ingress_bytes,
+                    redirected_bytes=steady.redirected_bytes,
+                    egress_bytes=steady.egress_bytes,
+                    efficiency=steady.efficiency,
+                )
+            )
+        curves[server] = points
+    return curves
+
+
+def optimize_alpha_assignment(
+    curves: Mapping[str, Sequence[OperatingPoint]],
+    ingress_budget_bytes: int,
+    budget_bins: int = 400,
+) -> FleetAssignment:
+    """Exact multiple-choice knapsack over the discretized budget.
+
+    Minimizes total redirected bytes with total ingress held within
+    ``ingress_budget_bytes``.  Ingress values are quantized onto
+    ``budget_bins`` levels (rounded *up*, so the budget is never
+    exceeded by quantization).  Raises ``ValueError`` when even the
+    most ingress-frugal option per server cannot fit the budget.
+    """
+    if not curves:
+        raise ValueError("no tradeoff curves given")
+    if ingress_budget_bytes < 0:
+        raise ValueError("ingress budget must be non-negative")
+    if budget_bins < 1:
+        raise ValueError("budget_bins must be >= 1")
+
+    servers = sorted(curves)
+    min_needed = sum(
+        min(p.ingress_bytes for p in curves[s]) for s in servers
+    )
+    if min_needed > ingress_budget_bytes:
+        raise ValueError(
+            f"infeasible: even the most frugal assignment ingresses "
+            f"{min_needed} B > budget {ingress_budget_bytes} B"
+        )
+
+    unit = max(1, -(-ingress_budget_bytes // budget_bins))  # ceil division
+    bins = ingress_budget_bytes // unit
+
+    def cost_of(point: OperatingPoint) -> int:
+        # round ingress *up* so quantization never exceeds the budget
+        return -(-point.ingress_bytes // unit)
+
+    inf = float("inf")
+    # layers[k][b] = min total redirected bytes over the first k
+    # servers with total quantized ingress <= b.  layers[0] = zeros:
+    # no servers, no traffic.  Each layer stays monotone non-increasing
+    # in b by induction, so layers[-1][bins] is the optimum.
+    layers: List[np.ndarray] = [np.zeros(bins + 1)]
+    for server in servers:
+        prev = layers[-1]
+        new = np.full(bins + 1, inf)
+        for point in curves[server]:
+            cost = cost_of(point)
+            if cost > bins:
+                continue
+            candidate = np.full(bins + 1, inf)
+            candidate[cost:] = prev[: bins + 1 - cost] + point.redirected_bytes
+            np.minimum(new, candidate, out=new)
+        layers.append(new)
+
+    if not np.isfinite(layers[-1][bins]):
+        raise ValueError(
+            "infeasible under budget quantization; raise budget_bins"
+        )
+
+    # Backtrack by value equality (sums of integer byte counts are
+    # exact in float64 far beyond realistic traffic volumes).
+    alphas: Dict[str, float] = {}
+    total_ingress = 0
+    total_redirected = 0
+    b = bins
+    for k in range(len(servers) - 1, -1, -1):
+        server = servers[k]
+        prev, cur = layers[k], layers[k + 1]
+        for point in curves[server]:
+            cost = cost_of(point)
+            if cost <= b and prev[b - cost] + point.redirected_bytes == cur[b]:
+                alphas[server] = point.alpha
+                total_ingress += point.ingress_bytes
+                total_redirected += point.redirected_bytes
+                b -= cost
+                break
+        else:  # pragma: no cover - equality always holds by construction
+            raise RuntimeError(f"backtrack failed at server {server!r}")
+    return FleetAssignment(
+        alphas=alphas,
+        total_ingress_bytes=total_ingress,
+        total_redirected_bytes=total_redirected,
+        ingress_budget_bytes=ingress_budget_bytes,
+    )

@@ -1,0 +1,209 @@
+"""Hierarchical multi-server replay (the Section 10 CDN-wide setting).
+
+Each edge server receives its own user trace.  Per request:
+
+* the edge's cache decides serve-or-redirect exactly as in the
+  single-server model;
+* a **redirect** forwards the original request along ``redirect_to``
+  (the secondary map); after ``max_redirects`` hops, or when no target
+  remains, the origin serves it;
+* a **serve with cache-fill** generates *fill requests* to the server's
+  ``fill_from`` target — one per contiguous chunk run, chunk-aligned —
+  which that server handles like any other request ("a request ... may
+  be received from a user or from another (downstream) server for a
+  cache fill").  Fills recurse up to the origin.
+
+Traces from multiple edges are merged in timestamp order so every cache
+sees non-decreasing time.  The result carries per-server metrics plus
+CDN-wide aggregates: origin egress (the traffic the CDN failed to
+absorb at its "lines of defense") and redirect-hop counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.base import CacheResponse, Decision
+from repro.sim.metrics import MetricsCollector, TrafficSummary
+from repro.trace.requests import Request
+from repro.cdn.topology import CdnTopology
+
+__all__ = ["CdnSimulator", "CdnSimulationResult"]
+
+
+@dataclass
+class CdnSimulationResult:
+    """Per-server and CDN-wide outcomes of one multi-server replay."""
+
+    topology: CdnTopology
+    per_server: Dict[str, MetricsCollector]
+    #: bytes served by the origin (requests the CDN could not absorb)
+    origin_bytes: int = 0
+    #: user requests that ended at the origin via redirects
+    origin_requests: int = 0
+    #: distribution of redirect chain lengths: hops -> request count
+    redirect_hops: Dict[int, int] = field(default_factory=dict)
+    num_user_requests: int = 0
+    user_requested_bytes: int = 0
+    #: user-requested bytes that ended up served by the origin
+    origin_redirect_bytes: int = 0
+
+    def summary(self, server: str) -> TrafficSummary:
+        """Whole-run traffic totals of one named server."""
+        return self.per_server[server].totals()
+
+    @property
+    def origin_offload(self) -> float:
+        """Fraction of user-requested bytes the cache tier absorbed.
+
+        This counts only redirected-to-origin traffic against the CDN;
+        fills that transited the origin are visible in ``origin_bytes``.
+        """
+        if self.user_requested_bytes == 0:
+            return float("nan")
+        return 1.0 - self.origin_redirect_bytes / self.user_requested_bytes
+
+    def describe(self) -> str:
+        """Multi-line human-readable report of the replay."""
+        lines = [
+            f"CDN replay: {self.num_user_requests} user requests, "
+            f"origin served {self.origin_bytes / 1e9:.2f} GB "
+            f"({self.origin_requests} redirected-to-origin requests)"
+        ]
+        for name, collector in sorted(self.per_server.items()):
+            s = collector.totals()
+            if s.num_requests == 0:
+                continue
+            lines.append(
+                f"  {name}: eff={s.efficiency:.3f} "
+                f"redirect={s.redirect_ratio:.3f} ingress={s.ingress_fraction:.3f} "
+                f"({s.num_requests} requests)"
+            )
+        return "\n".join(lines)
+
+
+class CdnSimulator:
+    """Replays per-edge user traces through a :class:`CdnTopology`."""
+
+    def __init__(self, topology: CdnTopology, max_redirects: int = 4) -> None:
+        if max_redirects < 1:
+            raise ValueError("max_redirects must be >= 1")
+        self.topology = topology
+        self.max_redirects = max_redirects
+
+    def run(
+        self,
+        edge_traces: Mapping[str, Sequence[Request]],
+        interval: float = 3600.0,
+    ) -> CdnSimulationResult:
+        """Replay ``edge_traces`` (server name -> its user trace)."""
+        for name in edge_traces:
+            if name not in self.topology:
+                raise KeyError(f"trace for unknown server {name!r}")
+            if self.topology[name].is_origin:
+                raise ValueError("user traces cannot target the origin directly")
+
+        collectors: Dict[str, MetricsCollector] = {}
+        for name, server in self.topology.servers.items():
+            if server.cache is not None:
+                collectors[name] = MetricsCollector(
+                    server.cache.cost_model,
+                    chunk_bytes=server.cache.chunk_bytes,
+                    interval=interval,
+                )
+
+        result = CdnSimulationResult(
+            topology=self.topology, per_server=collectors
+        )
+
+        for name, request in _merge_by_time(edge_traces):
+            result.num_user_requests += 1
+            result.user_requested_bytes += request.num_bytes
+            hops = self._handle(name, request, result, hop=0)
+            result.redirect_hops[hops] = result.redirect_hops.get(hops, 0) + 1
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _handle(
+        self,
+        server_name: str,
+        request: Request,
+        result: CdnSimulationResult,
+        hop: int,
+    ) -> int:
+        """Process ``request`` at ``server_name``; returns redirect hops."""
+        server = self.topology[server_name]
+        if server.is_origin:
+            result.origin_bytes += request.num_bytes
+            result.origin_requests += 1
+            result.origin_redirect_bytes += request.num_bytes
+            return hop
+
+        assert server.cache is not None
+        response = server.cache.handle(request)
+        result.per_server[server_name].record(request, response)
+
+        if response.decision is Decision.SERVE:
+            if response.filled_chunks:
+                self._fill_upstream(server, request, response, result)
+            return hop
+
+        # Redirect: follow the secondary map; origin backstops.
+        target = server.redirect_to
+        if target is None or hop + 1 >= self.max_redirects:
+            target = self.topology.origin_name
+        return self._handle(target, request, result, hop + 1)
+
+    def _fill_upstream(
+        self,
+        server,
+        request: Request,
+        response: CacheResponse,
+        result: CdnSimulationResult,
+    ) -> None:
+        """Send this server's cache-fill as requests to its fill source."""
+        target = server.fill_from
+        if target is None:
+            return
+        cache = server.cache
+        for fill in _fill_requests(request, cache, response.filled_chunks):
+            fill_server = self.topology[target]
+            if fill_server.is_origin:
+                result.origin_bytes += fill.num_bytes
+            else:
+                self._handle(target, fill, result, hop=0)
+
+
+def _fill_requests(request: Request, cache, filled_chunks: int) -> List[Request]:
+    """Chunk-aligned upstream requests approximating this fill.
+
+    The cache does not report *which* chunks it filled, only how many;
+    the missing ones were, by construction, within the request's chunk
+    range.  One aligned request covering ``filled_chunks`` chunks from
+    the range start is the right volume and locality for upstream
+    accounting (upstream caches operate at chunk granularity anyway).
+    """
+    if filled_chunks <= 0:
+        return []
+    k = cache.chunk_bytes
+    c0, _c1 = request.chunks(k)
+    b0 = c0 * k
+    b1 = (c0 + filled_chunks) * k - 1
+    return [Request(t=request.t, video=request.video, b0=b0, b1=b1)]
+
+
+def _merge_by_time(
+    edge_traces: Mapping[str, Sequence[Request]],
+) -> Iterable[Tuple[str, Request]]:
+    """Merge per-edge traces into one time-ordered stream."""
+
+    def stream(name: str, trace: Sequence[Request]):
+        for i, r in enumerate(trace):
+            yield r.t, i, name, r
+
+    streams = [stream(name, trace) for name, trace in edge_traces.items()]
+    for _t, _i, name, request in heapq.merge(*streams):
+        yield name, request

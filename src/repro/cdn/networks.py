@@ -1,0 +1,190 @@
+"""User-network to server mapping (Section 2, footnote 3).
+
+The paper scopes the mapping out ("the detailed schemes for mapping
+users to servers is beyond the scope of this paper") but states its
+nature: "user IPs are mapped to servers primarily based on cost,
+constraints and delay bounds", independent of the individual files, and
+a *secondary map* defines where each network's redirected requests go.
+
+This module implements exactly that contract so multi-server
+experiments have a principled front end:
+
+* :class:`UserNetwork` — an aggregated IP prefix with a demand
+  estimate;
+* :class:`ServerLocation` — a serving site with an egress-capacity
+  constraint;
+* :func:`assign_networks` — greedy cost-based assignment under
+  capacity (largest demands first, cheapest feasible server each),
+  producing primary and secondary targets per network;
+* :func:`split_trace` — partition an aggregate request trace across
+  networks (demand-proportional) and group it by primary server, ready
+  for :class:`repro.cdn.CdnSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.trace.requests import Request
+
+__all__ = [
+    "UserNetwork",
+    "ServerLocation",
+    "NetworkAssignment",
+    "assign_networks",
+    "regional_cost",
+    "split_trace",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class UserNetwork:
+    """An aggregated user network (IP prefix) with estimated demand."""
+
+    name: str
+    region: str
+    demand_bps: float
+
+    def __post_init__(self) -> None:
+        if self.demand_bps <= 0:
+            raise ValueError(f"demand_bps must be positive, got {self.demand_bps}")
+
+
+@dataclass(frozen=True, slots=True)
+class ServerLocation:
+    """A serving site with an egress capacity constraint."""
+
+    name: str
+    region: str
+    capacity_bps: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0:
+            raise ValueError(f"capacity_bps must be positive, got {self.capacity_bps}")
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkAssignment:
+    """Primary and secondary server for one user network."""
+
+    network: str
+    primary: str
+    secondary: str
+
+
+CostFn = Callable[[UserNetwork, ServerLocation], float]
+
+
+def regional_cost(
+    network: UserNetwork,
+    server: ServerLocation,
+    same_region: float = 1.0,
+    cross_region: float = 4.0,
+) -> float:
+    """Default cost model: in-region peering cheap, transit expensive.
+
+    Stands in for the paper's "peering or transit connections with
+    different traffic handling costs" — replace with a real cost matrix
+    via the ``cost`` argument of :func:`assign_networks`.
+    """
+    return same_region if network.region == server.region else cross_region
+
+
+def assign_networks(
+    networks: Sequence[UserNetwork],
+    servers: Sequence[ServerLocation],
+    cost: CostFn = regional_cost,
+    secondary_demand_fraction: float = 0.25,
+) -> Dict[str, NetworkAssignment]:
+    """Greedy cost-based assignment under server capacity.
+
+    Networks are placed largest-demand first onto the cheapest server
+    with remaining capacity; the secondary (redirect) target is the
+    next-cheapest *distinct* server with room for
+    ``secondary_demand_fraction`` of the network's demand — redirected
+    traffic is a small share of the total, per the paper's model.
+
+    Raises ``ValueError`` when total capacity cannot host total demand
+    or no feasible (primary, secondary) pair exists for some network.
+    """
+    if not networks:
+        raise ValueError("no user networks to assign")
+    if len(servers) < 2:
+        raise ValueError("need at least two servers (primary + secondary)")
+    if not 0.0 < secondary_demand_fraction <= 1.0:
+        raise ValueError("secondary_demand_fraction must be in (0, 1]")
+    names = [s.name for s in servers]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate server names")
+
+    total_demand = sum(n.demand_bps for n in networks)
+    total_capacity = sum(s.capacity_bps for s in servers)
+    if total_demand > total_capacity:
+        raise ValueError(
+            f"total demand {total_demand:.3g} bps exceeds total capacity "
+            f"{total_capacity:.3g} bps"
+        )
+
+    remaining = {s.name: s.capacity_bps for s in servers}
+    out: Dict[str, NetworkAssignment] = {}
+
+    for network in sorted(networks, key=lambda n: -n.demand_bps):
+        ranked = sorted(servers, key=lambda s: (cost(network, s), s.name))
+        primary = next(
+            (s for s in ranked if remaining[s.name] >= network.demand_bps), None
+        )
+        if primary is None:
+            raise ValueError(
+                f"no server has {network.demand_bps:.3g} bps left for "
+                f"network {network.name!r}"
+            )
+        remaining[primary.name] -= network.demand_bps
+
+        needed = network.demand_bps * secondary_demand_fraction
+        secondary = next(
+            (
+                s
+                for s in ranked
+                if s.name != primary.name and remaining[s.name] >= needed
+            ),
+            None,
+        )
+        if secondary is None:
+            raise ValueError(
+                f"no secondary server with {needed:.3g} bps left for "
+                f"network {network.name!r}"
+            )
+        remaining[secondary.name] -= needed
+        out[network.name] = NetworkAssignment(
+            network=network.name, primary=primary.name, secondary=secondary.name
+        )
+    return out
+
+
+def split_trace(
+    trace: Sequence[Request],
+    networks: Sequence[UserNetwork],
+    assignment: Mapping[str, NetworkAssignment],
+    rng: np.random.Generator,
+) -> Dict[str, List[Request]]:
+    """Partition an aggregate trace into per-primary-server traces.
+
+    Each request is attributed to a user network with probability
+    proportional to demand, then routed to that network's primary
+    server.  Time order is preserved within every per-server trace.
+    """
+    missing = [n.name for n in networks if n.name not in assignment]
+    if missing:
+        raise ValueError(f"networks without assignment: {missing}")
+    weights = np.array([n.demand_bps for n in networks], dtype=float)
+    weights /= weights.sum()
+    choices = rng.choice(len(networks), size=len(trace), p=weights)
+
+    out: Dict[str, List[Request]] = {}
+    for request, idx in zip(trace, choices):
+        primary = assignment[networks[int(idx)].name].primary
+        out.setdefault(primary, []).append(request)
+    return out

@@ -1,0 +1,197 @@
+"""CDN topology: servers, redirect maps and fill paths (Section 2).
+
+A :class:`CdnServer` wires a cache to the network around it:
+
+* ``redirect_to`` — where *redirected user requests* go: "a secondary
+  map which defines the destination of redirected requests from each
+  user network", e.g. a higher-level serving site or a peered sibling;
+* ``fill_from`` — where *cache-fill* traffic is fetched from (a parent
+  cache or the origin).
+
+Selecting these destinations is "independent of the individual files
+requested", so they are per-server attributes, not per-file lookups.
+The origin is a server without a cache: it serves everything.
+
+Two builders cover the paper's two examples of alternative locations:
+:func:`hierarchy` ("a higher level, larger serving site in a cache
+hierarchy, which captures redirects of its downstream servers") and
+:func:`peered_edges` ("a location which also peers with the user
+network(s) that the initial location serves").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.base import VideoCache
+
+__all__ = ["CdnServer", "CdnTopology", "hierarchy", "peered_edges"]
+
+ORIGIN = "origin"
+
+
+@dataclass
+class CdnServer:
+    """One serving location in the CDN graph.
+
+    ``cache=None`` marks the origin: it serves every request and never
+    redirects.  Offline caches cannot participate (their future index
+    cannot include the fill/redirect traffic generated at run time).
+    """
+
+    name: str
+    cache: Optional[VideoCache] = None
+    redirect_to: Optional[str] = None
+    fill_from: Optional[str] = ORIGIN
+
+    def __post_init__(self) -> None:
+        if self.cache is not None and self.cache.offline:
+            raise ValueError(
+                f"server {self.name!r}: offline caches cannot run inside a "
+                "CDN topology (their future traffic is not known up front)"
+            )
+        if self.cache is None:
+            # The origin is terminal: it never redirects or fills.
+            self.redirect_to = None
+            self.fill_from = None
+
+    @property
+    def is_origin(self) -> bool:
+        return self.cache is None
+
+
+class CdnTopology:
+    """A validated set of servers with redirect/fill wiring."""
+
+    def __init__(self, servers: Iterable[CdnServer]) -> None:
+        self.servers: Dict[str, CdnServer] = {}
+        for server in servers:
+            if server.name in self.servers:
+                raise ValueError(f"duplicate server name {server.name!r}")
+            self.servers[server.name] = server
+        if not any(s.is_origin for s in self.servers.values()):
+            raise ValueError("topology needs an origin (a server with cache=None)")
+        self._validate_links()
+
+    def __getitem__(self, name: str) -> CdnServer:
+        return self.servers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.servers
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    @property
+    def origin_name(self) -> str:
+        return next(name for name, s in self.servers.items() if s.is_origin)
+
+    def edges(self) -> List[str]:
+        """Names of servers that are neither origin nor referenced as a
+        redirect/fill target — the user-facing first-landing tier."""
+        referenced = set()
+        for server in self.servers.values():
+            if server.redirect_to:
+                referenced.add(server.redirect_to)
+            if server.fill_from:
+                referenced.add(server.fill_from)
+        return [
+            name
+            for name, server in self.servers.items()
+            if not server.is_origin and name not in referenced
+        ]
+
+    def _validate_links(self) -> None:
+        for server in self.servers.values():
+            for attr in ("redirect_to", "fill_from"):
+                target = getattr(server, attr)
+                if target is None:
+                    continue
+                if target not in self.servers:
+                    raise ValueError(
+                        f"server {server.name!r}: {attr} -> unknown {target!r}"
+                    )
+                if target == server.name:
+                    raise ValueError(f"server {server.name!r}: {attr} loops to itself")
+        # Fill chains must terminate at the origin: a fill is real data
+        # movement and cannot loop.  Redirect *rings* are legitimate
+        # (peered siblings redirect to each other); the simulator bounds
+        # them with its hop limit and backstops at the origin.
+        for server in self.servers.values():
+            seen = {server.name}
+            node = server
+            while True:
+                target = node.fill_from
+                if target is None:
+                    break
+                if target in seen:
+                    raise ValueError(f"fill_from cycle involving {server.name!r}")
+                seen.add(target)
+                node = self.servers[target]
+                if node.is_origin:
+                    break
+
+
+def hierarchy(
+    edge_caches: Dict[str, VideoCache],
+    parent_cache: VideoCache,
+    parent_name: str = "parent",
+) -> CdnTopology:
+    """Two-level cache hierarchy: edges -> parent -> origin.
+
+    Edges redirect to and fill from the parent (the "higher level,
+    larger serving site ... which captures redirects of its downstream
+    servers"); the parent fills from and redirects to the origin.
+    """
+    servers = [CdnServer(name=ORIGIN, cache=None)]
+    servers.append(
+        CdnServer(
+            name=parent_name,
+            cache=parent_cache,
+            redirect_to=ORIGIN,
+            fill_from=ORIGIN,
+        )
+    )
+    for name, cache in edge_caches.items():
+        servers.append(
+            CdnServer(
+                name=name,
+                cache=cache,
+                redirect_to=parent_name,
+                fill_from=parent_name,
+            )
+        )
+    return CdnTopology(servers)
+
+
+def peered_edges(
+    edge_caches: Dict[str, VideoCache],
+    peer_of: Optional[Callable[[str], str]] = None,
+) -> CdnTopology:
+    """Sibling edges redirecting to each other, all filling from origin.
+
+    By default each edge redirects to the next one in (name-sorted)
+    ring order — the "location which also peers with the user networks"
+    alternative.  Pass ``peer_of`` for explicit pairing.
+    """
+    if len(edge_caches) < 2:
+        raise ValueError("peered topology needs at least two edges")
+    names = sorted(edge_caches)
+    if peer_of is None:
+        ring = {name: names[(i + 1) % len(names)] for i, name in enumerate(names)}
+        peer_of = ring.__getitem__
+    servers = [CdnServer(name=ORIGIN, cache=None)]
+    for name in names:
+        peer = peer_of(name)
+        if peer not in edge_caches:
+            raise ValueError(f"peer_of({name!r}) -> unknown {peer!r}")
+        servers.append(
+            CdnServer(
+                name=name,
+                cache=edge_caches[name],
+                redirect_to=peer,
+                fill_from=ORIGIN,
+            )
+        )
+    return CdnTopology(servers)

@@ -1,0 +1,248 @@
+"""Command-line entry points.
+
+Four commands are installed by the package:
+
+* ``repro-gen`` — synthesize a server trace and write it to CSV/JSONL;
+* ``repro-sim`` — replay a trace file through one algorithm;
+* ``repro-experiment`` — run the paper-figure experiments;
+* ``repro-validate`` — validate (and optionally repair) a trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.experiments import ALL_FIGURES, scale_from_env
+from repro.sim.engine import replay
+from repro.sim.runner import CACHE_FACTORIES, build_cache
+from repro.trace.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+from repro.trace.stats import TraceStats
+from repro.workload.generator import TraceGenerator
+from repro.workload.servers import SERVER_PROFILES
+
+__all__ = ["main_gen", "main_sim", "main_experiment", "main_validate"]
+
+
+def _read_trace(path: str):
+    if ".jsonl" in path:
+        return read_trace_jsonl(path)
+    return read_trace_csv(path)
+
+
+def main_gen(argv: Optional[Sequence[str]] = None) -> int:
+    """Generate a synthetic server trace."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gen", description=main_gen.__doc__
+    )
+    parser.add_argument(
+        "--server",
+        choices=sorted(SERVER_PROFILES),
+        default="europe",
+        help="regional server profile",
+    )
+    parser.add_argument("--days", type=float, default=30.0, help="trace length")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiplier on catalog size and session volume",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override profile seed")
+    parser.add_argument(
+        "--stats", action="store_true", help="print trace statistics after writing"
+    )
+    parser.add_argument("output", help="output path (.csv/.jsonl, .gz ok)")
+    args = parser.parse_args(argv)
+
+    profile = SERVER_PROFILES[args.server].scaled(args.scale)
+    trace = TraceGenerator(profile, seed=args.seed).generate(days=args.days)
+    if ".jsonl" in args.output:
+        count = write_trace_jsonl(args.output, trace)
+    else:
+        count = write_trace_csv(args.output, trace)
+    print(f"wrote {count} requests to {args.output}")
+    if args.stats:
+        stats = TraceStats.from_requests(trace)
+        for key, value in stats.summary().items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def main_sim(argv: Optional[Sequence[str]] = None) -> int:
+    """Replay a trace file through one caching algorithm."""
+    parser = argparse.ArgumentParser(prog="repro-sim", description=main_sim.__doc__)
+    parser.add_argument("trace", help="trace file from repro-gen")
+    parser.add_argument(
+        "--algorithm",
+        choices=sorted(CACHE_FACTORIES),
+        default="Cafe",
+    )
+    parser.add_argument(
+        "--disk-chunks", type=int, required=True, help="disk size in chunks"
+    )
+    parser.add_argument("--alpha", type=float, default=1.0, help="alpha_F2R")
+    parser.add_argument(
+        "--interval", type=float, default=3600.0, help="metrics bucket seconds"
+    )
+    parser.add_argument(
+        "--series", action="store_true", help="also print the hourly time series"
+    )
+    args = parser.parse_args(argv)
+
+    requests = list(_read_trace(args.trace))
+    cache = build_cache(args.algorithm, args.disk_chunks, alpha_f2r=args.alpha)
+    result = replay(cache, requests, interval=args.interval)
+    steady = result.steady
+    totals = result.totals
+    rows = [
+        {"window": "steady (2nd half)", "efficiency": steady.efficiency,
+         "redirect_ratio": steady.redirect_ratio,
+         "ingress_fraction": steady.ingress_fraction,
+         "requests": steady.num_requests},
+        {"window": "whole trace", "efficiency": totals.efficiency,
+         "redirect_ratio": totals.redirect_ratio,
+         "ingress_fraction": totals.ingress_fraction,
+         "requests": totals.num_requests},
+    ]
+    print(format_table(rows, title=cache.describe()))
+    if args.series:
+        srows = [
+            {
+                "t_hours": s.t_start / 3600.0,
+                "efficiency": s.summary.efficiency,
+                "redirect_ratio": s.summary.redirect_ratio,
+                "ingress_fraction": s.summary.ingress_fraction,
+            }
+            for s in result.metrics.series()
+        ]
+        print(format_table(srows, title="time series"))
+    return 0
+
+
+def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the reproduction experiments (Figures 2-7 + extensions)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment", description=main_experiment.__doc__
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=["all"],
+        help=(
+            "experiment names (fig2..fig7, cdnwide, proactive, "
+            "robustness, lp_tightness) or 'all'"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "full", "paper"],
+        default=None,
+        help="experiment scale (default: REPRO_SCALE env or 'full')",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        default=None,
+        help="additionally write the results as a Markdown report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        import os
+
+        os.environ["REPRO_SCALE"] = args.scale
+    scale = scale_from_env()
+
+    names = list(ALL_FIGURES) if args.figures == ["all"] else args.figures
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {unknown}; choose from {sorted(ALL_FIGURES)}")
+
+    print(f"scale: {scale.name} ({scale.days:g} days, x{scale.profile_scale:g} volume)")
+    results = []
+    for name in names:
+        module = ALL_FIGURES[name]
+        result = module.run(scale)
+        results.append(result)
+        print()
+        print(result.to_text())
+
+    if args.markdown:
+        from repro.analysis.report import render_report
+
+        preamble = (
+            f"Scale: **{scale.name}** ({scale.days:g} days, "
+            f"x{scale.profile_scale:g} volume). See EXPERIMENTS.md for the "
+            f"paper-vs-measured interpretation of each figure."
+        )
+        with open(args.markdown, "w") as fh:
+            fh.write(render_report(results, preamble=preamble))
+        print(f"\nwrote Markdown report to {args.markdown}")
+    return 0
+
+
+def main_validate(argv: Optional[Sequence[str]] = None) -> int:
+    """Validate a trace file; optionally write a repaired copy."""
+    parser = argparse.ArgumentParser(
+        prog="repro-validate", description=main_validate.__doc__
+    )
+    parser.add_argument("trace", help="trace file (.csv/.jsonl, .gz ok)")
+    parser.add_argument(
+        "--repair",
+        metavar="OUT",
+        default=None,
+        help="write a repaired (sorted, sanitized) copy to OUT",
+    )
+    parser.add_argument(
+        "--max-issues", type=int, default=20, help="issues to print in detail"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.trace.validate import repair_trace, validate_trace
+
+    requests = list(_read_trace(args.trace))
+    report = validate_trace(requests)
+    print(report.summary())
+    for issue in report.issues[: args.max_issues]:
+        print(f"  [{issue.index}] {issue.kind}: {issue.detail}")
+    if len(report.issues) > args.max_issues:
+        print(f"  ... and {len(report.issues) - args.max_issues} more")
+
+    if args.repair:
+        repaired = repair_trace(requests)
+        if ".jsonl" in args.repair:
+            count = write_trace_jsonl(args.repair, repaired)
+        else:
+            count = write_trace_csv(args.repair, repaired)
+        print(f"wrote {count} repaired requests to {args.repair}")
+        return 0
+    return 0 if report.ok else 1
+
+
+def _dispatch() -> int:  # pragma: no cover - convenience for python -m
+    prog = sys.argv[1] if len(sys.argv) > 1 else ""
+    mains = {
+        "gen": main_gen,
+        "sim": main_sim,
+        "experiment": main_experiment,
+        "validate": main_validate,
+    }
+    if prog not in mains:
+        print(
+            "usage: python -m repro.cli {gen|sim|experiment|validate} ...",
+            file=sys.stderr,
+        )
+        return 2
+    return mains[prog](sys.argv[2:])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_dispatch())

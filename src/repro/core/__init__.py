@@ -1,0 +1,48 @@
+"""The paper's contribution: four video-CDN caching algorithms.
+
+* :class:`XlruCache` — the LRU-based baseline (Section 5),
+* :class:`CafeCache` — the chunk-aware, fill-efficient cache (Section 6),
+* :class:`PsychicCache` — the offline greedy estimator (Section 8),
+* :class:`OptimalCache` — the IP/LP-relaxed offline optimum (Section 7),
+
+plus the classic "standard solution" baselines the paper argues are
+insufficient (:mod:`repro.core.baselines`) and the shared cost model
+(:mod:`repro.core.costs`).
+"""
+
+from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.core.baselines import BeladyCache, LfuAdmissionCache, PullThroughLruCache
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.lru_variants import GreedyDualSizeCache, LruKCache
+from repro.core.optimal import OptimalCache, OptimalSolution, solve_optimal
+from repro.core.psychic import PsychicCache
+from repro.core.snapshot import (
+    load_snapshot,
+    load_state_dict,
+    save_snapshot,
+    state_dict,
+)
+from repro.core.xlru import XlruCache
+
+__all__ = [
+    "CacheResponse",
+    "Decision",
+    "VideoCache",
+    "CostModel",
+    "XlruCache",
+    "CafeCache",
+    "PsychicCache",
+    "OptimalCache",
+    "OptimalSolution",
+    "solve_optimal",
+    "PullThroughLruCache",
+    "LfuAdmissionCache",
+    "BeladyCache",
+    "LruKCache",
+    "GreedyDualSizeCache",
+    "state_dict",
+    "load_state_dict",
+    "save_snapshot",
+    "load_snapshot",
+]

@@ -1,0 +1,128 @@
+"""Common cache-server interface (Problem 1 / Problem 2 of Section 4.3).
+
+Every algorithm sees the same stream of :class:`~repro.trace.Request`
+objects and must, per request, either **serve** it (cache-filling any
+missing chunks, evicting to make room) or **redirect** it.  The response
+reports what happened so the simulation engine can do the byte
+accounting without reaching into cache internals.
+
+Offline algorithms (Psychic, Optimal, Belady) additionally receive the
+full request sequence up front through :meth:`VideoCache.prepare`.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.costs import CostModel
+from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
+
+__all__ = ["Decision", "CacheResponse", "VideoCache"]
+
+
+class Decision(enum.Enum):
+    """The two possible outcomes for a request (Section 4.3)."""
+
+    SERVE = "serve"
+    REDIRECT = "redirect"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheResponse:
+    """What the cache did with one request.
+
+    ``filled_chunks`` is the number of chunks fetched over the ingress
+    link (0 when redirecting or fully hitting); ``evicted_chunks`` the
+    number evicted to make room.  Ingress bytes are
+    ``filled_chunks * chunk_bytes`` since chunks are fetched in full.
+    """
+
+    decision: Decision
+    filled_chunks: int = 0
+    evicted_chunks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.filled_chunks < 0 or self.evicted_chunks < 0:
+            raise ValueError("chunk counts must be non-negative")
+        if self.decision is Decision.REDIRECT and self.filled_chunks:
+            raise ValueError("a redirected request cannot cache-fill")
+
+    @property
+    def served(self) -> bool:
+        return self.decision is Decision.SERVE
+
+
+class VideoCache(ABC):
+    """Abstract video cache server.
+
+    Concrete caches implement :meth:`handle`; the constructor fixes the
+    disk size (in chunks), the chunk size and the cost model — the three
+    knobs the paper's experiments sweep.
+    """
+
+    #: Short algorithm name used in reports ("xLRU", "Cafe", ...).
+    name: str = "abstract"
+    #: Whether the algorithm needs the full future sequence (Problem 2).
+    offline: bool = False
+
+    def __init__(
+        self,
+        disk_chunks: int,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if disk_chunks <= 0:
+            raise ValueError(f"disk_chunks must be positive, got {disk_chunks}")
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        self.disk_chunks = disk_chunks
+        self.chunk_bytes = chunk_bytes
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def prepare(self, requests: Sequence[Request]) -> None:
+        """Offline hook: receive the full request sequence before replay.
+
+        Online caches ignore it; offline caches build their future
+        indexes here.  Called exactly once, before the first
+        :meth:`handle`.
+        """
+
+    @abstractmethod
+    def handle(self, request: Request) -> CacheResponse:
+        """Serve or redirect ``request``, updating cache state.
+
+        Requests must arrive in non-decreasing timestamp order.
+        """
+
+    # -- introspection (shared by tests, examples and the CDN layer) --------
+
+    @abstractmethod
+    def __contains__(self, chunk: ChunkId) -> bool:
+        """Whether ``(video, chunk_number)`` is currently on disk."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of chunks currently on disk."""
+
+    @property
+    def disk_bytes(self) -> int:
+        """Disk capacity in bytes."""
+        return self.disk_chunks * self.chunk_bytes
+
+    @property
+    def disk_used_fraction(self) -> float:
+        """Fraction of the disk currently occupied."""
+        return len(self) / self.disk_chunks
+
+    def describe(self) -> str:
+        """One-line human-readable configuration summary."""
+        return (
+            f"{self.name}(disk={self.disk_chunks} chunks, "
+            f"chunk={self.chunk_bytes} B, "
+            f"alpha_f2r={self.cost_model.alpha_f2r})"
+        )

@@ -1,0 +1,250 @@
+"""Classic caching baselines the paper positions itself against.
+
+Section 2 argues that "standard caching solutions" — fetch every miss
+from the backend and manage replacement only — cannot address the video
+CDN problem because they lack the serve-vs-redirect decision and cannot
+comply with a fill-to-redirect preference.  These reference
+implementations make that argument measurable:
+
+* :class:`PullThroughLruCache` — the standard Web-cache pattern: every
+  miss is cache-filled, chunk replacement is LRU.  Its ingress is
+  unbounded by design; at ``alpha_F2R > 1`` its efficiency collapses.
+* :class:`LfuAdmissionCache` — frequency-flavoured variant (LFU
+  replacement with periodic aging, admission after a minimum number of
+  video hits), representative of the LFU/LRU-K family of Section 3.
+* :class:`BeladyCache` — Belady's offline optimal *replacement* [5]:
+  always serve, evict the chunk requested farthest in the future.  The
+  optimal answer to the classic problem, and still not competitive with
+  Psychic/Optimal on the CDN problem, because the classic problem is
+  the wrong problem.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict, Optional, Sequence
+
+from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.core.costs import CostModel
+from repro.structures.lru import AccessRecencyList
+from repro.structures.treap import TreapMap
+from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
+
+__all__ = ["PullThroughLruCache", "LfuAdmissionCache", "BeladyCache"]
+
+_INF = float("inf")
+
+
+class PullThroughLruCache(VideoCache):
+    """Fetch-on-miss LRU: the standard Web-proxy pattern (Section 2)."""
+
+    name = "PullLRU"
+
+    def __init__(
+        self,
+        disk_chunks: int,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        super().__init__(disk_chunks, chunk_bytes, cost_model)
+        self._disk: AccessRecencyList[ChunkId] = AccessRecencyList()
+
+    def handle(self, request: Request) -> CacheResponse:
+        now = request.t
+        chunks = list(request.chunk_ids(self.chunk_bytes))
+        if len(chunks) > self.disk_chunks:
+            return CacheResponse(Decision.REDIRECT)
+        missing = []
+        for chunk in chunks:
+            if chunk in self._disk:
+                self._disk.touch(chunk, now)
+            else:
+                missing.append(chunk)
+        evicted = 0
+        free = self.disk_chunks - len(self._disk)
+        for _ in range(len(missing) - free):
+            self._disk.pop_oldest()
+            evicted += 1
+        for chunk in missing:
+            self._disk.touch(chunk, now)
+        return CacheResponse(
+            Decision.SERVE, filled_chunks=len(missing), evicted_chunks=evicted
+        )
+
+    def __contains__(self, chunk: ChunkId) -> bool:
+        return chunk in self._disk
+
+    def __len__(self) -> int:
+        return len(self._disk)
+
+
+class LfuAdmissionCache(VideoCache):
+    """LFU replacement with hit-count admission and periodic aging.
+
+    Admission: a video qualifies once it has been requested at least
+    ``min_video_hits`` times (first-seen requests are redirected, like
+    xLRU).  Replacement: evict the lowest-frequency chunk; frequencies
+    are halved every ``aging_interval`` handled requests so stale
+    popularity cannot pollute the cache forever (the paper's Section 3
+    critique of frequency-based schemes).
+    """
+
+    name = "LFU"
+
+    def __init__(
+        self,
+        disk_chunks: int,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        cost_model: CostModel | None = None,
+        min_video_hits: int = 2,
+        aging_interval: int = 10_000,
+        treap_seed: int = 0,
+    ) -> None:
+        super().__init__(disk_chunks, chunk_bytes, cost_model)
+        if min_video_hits < 1:
+            raise ValueError(f"min_video_hits must be >= 1, got {min_video_hits}")
+        if aging_interval < 1:
+            raise ValueError(f"aging_interval must be >= 1, got {aging_interval}")
+        self.min_video_hits = min_video_hits
+        self.aging_interval = aging_interval
+        self._video_hits: Counter = Counter()
+        self._freq: Dict[ChunkId, float] = {}
+        self._cached: TreapMap[ChunkId] = TreapMap(seed=treap_seed)
+        self._handled = 0
+
+    def handle(self, request: Request) -> CacheResponse:
+        self._handled += 1
+        if self._handled % self.aging_interval == 0:
+            self._age()
+        self._video_hits[request.video] += 1
+        chunks = list(request.chunk_ids(self.chunk_bytes))
+        for chunk in chunks:
+            if chunk in self._cached:
+                self._freq[chunk] = self._freq.get(chunk, 0.0) + 1.0
+                self._cached.insert(chunk, self._freq[chunk])
+
+        if len(chunks) > self.disk_chunks:
+            return CacheResponse(Decision.REDIRECT)
+        if self._video_hits[request.video] < self.min_video_hits:
+            return CacheResponse(Decision.REDIRECT)
+
+        missing = [c for c in chunks if c not in self._cached]
+        if not missing:
+            return CacheResponse(Decision.SERVE)
+        evicted = 0
+        free = self.disk_chunks - len(self._cached)
+        need = len(missing) - free
+        if need > 0:
+            victims = self._cached.n_smallest(need, exclude=set(chunks))
+            for chunk, _score in victims:
+                self._cached.remove(chunk)
+                self._freq.pop(chunk, None)
+                evicted += 1
+        for chunk in missing:
+            self._freq[chunk] = self._freq.get(chunk, 0.0) + 1.0
+            self._cached.insert(chunk, self._freq[chunk])
+        return CacheResponse(
+            Decision.SERVE, filled_chunks=len(missing), evicted_chunks=evicted
+        )
+
+    def __contains__(self, chunk: ChunkId) -> bool:
+        return chunk in self._cached
+
+    def __len__(self) -> int:
+        return len(self._cached)
+
+    def _age(self) -> None:
+        """Halve all frequencies and re-key the cached set.
+
+        Re-keying keeps tree scores equal to the live frequencies, so a
+        freshly incremented chunk compares correctly against aged ones.
+        """
+        for chunk in list(self._freq):
+            self._freq[chunk] /= 2.0
+            if chunk in self._cached:
+                self._cached.insert(chunk, self._freq[chunk])
+        for video in list(self._video_hits):
+            self._video_hits[video] //= 2
+            if self._video_hits[video] == 0:
+                del self._video_hits[video]
+
+
+class BeladyCache(VideoCache):
+    """Belady's offline replacement [5]: always serve, evict farthest.
+
+    The optimum for the *classic* caching problem (no redirect option);
+    included to quantify how much the serve-vs-redirect decision itself
+    is worth beyond perfect replacement.
+    """
+
+    name = "Belady"
+    offline = True
+
+    def __init__(
+        self,
+        disk_chunks: int,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        cost_model: CostModel | None = None,
+        treap_seed: int = 0,
+    ) -> None:
+        super().__init__(disk_chunks, chunk_bytes, cost_model)
+        self._future: Dict[ChunkId, Deque[float]] = {}
+        self._cached: TreapMap[ChunkId] = TreapMap(seed=treap_seed)
+        self._prepared: Optional[Sequence[Request]] = None
+        self._cursor = 0
+
+    def prepare(self, requests: Sequence[Request]) -> None:
+        self._future.clear()
+        for r in requests:
+            for chunk in r.chunk_ids(self.chunk_bytes):
+                self._future.setdefault(chunk, deque()).append(r.t)
+        self._prepared = requests
+        self._cursor = 0
+
+    def handle(self, request: Request) -> CacheResponse:
+        if self._prepared is None:
+            raise RuntimeError("BeladyCache.handle() before prepare()")
+        if (
+            self._cursor >= len(self._prepared)
+            or self._prepared[self._cursor] != request
+        ):
+            raise RuntimeError(
+                "requests must be replayed to BeladyCache in exactly the "
+                "order given to prepare()"
+            )
+        self._cursor += 1
+
+        chunks = list(request.chunk_ids(self.chunk_bytes))
+        for chunk in chunks:
+            queue = self._future.get(chunk)
+            if queue:
+                queue.popleft()
+            if chunk in self._cached:
+                self._cached.insert(chunk, self._eviction_key(chunk))
+
+        if len(chunks) > self.disk_chunks:
+            return CacheResponse(Decision.REDIRECT)
+
+        missing = [c for c in chunks if c not in self._cached]
+        evicted = 0
+        need = len(missing) - (self.disk_chunks - len(self._cached))
+        if need > 0:
+            for chunk, _key in self._cached.n_smallest(need, exclude=set(chunks)):
+                self._cached.remove(chunk)
+                evicted += 1
+        for chunk in missing:
+            self._cached.insert(chunk, self._eviction_key(chunk))
+        return CacheResponse(
+            Decision.SERVE, filled_chunks=len(missing), evicted_chunks=evicted
+        )
+
+    def __contains__(self, chunk: ChunkId) -> bool:
+        return chunk in self._cached
+
+    def __len__(self) -> int:
+        return len(self._cached)
+
+    def _eviction_key(self, chunk: ChunkId) -> float:
+        """Ascending key: never-requested-again first, then farthest."""
+        queue = self._future.get(chunk)
+        return -(queue[0] if queue else _INF)

@@ -1,0 +1,79 @@
+"""The ingress-vs-redirect cost model (Section 4.1–4.2).
+
+Every cache-filled byte costs ``C_F`` and every redirected byte costs
+``C_R``; only their ratio ``alpha_F2R = C_F / C_R`` matters, so they are
+normalized to ``C_F + C_R = 2`` (Eq. 3), giving (Eq. 4)::
+
+    C_F = 2 * alpha / (alpha + 1)       C_R = 2 / (alpha + 1)
+
+``alpha_F2R`` encodes the CDN's preference at a server:
+
+* ``alpha > 1`` — ingress-constrained (saturated egress, disk-write
+  pressure, backbone cost): fetch new content only when clearly worth it
+  (the paper's default for constrained servers is 2);
+* ``alpha = 1`` — ingress and redirect cost the same (the common case,
+  e.g. a remote rack inside the user's ISP);
+* ``alpha < 1`` — cheap/spare ingress (e.g. 0.5–0.75).
+
+Cache efficiency (Eq. 2) is ``1 - fill_share * C_F - redirect_share *
+C_R`` where the shares are of total requested bytes; it lies in
+``[-1, 1]`` and maximizing it is equivalent to minimizing total cost
+(Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Normalized fill/redirect costs derived from ``alpha_f2r`` (Eq. 4)."""
+
+    alpha_f2r: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha_f2r <= 0:
+            raise ValueError(f"alpha_f2r must be positive, got {self.alpha_f2r}")
+
+    @property
+    def fill_cost(self) -> float:
+        """``C_F`` — cost per cache-filled byte (Eq. 4)."""
+        return 2.0 * self.alpha_f2r / (self.alpha_f2r + 1.0)
+
+    @property
+    def redirect_cost(self) -> float:
+        """``C_R`` — cost per redirected byte (Eq. 4)."""
+        return 2.0 / (self.alpha_f2r + 1.0)
+
+    @property
+    def future_cost(self) -> float:
+        """``min(C_F, C_R)`` — the cost charged per expected future
+        request for a chunk we will not hold (Eqs. 6–7, 13–14): we will
+        most likely take whichever of fill/redirect is cheaper then."""
+        return min(self.fill_cost, self.redirect_cost)
+
+    def total_cost(self, ingress_bytes: float, redirected_bytes: float) -> float:
+        """Eq. 1: ``ingress * C_F + redirected * C_R``."""
+        if ingress_bytes < 0 or redirected_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        return ingress_bytes * self.fill_cost + redirected_bytes * self.redirect_cost
+
+    def efficiency(
+        self,
+        requested_bytes: float,
+        ingress_bytes: float,
+        redirected_bytes: float,
+    ) -> float:
+        """Eq. 2: cache efficiency in ``[-1, 1]``.
+
+        ``requested_bytes`` is the total over all requests; ``ingress``
+        counts whole fetched chunks (a chunk is fetched in full even if
+        requested partially), ``redirected`` counts requested bytes of
+        redirected requests.
+        """
+        if requested_bytes <= 0:
+            raise ValueError("requested_bytes must be positive")
+        return 1.0 - self.total_cost(ingress_bytes, redirected_bytes) / requested_bytes

@@ -1,0 +1,169 @@
+"""Cache state snapshots: persist and restore a warm cache.
+
+A production cache server restarts without losing its disk; a
+simulation should be able to do the same — checkpoint a warmed cache,
+restart the process, and continue the replay.  This module serializes
+the two online paper caches to plain JSON-able dicts:
+
+* **xLRU** — popularity tracker entries and disk-chunk entries, each in
+  recency order with access times;
+* **Cafe** — per-chunk EWMA records (``dt``, ``t_last``), the cached
+  chunk set, and the ghost list.
+
+Restores are *logically* exact: every lookup, IAT, key and admission
+decision matches the original state.  The one caveat is tie-breaking
+among equal-keyed chunks in Cafe's treap (its internal sequence numbers
+restart), which can reorder evictions between exactly-tied chunks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Union
+
+from repro.core.cafe import CafeCache
+from repro.core.xlru import XlruCache
+
+__all__ = ["state_dict", "load_state_dict", "save_snapshot", "load_snapshot"]
+
+_FORMAT_VERSION = 1
+
+
+def state_dict(cache: Union[XlruCache, CafeCache]) -> dict:
+    """Extract a JSON-able snapshot of a supported cache's state."""
+    if isinstance(cache, XlruCache):
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "xlru",
+            "disk_chunks": cache.disk_chunks,
+            "chunk_bytes": cache.chunk_bytes,
+            "alpha_f2r": cache.cost_model.alpha_f2r,
+            "tracker": [[video, t] for video, t in cache._tracker.items()],
+            "disk": [[v, c, t] for (v, c), t in cache._disk.items()],
+        }
+    if isinstance(cache, CafeCache):
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "cafe",
+            "disk_chunks": cache.disk_chunks,
+            "chunk_bytes": cache.chunk_bytes,
+            "alpha_f2r": cache.cost_model.alpha_f2r,
+            "gamma": cache._stats.gamma,
+            "stats": [
+                [v, c, _encode_float(state.dt), state.t_last]
+                for (v, c), state in cache._stats.items()
+            ],
+            "cached": [[v, c] for (v, c), _ in cache._cached.items_ascending()],
+            "ghosts": [[v, c, t] for (v, c), t in cache._ghosts.items()],
+        }
+    raise TypeError(
+        f"snapshots support XlruCache and CafeCache, not {type(cache).__name__}"
+    )
+
+
+def load_state_dict(cache: Union[XlruCache, CafeCache], state: dict) -> None:
+    """Restore a snapshot into a compatibly configured cache.
+
+    The target must match the snapshot's geometry (disk size, chunk
+    size); the cost model may differ — operators retune alpha across
+    restarts.
+    """
+    if state.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot version {state.get('version')!r}")
+    if isinstance(cache, XlruCache):
+        expected = "xlru"
+    elif isinstance(cache, CafeCache):
+        expected = "cafe"
+    else:
+        raise TypeError(
+            f"snapshots support XlruCache and CafeCache, not {type(cache).__name__}"
+        )
+    if state.get("kind") != expected:
+        raise ValueError(
+            f"snapshot kind {state.get('kind')!r} cannot load into {expected}"
+        )
+    if (
+        state["disk_chunks"] != cache.disk_chunks
+        or state["chunk_bytes"] != cache.chunk_bytes
+    ):
+        raise ValueError(
+            "snapshot geometry mismatch: snapshot "
+            f"({state['disk_chunks']} chunks x {state['chunk_bytes']} B) vs "
+            f"cache ({cache.disk_chunks} x {cache.chunk_bytes})"
+        )
+    if isinstance(cache, XlruCache):
+        _load_xlru(cache, state)
+    else:
+        _load_cafe(cache, state)
+
+
+def save_snapshot(cache: Union[XlruCache, CafeCache], path: Union[str, Path]) -> None:
+    """Write a cache snapshot as JSON."""
+    with open(path, "w") as fh:
+        json.dump(state_dict(cache), fh)
+
+
+def load_snapshot(cache: Union[XlruCache, CafeCache], path: Union[str, Path]) -> None:
+    """Load a JSON snapshot written by :func:`save_snapshot`."""
+    with open(path) as fh:
+        load_state_dict(cache, json.load(fh))
+
+
+# -- internals -----------------------------------------------------------------
+
+
+def _encode_float(value: float) -> Union[float, str]:
+    # JSON has no inf; first-sighting dt values are inf
+    return "inf" if math.isinf(value) else value
+
+
+def _decode_float(value: Union[float, str]) -> float:
+    return float("inf") if value == "inf" else float(value)
+
+
+def _load_xlru(cache: XlruCache, state: dict) -> None:
+    from repro.structures.lru import AccessRecencyList
+
+    tracker: AccessRecencyList = AccessRecencyList()
+    for video, t in state["tracker"]:
+        tracker.touch(int(video), float(t))
+    disk: AccessRecencyList = AccessRecencyList()
+    for v, c, t in state["disk"]:
+        disk.touch((int(v), int(c)), float(t))
+    if len(disk) > cache.disk_chunks:
+        raise ValueError("snapshot holds more chunks than the disk fits")
+    cache._tracker = tracker
+    cache._disk = disk
+    cache._requests_since_cleanup = 0
+
+
+def _load_cafe(cache: CafeCache, state: dict) -> None:
+    from repro.structures.ewma import EwmaIat, IatEstimator
+    from repro.structures.lru import AccessRecencyList
+    from repro.structures.treap import TreapMap
+
+    stats: IatEstimator = IatEstimator(float(state["gamma"]))
+    for v, c, dt, t_last in state["stats"]:
+        stats[(int(v), int(c))] = EwmaIat(
+            dt=_decode_float(dt), t_last=float(t_last)
+        )
+    cached: TreapMap = TreapMap(seed=0)
+    video_chunks: dict[int, set] = {}
+    for v, c in state["cached"]:
+        chunk = (int(v), int(c))
+        if chunk not in stats:
+            raise ValueError(f"cached chunk {chunk} missing IAT state")
+        cached.insert(chunk, stats.key(chunk))
+        video_chunks.setdefault(chunk[0], set()).add(chunk[1])
+    if len(cached) > cache.disk_chunks:
+        raise ValueError("snapshot holds more chunks than the disk fits")
+    ghosts: AccessRecencyList = AccessRecencyList()
+    for v, c, t in state["ghosts"]:
+        ghosts.touch((int(v), int(c)), float(t))
+    cache._stats = stats
+    cache._stats.gamma = float(state["gamma"])
+    cache._cached = cached
+    cache._ghosts = ghosts
+    cache._video_chunks = video_chunks

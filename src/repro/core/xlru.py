@@ -1,0 +1,136 @@
+"""xLRU Cache: the LRU-based baseline of Section 5.
+
+Two recency structures cooperate:
+
+* a **video popularity tracker** mapping video IDs to their last access
+  time — the admission filter: a video qualifies for serving only if it
+  was seen before *and* recently enough relative to the disk's cache
+  age (LRU-2-like: the first request for a video is always redirected);
+* a **disk cache** of fixed-size chunks under plain LRU replacement.
+
+The admission test generalizes to any fill-to-redirect preference
+``alpha_F2R`` (Eq. 5): redirect iff ::
+
+    (t_now - t_last) * alpha_F2R > CacheAge()
+
+i.e. with fills twice as costly as redirects (alpha = 2), a video must
+be requested with a period at most *half* the cache age to be admitted.
+
+The warm-up case the paper's pseudocode elides ("disk not full") is
+handled by treating a non-full disk as having unbounded cache age: any
+previously seen video is admitted while free space remains, and nothing
+is evicted until the disk is full.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.core.costs import CostModel
+from repro.structures.lru import AccessRecencyList
+from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
+
+__all__ = ["XlruCache"]
+
+
+class XlruCache(VideoCache):
+    """Video cache with LRU popularity tracking and replacement (§5)."""
+
+    name = "xLRU"
+
+    def __init__(
+        self,
+        disk_chunks: int,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        cost_model: CostModel | None = None,
+        tracker_cleanup_interval: int = 1024,
+    ) -> None:
+        super().__init__(disk_chunks, chunk_bytes, cost_model)
+        self._tracker: AccessRecencyList[int] = AccessRecencyList()
+        self._disk: AccessRecencyList[ChunkId] = AccessRecencyList()
+        self._cleanup_interval = tracker_cleanup_interval
+        self._requests_since_cleanup = 0
+
+    # -- VideoCache interface ------------------------------------------------
+
+    def handle(self, request: Request) -> CacheResponse:
+        now = request.t
+        last = self._tracker.last_access(request.video)
+        self._tracker.touch(request.video, now)
+        self._maybe_cleanup_tracker(now)
+
+        if last is None:
+            return CacheResponse(Decision.REDIRECT)
+        if (now - last) * self.cost_model.alpha_f2r > self.cache_age(now):
+            return CacheResponse(Decision.REDIRECT)
+
+        chunks = list(request.chunk_ids(self.chunk_bytes))
+        if len(chunks) > self.disk_chunks:
+            # The request alone exceeds the disk; it can never be fully
+            # served from this cache, so redirect it.
+            return CacheResponse(Decision.REDIRECT)
+
+        # Touch the chunks already present first so LRU eviction cannot
+        # pick a chunk this very request needs.
+        missing = []
+        for chunk in chunks:
+            if chunk in self._disk:
+                self._disk.touch(chunk, now)
+            else:
+                missing.append(chunk)
+
+        evicted = 0
+        free = self.disk_chunks - len(self._disk)
+        for _ in range(len(missing) - free):
+            self._disk.pop_oldest()
+            evicted += 1
+        for chunk in missing:
+            self._disk.touch(chunk, now)
+
+        return CacheResponse(Decision.SERVE, filled_chunks=len(missing), evicted_chunks=evicted)
+
+    def __contains__(self, chunk: ChunkId) -> bool:
+        return chunk in self._disk
+
+    def __len__(self) -> int:
+        return len(self._disk)
+
+    # -- xLRU specifics -------------------------------------------------------
+
+    def cache_age(self, now: float) -> float:
+        """Age of the oldest chunk access on disk (Section 5).
+
+        A disk that is not yet full reports an unbounded age so that the
+        admission test passes for any previously seen video (warm-up).
+        """
+        if len(self._disk) < self.disk_chunks:
+            return float("inf")
+        return self._disk.cache_age(now)
+
+    def video_last_access(self, video: int) -> float | None:
+        """Last tracked access time of ``video`` (None if untracked)."""
+        return self._tracker.last_access(video)
+
+    @property
+    def tracked_videos(self) -> int:
+        """Number of videos currently in the popularity tracker."""
+        return len(self._tracker)
+
+    def _maybe_cleanup_tracker(self, now: float) -> None:
+        """Drop tracker entries that can no longer pass the admission test.
+
+        An entry with last access ``t`` is useless once
+        ``(now - t) * alpha > cache_age`` will hold for every future
+        ``now``; since the left side only grows, the cutoff is
+        ``now - cache_age / alpha``.  Dropping such entries is
+        behaviour-preserving: a missing entry and a failing test both
+        redirect.  Run periodically, as in the paper ("regularly
+        cleaned up").
+        """
+        self._requests_since_cleanup += 1
+        if self._requests_since_cleanup < self._cleanup_interval:
+            return
+        self._requests_since_cleanup = 0
+        age = self.cache_age(now)
+        if age == float("inf"):
+            return
+        self._tracker.evict_older_than(now - age / self.cost_model.alpha_f2r)

@@ -1,0 +1,70 @@
+"""Paper-figure experiments (Section 9).
+
+One module per figure; each exposes ``run(scale) -> ExperimentResult``
+whose rows/series mirror what the figure plots.  The benchmarks in
+``benchmarks/`` call these, as does the ``repro-experiment`` CLI.
+
+Scaling: the paper's month-long production traces and 1 TB disks are
+reproduced at laptop scale (see DESIGN.md).  ``ExperimentScale``
+controls trace volume; disks are sized as a fraction of the trace's
+unique-chunk footprint, with ``DISK_SCALED_1TB`` (18%) playing the role
+of "1 TB" — chosen so steady-state efficiencies land in the paper's
+reported range.
+"""
+
+from repro.experiments.common import (
+    DISK_SCALED_1TB,
+    FULL,
+    PAPER,
+    QUICK,
+    ExperimentResult,
+    ExperimentScale,
+    scale_from_env,
+)
+from repro.experiments import (
+    cdnwide,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    lp_tightness,
+    proactive,
+    robustness,
+)
+
+ALL_FIGURES = {
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    # not paper figures: the Section 10 extensions and stress tests
+    "cdnwide": cdnwide,
+    "proactive": proactive,
+    "robustness": robustness,
+    "lp_tightness": lp_tightness,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentScale",
+    "QUICK",
+    "FULL",
+    "PAPER",
+    "DISK_SCALED_1TB",
+    "scale_from_env",
+    "ALL_FIGURES",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "cdnwide",
+    "proactive",
+    "robustness",
+    "lp_tightness",
+]

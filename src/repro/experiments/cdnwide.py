@@ -1,0 +1,133 @@
+"""CDN-wide experiment: Cafe as the building block of a hierarchy (§10).
+
+"Cafe Cache with defined behavior through alpha_F2R can as well be used
+as the underlying building block to adjust traffic between any group of
+constrained/non-constrained servers."  This experiment runs the
+two-level topology of Section 2 — three regional edge servers
+(ingress-constrained, alpha = 2, fills crossing the backbone), one
+larger parent cache (cheap ingress, alpha = 0.75), an origin — and
+swaps the *edge* algorithm while holding everything else fixed.
+
+Reported per edge algorithm:
+
+* origin egress (traffic the CDN's "lines of defense" failed to
+  absorb — fills that walked through every tier plus redirected-to-
+  origin requests);
+* total edge ingress (the backbone traffic the constrained tier pulls);
+* mean edge efficiency and the parent's load.
+
+Expectation from the paper's single-server results: Cafe edges pull far
+less backbone traffic than xLRU edges at equal-or-better efficiency,
+and pull-through LRU edges are the worst of all worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.cdn.multiserver import CdnSimulator
+from repro.cdn.topology import hierarchy
+from repro.experiments.common import (
+    DISK_SCALED_1TB,
+    ExperimentResult,
+    ExperimentScale,
+)
+from repro.sim.runner import build_cache
+from repro.workload.generator import TraceGenerator
+from repro.workload.global_catalog import GlobalCatalog
+from repro.workload.servers import SERVER_PROFILES
+
+__all__ = ["run", "EDGE_SERVERS", "EDGE_ALPHA", "PARENT_ALPHA"]
+
+EDGE_SERVERS = ("europe", "africa", "asia")
+EDGE_ALPHA = 2.0
+PARENT_ALPHA = 0.75
+PARENT_DISK_FACTOR = 4
+#: corpus size relative to the largest edge view — controls how much
+#: content the regional views share (the parent's opportunity)
+CORPUS_FACTOR = 1.5
+
+_TRACES: Dict[str, Dict[str, list]] = {}
+
+
+def _edge_traces(scale: ExperimentScale) -> Dict[str, list]:
+    """Per-edge traces drawn from one shared global corpus (memoized).
+
+    Unlike the single-server figures, the hierarchy needs content
+    identity to be globally consistent: video 5 must be the same video
+    (same size) at every edge, so the parent's cache sees true overlap.
+    """
+    if scale.name not in _TRACES:
+        profiles = {
+            name: SERVER_PROFILES[name].scaled(scale.profile_scale)
+            for name in EDGE_SERVERS
+        }
+        corpus = GlobalCatalog.generate(
+            int(CORPUS_FACTOR * max(p.num_videos for p in profiles.values())),
+            seed=77,
+        )
+        duration = scale.days * 86400.0
+        traces = {}
+        for name, profile in profiles.items():
+            view = corpus.server_view(profile, duration)
+            traces[name] = TraceGenerator(profile, catalog=view).generate(
+                days=scale.days
+            )
+        _TRACES[scale.name] = traces
+    return _TRACES[scale.name]
+
+
+def run(
+    scale: ExperimentScale,
+    edge_algorithms: Sequence[str] = ("PullLRU", "xLRU", "Cafe"),
+    parent_algorithm: str = "Cafe",
+) -> ExperimentResult:
+    """Run the hierarchy with each edge algorithm; report CDN-wide traffic."""
+    traces = _edge_traces(scale)
+    edge_disks = {}
+    for name, trace in traces.items():
+        unique = set()
+        for r in trace:
+            unique.update(r.chunk_ids())
+        edge_disks[name] = max(16, int(len(unique) * DISK_SCALED_1TB))
+    parent_disk = PARENT_DISK_FACTOR * max(edge_disks.values())
+    user_bytes = sum(
+        sum(r.num_bytes for r in trace) for trace in traces.values()
+    )
+
+    rows = []
+    for algo in edge_algorithms:
+        edges = {
+            name: build_cache(algo, edge_disks[name], alpha_f2r=EDGE_ALPHA)
+            for name in EDGE_SERVERS
+        }
+        parent = build_cache(parent_algorithm, parent_disk, alpha_f2r=PARENT_ALPHA)
+        topology = hierarchy(edges, parent)
+        result = CdnSimulator(topology).run(traces)
+
+        edge_summaries = [result.summary(name) for name in EDGE_SERVERS]
+        parent_summary = result.summary("parent")
+        rows.append(
+            {
+                "edge_algo": algo,
+                "origin_gb": result.origin_bytes / 1e9,
+                "edge_ingress_gb": sum(s.ingress_bytes for s in edge_summaries) / 1e9,
+                "edge_eff_mean": sum(s.efficiency for s in edge_summaries)
+                / len(edge_summaries),
+                "parent_requests": parent_summary.num_requests,
+                "origin_share_of_user_bytes": result.origin_bytes / user_bytes,
+            }
+        )
+    return ExperimentResult(
+        name="CDN-wide",
+        description=(
+            f"two-level hierarchy ({'+'.join(EDGE_SERVERS)} -> {parent_algorithm} "
+            f"parent -> origin), edge alpha={EDGE_ALPHA}, parent alpha={PARENT_ALPHA}"
+        ),
+        rows=rows,
+        extras={
+            "edge_disks": edge_disks,
+            "parent_disk": parent_disk,
+            "user_gb": user_bytes / 1e9,
+        },
+    )

@@ -1,0 +1,131 @@
+"""Robustness experiment: a flash crowd hits the European server.
+
+The paper's motivation leans on "transient demand patterns" (§1); this
+experiment quantifies how each algorithm absorbs the sharpest kind — a
+video going viral mid-trace — under an ingress constraint (alpha = 2):
+
+* **during** the event window: how much of the flash demand each cache
+  serves locally (a cache that cannot admit fast hemorrhages redirects),
+  and what ingress spike it pays;
+* **after** the event: whether steady-state efficiency recovers to the
+  no-event baseline (lasting cache pollution shows up here).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.experiments.common import (
+    DISK_SCALED_1TB,
+    ExperimentResult,
+    ExperimentScale,
+    scaled_disk_chunks,
+    server_trace,
+)
+from repro.sim.engine import replay
+from repro.sim.metrics import MetricsCollector
+from repro.sim.runner import PAPER_ALGORITHMS, build_cache
+from repro.workload.catalog import Video
+from repro.workload.events import inject_flash_crowd
+
+__all__ = ["run", "SERVER", "ALPHA"]
+
+SERVER = "europe"
+ALPHA = 2.0
+FLASH_VIDEO_ID = 10_000_000
+FLASH_SEED = 20_140_413  # EuroSys'14 opening day
+
+
+def run(
+    scale: ExperimentScale,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    event_duration: float = 12 * 3600.0,
+    peak_sessions_per_hour: float | None = None,
+    video_bytes: int = 40 << 20,
+) -> ExperimentResult:
+    """Inject a flash crowd and measure absorb/recover per algorithm."""
+    base_trace = server_trace(SERVER, scale)
+    disk = scaled_disk_chunks(SERVER, scale, DISK_SCALED_1TB)
+
+    span = base_trace[-1].t - base_trace[0].t
+    t_start = base_trace[0].t + span * 0.6  # inside the steady half
+    if peak_sessions_per_hour is None:
+        # roughly double the server's organic arrival rate at peak
+        peak_sessions_per_hour = max(50.0, 2.0 * len(base_trace) / (span / 3600.0))
+
+    flash_video = Video(
+        video_id=FLASH_VIDEO_ID, size_bytes=video_bytes, rank=0, birth=-1.0
+    )
+    flash_trace = inject_flash_crowd(
+        base_trace,
+        flash_video,
+        t_start,
+        event_duration,
+        peak_sessions_per_hour,
+        np.random.default_rng(FLASH_SEED),
+    )
+    window = (t_start, t_start + event_duration)
+
+    rows = []
+    for algo in algorithms:
+        baseline = replay(
+            build_cache(algo, disk, alpha_f2r=ALPHA), base_trace
+        ).steady.efficiency
+
+        cache = build_cache(algo, disk, alpha_f2r=ALPHA)
+        metrics = MetricsCollector(CostModel(ALPHA), chunk_bytes=cache.chunk_bytes)
+        flash_metrics = _FlashCounters()
+        if cache.offline:
+            cache.prepare(flash_trace)
+        for request in flash_trace:
+            response = cache.handle(request)
+            metrics.record(request, response)
+            if request.video == FLASH_VIDEO_ID:
+                flash_metrics.record(request, response, cache.chunk_bytes)
+        during = metrics.window(*window)
+        after = metrics.window(window[1])
+
+        rows.append(
+            {
+                "algorithm": algo,
+                "baseline_eff": baseline,
+                "during_eff": during.efficiency,
+                "after_eff": after.efficiency,
+                "recovery_delta": after.efficiency - baseline,
+                "flash_local_serve_ratio": flash_metrics.local_serve_ratio,
+                "flash_requests": flash_metrics.requests,
+            }
+        )
+    return ExperimentResult(
+        name="Robustness",
+        description=(
+            f"flash crowd on {SERVER} (alpha={ALPHA}, "
+            f"{event_duration / 3600.0:g} h event at t+60%): absorb and recover"
+        ),
+        rows=rows,
+        extras={"disk_chunks": disk, "peak_sessions_per_hour": peak_sessions_per_hour},
+    )
+
+
+class _FlashCounters:
+    """Serve/redirect accounting restricted to the flash video."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.served_bytes = 0
+        self.requested_bytes = 0
+
+    def record(self, request, response, chunk_bytes: int) -> None:
+        self.requests += 1
+        self.requested_bytes += request.num_bytes
+        if response.served:
+            self.served_bytes += request.num_bytes
+
+    @property
+    def local_serve_ratio(self) -> float:
+        if self.requested_bytes == 0:
+            return float("nan")
+        return self.served_bytes / self.requested_bytes

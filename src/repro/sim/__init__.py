@@ -1,0 +1,49 @@
+"""Trace-replay simulation: engine, metrics and sweep runner (Section 9).
+
+The engine replays a request trace against any
+:class:`~repro.core.VideoCache` and the metrics collector produces the
+three quantities the paper reports — redirection ratio, ingress-to-
+egress percentage, and cache efficiency (Eq. 2) — both as time series
+(Figure 3) and as steady-state averages over the second half of the
+trace ("to exclude the initial cache warmup phase").
+"""
+
+from repro.sim.capacity import EgressCapacityGate
+from repro.sim.compare import BootstrapCi, compare_runs, efficiency_ci, paired_gap_ci
+from repro.sim.diskmodel import (
+    DiskInterferenceReport,
+    DiskLoadSample,
+    DiskModel,
+    analyze_disk_load,
+)
+from repro.sim.engine import SimulationResult, replay
+from repro.sim.metrics import IntervalSample, MetricsCollector, TrafficSummary
+from repro.sim.runner import (
+    CACHE_FACTORIES,
+    build_cache,
+    run_matrix,
+    sweep_alpha,
+    sweep_disk,
+)
+
+__all__ = [
+    "EgressCapacityGate",
+    "DiskModel",
+    "DiskLoadSample",
+    "DiskInterferenceReport",
+    "analyze_disk_load",
+    "BootstrapCi",
+    "efficiency_ci",
+    "paired_gap_ci",
+    "compare_runs",
+    "replay",
+    "SimulationResult",
+    "MetricsCollector",
+    "TrafficSummary",
+    "IntervalSample",
+    "CACHE_FACTORIES",
+    "build_cache",
+    "run_matrix",
+    "sweep_alpha",
+    "sweep_disk",
+]

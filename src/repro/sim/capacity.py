@@ -1,0 +1,86 @@
+"""Egress-capacity gating: the "saturated egress" server of Section 2.
+
+"An important parameter for the willingness of a server to cache-fill
+is the utilization of its egress (serving) capacity.  For a server at
+which the current contents suffice to serve as many of the requests as
+can fully utilize the egress capacity, there is no point to bring in
+new content upon cache misses."
+
+:class:`EgressCapacityGate` wraps any online cache with a token-bucket
+egress limit: requests that would push served traffic beyond the
+configured rate are redirected *before* reaching the cache (the
+overload path — the CDN's mapping would send that demand elsewhere).
+Replaying the same trace with and without the gate shows why a
+saturated server should run with ``alpha_F2R > 1``: its gated egress is
+the same whether it cache-fills eagerly or not, so eager ingress is
+"wasted (and possibly harmful)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.trace.requests import Request
+
+__all__ = ["EgressCapacityGate"]
+
+
+@dataclass
+class EgressCapacityGate:
+    """Token-bucket egress limiter in front of an online cache.
+
+    ``egress_bytes_per_second`` is the sustained serving rate;
+    ``burst_seconds`` sizes the bucket (how long the server can serve
+    above the sustained rate before saturating).  Use :meth:`handle` in
+    place of ``cache.handle``.
+    """
+
+    cache: VideoCache
+    egress_bytes_per_second: float
+    burst_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.cache.offline:
+            raise ValueError("capacity gating requires an online cache")
+        if self.egress_bytes_per_second <= 0:
+            raise ValueError("egress_bytes_per_second must be positive")
+        if self.burst_seconds <= 0:
+            raise ValueError("burst_seconds must be positive")
+        self._capacity = self.egress_bytes_per_second * self.burst_seconds
+        self._tokens = self._capacity
+        self._last_t: float | None = None
+        self.overload_redirects = 0
+        self.overload_bytes = 0
+
+    def handle(self, request: Request) -> CacheResponse:
+        self._refill(request.t)
+        if request.num_bytes > self._tokens:
+            # saturated: this demand goes to the alternative location
+            self.overload_redirects += 1
+            self.overload_bytes += request.num_bytes
+            return CacheResponse(Decision.REDIRECT)
+        response = self.cache.handle(request)
+        if response.served:
+            self._tokens -= request.num_bytes
+        return response
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous bucket fullness complement in [0, 1]."""
+        return 1.0 - self._tokens / self._capacity
+
+    def _refill(self, now: float) -> None:
+        if self._last_t is None:
+            self._last_t = now
+            return
+        if now < self._last_t:
+            raise ValueError(
+                f"requests must be time-ordered: {now} < {self._last_t}"
+            )
+        elapsed = now - self._last_t
+        self._last_t = now
+        self._tokens = min(
+            self._capacity,
+            self._tokens + elapsed * self.egress_bytes_per_second,
+        )

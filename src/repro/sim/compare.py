@@ -1,0 +1,178 @@
+"""Statistical comparison of cache runs.
+
+A single steady-state number ("Cafe 0.738 vs xLRU 0.575") hides how
+noisy the underlying time series is.  The paper reports second-half
+averages; this module adds the error bars: block-bootstrap confidence
+intervals over the hourly buckets of a run, and a pairwise comparison
+that resamples *matched* hours of two runs on the same trace, so a
+claimed gap can be checked against its uncertainty.
+
+Hourly cache metrics are strongly autocorrelated (diurnal cycle, cache
+state), so plain bootstrap over hours would understate variance; the
+block bootstrap resamples contiguous day-long blocks by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.sim.engine import SimulationResult
+from repro.sim.metrics import TrafficSummary
+
+__all__ = ["BootstrapCi", "efficiency_ci", "compare_runs", "paired_gap_ci"]
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapCi:
+    """A point estimate with a bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def excludes_zero(self) -> bool:
+        """Whether the interval lies strictly on one side of zero."""
+        return self.low > 0.0 or self.high < 0.0
+
+
+def _steady_samples(
+    result: SimulationResult,
+    metric: Callable[[TrafficSummary], float],
+    steady_fraction: float = 0.5,
+) -> Tuple[List[float], List[float]]:
+    """(times, metric values) of the steady-state buckets of a run."""
+    samples = result.metrics.series()
+    if not samples:
+        return [], []
+    t_first = samples[0].t_start
+    t_last = samples[-1].t_start
+    cut = t_last - (t_last - t_first) * steady_fraction
+    times, values = [], []
+    for sample in samples:
+        if sample.t_start >= cut:
+            value = metric(sample.summary)
+            if not np.isnan(value):
+                times.append(sample.t_start)
+                values.append(value)
+    return times, values
+
+
+def _block_bootstrap(
+    values: np.ndarray,
+    block: int,
+    num_resamples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Means of circular block-bootstrap resamples."""
+    n = len(values)
+    block = max(1, min(block, n))
+    blocks_needed = int(np.ceil(n / block))
+    means = np.empty(num_resamples)
+    for i in range(num_resamples):
+        starts = rng.integers(0, n, size=blocks_needed)
+        idx = (starts[:, None] + np.arange(block)[None, :]) % n
+        means[i] = values[idx].ravel()[:n].mean()
+    return means
+
+
+def efficiency_ci(
+    result: SimulationResult,
+    confidence: float = 0.95,
+    block_hours: int = 24,
+    num_resamples: int = 1000,
+    seed: int = 0,
+    metric: Callable[[TrafficSummary], float] = lambda s: s.efficiency,
+) -> BootstrapCi:
+    """Block-bootstrap CI of a per-bucket metric's steady-state mean.
+
+    Note the estimate is the mean of *bucket* metrics (each hour
+    weighted equally), which tracks but does not exactly equal the
+    byte-weighted steady-state summary.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    _, values = _steady_samples(result, metric)
+    if len(values) < 2:
+        raise ValueError("need at least 2 steady-state buckets for a CI")
+    array = np.asarray(values)
+    rng = np.random.default_rng(seed)
+    means = _block_bootstrap(array, block_hours, num_resamples, rng)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCi(
+        estimate=float(array.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def paired_gap_ci(
+    result_a: SimulationResult,
+    result_b: SimulationResult,
+    confidence: float = 0.95,
+    block_hours: int = 24,
+    num_resamples: int = 1000,
+    seed: int = 0,
+    metric: Callable[[TrafficSummary], float] = lambda s: s.efficiency,
+) -> BootstrapCi:
+    """CI of the mean per-bucket gap ``metric(a) - metric(b)``.
+
+    Both runs must come from the same trace and bucket interval; the
+    gap is computed on matched buckets, which removes the workload's
+    shared hour-to-hour noise before bootstrapping.
+    """
+    times_a, values_a = _steady_samples(result_a, metric)
+    times_b, values_b = _steady_samples(result_b, metric)
+    matched = {t: v for t, v in zip(times_b, values_b)}
+    gaps = [va - matched[t] for t, va in zip(times_a, values_a) if t in matched]
+    if len(gaps) < 2:
+        raise ValueError("runs share fewer than 2 steady-state buckets")
+    array = np.asarray(gaps)
+    rng = np.random.default_rng(seed)
+    means = _block_bootstrap(array, block_hours, num_resamples, rng)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCi(
+        estimate=float(array.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def compare_runs(
+    results: dict[str, SimulationResult],
+    baseline: str,
+    confidence: float = 0.95,
+    **kwargs,
+) -> List[dict]:
+    """Gap-vs-baseline rows for a set of runs on one trace.
+
+    Returns one row per non-baseline run with the paired efficiency gap
+    and its CI — ready for :func:`repro.analysis.format_table`.
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} not among results")
+    rows = []
+    for name, result in results.items():
+        if name == baseline:
+            continue
+        ci = paired_gap_ci(result, results[baseline], confidence=confidence, **kwargs)
+        rows.append(
+            {
+                "run": name,
+                "vs": baseline,
+                "gap": ci.estimate,
+                "ci_low": ci.low,
+                "ci_high": ci.high,
+                "significant": ci.excludes_zero(),
+            }
+        )
+    return rows

@@ -1,0 +1,258 @@
+"""Byte accounting and the paper's evaluation metrics (Sections 4.2, 9).
+
+Accounting rules:
+
+* **egress** (served traffic) — the requested bytes of served requests;
+* **ingress** (cache-fill) — ``filled_chunks * chunk_bytes``: a chunk is
+  fetched in full even when requested partially (Section 4.2's "note
+  the different use of R.b and R.c");
+* **redirected** — the requested bytes of redirected requests.
+
+Reported metrics:
+
+* *redirection ratio* — redirected bytes / total requested bytes;
+* *ingress %* — ingress bytes / egress bytes, "the fraction of served
+  traffic that incurred cache-fill" (Figure 3);
+* *cache efficiency* — Eq. 2, in [-1, 1].
+
+A chunk-normalized efficiency (fills and redirects counted in chunks,
+as the Section 7 IP does) is also provided so online results can be
+compared against Optimal-Cache bounds in the same units (Figure 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.base import CacheResponse
+from repro.core.costs import CostModel
+from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
+
+__all__ = ["TrafficSummary", "IntervalSample", "MetricsCollector"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficSummary:
+    """Aggregated traffic counters over some time span."""
+
+    cost_model: CostModel
+    num_requests: int = 0
+    num_served: int = 0
+    requested_bytes: int = 0
+    requested_chunks: int = 0
+    egress_bytes: int = 0
+    ingress_bytes: int = 0
+    redirected_bytes: int = 0
+    filled_chunks: int = 0
+    redirected_chunks: int = 0
+
+    @property
+    def num_redirected(self) -> int:
+        return self.num_requests - self.num_served
+
+    @property
+    def redirect_ratio(self) -> float:
+        """Redirected bytes over requested bytes (NaN when idle)."""
+        if self.requested_bytes == 0:
+            return math.nan
+        return self.redirected_bytes / self.requested_bytes
+
+    @property
+    def ingress_fraction(self) -> float:
+        """Ingress over egress — Figure 3's "Ingress %" (NaN when idle)."""
+        if self.egress_bytes == 0:
+            return math.nan
+        return self.ingress_bytes / self.egress_bytes
+
+    @property
+    def efficiency(self) -> float:
+        """Eq. 2 cache efficiency (NaN when idle)."""
+        if self.requested_bytes == 0:
+            return math.nan
+        return self.cost_model.efficiency(
+            self.requested_bytes, self.ingress_bytes, self.redirected_bytes
+        )
+
+    @property
+    def efficiency_chunks(self) -> float:
+        """Eq. 2 with fills and redirects in chunk units (Section 7)."""
+        if self.requested_chunks == 0:
+            return math.nan
+        cost = (
+            self.filled_chunks * self.cost_model.fill_cost
+            + self.redirected_chunks * self.cost_model.redirect_cost
+        )
+        return 1.0 - cost / self.requested_chunks
+
+    @property
+    def hit_bytes(self) -> int:
+        """Served bytes that required no cache-fill."""
+        return self.egress_bytes - min(self.ingress_bytes, self.egress_bytes)
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalSample:
+    """One time-series bucket (e.g. one hour of Figure 3)."""
+
+    t_start: float
+    summary: TrafficSummary
+
+
+class MetricsCollector:
+    """Accumulates per-request outcomes into totals and a time series."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        interval: float = 3600.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.cost_model = cost_model
+        self.chunk_bytes = chunk_bytes
+        self.interval = interval
+        self._totals = _MutableCounters()
+        self._bucket = _MutableCounters()
+        self._bucket_start: Optional[float] = None
+        self._samples: List[IntervalSample] = []
+        self._t_first: Optional[float] = None
+        self._t_last: Optional[float] = None
+
+    def record(self, request: Request, response: CacheResponse) -> None:
+        """Fold one handled request into the metrics."""
+        t = request.t
+        if self._t_first is None:
+            self._t_first = t
+        self._t_last = t
+
+        if self._bucket_start is None:
+            self._bucket_start = self._aligned(t)
+        while t >= self._bucket_start + self.interval:
+            self._flush_bucket()
+
+        for counters in (self._totals, self._bucket):
+            counters.add(request, response, self.chunk_bytes)
+
+    # -- results -------------------------------------------------------------
+
+    def totals(self) -> TrafficSummary:
+        """Summary over everything recorded so far."""
+        return self._totals.freeze(self.cost_model)
+
+    def series(self) -> List[IntervalSample]:
+        """Completed + current interval buckets, in time order."""
+        out = list(self._samples)
+        if self._bucket_start is not None and self._bucket.num_requests:
+            out.append(
+                IntervalSample(self._bucket_start, self._bucket.freeze(self.cost_model))
+            )
+        return out
+
+    def window(self, t0: float, t1: float = math.inf) -> TrafficSummary:
+        """Aggregate over buckets whose start lies in ``[t0, t1)``.
+
+        Granularity is the bucket interval; the paper's steady-state
+        averages ("the average over the second half of the month") are
+        computed this way via :meth:`steady_state`.
+        """
+        agg = _MutableCounters()
+        for sample in self.series():
+            if t0 <= sample.t_start < t1:
+                agg.merge(sample.summary)
+        return agg.freeze(self.cost_model)
+
+    def steady_state(self, fraction: float = 0.5) -> TrafficSummary:
+        """Summary over the trailing ``fraction`` of the trace span.
+
+        ``fraction=0.5`` reproduces the paper's warm-up exclusion.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if self._t_first is None or self._t_last is None:
+            return _MutableCounters().freeze(self.cost_model)
+        cut = self._t_last - (self._t_last - self._t_first) * fraction
+        return self.window(cut)
+
+    # -- internals -----------------------------------------------------------
+
+    def _aligned(self, t: float) -> float:
+        return math.floor(t / self.interval) * self.interval
+
+    def _flush_bucket(self) -> None:
+        assert self._bucket_start is not None
+        if self._bucket.num_requests:
+            self._samples.append(
+                IntervalSample(self._bucket_start, self._bucket.freeze(self.cost_model))
+            )
+        self._bucket = _MutableCounters()
+        self._bucket_start += self.interval
+
+
+class _MutableCounters:
+    """Mutable mirror of :class:`TrafficSummary` used while accumulating."""
+
+    __slots__ = (
+        "num_requests",
+        "num_served",
+        "requested_bytes",
+        "requested_chunks",
+        "egress_bytes",
+        "ingress_bytes",
+        "redirected_bytes",
+        "filled_chunks",
+        "redirected_chunks",
+    )
+
+    def __init__(self) -> None:
+        self.num_requests = 0
+        self.num_served = 0
+        self.requested_bytes = 0
+        self.requested_chunks = 0
+        self.egress_bytes = 0
+        self.ingress_bytes = 0
+        self.redirected_bytes = 0
+        self.filled_chunks = 0
+        self.redirected_chunks = 0
+
+    def add(self, request: Request, response: CacheResponse, chunk_bytes: int) -> None:
+        nbytes = request.num_bytes
+        nchunks = request.num_chunks(chunk_bytes)
+        self.num_requests += 1
+        self.requested_bytes += nbytes
+        self.requested_chunks += nchunks
+        if response.served:
+            self.num_served += 1
+            self.egress_bytes += nbytes
+            self.ingress_bytes += response.filled_chunks * chunk_bytes
+            self.filled_chunks += response.filled_chunks
+        else:
+            self.redirected_bytes += nbytes
+            self.redirected_chunks += nchunks
+
+    def merge(self, other: TrafficSummary) -> None:
+        self.num_requests += other.num_requests
+        self.num_served += other.num_served
+        self.requested_bytes += other.requested_bytes
+        self.requested_chunks += other.requested_chunks
+        self.egress_bytes += other.egress_bytes
+        self.ingress_bytes += other.ingress_bytes
+        self.redirected_bytes += other.redirected_bytes
+        self.filled_chunks += other.filled_chunks
+        self.redirected_chunks += other.redirected_chunks
+
+    def freeze(self, cost_model: CostModel) -> TrafficSummary:
+        return TrafficSummary(
+            cost_model=cost_model,
+            num_requests=self.num_requests,
+            num_served=self.num_served,
+            requested_bytes=self.requested_bytes,
+            requested_chunks=self.requested_chunks,
+            egress_bytes=self.egress_bytes,
+            ingress_bytes=self.ingress_bytes,
+            redirected_bytes=self.redirected_bytes,
+            filled_chunks=self.filled_chunks,
+            redirected_chunks=self.redirected_chunks,
+        )

@@ -1,0 +1,168 @@
+"""Parameter-sweep runner: the experiment matrices of Section 9.
+
+The paper's figures sweep three axes — algorithm, ``alpha_F2R`` and disk
+size — over per-server traces.  :func:`run_matrix` runs any cross
+product of cache factories and configurations;
+:func:`sweep_alpha` / :func:`sweep_disk` are the two named sweeps
+(Figures 4–6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.base import VideoCache
+from repro.core.baselines import BeladyCache, LfuAdmissionCache, PullThroughLruCache
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.lru_variants import GreedyDualSizeCache, LruKCache
+from repro.core.psychic import PsychicCache
+from repro.core.xlru import XlruCache
+from repro.sim.engine import SimulationResult, replay
+from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
+
+__all__ = [
+    "CACHE_FACTORIES",
+    "build_cache",
+    "RunConfig",
+    "run_matrix",
+    "sweep_alpha",
+    "sweep_disk",
+]
+
+#: Registry of algorithm name -> cache class, for config-driven runs.
+CACHE_FACTORIES: Dict[str, Callable[..., VideoCache]] = {
+    "xLRU": XlruCache,
+    "Cafe": CafeCache,
+    "Psychic": PsychicCache,
+    "PullLRU": PullThroughLruCache,
+    "LFU": LfuAdmissionCache,
+    "Belady": BeladyCache,
+    "LRU-K": LruKCache,
+    "GDS": GreedyDualSizeCache,
+}
+
+#: The paper's trio, in figure order (left-to-right bars of Figs. 4, 7).
+PAPER_ALGORITHMS = ("xLRU", "Cafe", "Psychic")
+
+
+def build_cache(
+    algorithm: str,
+    disk_chunks: int,
+    alpha_f2r: float = 1.0,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    **kwargs,
+) -> VideoCache:
+    """Instantiate a registered algorithm with the standard knobs."""
+    try:
+        factory = CACHE_FACTORIES[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(CACHE_FACTORIES))
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}") from None
+    return factory(
+        disk_chunks,
+        chunk_bytes=chunk_bytes,
+        cost_model=CostModel(alpha_f2r),
+        **kwargs,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RunConfig:
+    """One cell of an experiment matrix."""
+
+    algorithm: str
+    disk_chunks: int
+    alpha_f2r: float = 1.0
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    label: str = ""
+
+    def build(self, **kwargs) -> VideoCache:
+        return build_cache(
+            self.algorithm,
+            self.disk_chunks,
+            alpha_f2r=self.alpha_f2r,
+            chunk_bytes=self.chunk_bytes,
+            **kwargs,
+        )
+
+    @property
+    def key(self) -> str:
+        return self.label or (
+            f"{self.algorithm}/disk={self.disk_chunks}/alpha={self.alpha_f2r}"
+        )
+
+
+def run_matrix(
+    configs: Iterable[RunConfig],
+    requests: Sequence[Request],
+    interval: float = 3600.0,
+) -> Dict[str, SimulationResult]:
+    """Replay ``requests`` against every configuration.
+
+    The trace must be an in-memory sequence: offline caches need it
+    whole, and the matrix replays it repeatedly.
+    """
+    results: Dict[str, SimulationResult] = {}
+    for config in configs:
+        cache = config.build()
+        results[config.key] = replay(cache, requests, interval=interval)
+    return results
+
+
+def sweep_alpha(
+    requests: Sequence[Request],
+    disk_chunks: int,
+    alphas: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    interval: float = 3600.0,
+) -> Mapping[float, Dict[str, SimulationResult]]:
+    """The Figure 4/5 sweep: every algorithm at every ``alpha_F2R``."""
+    out: Dict[float, Dict[str, SimulationResult]] = {}
+    for alpha in alphas:
+        configs = [
+            RunConfig(algo, disk_chunks, alpha, chunk_bytes, label=algo)
+            for algo in algorithms
+        ]
+        out[alpha] = run_matrix(configs, requests, interval=interval)
+    return out
+
+
+def sweep_disk(
+    requests: Sequence[Request],
+    disk_sizes: Sequence[int],
+    alpha_f2r: float = 2.0,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    interval: float = 3600.0,
+) -> Mapping[int, Dict[str, SimulationResult]]:
+    """The Figure 6 sweep: every algorithm at every disk size (chunks)."""
+    out: Dict[int, Dict[str, SimulationResult]] = {}
+    for disk in disk_sizes:
+        configs = [
+            RunConfig(algo, disk, alpha_f2r, chunk_bytes, label=algo)
+            for algo in algorithms
+        ]
+        out[disk] = run_matrix(configs, requests, interval=interval)
+    return out
+
+
+def results_table(
+    results: Mapping[str, SimulationResult], steady: bool = True
+) -> List[dict]:
+    """Flatten results into printable row dicts (used by the CLI)."""
+    rows = []
+    for key, result in results.items():
+        summary = result.steady if steady else result.totals
+        rows.append(
+            {
+                "config": key,
+                "efficiency": summary.efficiency,
+                "redirect_ratio": summary.redirect_ratio,
+                "ingress_fraction": summary.ingress_fraction,
+                "requests": summary.num_requests,
+            }
+        )
+    return rows

@@ -1,0 +1,145 @@
+"""EWMA inter-arrival-time tracking (Section 6, Eqs. 8–9).
+
+Cafe Cache models chunk popularity as an exponentially weighted moving
+average (EWMA) of the inter-arrival times (IAT) of requests.  For each
+chunk ``x`` the server keeps the previous IAT value ``dt_x`` and the
+last access time ``t_x``; on a new request at time ``t``::
+
+    dt_x <- gamma * (t - t_x) + (1 - gamma) * dt_x
+    t_x  <- t
+
+and the IAT at any later time ``t'`` is (Eq. 8)::
+
+    IAT_x(t') = gamma * (t' - t_x) + (1 - gamma) * dt_x
+
+Chunks are ordered in the cache by the *virtual timestamp* (Eq. 9)::
+
+    key_x(T0) = T0 - IAT_x(T0)
+
+evaluated at an **arbitrary but fixed** reference timestamp ``T0`` —
+Theorem 1's condition.  Expanding, ``key_x(T0) = (1 - gamma) * T0 +
+gamma * t_x - (1 - gamma) * dt_x``; the first term is a shared constant,
+so this module uses the canonical ``T0 = 0`` form::
+
+    key_x = gamma * t_x - (1 - gamma) * dt_x
+
+Because ``IAT_x(t) - IAT_y(t) = -(key_x - key_y)`` for every ``t`` (the
+``gamma * t`` terms cancel), ``key_x < key_y`` iff chunk ``x`` is less
+popular (larger IAT) than ``y`` at *any* common evaluation time — which
+is exactly what lets keys computed at different insertion times coexist
+in one ordered structure.  Keying each chunk at its own insertion time
+instead (a tempting misreading of Eq. 9) breaks comparability: the
+``(1 - gamma) * t`` terms then differ per chunk and recently re-keyed
+chunks would look spuriously popular.
+
+A chunk seen exactly once has no inter-arrival sample yet; its ``dt`` is
+``inf`` (infinitely unpopular), and the first real sample replaces it
+outright instead of being averaged into infinity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, TypeVar
+
+X = TypeVar("X", bound=Hashable)
+
+__all__ = ["EwmaIat", "IatEstimator", "iat_at", "virtual_key"]
+
+_INF = float("inf")
+
+
+def iat_at(dt: float, t_last: float, now: float, gamma: float) -> float:
+    """Eq. 8: the estimated inter-arrival time of a chunk at time ``now``.
+
+    ``dt`` is the chunk's EWMA IAT state and ``t_last`` its last access
+    time.  With ``dt = inf`` (single access so far) the result is inf.
+    """
+    if math.isinf(dt):
+        return _INF
+    return gamma * (now - t_last) + (1.0 - gamma) * dt
+
+
+def virtual_key(dt: float, t_last: float, gamma: float) -> float:
+    """Eq. 9 at the fixed reference ``T0 = 0``:
+    ``gamma * t_last - (1 - gamma) * dt``.
+
+    Smaller keys mean larger IATs, i.e. less popular chunks; they sit at
+    the eviction end of the ordered structure.  Keys computed at any
+    point in a chunk's life are mutually comparable (Theorem 1).
+    Returns ``-inf`` for a chunk with no IAT sample yet.
+    """
+    if math.isinf(dt):
+        return -_INF
+    return gamma * t_last - (1.0 - gamma) * dt
+
+
+@dataclass(slots=True)
+class EwmaIat:
+    """Per-chunk EWMA state: previous IAT ``dt`` and last access ``t_last``."""
+
+    dt: float
+    t_last: float
+
+    def update(self, now: float, gamma: float) -> None:
+        """Fold the access at time ``now`` into the EWMA (Section 6).
+
+        The first inter-arrival sample replaces the ``inf`` placeholder.
+        """
+        sample = now - self.t_last
+        if math.isinf(self.dt):
+            self.dt = sample
+        else:
+            self.dt = gamma * sample + (1.0 - gamma) * self.dt
+        self.t_last = now
+
+    def iat(self, now: float, gamma: float) -> float:
+        """Eq. 8 evaluated for this chunk at time ``now``."""
+        return iat_at(self.dt, self.t_last, now, gamma)
+
+    def key(self, gamma: float) -> float:
+        """Eq. 9 ordering key for this chunk (fixed reference T0=0)."""
+        return virtual_key(self.dt, self.t_last, gamma)
+
+
+class IatEstimator(Dict[X, EwmaIat]):
+    """A table of per-item EWMA IAT states with a shared ``gamma``.
+
+    This is the popularity-tracking half of Cafe Cache, kept for cached
+    *and* recently-evicted ("ghost") chunks so that a chunk evicted and
+    re-requested still has history — without it every miss would look
+    like a first-seen chunk and Cafe would never re-admit anything.
+    Ghost-entry garbage collection lives in the cache, which knows the
+    cache age (Section 5's "historic data ... is regularly cleaned up").
+    """
+
+    def __init__(self, gamma: float) -> None:
+        super().__init__()
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = gamma
+
+    def record(self, item: X, now: float) -> EwmaIat:
+        """Record an access of ``item`` at ``now``; returns its state."""
+        state = self.get(item)
+        if state is None:
+            state = EwmaIat(dt=_INF, t_last=now)
+            self[item] = state
+        else:
+            state.update(now, self.gamma)
+        return state
+
+    def iat(self, item: X, now: float) -> float:
+        """Eq. 8 for ``item`` at ``now``; ``inf`` if never seen twice."""
+        state = self.get(item)
+        if state is None:
+            return _INF
+        return state.iat(now, self.gamma)
+
+    def key(self, item: X) -> float:
+        """Eq. 9 ordering key for ``item``; ``-inf`` if unseen."""
+        state = self.get(item)
+        if state is None:
+            return -_INF
+        return state.key(self.gamma)

@@ -1,0 +1,141 @@
+"""Access-recency list: the LRU building block of Section 5.
+
+The paper describes the structure shared by the xLRU disk cache and the
+video popularity tracker as "a linked list maintaining access times in
+sorted order, and a hash map that maps keys to list entries", enabling:
+
+* O(1) lookup of the access time of a key,
+* O(1) retrieval of the cache age (time since the oldest access),
+* O(1) removal of the oldest entries,
+* O(1) insertion of entries at the list head.
+
+Insertion with an access time smaller than the current head is not
+possible (access times only move forward), which is what lets a plain
+recency-ordered list stand in for a priority queue.
+
+This implementation keeps the same asymptotics using an insertion-order
+preserving ``dict``: Python dicts iterate in insertion order, and
+re-inserting a key after deleting it moves it to the back, which is the
+"list head" here.  ``next(iter(d))`` is the oldest (least recently used)
+entry.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+__all__ = ["AccessRecencyList"]
+
+
+class AccessRecencyList(Generic[K]):
+    """Recency-ordered map of keys to access times.
+
+    Entries are ordered from least recently to most recently accessed.
+    Access times must be non-decreasing across :meth:`touch` calls; the
+    structure enforces this because its correctness (recency order ==
+    access-time order) depends on it.
+    """
+
+    __slots__ = ("_entries", "_max_time")
+
+    def __init__(self) -> None:
+        self._entries: dict[K, float] = {}
+        self._max_time: float = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate keys from least to most recently accessed."""
+        return iter(self._entries)
+
+    def touch(self, key: K, now: float) -> None:
+        """Record an access of ``key`` at time ``now`` (moves it to the head).
+
+        Raises ``ValueError`` if ``now`` is smaller than the most recent
+        access time already recorded, since that would break the
+        recency-order invariant.
+        """
+        if now < self._max_time:
+            raise ValueError(
+                f"access time {now} precedes current head time "
+                f"{self._max_time}; access times must be non-decreasing"
+            )
+        self._max_time = now
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = now
+
+    def last_access(self, key: K) -> Optional[float]:
+        """Return the last access time of ``key``, or None if untracked."""
+        return self._entries.get(key)
+
+    def oldest(self) -> Tuple[K, float]:
+        """Return ``(key, access_time)`` of the least recently used entry.
+
+        Raises ``KeyError`` when empty.
+        """
+        if not self._entries:
+            raise KeyError("oldest() on empty AccessRecencyList")
+        key = next(iter(self._entries))
+        return key, self._entries[key]
+
+    def pop_oldest(self) -> Tuple[K, float]:
+        """Remove and return the least recently used ``(key, access_time)``."""
+        key, t = self.oldest()
+        del self._entries[key]
+        return key, t
+
+    def remove(self, key: K) -> float:
+        """Remove ``key`` and return its access time.
+
+        Raises ``KeyError`` if the key is not present.
+        """
+        t = self._entries[key]
+        del self._entries[key]
+        return t
+
+    def discard(self, key: K) -> bool:
+        """Remove ``key`` if present; return whether it was present."""
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def cache_age(self, now: float) -> float:
+        """Time elapsed since the oldest tracked access.
+
+        Returns ``inf`` when empty: an empty cache has unbounded age, so
+        every admission test based on "younger than the cache age"
+        passes — matching the warm-up behaviour of Section 5 where the
+        disk is still filling.
+        """
+        if not self._entries:
+            return float("inf")
+        _, oldest_t = self.oldest()
+        return now - oldest_t
+
+    def evict_older_than(self, cutoff: float) -> list[Tuple[K, float]]:
+        """Drop all entries whose access time is strictly below ``cutoff``.
+
+        Returns the evicted ``(key, access_time)`` pairs, oldest first.
+        This is the "historic data ... is regularly cleaned up" operation
+        of Section 5 for the popularity tracker.
+        """
+        evicted: list[Tuple[K, float]] = []
+        while self._entries:
+            key, t = self.oldest()
+            if t >= cutoff:
+                break
+            del self._entries[key]
+            evicted.append((key, t))
+        return evicted
+
+    def items(self) -> Iterator[Tuple[K, float]]:
+        """Iterate ``(key, access_time)`` pairs, least recent first."""
+        return iter(self._entries.items())

@@ -1,0 +1,45 @@
+"""Request/trace model: the input language of every cache (Section 4).
+
+A trace is a time-ordered sequence of :class:`Request` objects, each
+carrying a video ID, an inclusive byte range and an arrival timestamp.
+Disk and files are divided into fixed-size chunks of ``K`` bytes
+(default 2 MB, the paper's choice), and a request's chunk range is
+derived from its byte range.
+"""
+
+from repro.trace.requests import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkId,
+    Request,
+    chunk_range,
+    request_chunks,
+)
+from repro.trace.io import read_trace_csv, read_trace_jsonl, write_trace_csv, write_trace_jsonl
+from repro.trace.adapters import ParseStats, read_clf_log, read_tsv_log
+from repro.trace.sampling import downsample_trace, time_window
+from repro.trace.stats import TraceStats
+from repro.trace.turnover import popularity_turnover, top_videos_by_window
+from repro.trace.validate import ValidationReport, repair_trace, validate_trace
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "ChunkId",
+    "Request",
+    "chunk_range",
+    "request_chunks",
+    "read_trace_csv",
+    "read_trace_jsonl",
+    "write_trace_csv",
+    "write_trace_jsonl",
+    "downsample_trace",
+    "time_window",
+    "TraceStats",
+    "ValidationReport",
+    "validate_trace",
+    "repair_trace",
+    "ParseStats",
+    "read_clf_log",
+    "read_tsv_log",
+    "popularity_turnover",
+    "top_videos_by_window",
+]

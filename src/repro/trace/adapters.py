@@ -1,0 +1,157 @@
+"""Adapters from common CDN log formats to :class:`Request`.
+
+The repository's native formats (``repro.trace.io``) are already
+scrubbed; real deployments start from HTTP access logs.  This module
+parses the two shapes such logs usually take once anonymized:
+
+* **CLF-with-Range** — combined-log-format lines whose request line
+  carries the video path and that log the ``Range:`` header, e.g.::
+
+      - - [13/Apr/2014:09:21:30 +0000] "GET /videos/123456 HTTP/1.1" \
+206 2097152 "bytes=0-2097151"
+
+* **TSV key-value** — tab-separated ``ts``/``video``/``range`` records
+  (epoch seconds, opaque integer ID, ``start-end`` inclusive range).
+
+Both parsers are streaming, skip-and-count malformed lines rather than
+failing the whole file, and emit requests in file order — run
+:func:`repro.trace.validate.validate_trace` (or ``repro-validate``)
+afterwards, since access logs are frequently time-skewed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Iterable, Iterator, List, Optional
+
+from repro.trace.requests import Request
+
+__all__ = ["ParseStats", "parse_clf_range_line", "read_clf_log", "read_tsv_log"]
+
+_CLF_PATTERN = re.compile(
+    r"""
+    ^\S+\s+\S+\s+                       # anonymized host + ident/user
+    \[(?P<time>[^\]]+)\]\s+             # [13/Apr/2014:09:21:30 +0000]
+    "(?:GET|HEAD)\s+ (?P<path>\S+) \s+ HTTP/[\d.]+"\s+
+    (?P<status>\d{3})\s+ \S+            # status, size (unused)
+    (?:\s+"bytes=(?P<b0>\d+)-(?P<b1>\d+)")?   # optional Range header
+    """,
+    re.VERBOSE,
+)
+
+_VIDEO_ID_PATTERN = re.compile(r"(\d+)(?:\?|$)")
+
+_CLF_TIME_FORMAT = "%d/%b/%Y:%H:%M:%S %z"
+
+#: requests without a Range header are whole-file fetches; without a
+#: size catalog the adapter caps them at this many bytes
+DEFAULT_WHOLE_FILE_BYTES = 32 * 1024 * 1024
+
+
+@dataclass
+class ParseStats:
+    """What a log parse kept and dropped."""
+
+    parsed: int = 0
+    skipped: int = 0
+    #: first few offending lines for diagnostics
+    examples: List[str] = field(default_factory=list)
+
+    def note_skip(self, line: str, keep: int = 5) -> None:
+        self.skipped += 1
+        if len(self.examples) < keep:
+            self.examples.append(line.rstrip()[:160])
+
+
+def parse_clf_range_line(
+    line: str,
+    epoch: Optional[float] = None,
+    whole_file_bytes: int = DEFAULT_WHOLE_FILE_BYTES,
+) -> Optional[Request]:
+    """Parse one CLF line into a Request; None when unusable.
+
+    ``epoch``: subtract this UNIX timestamp so trace time starts near
+    zero (defaults to keeping absolute UNIX time).  Only 2xx GET/HEAD
+    lines with a parseable numeric video ID are kept.
+    """
+    match = _CLF_PATTERN.match(line)
+    if match is None:
+        return None
+    if not match.group("status").startswith("2"):
+        return None
+    id_match = _VIDEO_ID_PATTERN.search(match.group("path"))
+    if id_match is None:
+        return None
+    try:
+        stamp = datetime.strptime(match.group("time"), _CLF_TIME_FORMAT)
+    except ValueError:
+        return None
+    t = stamp.astimezone(timezone.utc).timestamp()
+    if epoch is not None:
+        t -= epoch
+    if match.group("b0") is not None:
+        b0, b1 = int(match.group("b0")), int(match.group("b1"))
+        if b1 < b0:
+            return None
+    else:
+        b0, b1 = 0, whole_file_bytes - 1
+    return Request(t=t, video=int(id_match.group(1)), b0=b0, b1=b1)
+
+
+def read_clf_log(
+    lines: Iterable[str],
+    epoch: Optional[float] = None,
+    whole_file_bytes: int = DEFAULT_WHOLE_FILE_BYTES,
+    stats: Optional[ParseStats] = None,
+) -> Iterator[Request]:
+    """Stream Requests out of CLF lines, counting skips in ``stats``."""
+    for line in lines:
+        if not line.strip():
+            continue
+        request = parse_clf_range_line(
+            line, epoch=epoch, whole_file_bytes=whole_file_bytes
+        )
+        if request is None:
+            if stats is not None:
+                stats.note_skip(line)
+            continue
+        if stats is not None:
+            stats.parsed += 1
+        yield request
+
+
+def read_tsv_log(
+    lines: Iterable[str],
+    stats: Optional[ParseStats] = None,
+) -> Iterator[Request]:
+    """Stream Requests from ``ts<TAB>video<TAB>start-end`` records."""
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        request = _parse_tsv(line)
+        if request is None:
+            if stats is not None:
+                stats.note_skip(line)
+            continue
+        if stats is not None:
+            stats.parsed += 1
+        yield request
+
+
+def _parse_tsv(line: str) -> Optional[Request]:
+    parts = line.split("\t")
+    if len(parts) != 3:
+        return None
+    try:
+        t = float(parts[0])
+        video = int(parts[1])
+        b0_s, b1_s = parts[2].split("-", 1)
+        b0, b1 = int(b0_s), int(b1_s)
+    except ValueError:
+        return None
+    if b0 < 0 or b1 < b0:
+        return None
+    return Request(t=t, video=video, b0=b0, b1=b1)

@@ -1,0 +1,91 @@
+"""Trace serialization: CSV and JSONL, optionally gzip-compressed.
+
+The on-disk formats mirror what anonymized CDN request logs look like
+after scrubbing: one record per request with a timestamp, an opaque
+integer video ID and an inclusive byte range.  Readers stream; they
+never materialize the file in memory, so month-long traces can be
+replayed from disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from repro.trace.requests import Request
+
+__all__ = [
+    "read_trace_csv",
+    "read_trace_jsonl",
+    "write_trace_csv",
+    "write_trace_jsonl",
+]
+
+_CSV_HEADER = ["t", "video", "b0", "b1"]
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    """Open a possibly .gz path in text mode."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))  # type: ignore[arg-type]
+    return open(path, mode, newline="")
+
+
+def write_trace_csv(path: PathLike, requests: Iterable[Request]) -> int:
+    """Write requests as CSV (gzip if the path ends in .gz).
+
+    Returns the number of records written.
+    """
+    count = 0
+    with _open_text(path, "w") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_HEADER)
+        for r in requests:
+            writer.writerow([repr(r.t), r.video, r.b0, r.b1])
+            count += 1
+    return count
+
+
+def read_trace_csv(path: PathLike) -> Iterator[Request]:
+    """Stream requests from a CSV trace written by :func:`write_trace_csv`."""
+    with _open_text(path, "r") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _CSV_HEADER:
+            raise ValueError(f"unexpected trace header {header!r} in {path}")
+        for row in reader:
+            if not row:
+                continue
+            t, video, b0, b1 = row
+            yield Request(float(t), int(video), int(b0), int(b1))
+
+
+def write_trace_jsonl(path: PathLike, requests: Iterable[Request]) -> int:
+    """Write requests as JSON Lines (gzip if the path ends in .gz)."""
+    count = 0
+    with _open_text(path, "w") as fh:
+        for r in requests:
+            fh.write(
+                json.dumps({"t": r.t, "video": r.video, "b0": r.b0, "b1": r.b1})
+            )
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_trace_jsonl(path: PathLike) -> Iterator[Request]:
+    """Stream requests from a JSONL trace."""
+    with _open_text(path, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            yield Request(float(rec["t"]), int(rec["video"]), int(rec["b0"]), int(rec["b1"]))

@@ -1,0 +1,93 @@
+"""The request and chunk model of Section 4.
+
+A request ``R`` carries a video ID ``R.v``, an inclusive byte range
+``[R.b0, R.b1]`` and an arrival timestamp ``R.t``.  The server either
+fully serves or fully redirects a requested byte range; partial caching
+is supported by dividing files into fixed-size chunks of ``K`` bytes, so
+the chunk range of a request is ``[floor(b0 / K), floor(b1 / K)]``
+(``b1`` inclusive).  A chunk is uniquely identified by the pair
+``(video ID, chunk number)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "ChunkId",
+    "Request",
+    "chunk_range",
+    "request_chunks",
+]
+
+#: The paper's chunk size: 2 MB (Section 4 / Section 9).
+DEFAULT_CHUNK_BYTES = 2 * 1024 * 1024
+
+#: A chunk is identified by (video ID, chunk number).
+ChunkId = Tuple[int, int]
+
+
+def chunk_range(b0: int, b1: int, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> Tuple[int, int]:
+    """Map an inclusive byte range to an inclusive chunk range.
+
+    ``[R.c0, R.c1] = [floor(R.b0 / K), floor(R.b1 / K)]`` — the last
+    chunk is the one containing byte ``b1``.
+    """
+    if b0 < 0 or b1 < b0:
+        raise ValueError(f"invalid byte range [{b0}, {b1}]")
+    if chunk_bytes <= 0:
+        raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    return b0 // chunk_bytes, b1 // chunk_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One video request: arrival time, video ID, inclusive byte range."""
+
+    t: float
+    video: int
+    b0: int
+    b1: int
+
+    def __post_init__(self) -> None:
+        if self.b0 < 0 or self.b1 < self.b0:
+            raise ValueError(f"invalid byte range [{self.b0}, {self.b1}]")
+
+    @property
+    def num_bytes(self) -> int:
+        """Requested bytes, ``b1 - b0 + 1`` (range is inclusive)."""
+        return self.b1 - self.b0 + 1
+
+    def chunks(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> Tuple[int, int]:
+        """Inclusive chunk range ``[c0, c1]`` covered by this request."""
+        return chunk_range(self.b0, self.b1, chunk_bytes)
+
+    def num_chunks(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> int:
+        """Number of chunks covered, ``|R|_c`` in the paper's notation."""
+        c0, c1 = self.chunks(chunk_bytes)
+        return c1 - c0 + 1
+
+    def chunk_ids(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> Iterator[ChunkId]:
+        """Iterate the ``(video, chunk_number)`` IDs covered."""
+        c0, c1 = self.chunks(chunk_bytes)
+        for c in range(c0, c1 + 1):
+            yield (self.video, c)
+
+    def clipped(self, max_bytes: int) -> "Request | None":
+        """Clip the byte range to a file-size cap (Section 9.1's 20 MB cap).
+
+        Returns a new request with ``b1`` clipped to ``max_bytes - 1``,
+        or None if the whole range lies beyond the cap.
+        """
+        if self.b0 >= max_bytes:
+            return None
+        return Request(self.t, self.video, self.b0, min(self.b1, max_bytes - 1))
+
+
+def request_chunks(
+    request: Request, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> list[ChunkId]:
+    """The chunk-ID list ``S`` of a request (Section 6's notation)."""
+    return list(request.chunk_ids(chunk_bytes))

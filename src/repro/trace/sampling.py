@@ -1,0 +1,95 @@
+"""Trace down-sampling for the Optimal Cache experiment (Section 9.1).
+
+The paper's Optimal (IP/LP) experiment cannot run at full scale, so the
+trace is reduced exactly as described: take a short time window, keep
+the requests of a representative subset of ``m`` distinct files —
+"selected uniformly from the list of files sorted by their hit count" —
+and cap the file size (the paper uses 100 files, a two-day window and a
+20 MB cap), then size the disk to hold a given fraction of all requested
+chunks in the down-sampled data (the paper uses 5%).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence
+
+from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
+
+__all__ = ["time_window", "downsample_trace", "disk_chunks_for_fraction"]
+
+
+def time_window(requests: Iterable[Request], t0: float, t1: float) -> List[Request]:
+    """Requests with arrival time in ``[t0, t1)``, order preserved."""
+    if t1 < t0:
+        raise ValueError(f"empty window [{t0}, {t1})")
+    return [r for r in requests if t0 <= r.t < t1]
+
+
+def select_files_uniform_by_rank(hit_counts: Counter, m: int) -> List[int]:
+    """Pick ``m`` files spread uniformly over the hit-count-sorted list.
+
+    Sorting by hit count and striding uniformly yields a popularity-
+    representative subset: it includes head, torso and tail files in
+    proportion to their presence in the catalog (Section 9.1).
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    ranked = [v for v, _ in hit_counts.most_common()]
+    if m >= len(ranked):
+        return ranked
+    # Uniform positions over [0, len) — includes rank 0 and approaches
+    # the tail end; strictly increasing so no duplicates.
+    positions = [int(i * len(ranked) / m) for i in range(m)]
+    return [ranked[p] for p in positions]
+
+
+def downsample_trace(
+    requests: Sequence[Request],
+    num_files: int = 100,
+    max_file_bytes: Optional[int] = 20 * 1024 * 1024,
+    window: Optional[tuple[float, float]] = None,
+) -> List[Request]:
+    """Section 9.1's down-sampling: window, file subset, size cap.
+
+    ``window`` is an optional ``(t0, t1)`` arrival-time filter applied
+    first (the paper uses a two-day period).  Requests whose byte range
+    lies entirely beyond the size cap are dropped; ranges straddling it
+    are clipped.
+    """
+    pool: Sequence[Request] = (
+        time_window(requests, *window) if window is not None else requests
+    )
+    hit_counts = Counter(r.video for r in pool)
+    if not hit_counts:
+        return []
+    keep = set(select_files_uniform_by_rank(hit_counts, num_files))
+    out: List[Request] = []
+    for r in pool:
+        if r.video not in keep:
+            continue
+        if max_file_bytes is not None:
+            clipped = r.clipped(max_file_bytes)
+            if clipped is None:
+                continue
+            r = clipped
+        out.append(r)
+    return out
+
+
+def disk_chunks_for_fraction(
+    requests: Iterable[Request],
+    fraction: float = 0.05,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> int:
+    """Disk size (in chunks) holding ``fraction`` of all requested chunks.
+
+    "We select the disk size such that it can store 5% of all requested
+    chunks in the down-sampled data" (Section 9.1).  Always at least 1.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    unique = set()
+    for r in requests:
+        unique.update(r.chunk_ids(chunk_bytes))
+    return max(1, int(len(unique) * fraction))

@@ -1,0 +1,178 @@
+"""Trace characterization: the statistics the paper's workload exhibits.
+
+The algorithms in the paper rely on specific statistical properties of
+real CDN traces — a Zipf-like popularity curve with a long heavy tail
+(Section 3), diurnal load (Figure 3), temporal locality, and an
+intra-file skew where early chunks are requested more than late ones
+(Section 2).  :class:`TraceStats` measures these from any request
+sequence, which the workload tests use to validate that the synthetic
+traces actually exhibit the behaviour the paper's data has.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
+
+__all__ = ["TraceStats"]
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of a request trace.
+
+    Build with :meth:`from_requests`; all counters are exact, the Zipf
+    exponent is a log-log least-squares fit over the rank-frequency
+    curve of per-video request counts.
+    """
+
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    num_requests: int = 0
+    total_requested_bytes: int = 0
+    t_first: float = float("inf")
+    t_last: float = float("-inf")
+    video_hits: Counter = field(default_factory=Counter)
+    chunk_hits: Counter = field(default_factory=Counter)
+    #: request count per chunk *offset within its file* (intra-file skew)
+    offset_hits: Counter = field(default_factory=Counter)
+    #: request count per hour-of-day bucket (diurnal profile)
+    hour_hits: Counter = field(default_factory=Counter)
+
+    @classmethod  # noqa: D102 - documented here
+    def from_requests(  # one-shot constructor over an iterable of requests
+        cls, requests: Iterable[Request], chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    ) -> "TraceStats":
+        stats = cls(chunk_bytes=chunk_bytes)
+        for r in requests:
+            stats.add(r)
+        return stats
+
+    def add(self, r: Request) -> None:
+        """Fold one request into the statistics."""
+        self.num_requests += 1
+        self.total_requested_bytes += r.num_bytes
+        self.t_first = min(self.t_first, r.t)
+        self.t_last = max(self.t_last, r.t)
+        self.video_hits[r.video] += 1
+        c0, c1 = r.chunks(self.chunk_bytes)
+        for c in range(c0, c1 + 1):
+            self.chunk_hits[(r.video, c)] += 1
+            self.offset_hits[c] += 1
+        self.hour_hits[int(r.t // 3600) % 24] += 1
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def num_videos(self) -> int:
+        """Number of distinct videos requested."""
+        return len(self.video_hits)
+
+    @property
+    def num_unique_chunks(self) -> int:
+        """Number of distinct ``(video, chunk)`` pairs requested."""
+        return len(self.chunk_hits)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Unique requested data volume — the working-set size in bytes.
+
+        Disk sizes in the experiments are expressed relative to this.
+        """
+        return self.num_unique_chunks * self.chunk_bytes
+
+    @property
+    def duration(self) -> float:
+        """Trace time span in seconds (0 for empty traces)."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.t_last - self.t_first
+
+    def zipf_exponent(self, min_rank: int = 1, max_rank: Optional[int] = None) -> float:
+        """Least-squares slope of log(frequency) vs log(rank), negated.
+
+        A value near 0.8–1.2 is typical of video-on-demand popularity.
+        Requires at least 3 distinct videos.
+        """
+        counts = np.array(sorted(self.video_hits.values(), reverse=True), dtype=float)
+        if max_rank is not None:
+            counts = counts[:max_rank]
+        counts = counts[min_rank - 1 :]
+        if counts.size < 3:
+            raise ValueError("need at least 3 ranks for a Zipf fit")
+        ranks = np.arange(min_rank, min_rank + counts.size, dtype=float)
+        slope, _ = np.polyfit(np.log(ranks), np.log(counts), 1)
+        return float(-slope)
+
+    def head_concentration(self, fraction: float = 0.1) -> float:
+        """Share of requests going to the top ``fraction`` of videos.
+
+        Heavy-tailed workloads concentrate most hits in a small head;
+        e.g. the top 10% of videos drawing >50% of requests.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        counts = sorted(self.video_hits.values(), reverse=True)
+        if not counts:
+            return 0.0
+        head = max(1, int(len(counts) * fraction))
+        return sum(counts[:head]) / self.num_requests
+
+    def single_hit_fraction(self) -> float:
+        """Fraction of videos requested exactly once — the long tail.
+
+        The paper notes files "on the borderline of caching ... usually
+        have very few accesses in their lifetime in the cache".
+        """
+        if not self.video_hits:
+            return 0.0
+        ones = sum(1 for c in self.video_hits.values() if c == 1)
+        return ones / len(self.video_hits)
+
+    def early_chunk_bias(self, prefix_chunks: int = 2) -> float:
+        """Mean hits of the first ``prefix_chunks`` offsets over the rest.
+
+        Values > 1 confirm the intra-file skew of Section 2: "the first
+        segments of the video often receive the highest number of hits".
+        Returns ``inf`` when no hits land beyond the prefix.
+        """
+        head = [self.offset_hits[c] for c in range(prefix_chunks)]
+        tail = [v for c, v in self.offset_hits.items() if c >= prefix_chunks]
+        if not head or sum(head) == 0:
+            return 0.0
+        if not tail:
+            return float("inf")
+        return (sum(head) / len(head)) / (sum(tail) / len(tail))
+
+    def diurnal_peak_to_trough(self) -> float:
+        """Max over min hourly request counts (inf if an hour is empty).
+
+        Values well above 1 indicate the diurnal pattern of Figure 3.
+        """
+        if not self.hour_hits:
+            return 0.0
+        hourly = [self.hour_hits.get(h, 0) for h in range(24)]
+        low = min(hourly)
+        if low == 0:
+            return float("inf")
+        return max(hourly) / low
+
+    def summary(self) -> dict:
+        """A plain-dict summary suitable for printing or JSON dumping."""
+        out = {
+            "requests": self.num_requests,
+            "videos": self.num_videos,
+            "unique_chunks": self.num_unique_chunks,
+            "requested_gb": self.total_requested_bytes / 1e9,
+            "footprint_gb": self.footprint_bytes / 1e9,
+            "duration_days": self.duration / 86400.0,
+            "single_hit_fraction": self.single_hit_fraction(),
+            "top10pct_share": self.head_concentration(0.1),
+        }
+        if self.num_videos >= 3:
+            out["zipf_exponent"] = self.zipf_exponent()
+        return out

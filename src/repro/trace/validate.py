@@ -1,0 +1,133 @@
+"""Trace validation: catch malformed request logs before replay.
+
+Real anonymized CDN logs arrive with glitches — clock skew, truncated
+ranges, inconsistent file sizes.  The replay engine enforces only time
+order (its correctness requirement); this module performs the full
+pre-flight check and either reports or repairs, so external traces can
+be loaded through :mod:`repro.trace.io` with confidence.
+
+Checks:
+
+* time order (non-decreasing arrival timestamps);
+* byte-range sanity (``0 <= b0 <= b1``) — normally unrepresentable via
+  :class:`~repro.trace.requests.Request`, but checked for records built
+  by other means;
+* per-video size consistency: a request reaching far beyond the
+  largest extent ever observed *earlier* for that video is suspicious
+  (sudden growth is fine — uploads grow — but the check surfaces IDs
+  whose extents disagree wildly, a symptom of ID collisions after
+  anonymization);
+* duplicate records (identical timestamp, video and range) beyond a
+  threshold, a symptom of log duplication.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.trace.requests import Request
+
+__all__ = ["TraceIssue", "ValidationReport", "validate_trace", "repair_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceIssue:
+    """One problem found in a trace."""
+
+    index: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_trace`."""
+
+    num_requests: int = 0
+    issues: List[TraceIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def by_kind(self) -> Counter:
+        return Counter(issue.kind for issue in self.issues)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.num_requests} requests, no issues"
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.by_kind().items()))
+        return f"{self.num_requests} requests, {len(self.issues)} issues ({kinds})"
+
+
+def validate_trace(
+    requests: Sequence[Request],
+    size_jump_factor: float = 1000.0,
+    duplicate_threshold: int = 2,
+    max_issues: int = 10_000,
+) -> ValidationReport:
+    """Scan a trace and report every problem found (up to ``max_issues``).
+
+    ``size_jump_factor``: flag a request whose end offset exceeds the
+    video's previously observed extent by more than this factor (with a
+    1 MB floor so small videos don't trip it).  ``duplicate_threshold``:
+    flag the N-th and later identical records.
+    """
+    if size_jump_factor <= 1.0:
+        raise ValueError("size_jump_factor must exceed 1")
+    if duplicate_threshold < 1:
+        raise ValueError("duplicate_threshold must be >= 1")
+
+    report = ValidationReport(num_requests=len(requests))
+    extents: dict[int, int] = {}
+    seen: Counter = Counter()
+    last_t = float("-inf")
+
+    def add(index: int, kind: str, detail: str) -> None:
+        if len(report.issues) < max_issues:
+            report.issues.append(TraceIssue(index, kind, detail))
+
+    for i, r in enumerate(requests):
+        if r.t < last_t:
+            add(i, "time-order", f"t={r.t} after t={last_t}")
+        last_t = max(last_t, r.t)
+
+        if r.b0 < 0 or r.b1 < r.b0:
+            add(i, "byte-range", f"[{r.b0}, {r.b1}]")
+            continue
+
+        prior = extents.get(r.video)
+        if prior is not None:
+            threshold = max(prior * size_jump_factor, prior + (1 << 20))
+            if r.b1 + 1 > threshold:
+                add(
+                    i,
+                    "size-jump",
+                    f"video {r.video}: extent {prior} -> {r.b1 + 1}",
+                )
+        extents[r.video] = max(prior or 0, r.b1 + 1)
+
+        key = (r.t, r.video, r.b0, r.b1)
+        seen[key] += 1
+        if seen[key] >= duplicate_threshold + 1:
+            add(i, "duplicate", f"{key} seen {seen[key]} times")
+
+    return report
+
+
+def repair_trace(requests: Iterable[Request]) -> List[Request]:
+    """Best-effort repair: drop malformed records, restore time order.
+
+    Intended for external logs; synthetic traces never need it.  The
+    repair is conservative — it only drops records that the replay
+    engine or the caches would reject, and stably re-sorts by time.
+    """
+    kept = []
+    for r in requests:
+        if r.b0 < 0 or r.b1 < r.b0:
+            continue
+        kept.append(r)
+    kept.sort(key=lambda r: r.t)
+    return kept

@@ -1,0 +1,45 @@
+"""Synthetic video-CDN workload generation.
+
+The paper evaluates on anonymized request logs of six production
+servers, which are not publicly available.  This package synthesizes
+statistically equivalent traces exhibiting the properties the paper's
+algorithms exploit (and which the paper and its citations document):
+
+* Zipf-like video popularity with a long heavy tail (Section 3: files
+  "on the borderline of caching ... have very few accesses"), per-server
+  local popularity decorrelated from global popularity [28];
+* catalog churn — new videos appear, ramp up, and decay ("transient
+  demand patterns", Section 1);
+* diurnal request arrivals with per-region phase (Figure 3 shows daily
+  peaks in ingress and redirection);
+* session-based byte ranges with early-segment bias (Section 2's
+  "diverse intra-file popularities", citing [11]) and partial watching;
+* six regional server profiles of different volume and diversity
+  (Section 9: Asia "serving more limited requests" than South America).
+
+Every generator is deterministic given a seed.
+"""
+
+from repro.workload.catalog import Video, VideoCatalog
+from repro.workload.diurnal import DiurnalRate
+from repro.workload.events import inject_flash_crowd, inject_rate_surge
+from repro.workload.generator import TraceGenerator
+from repro.workload.global_catalog import GlobalCatalog
+from repro.workload.popularity import PopularityModel
+from repro.workload.servers import SERVER_PROFILES, ServerProfile, paper_server_profiles
+from repro.workload.sessions import SessionModel
+
+__all__ = [
+    "inject_flash_crowd",
+    "inject_rate_surge",
+    "GlobalCatalog",
+    "Video",
+    "VideoCatalog",
+    "DiurnalRate",
+    "PopularityModel",
+    "SessionModel",
+    "TraceGenerator",
+    "ServerProfile",
+    "SERVER_PROFILES",
+    "paper_server_profiles",
+]

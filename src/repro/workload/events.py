@@ -1,0 +1,114 @@
+"""Demand-shock injection: flash crowds and load surges.
+
+The paper motivates per-server caching with "an extensive and dynamic
+set of files with transient demand patterns" (Section 1).  The steady
+generator models gradual churn; this module injects the abrupt kind —
+a video going viral, or a plain load surge — into an existing trace so
+robustness can be tested: does a cache admit the flash content quickly,
+and does it recover (no lasting pollution) once the event passes?
+
+Both injectors are pure functions over request lists and keep the
+result time-sorted, so they compose with any generated or recorded
+trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.trace.requests import Request
+from repro.workload.catalog import Video
+from repro.workload.sessions import SessionModel
+
+__all__ = ["inject_flash_crowd", "inject_rate_surge"]
+
+
+def inject_flash_crowd(
+    trace: Sequence[Request],
+    video: Video,
+    t_start: float,
+    duration: float,
+    peak_sessions_per_hour: float,
+    rng: np.random.Generator,
+    session_model: Optional[SessionModel] = None,
+    ramp_fraction: float = 0.2,
+) -> List[Request]:
+    """Overlay a viral event for ``video`` onto ``trace``.
+
+    Session arrivals for the flash video follow a triangular intensity:
+    a fast ramp over the first ``ramp_fraction`` of ``duration`` to
+    ``peak_sessions_per_hour``, then a linear decay to zero — the
+    canonical flash-crowd shape.  Flash viewers use the same session
+    model as organic ones (early abandonment included).
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if peak_sessions_per_hour <= 0:
+        raise ValueError("peak_sessions_per_hour must be positive")
+    if not 0.0 < ramp_fraction < 1.0:
+        raise ValueError("ramp_fraction must be in (0, 1)")
+    session_model = session_model if session_model is not None else SessionModel()
+
+    peak_rate = peak_sessions_per_hour / 3600.0
+    ramp_end = t_start + duration * ramp_fraction
+    t_end = t_start + duration
+
+    def intensity(t: float) -> float:
+        if t < t_start or t >= t_end:
+            return 0.0
+        if t < ramp_end:
+            return peak_rate * (t - t_start) / (ramp_end - t_start)
+        return peak_rate * (t_end - t) / (t_end - ramp_end)
+
+    extra: List[Request] = []
+    step = max(duration / 200.0, 1.0)
+    t = t_start
+    while t < t_end:
+        width = min(step, t_end - t)
+        count = rng.poisson(intensity(t + width / 2.0) * width)
+        for arrival in np.sort(rng.uniform(t, t + width, size=count)):
+            extra.extend(session_model.generate(video, float(arrival), rng))
+        t += width
+
+    merged = list(trace) + extra
+    merged.sort(key=lambda r: r.t)
+    return merged
+
+
+def inject_rate_surge(
+    trace: Sequence[Request],
+    t_start: float,
+    duration: float,
+    multiplier: float,
+    rng: np.random.Generator,
+) -> List[Request]:
+    """Amplify *existing* demand in a window by replaying its requests.
+
+    Every request falling in ``[t_start, t_start + duration)`` is
+    duplicated ``multiplier - 1`` times in expectation (fractional parts
+    are resolved probabilistically) at jittered timestamps within a few
+    minutes — a "everyone tuned in" load spike that preserves the
+    window's popularity mix, unlike a flash crowd which concentrates on
+    one video.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if multiplier < 1.0:
+        raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+    t_end = t_start + duration
+    extra: List[Request] = []
+    for request in trace:
+        if not t_start <= request.t < t_end:
+            continue
+        copies = int(multiplier - 1.0)
+        if rng.random() < (multiplier - 1.0) - copies:
+            copies += 1
+        for _ in range(copies):
+            jitter = float(rng.uniform(0.0, 300.0))
+            t = min(request.t + jitter, t_end - 1e-6)
+            extra.append(Request(t, request.video, request.b0, request.b1))
+    merged = list(trace) + extra
+    merged.sort(key=lambda r: r.t)
+    return merged

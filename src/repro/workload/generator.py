@@ -1,0 +1,115 @@
+"""End-to-end trace generation from a server profile.
+
+Ties the catalog, popularity, diurnal and session models together:
+session arrival times come from the non-homogeneous Poisson process,
+each arrival picks a video from the (time-varying) popularity
+distribution, and each session expands into byte-range requests.  The
+result is a time-sorted request trace for one server, deterministic
+given the profile and seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.trace.requests import Request
+from repro.workload.catalog import VideoCatalog
+from repro.workload.diurnal import DiurnalRate
+from repro.workload.popularity import PopularityModel
+from repro.workload.servers import ServerProfile
+from repro.workload.sessions import SessionModel
+
+__all__ = ["TraceGenerator"]
+
+DAY = 86400.0
+
+
+class TraceGenerator:
+    """Generates synthetic traces for one server profile."""
+
+    def __init__(
+        self,
+        profile: ServerProfile,
+        session_model: Optional[SessionModel] = None,
+        seed: Optional[int] = None,
+        catalog: Optional[VideoCatalog] = None,
+    ) -> None:
+        """``catalog``: use an externally built server-local catalog
+        (e.g. a :class:`~repro.workload.global_catalog.GlobalCatalog`
+        view, for multi-server consistency) instead of generating one.
+        """
+        self.profile = profile
+        self.session_model = session_model if session_model is not None else SessionModel()
+        self.seed = profile.seed if seed is None else seed
+        self._catalog = catalog
+
+    def build_catalog(self, duration: float) -> VideoCatalog:
+        """The server-local catalog (sizes, ranks, churn births)."""
+        if self._catalog is not None:
+            return self._catalog
+        return VideoCatalog.generate(
+            self.profile.num_videos,
+            seed=self.seed,
+            mean_size_bytes=self.profile.mean_video_bytes,
+            churn_fraction=self.profile.churn_fraction,
+            duration=duration,
+        )
+
+    def generate(self, days: float = 30.0) -> List[Request]:
+        """Produce the time-sorted request trace of ``days`` days."""
+        if days <= 0:
+            raise ValueError(f"days must be positive, got {days}")
+        duration = days * DAY
+        catalog = self.build_catalog(duration)
+        popularity = PopularityModel(
+            catalog,
+            zipf_s=self.profile.zipf_s,
+            seed=self.seed + 1,
+        )
+        diurnal = DiurnalRate(
+            base_rate=self.profile.sessions_per_day / DAY,
+            amplitude=self.profile.diurnal_amplitude,
+            peak_hour=self.profile.peak_hour,
+            weekend_boost=self.profile.weekend_boost,
+        )
+        rng = np.random.default_rng(self.seed + 2)
+
+        arrivals = np.fromiter(diurnal.arrivals(duration, rng), dtype=float)
+        if arrivals.size == 0:
+            return []
+
+        # Pick videos in per-epoch batches: arrivals are time-sorted, so
+        # grouping by epoch keeps PopularityModel's CDF cache hot and
+        # the sampling vectorized.
+        video_ids = np.empty(arrivals.size, dtype=np.int64)
+        epoch_ids = (arrivals // popularity.epoch).astype(np.int64)
+        start = 0
+        while start < arrivals.size:
+            end = start
+            while end < arrivals.size and epoch_ids[end] == epoch_ids[start]:
+                end += 1
+            video_ids[start:end] = popularity.sample(
+                float(arrivals[start]), size=end - start
+            )
+            start = end
+
+        requests: List[Request] = []
+        for t0, video_id in zip(arrivals.tolist(), video_ids.tolist()):
+            video = catalog[int(video_id)]
+            if video.birth > t0:
+                # Epoch-granular sampling can pick a video minutes
+                # before its birth; nudge such sessions past it.
+                t0 = video.birth
+            requests.extend(self.session_model.generate(video, t0, rng))
+        requests.sort(key=lambda r: r.t)
+        return requests
+
+    def estimate_requests(self, days: float = 30.0) -> float:
+        """Planning estimate of trace length without generating it."""
+        sessions = self.profile.sessions_per_day * days
+        per_session = self.session_model.expected_requests_per_session(
+            self.profile.mean_video_bytes
+        )
+        return sessions * per_session

@@ -1,0 +1,105 @@
+"""A global catalog with per-server views (multi-server workloads).
+
+Single-server experiments can generate each server's catalog
+independently, but a *hierarchy* needs content identity to be globally
+consistent: when two edges request video 5, the parent must see the
+same video with the same size.  The paper's model for this is explicit:
+per-location popularity has "no strong correlation with the global
+popularity" [28], i.e. servers share a corpus but rank it differently.
+
+:class:`GlobalCatalog` holds the master corpus (IDs, sizes — global
+facts) and derives per-server :class:`~repro.workload.catalog.VideoCatalog`
+views: a seeded sample of the corpus with *locally permuted popularity
+ranks* and locally drawn churn births.  Overlap between two views is
+controlled by the view sizes relative to the corpus (sampling without
+replacement), mirroring how regional demand intersects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.workload.catalog import Video, VideoCatalog
+from repro.workload.servers import ServerProfile
+
+__all__ = ["GlobalCatalog"]
+
+
+class GlobalCatalog:
+    """The CDN's corpus of videos, viewable per server."""
+
+    def __init__(self, master: VideoCatalog) -> None:
+        self.master = master
+
+    def __len__(self) -> int:
+        return len(self.master)
+
+    @classmethod
+    def generate(
+        cls,
+        total_videos: int,
+        seed: int = 0,
+        mean_size_bytes: float = 24e6,
+        **kwargs,
+    ) -> "GlobalCatalog":
+        """Generate the master corpus (no churn at the global level —
+        churn is a per-server demand phenomenon and is drawn per view).
+        """
+        master = VideoCatalog.generate(
+            total_videos,
+            seed=seed,
+            mean_size_bytes=mean_size_bytes,
+            churn_fraction=0.0,
+            **kwargs,
+        )
+        return cls(master)
+
+    def server_view(
+        self,
+        profile: ServerProfile,
+        duration: float,
+        seed: Optional[int] = None,
+    ) -> VideoCatalog:
+        """A server-local catalog: sampled corpus, local ranks/births.
+
+        Raises ``ValueError`` when the profile wants more videos than
+        the corpus holds.  Deterministic per (corpus, profile seed).
+        """
+        if profile.num_videos > len(self.master):
+            raise ValueError(
+                f"profile {profile.name!r} wants {profile.num_videos} videos "
+                f"but the corpus has {len(self.master)}"
+            )
+        rng = np.random.default_rng(profile.seed if seed is None else seed)
+        picks = rng.choice(
+            len(self.master.videos), size=profile.num_videos, replace=False
+        )
+        local_ranks = rng.permutation(profile.num_videos)
+        births = np.full(profile.num_videos, -1.0)
+        num_churn = int(profile.num_videos * profile.churn_fraction)
+        if num_churn:
+            churn_idx = rng.choice(profile.num_videos, size=num_churn, replace=False)
+            births[churn_idx] = rng.uniform(0.0, duration, size=num_churn)
+        videos = []
+        for i, pick in enumerate(picks):
+            source = self.master.videos[int(pick)]
+            videos.append(
+                Video(
+                    video_id=source.video_id,
+                    size_bytes=source.size_bytes,
+                    rank=int(local_ranks[i]),
+                    birth=float(births[i]),
+                )
+            )
+        return VideoCatalog(videos)
+
+    def overlap(self, view_a: VideoCatalog, view_b: VideoCatalog) -> float:
+        """Jaccard overlap of two views' video sets."""
+        a = {v.video_id for v in view_a.videos}
+        b = {v.video_id for v in view_b.videos}
+        union = a | b
+        if not union:
+            return 0.0
+        return len(a & b) / len(union)

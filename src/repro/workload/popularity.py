@@ -1,0 +1,111 @@
+"""Dynamic video popularity: Zipf base weights with churn lifecycles.
+
+Popularity has two parts:
+
+* a **static Zipf law** over catalog ranks — ``weight(rank) ∝
+  1 / (rank + 1)^s`` — producing the head/torso/tail structure every
+  video workload study reports;
+* a **lifecycle** multiplier for churned videos: zero before birth, a
+  linear ramp to peak over ``ramp`` seconds, then exponential decay with
+  time constant ``decay_tau``.  Pre-existing videos also get a slow
+  random drift (per-epoch lognormal jitter) so the popular set churns
+  gradually — the paper's "transient demand patterns".
+
+Sampling is epoch-based: weights are recomputed every ``epoch`` seconds
+and turned into a cumulative distribution for O(log n) inverse-CDF
+sampling, which makes month-long trace generation cheap while keeping
+the dynamics (an epoch of a few hours is far finer than the lifecycle
+time scales).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.workload.catalog import VideoCatalog
+
+__all__ = ["PopularityModel"]
+
+
+class PopularityModel:
+    """Samples video IDs according to time-varying popularity."""
+
+    def __init__(
+        self,
+        catalog: VideoCatalog,
+        zipf_s: float = 0.9,
+        epoch: float = 6 * 3600.0,
+        ramp: float = 12 * 3600.0,
+        decay_tau: float = 5 * 86400.0,
+        drift_sigma: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        if zipf_s <= 0:
+            raise ValueError(f"zipf_s must be positive, got {zipf_s}")
+        if epoch <= 0 or ramp <= 0 or decay_tau <= 0:
+            raise ValueError("epoch, ramp and decay_tau must be positive")
+        self.catalog = catalog
+        self.zipf_s = zipf_s
+        self.epoch = epoch
+        self.ramp = ramp
+        self.decay_tau = decay_tau
+        self.drift_sigma = drift_sigma
+        self._rng = np.random.default_rng(seed)
+
+        n = len(catalog)
+        ranks = np.array([v.rank for v in catalog.videos], dtype=float)
+        self._base = 1.0 / np.power(ranks + 1.0, zipf_s)
+        self._births = np.array([v.birth for v in catalog.videos])
+        self._ids = np.array([v.video_id for v in catalog.videos], dtype=np.int64)
+        #: persistent drift multipliers, random-walked once per epoch
+        self._drift = np.ones(n)
+        self._epoch_index: Optional[int] = None
+        self._cdf: Optional[np.ndarray] = None
+
+    def weights_at(self, t: float) -> np.ndarray:
+        """Instantaneous (unnormalized) sampling weights at time ``t``."""
+        age = t - self._births
+        lifecycle = np.ones_like(age)
+        churned = self._births >= 0
+        a = age[churned]
+        # np.where evaluates both branches; clamp the decay exponent so
+        # unborn videos (a < 0) do not overflow exp() before being
+        # masked out.
+        decay = np.exp(-np.maximum(a - self.ramp, 0.0) / self.decay_tau)
+        cycle = np.where(
+            a < 0,
+            0.0,
+            np.where(a < self.ramp, a / self.ramp, decay),
+        )
+        lifecycle[churned] = cycle
+        return self._base * lifecycle * self._drift
+
+    def sample(self, t: float, size: int = 1) -> np.ndarray:
+        """Draw ``size`` video IDs according to popularity at time ``t``."""
+        epoch_index = int(t // self.epoch)
+        if epoch_index != self._epoch_index:
+            self._advance_to(epoch_index)
+        assert self._cdf is not None
+        u = self._rng.random(size) * self._cdf[-1]
+        positions = np.searchsorted(self._cdf, u, side="right")
+        return self._ids[positions]
+
+    def _advance_to(self, epoch_index: int) -> None:
+        """Recompute the CDF for a new epoch, advancing the drift walk."""
+        steps = 1 if self._epoch_index is None else max(1, epoch_index - self._epoch_index)
+        if self.drift_sigma > 0:
+            for _ in range(min(steps, 16)):
+                self._drift *= self._rng.lognormal(
+                    0.0, self.drift_sigma, size=self._drift.size
+                )
+            # keep the walk centered so total volume does not wander
+            self._drift /= self._drift.mean()
+        self._epoch_index = epoch_index
+        weights = self.weights_at(epoch_index * self.epoch)
+        total = weights.sum()
+        if total <= 0:
+            # Degenerate corner (all videos unborn/decayed): uniform.
+            weights = np.ones_like(weights)
+        self._cdf = np.cumsum(weights)

@@ -1,0 +1,101 @@
+"""Viewing sessions: byte-range requests with early-abandonment bias.
+
+Section 2: "The first segments of the video often receive the highest
+number of hits compared to the rest" [11].  This emerges naturally from
+a session model in which most viewers start at the beginning and a
+large share abandon early:
+
+* with probability ``full_watch_prob`` the session plays to the end;
+* otherwise the watched fraction is Beta-distributed, skewed small;
+* with probability ``seek_prob`` the session starts mid-file (serving
+  the paper's point that clients "may request different ranges at their
+  own choice").
+
+A session is emitted as one or more HTTP range requests of at most
+``request_span_bytes`` each, spaced by playback time at ``bitrate``
+bytes/second — so a single viewing produces the multiple byte-range
+requests a real player issues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.trace.requests import Request
+from repro.workload.catalog import Video
+
+__all__ = ["SessionModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class SessionModel:
+    """Parameters of the viewer behaviour model."""
+
+    full_watch_prob: float = 0.2
+    abandon_alpha: float = 0.7
+    abandon_beta: float = 2.2
+    seek_prob: float = 0.12
+    request_span_bytes: int = 8 << 20
+    bitrate: float = 512 * 1024.0  # bytes of media per second of playback
+    min_watch_bytes: int = 256 << 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.full_watch_prob <= 1.0:
+            raise ValueError("full_watch_prob must be in [0, 1]")
+        if not 0.0 <= self.seek_prob <= 1.0:
+            raise ValueError("seek_prob must be in [0, 1]")
+        if self.abandon_alpha <= 0 or self.abandon_beta <= 0:
+            raise ValueError("Beta parameters must be positive")
+        if self.request_span_bytes <= 0:
+            raise ValueError("request_span_bytes must be positive")
+        if self.bitrate <= 0:
+            raise ValueError("bitrate must be positive")
+
+    def generate(
+        self, video: Video, t0: float, rng: np.random.Generator
+    ) -> List[Request]:
+        """Emit the range requests of one session starting at ``t0``."""
+        size = video.size_bytes
+        if rng.random() < self.seek_prob and size > 2 * self.min_watch_bytes:
+            start = int(rng.uniform(0, size * 0.8))
+        else:
+            start = 0
+
+        remaining = size - start
+        if rng.random() < self.full_watch_prob:
+            watched = remaining
+        else:
+            fraction = rng.beta(self.abandon_alpha, self.abandon_beta)
+            watched = int(remaining * fraction)
+        watched = max(min(watched, remaining), min(self.min_watch_bytes, remaining))
+
+        requests: List[Request] = []
+        offset = start
+        end = start + watched
+        while offset < end:
+            span_end = min(offset + self.request_span_bytes, end)
+            playback_offset = (offset - start) / self.bitrate
+            requests.append(
+                Request(
+                    t=t0 + playback_offset,
+                    video=video.video_id,
+                    b0=offset,
+                    b1=span_end - 1,
+                )
+            )
+            offset = span_end
+        return requests
+
+    def expected_requests_per_session(self, mean_video_bytes: float) -> float:
+        """Rough planning estimate of requests emitted per session."""
+        mean_fraction = (
+            self.full_watch_prob
+            + (1 - self.full_watch_prob)
+            * self.abandon_alpha
+            / (self.abandon_alpha + self.abandon_beta)
+        )
+        mean_watched = mean_video_bytes * mean_fraction
+        return max(1.0, mean_watched / self.request_span_bytes)

@@ -1,0 +1,92 @@
+"""Tests for the derived headline numbers of Section 9."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.headline import (
+    equivalent_disk_factor,
+    interpolate_disk_for_efficiency,
+    relative_inefficiency_reduction,
+)
+
+
+class TestRelativeInefficiencyReduction:
+    def test_paper_numbers(self):
+        """xLRU 62% -> Cafe 73%: 'a relative 29% reduction'."""
+        assert relative_inefficiency_reduction(0.62, 0.73) == pytest.approx(
+            0.289, abs=0.005
+        )
+
+    def test_no_change(self):
+        assert relative_inefficiency_reduction(0.5, 0.5) == 0.0
+
+    def test_regression_is_negative(self):
+        assert relative_inefficiency_reduction(0.7, 0.6) < 0.0
+
+    def test_perfect_source_rejected(self):
+        with pytest.raises(ValueError):
+            relative_inefficiency_reduction(1.0, 0.9)
+
+    @given(a=st.floats(-0.99, 0.99), b=st.floats(-0.99, 0.99))
+    def test_property_sign_matches_improvement(self, a, b):
+        r = relative_inefficiency_reduction(a, b)
+        # differences below float granularity of (1 - x) can round to 0
+        if b > a + 1e-9:
+            assert r > 0
+        elif b < a - 1e-9:
+            assert r < 0
+
+
+class TestInterpolation:
+    DISKS = [100.0, 200.0, 400.0, 800.0]
+    EFFS = [0.3, 0.5, 0.65, 0.75]
+
+    def test_exact_points(self):
+        for d, e in zip(self.DISKS, self.EFFS):
+            assert interpolate_disk_for_efficiency(
+                self.DISKS, self.EFFS, e
+            ) == pytest.approx(d)
+
+    def test_between_points_log_scale(self):
+        d = interpolate_disk_for_efficiency(self.DISKS, self.EFFS, 0.4)
+        assert 100.0 < d < 200.0
+        # log-space midpoint of [100, 200] at efficiency midpoint 0.4
+        assert d == pytest.approx(math.sqrt(100.0 * 200.0))
+
+    def test_below_curve_clamps_to_smallest(self):
+        assert interpolate_disk_for_efficiency(self.DISKS, self.EFFS, 0.1) == 100.0
+
+    def test_above_curve_is_inf(self):
+        assert interpolate_disk_for_efficiency(self.DISKS, self.EFFS, 0.9) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interpolate_disk_for_efficiency([1.0], [0.5], 0.5)
+        with pytest.raises(ValueError):
+            interpolate_disk_for_efficiency([1.0, 2.0], [0.5], 0.5)
+
+
+class TestEquivalentDiskFactor:
+    def test_identical_curves_factor_one(self):
+        disks = [100.0, 200.0, 400.0]
+        effs = [0.3, 0.5, 0.6]
+        factors = equivalent_disk_factor(disks, effs, effs)
+        assert factors == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_worse_algorithm_needs_more_disk(self):
+        disks = [100.0, 200.0, 400.0, 800.0]
+        better = [0.5, 0.6, 0.7, 0.8]
+        worse = [0.3, 0.5, 0.6, 0.7]  # shifted one step down
+        factors = equivalent_disk_factor(disks, better, worse)
+        # matching "better at 100" (0.5) takes the worse curve 200 -> 2x
+        assert factors[0] == pytest.approx(2.0)
+        assert factors[-1] == math.inf  # 0.8 is beyond the worse curve
+
+    def test_mapping_input(self):
+        disks = [100.0, 200.0]
+        factors = equivalent_disk_factor(
+            disks, {100.0: 0.5, 200.0: 0.6}, {100.0: 0.5, 200.0: 0.6}
+        )
+        assert factors == pytest.approx([1.0, 1.0])

@@ -1,0 +1,86 @@
+"""Tests for Markdown report generation."""
+
+import math
+
+from repro.analysis.report import (
+    experiment_to_markdown,
+    markdown_table,
+    render_report,
+)
+from repro.experiments.common import ExperimentResult
+
+
+class TestMarkdownTable:
+    def test_empty(self):
+        assert markdown_table([]) == "*(no rows)*"
+
+    def test_structure(self):
+        text = markdown_table([{"a": 1, "b": 0.5}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 0.500 |"
+
+    def test_column_selection(self):
+        text = markdown_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_special_floats(self):
+        text = markdown_table([{"x": math.nan, "y": math.inf, "z": None}])
+        assert "nan" in text and "inf" in text and "—" in text
+
+    def test_pipe_escaped(self):
+        text = markdown_table([{"x": "a|b"}])
+        assert "a\\|b" in text
+
+
+class TestExperimentToMarkdown:
+    def make_result(self, **extras):
+        return ExperimentResult(
+            name="Figure X",
+            description="a test figure",
+            rows=[{"alpha": 1.0, "eff": 0.5}],
+            extras=extras,
+        )
+
+    def test_section_layout(self):
+        text = experiment_to_markdown(self.make_result())
+        assert text.startswith("## Figure X")
+        assert "a test figure" in text
+        assert "| alpha | eff |" in text
+
+    def test_scalar_extras_listed(self):
+        text = experiment_to_markdown(self.make_result(disk_chunks=128))
+        assert "**disk_chunks**: 128" in text
+
+    def test_row_list_extras_summarized(self):
+        text = experiment_to_markdown(
+            self.make_result(per_server=[{"s": 1}, {"s": 2}])
+        )
+        assert "2 rows (omitted)" in text
+        assert "{'s': 1}" not in text
+
+
+class TestRenderReport:
+    def test_full_document(self):
+        results = [
+            ExperimentResult("A", "first", [{"x": 1}]),
+            ExperimentResult("B", "second", [{"y": 2}]),
+        ]
+        text = render_report(results, title="T", preamble="P")
+        assert text.startswith("# T")
+        assert "P" in text
+        assert "## A" in text and "## B" in text
+
+
+class TestCliMarkdownFlag:
+    def test_writes_report_file(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main_experiment
+
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        out = tmp_path / "report.md"
+        code = main_experiment(["fig5", "--markdown", str(out)])
+        assert code == 0
+        content = out.read_text()
+        assert content.startswith("# Reproduction report")
+        assert "Figure 5" in content

@@ -1,0 +1,76 @@
+"""Tests for text-table formatting."""
+
+import pytest
+
+from repro.analysis.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_title_and_header(self):
+        text = format_table([{"a": 1, "b": 2.5}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.500" in text
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_cells_dash(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in text.splitlines()[2]
+
+    def test_nan_rendering(self):
+        text = format_table([{"x": float("nan")}])
+        assert "nan" in text
+
+    def test_floatfmt(self):
+        text = format_table([{"x": 0.123456}], floatfmt=".1f")
+        assert "0.1" in text and "0.12" not in text
+
+    def test_alignment(self):
+        text = format_table([{"name": "a", "v": 1}, {"name": "longer", "v": 2}])
+        lines = text.splitlines()
+        assert len(lines[2]) <= len(lines[1]) + 2
+        # all rows align on the second column
+        assert lines[2].rstrip().endswith("1")
+        assert lines[3].rstrip().endswith("2")
+
+
+class TestFormatSeries:
+    def test_renders_in_units(self):
+        text = format_series(
+            [0.0, 86400.0],
+            {"eff": [0.5, 0.6]},
+            t_unit=86400.0,
+            t_label="day",
+        )
+        assert "day" in text
+        assert "1.000" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series([0.0, 1.0], {"x": [1.0]})
+
+    def test_max_rows_downsamples(self):
+        times = [float(i) for i in range(100)]
+        text = format_series(
+            times, {"v": [float(i) for i in range(100)]}, t_unit=1.0, max_rows=10
+        )
+        body = text.splitlines()[2:]
+        assert len(body) <= 11
+        assert "0.000" in body[0]  # first kept
+        assert "99.000" in body[-1]  # last kept
+
+    def test_multiple_series_columns(self):
+        text = format_series(
+            [0.0], {"a": [1.0], "b": [2.0]}, t_unit=1.0
+        )
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header

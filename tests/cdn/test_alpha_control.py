@@ -1,0 +1,102 @@
+"""Tests for the alpha_F2R control loop (Section 10 extension)."""
+
+import pytest
+
+from repro.cdn.alpha_control import AlphaController
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.psychic import PsychicCache
+from repro.sim.metrics import MetricsCollector
+
+
+def make_controller(trace_scale_cache=None, **kwargs):
+    cache = trace_scale_cache or CafeCache(128, cost_model=CostModel(2.0))
+    defaults = dict(
+        target_ingress_fraction=0.10,
+        interval=6 * 3600.0,
+        min_window_egress=1 << 20,
+    )
+    defaults.update(kwargs)
+    return AlphaController(cache, **defaults)
+
+
+class TestValidation:
+    def test_offline_cache_rejected(self):
+        with pytest.raises(ValueError, match="online"):
+            AlphaController(PsychicCache(16), target_ingress_fraction=0.1)
+
+    def test_target_range(self):
+        with pytest.raises(ValueError):
+            make_controller(target_ingress_fraction=0.0)
+        with pytest.raises(ValueError):
+            make_controller(target_ingress_fraction=1.0)
+
+    def test_positive_knobs(self):
+        with pytest.raises(ValueError):
+            make_controller(interval=0.0)
+        with pytest.raises(ValueError):
+            make_controller(gain=0.0)
+        with pytest.raises(ValueError):
+            make_controller(range_factor=0.5)
+
+
+class TestControlLoop:
+    def _drive(self, controller, trace):
+        metrics = MetricsCollector(controller.cache.cost_model)
+        for request in trace:
+            metrics.record(request, controller.handle(request))
+        return metrics
+
+    def test_alpha_stays_in_small_range(self, medium_trace):
+        controller = make_controller()
+        base = controller.alpha
+        self._drive(controller, medium_trace)
+        assert base / 2.0 - 1e-9 <= controller.alpha <= base * 2.0 + 1e-9
+        for step in controller.adjustments:
+            assert base / 2.0 - 1e-9 <= step.alpha_after <= base * 2.0 + 1e-9
+
+    def test_adjustments_recorded(self, medium_trace):
+        controller = make_controller()
+        self._drive(controller, medium_trace)
+        assert controller.adjustments  # ten days, 6h windows
+        for step in controller.adjustments:
+            assert step.measured_ingress_fraction >= 0.0
+
+    def test_high_ingress_raises_alpha(self, medium_trace):
+        """Cheap base alpha + tight ingress target -> alpha pushed up."""
+        cache = CafeCache(128, cost_model=CostModel(1.0))
+        controller = make_controller(cache, target_ingress_fraction=0.02)
+        self._drive(controller, medium_trace)
+        assert controller.alpha > 1.0
+
+    def test_low_target_reduces_ingress(self, medium_trace):
+        """Controlled cache lands nearer the target than uncontrolled."""
+        from repro.sim.engine import replay
+
+        plain = CafeCache(128, cost_model=CostModel(1.0))
+        uncontrolled = replay(plain, medium_trace).steady.ingress_fraction
+
+        cache = CafeCache(128, cost_model=CostModel(1.0))
+        controller = make_controller(cache, target_ingress_fraction=0.03)
+        metrics = self._drive(controller, medium_trace)
+        controlled = metrics.steady_state().ingress_fraction
+        assert controlled < uncontrolled
+
+    def test_loose_target_lowers_alpha(self, medium_trace):
+        """A generous ingress target lets alpha fall below base."""
+        cache = CafeCache(128, cost_model=CostModel(2.0))
+        controller = make_controller(cache, target_ingress_fraction=0.8)
+        self._drive(controller, medium_trace)
+        assert controller.alpha < 2.0
+
+    def test_quiet_windows_do_not_adjust(self):
+        from repro.trace.requests import Request
+
+        controller = make_controller(min_window_egress=1 << 40)
+        # a sparse trickle: egress never reaches the guard volume
+        for i in range(50):
+            controller.handle(Request(i * 3600.0, i % 3, 0, 1024))
+        assert all(
+            s.alpha_after == s.alpha_before for s in controller.adjustments
+        )
+        assert controller.alpha == 2.0

@@ -1,0 +1,153 @@
+"""Tests for fleet-level alpha assignment (§10 optimization layer)."""
+
+import itertools
+
+import pytest
+
+from repro.cdn.fleet import (
+    FleetAssignment,
+    OperatingPoint,
+    measure_tradeoff_curves,
+    optimize_alpha_assignment,
+)
+
+GB = 10**9
+
+
+def point(alpha, ingress_gb, redirected_gb):
+    return OperatingPoint(
+        alpha=alpha,
+        ingress_bytes=int(ingress_gb * GB),
+        redirected_bytes=int(redirected_gb * GB),
+        egress_bytes=10 * GB,
+        efficiency=0.5,
+    )
+
+
+#: two servers with the canonical downward tradeoff curve
+CURVES = {
+    "a": [point(0.5, 4.0, 1.0), point(2.0, 2.0, 2.0), point(4.0, 0.5, 4.0)],
+    "b": [point(0.5, 6.0, 0.5), point(2.0, 3.0, 1.5), point(4.0, 1.0, 3.0)],
+}
+
+
+def brute_force(curves, budget):
+    """Reference optimum by exhaustive enumeration."""
+    servers = sorted(curves)
+    best = None
+    for combo in itertools.product(*(curves[s] for s in servers)):
+        ingress = sum(p.ingress_bytes for p in combo)
+        redirected = sum(p.redirected_bytes for p in combo)
+        if ingress <= budget and (best is None or redirected < best[0]):
+            best = (redirected, {s: p.alpha for s, p in zip(servers, combo)})
+    return best
+
+
+class TestValidation:
+    def test_empty_curves(self):
+        with pytest.raises(ValueError):
+            optimize_alpha_assignment({}, 10 * GB)
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            optimize_alpha_assignment(CURVES, -1)
+
+    def test_infeasible_budget(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            optimize_alpha_assignment(CURVES, int(0.5 * GB))
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            optimize_alpha_assignment(CURVES, 10 * GB, budget_bins=0)
+
+
+class TestOptimality:
+    # budgets chosen off the exact achievable sums: the conservative
+    # round-up quantization rejects knife-edge fits by design
+    @pytest.mark.parametrize("budget_gb", [1.6, 3.2, 5.1, 7.2, 10.1, 20.0])
+    def test_matches_brute_force(self, budget_gb):
+        budget = int(budget_gb * GB)
+        expected = brute_force(CURVES, budget)
+        assert expected is not None
+        result = optimize_alpha_assignment(CURVES, budget, budget_bins=2000)
+        assert result.total_redirected_bytes == expected[0]
+        assert result.total_ingress_bytes <= budget
+
+    def test_loose_budget_picks_cheapest_redirects(self):
+        result = optimize_alpha_assignment(CURVES, 100 * GB)
+        assert result.alphas == {"a": 0.5, "b": 0.5}
+
+    def test_tight_budget_squeezes_ingress(self):
+        result = optimize_alpha_assignment(CURVES, int(1.6 * GB))
+        assert result.alphas == {"a": 4.0, "b": 4.0}
+
+    def test_asymmetric_budget_splits(self):
+        """Mid budget: the optimizer mixes alphas across servers."""
+        budget = int(7.2 * GB)
+        result = optimize_alpha_assignment(CURVES, budget, budget_bins=2000)
+        expected = brute_force(CURVES, budget)
+        assert result.alphas == expected[1]
+        assert len(set(result.alphas.values())) > 1
+
+    def test_never_worse_than_best_uniform(self):
+        budget = 6 * GB
+        result = optimize_alpha_assignment(CURVES, budget, budget_bins=2000)
+        uniform_best = None
+        for alpha in (0.5, 2.0, 4.0):
+            ingress = sum(
+                next(p for p in CURVES[s] if p.alpha == alpha).ingress_bytes
+                for s in CURVES
+            )
+            redirected = sum(
+                next(p for p in CURVES[s] if p.alpha == alpha).redirected_bytes
+                for s in CURVES
+            )
+            if ingress <= budget:
+                uniform_best = min(
+                    uniform_best if uniform_best is not None else redirected,
+                    redirected,
+                )
+        assert uniform_best is not None
+        assert result.total_redirected_bytes <= uniform_best
+
+    def test_budget_monotonicity(self):
+        redirects = []
+        for budget_gb in (2.0, 4.0, 8.0, 16.0):
+            result = optimize_alpha_assignment(
+                CURVES, int(budget_gb * GB), budget_bins=2000
+            )
+            redirects.append(result.total_redirected_bytes)
+        assert redirects == sorted(redirects, reverse=True)
+
+    def test_utilization_reported(self):
+        result = optimize_alpha_assignment(CURVES, 10 * GB)
+        assert 0.0 < result.budget_utilization <= 1.0
+
+
+class TestMeasuredCurves:
+    def test_end_to_end_on_synthetic_traces(self, small_trace):
+        traces = {
+            "half": small_trace[: len(small_trace) // 2],
+            "full": small_trace,
+        }
+        disks = {"half": 64, "full": 64}
+        curves = measure_tradeoff_curves(
+            traces, disks, alphas=(1.0, 4.0), algorithm="Cafe"
+        )
+        assert set(curves) == {"half", "full"}
+        for points in curves.values():
+            assert len(points) == 2
+            # larger alpha, less ingress (Figure 5 compliance)
+            by_alpha = {p.alpha: p for p in points}
+            assert by_alpha[4.0].ingress_bytes <= by_alpha[1.0].ingress_bytes
+
+        total_min = sum(min(p.ingress_bytes for p in c) for c in curves.values())
+        result = optimize_alpha_assignment(curves, 4 * total_min + 1)
+        assert isinstance(result, FleetAssignment)
+        assert set(result.alphas) == {"half", "full"}
+
+    def test_validation(self, small_trace):
+        with pytest.raises(ValueError, match="disk"):
+            measure_tradeoff_curves({"x": small_trace}, {})
+        with pytest.raises(ValueError):
+            measure_tradeoff_curves({}, {})

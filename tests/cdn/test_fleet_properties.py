@@ -1,0 +1,77 @@
+"""Property-based tests: the fleet DP against brute-force enumeration."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cdn.fleet import OperatingPoint, optimize_alpha_assignment
+
+GB = 10**9
+
+
+@st.composite
+def random_curves(draw):
+    n_servers = draw(st.integers(2, 4))
+    curves = {}
+    for s in range(n_servers):
+        n_options = draw(st.integers(1, 4))
+        points = []
+        for i in range(n_options):
+            points.append(
+                OperatingPoint(
+                    alpha=float(i),
+                    ingress_bytes=draw(st.integers(0, 8)) * GB,
+                    redirected_bytes=draw(st.integers(0, 8)) * GB,
+                    egress_bytes=10 * GB,
+                    efficiency=0.5,
+                )
+            )
+        curves[f"s{s}"] = points
+    return curves
+
+
+def brute_force(curves, budget):
+    best = None
+    servers = sorted(curves)
+    for combo in itertools.product(*(curves[s] for s in servers)):
+        ingress = sum(p.ingress_bytes for p in combo)
+        redirected = sum(p.redirected_bytes for p in combo)
+        if ingress <= budget and (best is None or redirected < best):
+            best = redirected
+    return best
+
+
+@settings(max_examples=80, deadline=None)
+@given(curves=random_curves(), budget_gb=st.integers(0, 40))
+def test_dp_feasible_and_near_optimal(curves, budget_gb):
+    budget = budget_gb * GB
+    optimum = brute_force(curves, budget)
+    n_servers = len(curves)
+    bins = 4000
+    unit = max(1, -(-budget // bins))
+
+    if optimum is None:
+        try:
+            optimize_alpha_assignment(curves, budget, budget_bins=bins)
+        except ValueError:
+            return  # correctly infeasible
+        raise AssertionError("DP succeeded on an infeasible instance")
+
+    try:
+        result = optimize_alpha_assignment(curves, budget, budget_bins=bins)
+    except ValueError:
+        # round-up quantization may reject knife-edge instances whose
+        # only feasible assignments sit exactly at the budget
+        slack = budget - n_servers * unit
+        assert brute_force(curves, max(slack, -1)) is None
+        return
+
+    # feasibility: never exceeds the budget
+    assert result.total_ingress_bytes <= budget
+    # never better than the true optimum ...
+    assert result.total_redirected_bytes >= optimum
+    # ... and no worse than the optimum of a slightly tightened budget
+    # (each server loses at most one quantization unit)
+    tightened = brute_force(curves, budget - n_servers * unit)
+    if tightened is not None:
+        assert result.total_redirected_bytes <= tightened

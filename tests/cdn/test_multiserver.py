@@ -1,0 +1,151 @@
+"""Tests for the hierarchical multi-server simulator."""
+
+import pytest
+
+from repro.cdn.multiserver import CdnSimulator
+from repro.cdn.topology import CdnServer, CdnTopology, hierarchy, peered_edges
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.xlru import XlruCache
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0, c1=None):
+    c1 = c0 if c1 is None else c1
+    return Request(t, video, c0 * K, (c1 + 1) * K - 1)
+
+
+def small_hierarchy(edge_disk=8, parent_disk=64, alpha=1.0):
+    edges = {
+        "e1": CafeCache(edge_disk, chunk_bytes=K, cost_model=CostModel(alpha)),
+        "e2": CafeCache(edge_disk, chunk_bytes=K, cost_model=CostModel(alpha)),
+    }
+    parent = CafeCache(parent_disk, chunk_bytes=K, cost_model=CostModel(0.75))
+    return hierarchy(edges, parent)
+
+
+class TestBasicRouting:
+    def test_unknown_edge_rejected(self):
+        simulator = CdnSimulator(small_hierarchy())
+        with pytest.raises(KeyError):
+            simulator.run({"nope": [req(0.0, 1, 0)]})
+
+    def test_origin_cannot_receive_user_traffic(self):
+        simulator = CdnSimulator(small_hierarchy())
+        with pytest.raises(ValueError):
+            simulator.run({"origin": [req(0.0, 1, 0)]})
+
+    def test_max_redirects_validation(self):
+        with pytest.raises(ValueError):
+            CdnSimulator(small_hierarchy(), max_redirects=0)
+
+    def test_all_user_requests_counted(self):
+        simulator = CdnSimulator(small_hierarchy())
+        traces = {
+            "e1": [req(float(i), i % 3, 0) for i in range(10)],
+            "e2": [req(float(i) + 0.5, i % 5, 0) for i in range(10)],
+        }
+        result = simulator.run(traces)
+        assert result.num_user_requests == 20
+        assert result.per_server["e1"].totals().num_requests >= 10
+
+    def test_per_edge_attribution(self):
+        """Requests are recorded at the edge they landed on."""
+        simulator = CdnSimulator(small_hierarchy())
+        traces = {
+            "e1": [req(0.0, 1, 0), req(1.0, 1, 0)],
+            "e2": [req(2.0, 2, 0)],
+        }
+        result = simulator.run(traces)
+        assert result.per_server["e1"].totals().num_requests == 2
+        assert result.per_server["e2"].totals().num_requests == 3 or (
+            result.per_server["e2"].totals().num_requests == 1
+        )
+
+
+class TestRedirectFlow:
+    def test_redirects_reach_parent(self):
+        """Edge-redirected requests are handled by the parent cache."""
+        simulator = CdnSimulator(small_hierarchy(alpha=2.0))
+        # first-seen requests are redirected by Cafe edges at alpha=2
+        traces = {"e1": [req(float(i), i, 0) for i in range(5)]}
+        result = simulator.run(traces)
+        parent = result.per_server["parent"].totals()
+        assert parent.num_requests > 0
+
+    def test_redirect_hops_recorded(self):
+        simulator = CdnSimulator(small_hierarchy())
+        traces = {"e1": [req(float(i), i, 0) for i in range(6)]}
+        result = simulator.run(traces)
+        assert sum(result.redirect_hops.values()) == 6
+
+    def test_origin_backstops_redirect_chain(self):
+        """A redirect ring terminates at the origin via the hop limit."""
+        edges = {
+            "a": XlruCache(4, chunk_bytes=K, cost_model=CostModel(4.0)),
+            "b": XlruCache(4, chunk_bytes=K, cost_model=CostModel(4.0)),
+        }
+        topology = peered_edges(edges)
+        simulator = CdnSimulator(topology, max_redirects=2)
+        # first-seen at a and at b: both redirect, the hop limit then
+        # routes the request to the origin instead of back around
+        result = simulator.run({"a": [req(0.0, 1, 0)]})
+        assert result.origin_requests == 1
+        assert result.origin_redirect_bytes == K
+
+    def test_offload_fraction(self):
+        simulator = CdnSimulator(small_hierarchy())
+        traces = {"e1": [req(float(i), 1, 0) for i in range(10)]}
+        result = simulator.run(traces)
+        assert 0.0 <= result.origin_offload <= 1.0
+
+
+class TestFillFlow:
+    def test_edge_fill_becomes_parent_request(self):
+        """A cache-filling edge generates upstream fill requests."""
+        simulator = CdnSimulator(small_hierarchy())
+        # video 1 twice: second request fills at the edge
+        traces = {"e1": [req(0.0, 1, 0), req(1.0, 1, 0)]}
+        result = simulator.run(traces)
+        parent = result.per_server["parent"].totals()
+        edge = result.per_server["e1"].totals()
+        assert edge.filled_chunks >= 1
+        # the parent saw at least the fill request (plus any redirects)
+        assert parent.num_requests >= 1
+
+    def test_fill_volume_conserved(self):
+        """Bytes filled at the edge appear as requests upstream."""
+        simulator = CdnSimulator(small_hierarchy())
+        traces = {"e1": [req(0.0, 1, 0, 3), req(1.0, 1, 0, 3)]}
+        result = simulator.run(traces)
+        edge = result.per_server["e1"].totals()
+        parent = result.per_server["parent"].totals()
+        assert parent.requested_bytes >= edge.ingress_bytes
+
+    def test_parent_fill_reaches_origin(self):
+        """When the parent itself fills, the origin serves the bytes."""
+        simulator = CdnSimulator(small_hierarchy())
+        traces = {"e1": [req(0.0, 1, 0), req(1.0, 1, 0), req(2.0, 1, 0)]}
+        result = simulator.run(traces)
+        assert result.origin_bytes > 0
+
+    def test_describe_output(self):
+        simulator = CdnSimulator(small_hierarchy())
+        result = simulator.run({"e1": [req(0.0, 1, 0), req(1.0, 1, 0)]})
+        text = result.describe()
+        assert "user requests" in text
+
+
+class TestTimeMerging:
+    def test_interleaved_edges_by_timestamp(self):
+        """Caches see time-ordered streams even across edges."""
+        simulator = CdnSimulator(small_hierarchy())
+        traces = {
+            "e1": [req(0.0, 1, 0), req(2.0, 1, 0)],
+            "e2": [req(1.0, 1, 0), req(3.0, 1, 0)],
+        }
+        # would raise inside AccessRecencyList if order were violated
+        result = simulator.run(traces)
+        assert result.num_user_requests == 4

@@ -1,0 +1,83 @@
+"""End-to-end: network mapping -> trace split -> hierarchy replay.
+
+Exercises the full Section 2 front end: user networks are assigned to
+primary servers under cost/capacity, an aggregate trace is partitioned
+by network demand, and the resulting per-edge traces replay through a
+two-level topology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cdn.multiserver import CdnSimulator
+from repro.cdn.networks import ServerLocation, UserNetwork, assign_networks, split_trace
+from repro.cdn.topology import CdnServer, CdnTopology
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+
+G = 1e9
+
+
+@pytest.fixture(scope="module")
+def scenario(small_trace):
+    networks = [
+        UserNetwork("eu-isp-1", "eu", 6 * G),
+        UserNetwork("eu-isp-2", "eu", 3 * G),
+        UserNetwork("us-isp-1", "us", 5 * G),
+    ]
+    servers = [
+        ServerLocation("edge-eu", "eu", 12 * G),
+        ServerLocation("edge-us", "us", 12 * G),
+    ]
+    assignment = assign_networks(networks, servers)
+    traces = split_trace(
+        small_trace, networks, assignment, np.random.default_rng(42)
+    )
+    return networks, assignment, traces
+
+
+class TestMappingToTraces:
+    def test_primaries_follow_regions(self, scenario):
+        _networks, assignment, _traces = scenario
+        assert assignment["eu-isp-1"].primary == "edge-eu"
+        assert assignment["us-isp-1"].primary == "edge-us"
+
+    def test_both_edges_receive_traffic(self, scenario, small_trace):
+        _n, _a, traces = scenario
+        assert set(traces) == {"edge-eu", "edge-us"}
+        assert sum(len(t) for t in traces.values()) == len(small_trace)
+        # eu networks carry 9G of 14G demand
+        share = len(traces["edge-eu"]) / len(small_trace)
+        assert 0.5 < share < 0.8
+
+
+class TestHierarchyReplay:
+    def test_full_pipeline(self, scenario):
+        _n, assignment, traces = scenario
+        # secondary map: each edge redirects where its networks'
+        # secondary points (here: the other edge), fills from origin
+        topology = CdnTopology(
+            [
+                CdnServer(name="origin", cache=None),
+                CdnServer(
+                    name="edge-eu",
+                    cache=CafeCache(128, cost_model=CostModel(2.0)),
+                    redirect_to=assignment["eu-isp-1"].secondary,
+                    fill_from="origin",
+                ),
+                CdnServer(
+                    name="edge-us",
+                    cache=CafeCache(128, cost_model=CostModel(2.0)),
+                    redirect_to=assignment["us-isp-1"].secondary,
+                    fill_from="origin",
+                ),
+            ]
+        )
+        result = CdnSimulator(topology).run(traces)
+        assert result.num_user_requests == sum(len(t) for t in traces.values())
+        for name in ("edge-eu", "edge-us"):
+            totals = result.summary(name)
+            assert totals.num_requests > 0
+            assert -1.0 <= totals.efficiency <= 1.0
+        # the redirect ring between peers is bounded by the hop limit
+        assert max(result.redirect_hops) <= 4

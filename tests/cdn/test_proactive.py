@@ -1,0 +1,100 @@
+"""Tests for the proactive-caching extension (Section 10)."""
+
+import pytest
+
+from repro.cdn.proactive import ProactiveFiller
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.psychic import PsychicCache
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0=0):
+    return Request(t, video, c0 * K, (c0 + 1) * K - 1)
+
+
+def make_filler(disk=4, **kwargs):
+    # a small disk: most of the demanded catalog is missing, so there
+    # is always something worth prefetching during off-peak windows
+    cache = CafeCache(disk, chunk_bytes=K, cost_model=CostModel(0.5))
+    defaults = dict(
+        rate_window=100.0,
+        offpeak_rate_fraction=0.5,
+        budget_chunks_per_window=8,
+        top_videos=8,
+    )
+    defaults.update(kwargs)
+    return ProactiveFiller(cache, **defaults)
+
+
+class TestValidation:
+    def test_offline_cache_rejected(self):
+        with pytest.raises(ValueError, match="online"):
+            ProactiveFiller(PsychicCache(8))
+
+    def test_parameter_validation(self):
+        cache = CafeCache(8, chunk_bytes=K)
+        with pytest.raises(ValueError):
+            ProactiveFiller(cache, prefix_chunks=0)
+        with pytest.raises(ValueError):
+            ProactiveFiller(cache, offpeak_rate_fraction=1.0)
+
+
+class TestPassThrough:
+    def test_decisions_flow_through(self):
+        filler = make_filler()
+        response = filler.handle(req(0.0, 1))
+        assert response is not None
+        assert filler.cache is not None
+
+    def test_demand_tracking(self):
+        filler = make_filler()
+        for i in range(5):
+            filler.handle(req(float(i), 7))
+        assert filler._demand[7] == 5
+
+
+class TestOffPeakDetection:
+    def _steady_then_trough(self, filler):
+        # steady 1 req/s for 300 s, then a sparse trickle (0.1 req/s);
+        # 12 videos against a 4-chunk disk keeps plenty uncached
+        t = 0.0
+        for i in range(300):
+            filler.handle(req(t, i % 12))
+            t += 1.0
+        for i in range(30):
+            filler.handle(req(t, i % 12))
+            t += 10.0
+        return filler
+
+    def test_prefetch_triggers_in_trough(self):
+        filler = self._steady_then_trough(make_filler())
+        assert filler.stats.windows >= 1
+        assert filler.stats.attempts >= 1
+
+    def test_budget_respected(self):
+        filler = self._steady_then_trough(
+            make_filler(budget_chunks_per_window=3)
+        )
+        if filler.stats.windows == 1:
+            assert filler.stats.filled_chunks <= 3
+
+    def test_no_prefetch_at_steady_rate(self):
+        filler = make_filler()
+        t = 0.0
+        for i in range(400):
+            filler.handle(req(t, i % 6))
+            t += 1.0
+        assert filler.stats.attempts == 0
+
+    def test_prefetch_targets_leading_chunks(self):
+        filler = self._steady_then_trough(make_filler(prefix_chunks=2))
+        cache = filler.cache
+        # prefetched chunks (if any) are chunk 0/1 of demanded videos
+        if filler.stats.accepted:
+            prefixes = [
+                (v, c) for v in range(12) for c in (0, 1) if (v, c) in cache
+            ]
+            assert prefixes

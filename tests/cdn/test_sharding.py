@@ -1,0 +1,123 @@
+"""Tests for co-located server sharding (Section 2, footnote 2)."""
+
+import pytest
+
+from repro.cdn.sharding import ShardedServer, bucket_of
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.psychic import PsychicCache
+from repro.core.xlru import XlruCache
+from repro.sim.engine import replay
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0=0):
+    return Request(t, video, c0 * K, (c0 + 1) * K - 1)
+
+
+def make_sharded(n=4, disk_each=32, alpha=1.0):
+    shards = [
+        XlruCache(disk_each, chunk_bytes=K, cost_model=CostModel(alpha))
+        for _ in range(n)
+    ]
+    return ShardedServer(shards)
+
+
+class TestBucketOf:
+    def test_stable(self):
+        assert bucket_of(12345) == bucket_of(12345)
+
+    def test_within_range(self):
+        for video in range(200):
+            assert 0 <= bucket_of(video, 64) < 64
+
+    def test_spreads_over_buckets(self):
+        buckets = {bucket_of(v, 64) for v in range(2000)}
+        assert len(buckets) == 64
+
+    def test_num_buckets_validation(self):
+        with pytest.raises(ValueError):
+            bucket_of(1, 0)
+
+
+class TestConstruction:
+    def test_needs_shards(self):
+        with pytest.raises(ValueError):
+            ShardedServer([])
+
+    def test_offline_shards_rejected(self):
+        with pytest.raises(ValueError, match="online"):
+            ShardedServer([PsychicCache(8, chunk_bytes=K)])
+
+    def test_mixed_chunk_sizes_rejected(self):
+        with pytest.raises(ValueError, match="chunk size"):
+            ShardedServer(
+                [XlruCache(8, chunk_bytes=1024), XlruCache(8, chunk_bytes=2048)]
+            )
+
+    def test_enough_buckets_required(self):
+        shards = [XlruCache(8, chunk_bytes=K) for _ in range(4)]
+        with pytest.raises(ValueError, match="buckets"):
+            ShardedServer(shards, num_buckets=2)
+
+    def test_aggregate_disk(self):
+        assert make_sharded(n=4, disk_each=32).disk_chunks == 128
+
+
+class TestRouting:
+    def test_video_always_same_shard(self):
+        server = make_sharded()
+        first = server.shard_index(42)
+        for _ in range(5):
+            assert server.shard_index(42) == first
+
+    def test_no_cross_shard_duplicates(self):
+        """A video's chunks live only on its designated shard."""
+        server = make_sharded(n=4, disk_each=64)
+        trace = [req(float(t), video=t % 20) for t in range(200)]
+        for r in trace:
+            server.handle(r)
+        for video in range(20):
+            chunk = (video, 0)
+            holders = [i for i, s in enumerate(server.shards) if chunk in s]
+            assert len(holders) <= 1
+            if holders:
+                assert holders[0] == server.shard_index(video)
+
+    def test_contains_and_len_aggregate(self):
+        server = make_sharded()
+        server.handle(req(0.0, 7))
+        server.handle(req(1.0, 7))  # second sighting: cached
+        assert (7, 0) in server
+        assert len(server) == 1
+
+    def test_load_roughly_balanced(self, small_trace):
+        server = make_sharded(n=4, disk_each=64)
+        for r in small_trace:
+            server.handle(r)
+        # popularity skew makes perfect balance impossible; hash-mod
+        # should still keep the hottest shard within ~2x of the mean
+        assert server.load_balance() < 2.0
+
+
+class TestEngineIntegration:
+    def test_replay_through_engine(self, small_trace):
+        server = make_sharded(n=4, disk_each=64, alpha=2.0)
+        result = replay(server, small_trace)
+        assert result.num_requests == len(small_trace)
+        assert -1.0 <= result.steady.efficiency <= 1.0
+
+    def test_sharded_close_to_monolithic(self, medium_trace):
+        """Same total disk split 4 ways costs a few points, not many —
+        footnote 2's point that bucketization is a feasible practice."""
+        cost_model = CostModel(2.0)
+        mono = replay(
+            CafeCache(256, cost_model=cost_model), medium_trace
+        ).steady.efficiency
+        shards = [
+            CafeCache(64, cost_model=CostModel(2.0)) for _ in range(4)
+        ]
+        sharded = replay(ShardedServer(shards), medium_trace).steady.efficiency
+        assert sharded > mono - 0.15

@@ -1,0 +1,118 @@
+"""Tests for CDN topology wiring and validation."""
+
+import pytest
+
+from repro.cdn.topology import CdnServer, CdnTopology, hierarchy, peered_edges
+from repro.core.cafe import CafeCache
+from repro.core.psychic import PsychicCache
+from repro.core.xlru import XlruCache
+
+
+def cache(disk=16):
+    return CafeCache(disk)
+
+
+class TestCdnServer:
+    def test_origin_is_terminal(self):
+        origin = CdnServer(name="origin", cache=None, redirect_to="x", fill_from="y")
+        assert origin.is_origin
+        assert origin.redirect_to is None
+        assert origin.fill_from is None
+
+    def test_offline_cache_rejected(self):
+        with pytest.raises(ValueError, match="offline"):
+            CdnServer(name="edge", cache=PsychicCache(16))
+
+
+class TestTopologyValidation:
+    def test_needs_origin(self):
+        with pytest.raises(ValueError, match="origin"):
+            CdnTopology([CdnServer(name="edge", cache=cache(), fill_from=None)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CdnTopology(
+                [
+                    CdnServer(name="origin", cache=None),
+                    CdnServer(name="a", cache=cache(), fill_from="origin"),
+                    CdnServer(name="a", cache=cache(), fill_from="origin"),
+                ]
+            )
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            CdnTopology(
+                [
+                    CdnServer(name="origin", cache=None),
+                    CdnServer(name="a", cache=cache(), fill_from="ghost"),
+                ]
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="loops to itself"):
+            CdnTopology(
+                [
+                    CdnServer(name="origin", cache=None),
+                    CdnServer(name="a", cache=cache(), fill_from="a"),
+                ]
+            )
+
+    def test_fill_cycle_rejected(self):
+        with pytest.raises(ValueError, match="fill_from cycle"):
+            CdnTopology(
+                [
+                    CdnServer(name="origin", cache=None),
+                    CdnServer(name="a", cache=cache(), fill_from="b"),
+                    CdnServer(name="b", cache=cache(), fill_from="a"),
+                ]
+            )
+
+    def test_redirect_ring_allowed(self):
+        """Peered siblings legitimately redirect to each other."""
+        topology = CdnTopology(
+            [
+                CdnServer(name="origin", cache=None),
+                CdnServer(name="a", cache=cache(), redirect_to="b", fill_from="origin"),
+                CdnServer(name="b", cache=cache(), redirect_to="a", fill_from="origin"),
+            ]
+        )
+        assert len(topology) == 3
+
+
+class TestBuilders:
+    def test_hierarchy_wiring(self):
+        topology = hierarchy({"e1": cache(), "e2": cache()}, cache(64))
+        assert topology["e1"].redirect_to == "parent"
+        assert topology["e1"].fill_from == "parent"
+        assert topology["parent"].fill_from == "origin"
+        assert topology.origin_name == "origin"
+        assert sorted(topology.edges()) == ["e1", "e2"]
+
+    def test_peered_ring(self):
+        topology = peered_edges({"a": cache(), "b": cache(), "c": cache()})
+        assert topology["a"].redirect_to == "b"
+        assert topology["b"].redirect_to == "c"
+        assert topology["c"].redirect_to == "a"
+        assert all(
+            topology[n].fill_from == "origin" for n in ("a", "b", "c")
+        )
+
+    def test_peered_needs_two(self):
+        with pytest.raises(ValueError, match="two"):
+            peered_edges({"solo": cache()})
+
+    def test_peered_explicit_pairing(self):
+        topology = peered_edges(
+            {"a": cache(), "b": cache()},
+            peer_of=lambda n: "b" if n == "a" else "a",
+        )
+        assert topology["a"].redirect_to == "b"
+        assert topology["b"].redirect_to == "a"
+
+    def test_peered_unknown_peer_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            peered_edges({"a": cache(), "b": cache()}, peer_of=lambda n: "zzz")
+
+    def test_mixed_cache_types(self):
+        topology = hierarchy({"e1": XlruCache(16)}, CafeCache(64))
+        assert topology["e1"].cache.name == "xLRU"

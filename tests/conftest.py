@@ -1,0 +1,35 @@
+"""Shared test fixtures and request-building helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.requests import Request
+from repro.workload.generator import TraceGenerator
+from repro.workload.servers import SERVER_PROFILES
+
+#: Small chunk size used across unit tests for readable numbers.
+K = 1024
+
+
+def chunk_request(t: float, video: int, c0: int, c1: int, k: int = K) -> Request:
+    """A request covering exactly chunks ``c0..c1`` (inclusive) of a video."""
+    return Request(t=t, video=video, b0=c0 * k, b1=(c1 + 1) * k - 1)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A deterministic ~2k-request synthetic trace (4 days, tiny volume).
+
+    Session-scoped: generation costs ~100 ms and many tests share it.
+    Tests must not mutate it.
+    """
+    profile = SERVER_PROFILES["europe"].scaled(0.04)
+    return TraceGenerator(profile).generate(days=4.0)
+
+
+@pytest.fixture(scope="session")
+def medium_trace():
+    """A ~6k-request, 10-day trace for steadier integration checks."""
+    profile = SERVER_PROFILES["europe"].scaled(0.06)
+    return TraceGenerator(profile).generate(days=10.0)

@@ -1,0 +1,73 @@
+"""Tests for the cache framework (Decision, CacheResponse, VideoCache)."""
+
+import pytest
+
+from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.core.costs import CostModel
+from repro.core.xlru import XlruCache
+
+
+class TestCacheResponse:
+    def test_serve_with_fill(self):
+        r = CacheResponse(Decision.SERVE, filled_chunks=3, evicted_chunks=2)
+        assert r.served
+        assert r.filled_chunks == 3
+
+    def test_redirect_cannot_fill(self):
+        with pytest.raises(ValueError):
+            CacheResponse(Decision.REDIRECT, filled_chunks=1)
+
+    def test_redirect(self):
+        r = CacheResponse(Decision.REDIRECT)
+        assert not r.served
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            CacheResponse(Decision.SERVE, filled_chunks=-1)
+        with pytest.raises(ValueError):
+            CacheResponse(Decision.SERVE, evicted_chunks=-1)
+
+    def test_frozen(self):
+        r = CacheResponse(Decision.SERVE)
+        with pytest.raises(AttributeError):
+            r.filled_chunks = 5  # type: ignore[misc]
+
+
+class TestVideoCacheConstruction:
+    def test_disk_chunks_validated(self):
+        with pytest.raises(ValueError):
+            XlruCache(0)
+        with pytest.raises(ValueError):
+            XlruCache(-5)
+
+    def test_chunk_bytes_validated(self):
+        with pytest.raises(ValueError):
+            XlruCache(10, chunk_bytes=0)
+
+    def test_default_cost_model_is_alpha_one(self):
+        cache = XlruCache(10)
+        assert cache.cost_model.alpha_f2r == 1.0
+
+    def test_disk_bytes(self):
+        cache = XlruCache(10, chunk_bytes=2048)
+        assert cache.disk_bytes == 20480
+
+    def test_disk_used_fraction_starts_empty(self):
+        cache = XlruCache(10)
+        assert cache.disk_used_fraction == 0.0
+        assert len(cache) == 0
+
+    def test_describe_mentions_config(self):
+        cache = XlruCache(10, chunk_bytes=2048, cost_model=CostModel(2.0))
+        text = cache.describe()
+        assert "xLRU" in text
+        assert "10" in text and "2048" in text and "2.0" in text
+
+    def test_online_prepare_is_noop(self):
+        cache = XlruCache(10)
+        cache.prepare([])  # must not raise
+        assert not cache.offline
+
+    def test_abstract_base_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            VideoCache(10)  # type: ignore[abstract]

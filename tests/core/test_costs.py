@@ -1,0 +1,99 @@
+"""Tests for the cost model (Eqs. 1-4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.costs import CostModel
+
+
+class TestEq4Normalization:
+    def test_alpha_one_gives_unit_costs(self):
+        m = CostModel(1.0)
+        assert m.fill_cost == pytest.approx(1.0)
+        assert m.redirect_cost == pytest.approx(1.0)
+
+    def test_alpha_two(self):
+        m = CostModel(2.0)
+        assert m.fill_cost == pytest.approx(4.0 / 3.0)
+        assert m.redirect_cost == pytest.approx(2.0 / 3.0)
+
+    def test_alpha_half(self):
+        m = CostModel(0.5)
+        assert m.fill_cost == pytest.approx(2.0 / 3.0)
+        assert m.redirect_cost == pytest.approx(4.0 / 3.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(0.0)
+        with pytest.raises(ValueError):
+            CostModel(-1.0)
+
+    @given(alpha=st.floats(0.01, 100.0))
+    def test_property_normalization_eq3(self, alpha):
+        m = CostModel(alpha)
+        assert m.fill_cost + m.redirect_cost == pytest.approx(2.0)
+
+    @given(alpha=st.floats(0.01, 100.0))
+    def test_property_ratio_is_alpha(self, alpha):
+        m = CostModel(alpha)
+        assert m.fill_cost / m.redirect_cost == pytest.approx(alpha)
+
+    @given(alpha=st.floats(0.01, 100.0))
+    def test_property_future_cost_is_min(self, alpha):
+        m = CostModel(alpha)
+        assert m.future_cost == min(m.fill_cost, m.redirect_cost)
+
+
+class TestTotalCost:
+    def test_eq1(self):
+        m = CostModel(2.0)
+        assert m.total_cost(300, 600) == pytest.approx(300 * 4 / 3 + 600 * 2 / 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().total_cost(-1, 0)
+
+
+class TestEfficiency:
+    def test_all_hits_is_one(self):
+        assert CostModel(1.0).efficiency(1000, 0, 0) == pytest.approx(1.0)
+
+    def test_alpha1_all_redirected_is_zero(self):
+        assert CostModel(1.0).efficiency(1000, 0, 1000) == pytest.approx(0.0)
+
+    def test_alpha1_all_filled_is_zero(self):
+        assert CostModel(1.0).efficiency(1000, 1000, 0) == pytest.approx(0.0)
+
+    def test_costly_ingress_all_filled_is_negative(self):
+        """The paper's footnote 4: filling everything under alpha > 1."""
+        eff = CostModel(3.0).efficiency(1000, 1000, 0)
+        assert eff < 0.0
+
+    def test_lower_bound_minus_one(self):
+        # the worst case: alpha -> inf, everything filled
+        eff = CostModel(10_000).efficiency(1000, 1000, 0)
+        assert eff >= -1.0
+        assert eff == pytest.approx(-1.0, abs=1e-3)
+
+    def test_requires_positive_demand(self):
+        with pytest.raises(ValueError):
+            CostModel().efficiency(0, 0, 0)
+
+    @given(
+        alpha=st.floats(0.05, 20.0),
+        fill=st.floats(0, 1),
+        redirect=st.floats(0, 1),
+    )
+    def test_property_efficiency_range(self, alpha, fill, redirect):
+        """Eq. 2 lies in [-1, 1] whenever fill+redirect shares <= 1."""
+        if fill + redirect > 1.0:
+            redirect = 1.0 - fill
+        eff = CostModel(alpha).efficiency(1000.0, 1000.0 * fill, 1000.0 * redirect)
+        assert -1.0 - 1e-9 <= eff <= 1.0 + 1e-9
+
+    @given(alpha=st.floats(0.05, 20.0), fill=st.floats(0, 500), redirect=st.floats(0, 500))
+    def test_property_efficiency_equivalent_to_cost(self, alpha, fill, redirect):
+        """Maximizing Eq. 2 == minimizing Eq. 1 (fixed demand)."""
+        m = CostModel(alpha)
+        eff = m.efficiency(1000.0, fill, redirect)
+        assert eff == pytest.approx(1.0 - m.total_cost(fill, redirect) / 1000.0)

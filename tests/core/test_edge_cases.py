@@ -1,0 +1,172 @@
+"""Cross-algorithm edge cases the main suites don't isolate."""
+
+import math
+
+import pytest
+
+from repro.core.base import Decision
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.optimal import OptimalCache, solve_optimal
+from repro.core.psychic import PsychicCache
+from repro.core.xlru import XlruCache
+from repro.sim.engine import replay
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0, c1=None, k=K):
+    c1 = c0 if c1 is None else c1
+    return Request(t, video, c0 * k, (c1 + 1) * k - 1)
+
+
+class TestNonDefaultChunkSize:
+    @pytest.mark.parametrize("k", [512, 4096, 2 * 1024 * 1024])
+    def test_xlru_respects_chunk_size(self, k):
+        cache = XlruCache(4, chunk_bytes=k)
+        cache.handle(req(0.0, 1, 0, 1, k=k))
+        response = cache.handle(req(1.0, 1, 0, 1, k=k))
+        assert response.filled_chunks == 2
+        assert (1, 0) in cache and (1, 1) in cache
+
+    def test_mixed_boundary_rounding(self):
+        """A one-byte range in the middle of a chunk is one chunk."""
+        cache = CafeCache(4, chunk_bytes=K, cost_model=CostModel(0.25))
+        response = cache.handle(Request(0.0, 1, 5 * K + 17, 5 * K + 17))
+        if response.served:
+            assert response.filled_chunks == 1
+            assert (1, 5) in cache
+
+
+class TestAlphaExtremes:
+    def test_tiny_alpha_fills_everything_after_warmup(self, small_trace):
+        """alpha -> 0: redirecting is maximally costly, fill always."""
+        cache = CafeCache(256, cost_model=CostModel(0.01))
+        totals = replay(cache, small_trace).totals
+        assert totals.redirect_ratio < 0.05
+
+    def test_huge_alpha_slashes_fills(self, small_trace):
+        """Warm-up (free disk, unbounded horizon) fills regardless of
+        alpha, and even at alpha=100 a chunk >100x more popular than
+        the eviction victim is still worth fetching — so the criterion
+        is a large *relative* reduction in filled chunks vs alpha=1,
+        not zero ingress."""
+        fills = {}
+        for alpha in (1.0, 100.0):
+            cache = CafeCache(64, cost_model=CostModel(alpha))
+            fills[alpha] = replay(cache, small_trace).totals.filled_chunks
+        assert fills[100.0] < 0.4 * fills[1.0]
+
+    def test_xlru_huge_alpha_still_serves_hits(self, small_trace):
+        cache = XlruCache(256, cost_model=CostModel(100.0))
+        totals = replay(cache, small_trace).totals
+        # admission nearly closed, but whatever got in still serves
+        assert totals.num_served >= 0
+        assert totals.efficiency >= -1.0
+
+
+class TestGammaExtremes:
+    def test_gamma_one_is_pure_recency(self):
+        """gamma = 1: Eq. 8 degenerates to time-since-last-access —
+        the history term (1 - gamma) * dt vanishes, i.e. xLRU's model."""
+        cache = CafeCache(8, chunk_bytes=K, cost_model=CostModel(1.0), gamma=1.0)
+        for t in (0.0, 10.0, 11.0):
+            cache.handle(req(t, 1, 0))
+        assert cache.chunk_iat((1, 0), 11.0) == pytest.approx(0.0)
+        assert cache.chunk_iat((1, 0), 14.5) == pytest.approx(3.5)
+
+    def test_small_gamma_damps_updates(self):
+        # alpha=2 so the first sighting redirects without seeding dt;
+        # the t=100 gap is then the true first IAT sample
+        cache = CafeCache(8, chunk_bytes=K, cost_model=CostModel(2.0), gamma=0.01)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(100.0, 1, 0))  # first sample: dt = 100
+        cache.handle(req(100.5, 1, 0))  # tiny gap barely moves dt
+        # IAT(t) = gamma*(t - t_x) + (1-gamma)*dt ≈ 0.99 * 99
+        assert cache.chunk_iat((1, 0), 100.5) > 90.0
+
+
+class TestPartialRangeDecisions:
+    def test_cafe_mixed_seen_unseen_range(self):
+        """A range spanning a cached-and-popular chunk plus an unseen
+        one: the video estimate lets the whole range serve."""
+        cache = CafeCache(4, chunk_bytes=K, cost_model=CostModel(1.0))
+        for t in (0.0, 1.0, 2.0, 3.0):
+            cache.handle(req(t, 1, 0))
+        response = cache.handle(req(4.0, 1, 0, 1))  # chunk 1 never seen
+        assert response.decision is Decision.SERVE
+        assert response.filled_chunks == 1
+
+    def test_xlru_partial_hit_counts_only_missing(self):
+        cache = XlruCache(8, chunk_bytes=K)
+        cache.handle(req(0.0, 1, 0, 2))
+        cache.handle(req(1.0, 1, 0, 2))  # fills 3
+        response = cache.handle(req(2.0, 1, 1, 4))  # 1,2 hit; 3,4 fill
+        assert response.filled_chunks == 2
+
+
+class TestOptimalFeasibility:
+    def test_served_requests_have_chunks_resident(self):
+        """Replaying the exact schedule: serve implies residency."""
+        trace = []
+        t = 0.0
+        for i in range(24):
+            trace.append(req(t, (i * 5) % 4, i % 3))
+            t += 1.0
+        cache = OptimalCache(3, chunk_bytes=K, cost_model=CostModel(2.0))
+        cache.prepare(trace)
+        for r in trace:
+            response = cache.handle(r)
+            if response.served:
+                for chunk in r.chunk_ids(K):
+                    assert chunk in cache
+            assert len(cache) <= 3
+
+    def test_time_limit_accepted(self):
+        trace = [req(float(i), i % 3, 0) for i in range(10)]
+        solution = solve_optimal(trace, 2, relaxed=True, time_limit=30.0)
+        assert solution.efficiency <= 1.0
+
+    def test_custom_chunk_size(self):
+        k = 4096
+        trace = [Request(float(i), 1, 0, k - 1) for i in range(4)]
+        solution = solve_optimal(trace, 2, chunk_bytes=k, relaxed=False)
+        # one fill then three hits
+        assert solution.fill_chunks == pytest.approx(1.0)
+
+
+class TestPsychicLookaheadSemantics:
+    def test_short_lookahead_undervalues_far_future(self):
+        """N = 1 sees only the next request; a chunk with many future
+        requests is valued identically to one with a single one."""
+        trace = [req(float(t), 1, 0) for t in range(6)]
+        cache = PsychicCache(4, chunk_bytes=K, lookahead=1)
+        cache.prepare(trace)
+        cache.handle(trace[0])
+        assert len(cache.future_times((1, 0))) == 1
+
+    def test_same_timestamp_future_requests(self):
+        trace = [req(0.0, 1, 0), req(0.0, 1, 0), req(0.0, 1, 0)]
+        cache = PsychicCache(4, chunk_bytes=K)
+        results = []
+        cache.prepare(trace)
+        for r in trace:
+            results.append(cache.handle(r))
+        # no crash on zero gaps; at least the later ones hit
+        assert results[-1].filled_chunks == 0 or results[-1].served
+
+
+class TestEmptyAndSingle:
+    def test_single_request_every_algorithm(self):
+        one = [req(0.0, 1, 0)]
+        for cls in (XlruCache, CafeCache, PsychicCache):
+            cache = cls(4, chunk_bytes=K)
+            result = replay(cache, one)
+            assert result.num_requests == 1
+
+    def test_disk_of_one_chunk(self, small_trace):
+        cache = CafeCache(1, cost_model=CostModel(2.0))
+        result = replay(cache, small_trace[:400])
+        assert len(cache) <= 1
+        assert result.totals.num_requests == 400

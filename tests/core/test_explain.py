@@ -1,0 +1,122 @@
+"""Tests for CafeCache.explain(): the decision introspection API."""
+
+import math
+
+import pytest
+
+from repro.core.base import Decision
+from repro.core.cafe import CafeCache, DecisionExplanation
+from repro.core.costs import CostModel
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0, c1=None):
+    c1 = c0 if c1 is None else c1
+    return Request(t, video, c0 * K, (c1 + 1) * K - 1)
+
+
+def make_cache(disk=4, alpha=1.0, **kwargs):
+    return CafeCache(disk, chunk_bytes=K, cost_model=CostModel(alpha), **kwargs)
+
+
+class TestExplainIsPure:
+    def test_no_state_mutation(self):
+        cache = make_cache(alpha=2.0)
+        cache.handle(req(0.0, 1, 0))
+        before = (len(cache), cache.tracked_chunks, cache.ghost_chunks)
+        cache.explain(req(1.0, 2, 0))
+        cache.explain(req(1.0, 1, 0))
+        assert (len(cache), cache.tracked_chunks, cache.ghost_chunks) == before
+
+    def test_repeated_explains_identical(self):
+        cache = make_cache(alpha=2.0)
+        for t in range(6):
+            cache.handle(req(float(t), t % 2, 0))
+        a = cache.explain(req(6.0, 9, 0))
+        b = cache.explain(req(6.0, 9, 0))
+        assert a.cost_serve == b.cost_serve
+        assert a.cost_redirect == b.cost_redirect
+
+
+class TestExplainPredictsHandle:
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0, 4.0])
+    def test_decision_matches_on_trace(self, alpha, small_trace):
+        cache = CafeCache(96, cost_model=CostModel(alpha))
+        for r in small_trace[:700]:
+            predicted = cache.explain(r).decision
+            actual = cache.handle(r).decision
+            assert predicted is actual, r
+
+    def test_margin_sign_matches_decision(self, small_trace):
+        cache = CafeCache(96, cost_model=CostModel(2.0))
+        for r in small_trace[:400]:
+            explanation = cache.explain(r)
+            if explanation.margin < 0:
+                assert explanation.decision is Decision.REDIRECT
+            cache.handle(r)
+
+
+class TestExplainContents:
+    def test_pure_hit(self):
+        cache = make_cache()
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0))
+        explanation = cache.explain(req(2.0, 1, 0))
+        assert explanation.decision is Decision.SERVE
+        assert explanation.cost_serve == 0.0
+        assert explanation.missing == []
+
+    def test_oversized_request(self):
+        cache = make_cache(disk=2)
+        explanation = cache.explain(req(0.0, 1, 0, 5))
+        assert explanation.decision is Decision.REDIRECT
+        assert math.isinf(explanation.cost_serve)
+
+    def test_first_seen_steady_state(self):
+        cache = make_cache(disk=2, alpha=2.0)
+        for t in range(8):
+            cache.handle(req(float(t), 1 + t % 2, 0))
+        explanation = cache.explain(req(8.0, 9, 0))
+        assert explanation.decision is Decision.REDIRECT
+        assert explanation.missing == [(9, 0)]
+        # first-seen chunk: no history, no sibling -> infinite IAT
+        assert math.isinf(explanation.missing_iats[(9, 0)])
+        assert explanation.cost_redirect == pytest.approx(
+            cache.cost_model.redirect_cost
+        )
+
+    def test_victims_reported_with_iats(self):
+        cache = make_cache(disk=2, alpha=1.0)
+        for t in range(6):
+            cache.handle(req(float(t), 1 + t % 2, 0))  # disk full
+        cache.handle(req(6.0, 3, 0))
+        explanation = cache.explain(req(7.0, 3, 0))
+        assert len(explanation.victims) == 1
+        victim = explanation.victims[0]
+        assert victim in explanation.victim_iats
+        assert explanation.victim_iats[victim] > 0
+
+    def test_horizon_reported(self):
+        cache = make_cache(disk=2, alpha=1.0)
+        for t in range(6):
+            cache.handle(req(float(t), 1 + t % 2, 0))
+        explanation = cache.explain(req(6.0, 9, 0))
+        assert 0 < explanation.horizon < float("inf")
+
+    def test_fixed_horizon_respected(self):
+        cache = make_cache(disk=2, alpha=1.0, horizon=1234.5)
+        for t in range(6):
+            cache.handle(req(float(t), 1 + t % 2, 0))
+        explanation = cache.explain(req(6.0, 9, 0))
+        assert explanation.horizon == 1234.5
+
+    def test_dataclass_shape(self):
+        explanation = DecisionExplanation(
+            decision=Decision.SERVE,
+            cost_serve=1.0,
+            cost_redirect=2.0,
+            horizon=10.0,
+        )
+        assert explanation.margin == pytest.approx(1.0)

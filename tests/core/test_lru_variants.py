@@ -1,0 +1,131 @@
+"""Tests for the related-work LRU variants (LRU-K, GDS)."""
+
+import pytest
+
+from repro.core.base import Decision
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.lru_variants import GreedyDualSizeCache, LruKCache
+from repro.sim.engine import replay
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0, c1=None):
+    c1 = c0 if c1 is None else c1
+    return Request(t, video, c0 * K, (c1 + 1) * K - 1)
+
+
+class TestLruKAdmission:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            LruKCache(4, k=0)
+        with pytest.raises(ValueError):
+            LruKCache(4, history_factor=0.0)
+
+    def test_below_k_accesses_redirected(self):
+        cache = LruKCache(4, chunk_bytes=K, k=3)
+        assert cache.handle(req(0.0, 1, 0)).decision is Decision.REDIRECT
+        assert cache.handle(req(1.0, 1, 0)).decision is Decision.REDIRECT
+        assert cache.handle(req(2.0, 1, 0)).decision is Decision.SERVE
+
+    def test_k2_matches_second_request_admission(self):
+        cache = LruKCache(4, chunk_bytes=K, k=2)
+        assert cache.handle(req(0.0, 1, 0)).decision is Decision.REDIRECT
+        assert cache.handle(req(1.0, 1, 0)).decision is Decision.SERVE
+
+    def test_oversize_request_redirected(self):
+        cache = LruKCache(2, chunk_bytes=K, k=1)
+        assert cache.handle(req(0.0, 1, 0, 5)).decision is Decision.REDIRECT
+
+
+class TestLruKReplacement:
+    def test_evicts_oldest_kth_access(self):
+        """The video whose K-th most recent access is oldest loses."""
+        cache = LruKCache(2, chunk_bytes=K, k=2)
+        # A: accesses at 0, 1 -> K-distance key 0
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0))
+        # B: accesses at 2, 3 -> key 2; disk now full
+        cache.handle(req(2.0, 2, 0))
+        cache.handle(req(3.0, 2, 0))
+        # A again at 4, 5: its K-distance key becomes 4 > B's 2
+        cache.handle(req(4.0, 1, 0))
+        cache.handle(req(5.0, 1, 0))
+        # C admitted: evicts B (oldest K-th access)
+        cache.handle(req(6.0, 3, 0))
+        cache.handle(req(7.0, 3, 0))
+        assert (1, 0) in cache
+        assert (2, 0) not in cache
+        assert (3, 0) in cache
+
+    def test_capacity_never_exceeded(self, small_trace):
+        cache = LruKCache(32, cost_model=CostModel(1.0))
+        for r in small_trace[:800]:
+            cache.handle(r)
+            assert len(cache) <= 32
+
+    def test_history_bounded(self, small_trace):
+        cache = LruKCache(16, cost_model=CostModel(1.0), history_factor=2.0)
+        for r in small_trace[:800]:
+            cache.handle(r)
+        assert len(cache._history) <= max(64, 16 * 2 + 64)
+
+
+class TestGds:
+    def test_always_serves(self):
+        cache = GreedyDualSizeCache(4, chunk_bytes=K)
+        for i in range(10):
+            assert cache.handle(req(float(i), i, 0)).decision is Decision.SERVE
+
+    def test_inflation_advances_on_eviction(self):
+        cache = GreedyDualSizeCache(1, chunk_bytes=K)
+        cache.handle(req(0.0, 1, 0))
+        assert cache.inflation == 0.0
+        cache.handle(req(1.0, 2, 0))  # evicts, L rises to victim's H
+        assert cache.inflation > 0.0
+
+    def test_recently_refreshed_survives(self):
+        cache = GreedyDualSizeCache(2, chunk_bytes=K)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 2, 0))
+        cache.handle(req(2.0, 1, 0))  # refresh A's credit
+        cache.handle(req(3.0, 3, 0))  # evicts B (stale credit)
+        assert (1, 0) in cache
+        assert (2, 0) not in cache
+
+    def test_oversize_request_redirected(self):
+        cache = GreedyDualSizeCache(2, chunk_bytes=K)
+        assert cache.handle(req(0.0, 1, 0, 5)).decision is Decision.REDIRECT
+
+    def test_capacity_never_exceeded(self, small_trace):
+        cache = GreedyDualSizeCache(32, cost_model=CostModel(1.0))
+        for r in small_trace[:800]:
+            cache.handle(r)
+            assert len(cache) <= 32
+
+
+class TestSection3Argument:
+    """Classic variants cannot comply with alpha_F2R (Sections 2-3)."""
+
+    def test_gds_ingress_insensitive_to_alpha(self, small_trace):
+        fills = {}
+        for alpha in (0.5, 4.0):
+            cache = GreedyDualSizeCache(128, cost_model=CostModel(alpha))
+            fills[alpha] = replay(cache, small_trace).totals.filled_chunks
+        assert fills[0.5] == fills[4.0]  # no redirect decision at all
+
+    def test_cafe_beats_variants_at_constrained_ingress(self, medium_trace):
+        effs = {}
+        for cls in (CafeCache, LruKCache, GreedyDualSizeCache):
+            cache = cls(256, cost_model=CostModel(2.0))
+            effs[cls.name] = replay(cache, medium_trace).steady.efficiency
+        assert effs["Cafe"] > effs["LRU-K"]
+        assert effs["Cafe"] > effs["GDS"] + 0.05
+
+    def test_registry_exposes_variants(self):
+        from repro.sim.runner import build_cache
+
+        assert build_cache("LRU-K", 16).name == "LRU-K"
+        assert build_cache("GDS", 16).name == "GDS"

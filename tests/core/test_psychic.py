@@ -1,0 +1,173 @@
+"""Behavioural tests for Psychic Cache (Section 8, Eqs. 13-14)."""
+
+import pytest
+
+from repro.core.base import Decision
+from repro.core.costs import CostModel
+from repro.core.psychic import PsychicCache
+from repro.sim.engine import replay
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0, c1=None):
+    c1 = c0 if c1 is None else c1
+    return Request(t, video, c0 * K, (c1 + 1) * K - 1)
+
+
+def run(cache, trace):
+    cache.prepare(trace)
+    return [cache.handle(r) for r in trace]
+
+
+def make_cache(disk=2, alpha=1.0, **kwargs):
+    return PsychicCache(disk, chunk_bytes=K, cost_model=CostModel(alpha), **kwargs)
+
+
+class TestLifecycle:
+    def test_handle_before_prepare_raises(self):
+        cache = make_cache()
+        with pytest.raises(RuntimeError, match="before prepare"):
+            cache.handle(req(0.0, 1, 0))
+
+    def test_replay_order_must_match(self):
+        cache = make_cache()
+        cache.prepare([req(0.0, 1, 0), req(1.0, 2, 0)])
+        cache.handle(req(0.0, 1, 0))
+        with pytest.raises(RuntimeError, match="order"):
+            cache.handle(req(5.0, 9, 0))
+
+    def test_replay_past_end_raises(self):
+        cache = make_cache()
+        trace = [req(0.0, 1, 0)]
+        run(cache, trace)
+        with pytest.raises(RuntimeError):
+            cache.handle(req(1.0, 1, 0))
+
+    def test_lookahead_validation(self):
+        with pytest.raises(ValueError):
+            make_cache(lookahead=0)
+
+    def test_is_offline(self):
+        assert PsychicCache.offline
+
+
+class TestFutureIndex:
+    def test_future_times_bounded_by_lookahead(self):
+        cache = make_cache(lookahead=3)
+        trace = [req(float(t), 1, 0) for t in range(10)]
+        cache.prepare(trace)
+        assert cache.future_times((1, 0)) == [0.0, 1.0, 2.0]
+
+    def test_future_consumed_as_replay_advances(self):
+        cache = make_cache(lookahead=10)
+        trace = [req(float(t), 1, 0) for t in range(4)]
+        cache.prepare(trace)
+        cache.handle(trace[0])
+        assert cache.future_times((1, 0)) == [1.0, 2.0, 3.0]
+
+    def test_unknown_chunk_has_no_future(self):
+        cache = make_cache()
+        cache.prepare([req(0.0, 1, 0)])
+        assert cache.future_times((9, 9)) == []
+
+
+class TestDecisions:
+    def test_belady_style_eviction(self):
+        """Evicts the chunk requested farthest in the future (never-again
+        chunks first)."""
+        trace = [
+            req(0.0, 1, 0),  # A
+            req(1.0, 1, 0),
+            req(2.0, 2, 0),  # B
+            req(3.0, 2, 0),
+            req(4.0, 2, 0),
+            req(5.0, 3, 0),  # C: must evict B (never again), not A (@10)
+            req(6.0, 3, 0),
+            req(10.0, 1, 0),
+        ]
+        cache = make_cache(disk=2)
+        responses = run(cache, trace)
+        assert (2, 0) not in cache  # B evicted
+        assert (1, 0) in cache  # A survived for its t=10 request
+        assert responses[-1].filled_chunks == 0  # t=10 was a pure hit
+
+    def test_no_future_no_fill(self):
+        """A one-off request never evicts useful content (alpha=2)."""
+        trace = [req(float(t), 1, 0) for t in range(10)]  # popular F
+        trace.append(req(10.5, 9, 0))  # D: one-off
+        trace.append(req(11.0, 1, 0))
+        cache = make_cache(disk=1, alpha=2.0)
+        responses = run(cache, trace)
+        one_off = responses[10]
+        assert one_off.decision is Decision.REDIRECT
+        assert (1, 0) in cache
+
+    def test_first_sight_admission_with_imminent_future(self):
+        """Unlike the online caches, Psychic fills a first-seen chunk
+        whose future requests are imminent (the paper's alpha=0.5
+        discussion)."""
+        trace = [req(float(t), 1, 0) for t in range(11)]  # F popular
+        trace += [req(13.0, 5, 0), req(13.5, 5, 0), req(14.0, 5, 0)]
+        trace += [req(15.0, 1, 0)]
+        cache = make_cache(disk=1, alpha=2.0)
+        responses = run(cache, trace)
+        first_sight = responses[11]
+        assert first_sight.decision is Decision.SERVE
+        assert first_sight.filled_chunks == 1
+
+    def test_request_bigger_than_disk_redirected(self):
+        trace = [req(0.0, 1, 0, 5), req(1.0, 1, 0, 5)]
+        cache = make_cache(disk=2)
+        responses = run(cache, trace)
+        assert all(r.decision is Decision.REDIRECT for r in responses)
+
+    def test_capacity_never_exceeded(self, small_trace):
+        cache = PsychicCache(64, cost_model=CostModel(2.0))
+        trace = small_trace[:1000]
+        cache.prepare(trace)
+        for r in trace:
+            cache.handle(r)
+            assert len(cache) <= 64
+
+
+class TestCacheAge:
+    def test_before_evictions_elapsed_time(self):
+        cache = make_cache(disk=8)
+        trace = [req(0.0, 1, 0), req(10.0, 1, 0)]
+        run(cache, trace)
+        assert cache.cache_age(10.0) == pytest.approx(10.0)
+
+    def test_average_residence_after_evictions(self):
+        trace = [
+            req(0.0, 1, 0),  # A admitted (tie, alpha=1, warmup)
+            req(4.0, 2, 0),  # B: evicts A (A never requested again)
+            req(5.0, 2, 0),
+        ]
+        cache = make_cache(disk=1, alpha=1.0)
+        run(cache, trace)
+        # A resided from t=0 to t=4
+        assert cache.cache_age(99.0) == pytest.approx(4.0)
+
+
+class TestIntegration:
+    def test_alpha_compliance(self, small_trace):
+        """Ingress shrinks as alpha grows (Figure 5 property)."""
+        fills = {}
+        for alpha in (0.5, 2.0, 4.0):
+            cache = PsychicCache(128, cost_model=CostModel(alpha))
+            fills[alpha] = replay(cache, small_trace).totals.filled_chunks
+        assert fills[4.0] <= fills[2.0] <= fills[0.5]
+
+    def test_beats_online_caches_at_alpha2(self, small_trace):
+        """The headline ordering: Psychic >= Cafe and xLRU (steady)."""
+        from repro.core.cafe import CafeCache
+        from repro.core.xlru import XlruCache
+
+        effs = {}
+        for cls in (PsychicCache, CafeCache, XlruCache):
+            cache = cls(128, cost_model=CostModel(2.0))
+            effs[cls.name] = replay(cache, small_trace).steady.efficiency
+        assert effs["Psychic"] >= effs["Cafe"] - 0.02
+        assert effs["Psychic"] > effs["xLRU"]

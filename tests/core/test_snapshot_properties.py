@@ -1,0 +1,76 @@
+"""Property-based snapshot tests: restore-then-continue equivalence.
+
+Hypothesis generates arbitrary warm-up traces; after snapshot/restore
+the cache must continue with decisions identical to the original on an
+arbitrary continuation — for both supported cache kinds, across alpha
+settings, through a real JSON round-trip.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.snapshot import load_state_dict, state_dict
+from repro.core.xlru import XlruCache
+from repro.trace.requests import Request
+
+K = 1024
+DISK = 10
+
+
+@st.composite
+def split_trace(draw):
+    """A warm-up trace and a continuation, time-ordered end to end."""
+    n_warm = draw(st.integers(1, 40))
+    n_cont = draw(st.integers(1, 25))
+    t = 0.0
+    requests = []
+    for _ in range(n_warm + n_cont):
+        t += draw(st.floats(0.01, 50.0))
+        video = draw(st.integers(0, 6))
+        c0 = draw(st.integers(0, 7))
+        span = draw(st.integers(1, 3))
+        requests.append(Request(t, video, c0 * K, (c0 + span) * K - 1))
+    return requests[:n_warm], requests[n_warm:]
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=split_trace(), alpha=st.sampled_from([0.5, 1.0, 2.0]))
+def test_cafe_snapshot_continuation_identical(data, alpha):
+    warmup, continuation = data
+    original = CafeCache(DISK, chunk_bytes=K, cost_model=CostModel(alpha))
+    for r in warmup:
+        original.handle(r)
+
+    # through actual JSON: catches anything non-serializable
+    payload = json.loads(json.dumps(state_dict(original)))
+    restored = CafeCache(DISK, chunk_bytes=K, cost_model=CostModel(alpha))
+    load_state_dict(restored, payload)
+
+    for r in continuation:
+        a = original.handle(r)
+        b = restored.handle(r)
+        assert a.decision == b.decision
+        assert a.filled_chunks == b.filled_chunks
+        assert len(original) == len(restored)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=split_trace(), alpha=st.sampled_from([0.5, 1.0, 2.0]))
+def test_xlru_snapshot_continuation_identical(data, alpha):
+    warmup, continuation = data
+    original = XlruCache(DISK, chunk_bytes=K, cost_model=CostModel(alpha))
+    for r in warmup:
+        original.handle(r)
+
+    payload = json.loads(json.dumps(state_dict(original)))
+    restored = XlruCache(DISK, chunk_bytes=K, cost_model=CostModel(alpha))
+    load_state_dict(restored, payload)
+
+    for r in continuation:
+        a = original.handle(r)
+        b = restored.handle(r)
+        assert a.decision == b.decision
+        assert a.filled_chunks == b.filled_chunks

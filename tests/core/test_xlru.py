@@ -1,0 +1,192 @@
+"""Behavioural tests for xLRU Cache (Section 5, Figure 1, Eq. 5)."""
+
+import pytest
+
+from repro.core.base import Decision
+from repro.core.costs import CostModel
+from repro.core.xlru import XlruCache
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0, c1=None):
+    c1 = c0 if c1 is None else c1
+    return Request(t, video, c0 * K, (c1 + 1) * K - 1)
+
+
+def make_cache(disk=4, alpha=1.0, **kwargs):
+    return XlruCache(disk, chunk_bytes=K, cost_model=CostModel(alpha), **kwargs)
+
+
+class TestAdmission:
+    def test_first_seen_video_redirected(self):
+        cache = make_cache()
+        assert cache.handle(req(0.0, 1, 0)).decision is Decision.REDIRECT
+        assert len(cache) == 0
+
+    def test_second_request_served_during_warmup(self):
+        cache = make_cache()
+        cache.handle(req(0.0, 1, 0))
+        response = cache.handle(req(1.0, 1, 0))
+        assert response.decision is Decision.SERVE
+        assert response.filled_chunks == 1
+        assert (1, 0) in cache
+
+    def test_any_previously_seen_video_served_while_disk_not_full(self):
+        # warm-up: cache age is unbounded, alpha does not matter
+        cache = make_cache(disk=10, alpha=4.0)
+        cache.handle(req(0.0, 1, 0))
+        assert cache.handle(req(1000.0, 1, 0)).decision is Decision.SERVE
+
+    def test_tracker_updated_even_on_redirect(self):
+        cache = make_cache()
+        cache.handle(req(0.0, 1, 0))
+        assert cache.video_last_access(1) == 0.0
+
+    def test_eq5_boundary_alpha1_serves(self):
+        cache = make_cache(disk=2, alpha=1.0)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0, 1))  # fills 2 chunks -> disk full
+        cache.handle(req(2.0, 2, 0))  # first-seen B: redirect
+        # t=3: IAT(B)=1, cache age = 3-1 = 2; 1*1 <= 2 -> serve
+        assert cache.handle(req(3.0, 2, 0)).decision is Decision.SERVE
+
+    def test_eq5_boundary_alpha4_redirects(self):
+        cache = make_cache(disk=2, alpha=4.0)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0, 1))
+        cache.handle(req(2.0, 2, 0))
+        # t=3: IAT(B)=1, cache age = 2; 1*4 > 2 -> redirect
+        assert cache.handle(req(3.0, 2, 0)).decision is Decision.REDIRECT
+
+    def test_stale_video_redirected_once_disk_full(self):
+        cache = make_cache(disk=2, alpha=1.0)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0, 1))  # disk full at t=1
+        cache.handle(req(2.0, 2, 0))  # B seen
+        # by t=100 the B entry is far older than the cache age (99 > 99?)
+        # cache age at t=100 is 99; IAT(B)=98 <= 99 so still served;
+        # at alpha=2 it is redirected: 98*2 > 99.
+        cache2 = make_cache(disk=2, alpha=2.0)
+        cache2.handle(req(0.0, 1, 0))
+        cache2.handle(req(1.0, 1, 0, 1))
+        cache2.handle(req(2.0, 2, 0))
+        assert cache2.handle(req(100.0, 2, 0)).decision is Decision.REDIRECT
+
+    def test_request_bigger_than_disk_redirected(self):
+        cache = make_cache(disk=2)
+        cache.handle(req(0.0, 1, 0, 5))
+        assert cache.handle(req(1.0, 1, 0, 5)).decision is Decision.REDIRECT
+
+
+class TestFillAndHit:
+    def test_fill_then_hit(self):
+        cache = make_cache()
+        cache.handle(req(0.0, 1, 0, 1))
+        first = cache.handle(req(1.0, 1, 0, 1))
+        assert first.filled_chunks == 2
+        hit = cache.handle(req(2.0, 1, 0, 1))
+        assert hit.decision is Decision.SERVE
+        assert hit.filled_chunks == 0
+
+    def test_partial_fill_only_missing_chunks(self):
+        cache = make_cache()
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0))  # fills chunk 0
+        response = cache.handle(req(2.0, 1, 0, 2))  # 0 cached, 1-2 missing
+        assert response.filled_chunks == 2
+        assert all((1, c) in cache for c in range(3))
+
+
+class TestEviction:
+    def test_lru_chunk_evicted(self):
+        cache = make_cache(disk=2)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0))  # (1,0) cached at t=1
+        cache.handle(req(2.0, 2, 0))
+        cache.handle(req(3.0, 2, 0))  # (2,0) cached at t=3; disk full
+        cache.handle(req(4.0, 3, 0))
+        response = cache.handle(req(5.0, 3, 0))  # evicts LRU chunk (1,0)
+        assert response.evicted_chunks == 1
+        assert (1, 0) not in cache
+        assert (2, 0) in cache and (3, 0) in cache
+
+    def test_hit_refreshes_recency(self):
+        cache = make_cache(disk=2)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0))
+        cache.handle(req(2.0, 2, 0))
+        cache.handle(req(3.0, 2, 0))  # disk: (1,0)@1, (2,0)@3
+        cache.handle(req(4.0, 1, 0))  # hit refreshes (1,0)
+        cache.handle(req(5.0, 3, 0))
+        cache.handle(req(6.0, 3, 0))  # evicts (2,0), not the refreshed (1,0)
+        assert (1, 0) in cache
+        assert (2, 0) not in cache
+
+    def test_requested_chunks_never_evicted_by_own_fill(self):
+        cache = make_cache(disk=2)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0))  # (1,0) cached
+        # request covers cached (1,0) + missing (1,1); eviction must not
+        # pick (1,0) even though it is the LRU entry.
+        response = cache.handle(req(2.0, 1, 0, 1))
+        assert response.decision is Decision.SERVE
+        assert (1, 0) in cache and (1, 1) in cache
+
+    def test_disk_never_exceeds_capacity(self):
+        cache = make_cache(disk=3)
+        for i in range(20):
+            video = i % 5
+            cache.handle(req(float(2 * i), video, 0))
+            cache.handle(req(float(2 * i + 1), video, 0, 1))
+            assert len(cache) <= 3
+
+
+class TestCacheAge:
+    def test_infinite_while_not_full(self):
+        cache = make_cache(disk=4)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0))
+        assert cache.cache_age(100.0) == float("inf")
+
+    def test_age_of_oldest_chunk_when_full(self):
+        cache = make_cache(disk=2)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0, 1))
+        assert cache.cache_age(10.0) == pytest.approx(9.0)
+
+
+class TestTrackerCleanup:
+    def test_stale_tracker_entries_dropped(self):
+        cache = make_cache(disk=2, alpha=1.0, tracker_cleanup_interval=1)
+        cache.handle(req(0.0, 1, 0))
+        cache.handle(req(1.0, 1, 0, 1))  # disk full
+        cache.handle(req(2.0, 2, 0))  # B tracked at t=2
+        # Churn the disk with fresh videos so the cache age stays small;
+        # B's entry then falls past now - cache_age and gets cleaned.
+        t = 3.0
+        for video in range(10, 40):
+            cache.handle(req(t, video, 0))
+            cache.handle(req(t + 1.0, video, 0))
+            t += 2.0
+        assert cache.video_last_access(2) is None
+
+    def test_cleanup_preserves_behaviour(self):
+        """With and without cleanup, decisions are identical."""
+        trace = []
+        for i in range(200):
+            video = i % 7
+            trace.append(req(float(i), video, i % 3))
+        eager = make_cache(disk=4, alpha=2.0, tracker_cleanup_interval=1)
+        lazy = make_cache(disk=4, alpha=2.0, tracker_cleanup_interval=10**9)
+        for r in trace:
+            assert eager.handle(r).decision is lazy.handle(r).decision
+
+
+class TestTimeOrdering:
+    def test_out_of_order_request_rejected(self):
+        cache = make_cache()
+        cache.handle(req(10.0, 1, 0))
+        with pytest.raises(ValueError):
+            cache.handle(req(5.0, 2, 0))

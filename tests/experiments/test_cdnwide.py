@@ -1,0 +1,39 @@
+"""Structure tests for the CDN-wide experiment (QUICK scale)."""
+
+import pytest
+
+from repro.experiments import QUICK, cdnwide
+
+
+class TestCdnWide:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return cdnwide.run(QUICK, edge_algorithms=("xLRU", "Cafe"))
+
+    def test_row_per_edge_algorithm(self, result):
+        assert [r["edge_algo"] for r in result.rows] == ["xLRU", "Cafe"]
+
+    def test_accounting_fields_present(self, result):
+        for row in result.rows:
+            assert row["origin_gb"] >= 0
+            assert row["edge_ingress_gb"] >= 0
+            assert 0 <= row["origin_share_of_user_bytes"] <= 1
+            assert row["parent_requests"] > 0
+
+    def test_cafe_edges_pull_less_backbone(self, result):
+        by_algo = {r["edge_algo"]: r for r in result.rows}
+        assert (
+            by_algo["Cafe"]["edge_ingress_gb"]
+            < by_algo["xLRU"]["edge_ingress_gb"]
+        )
+
+    def test_extras_describe_topology(self, result):
+        assert set(result.extras["edge_disks"]) == set(cdnwide.EDGE_SERVERS)
+        assert result.extras["parent_disk"] > max(
+            result.extras["edge_disks"].values()
+        )
+
+    def test_registered_in_cli_experiments(self):
+        from repro.experiments import ALL_FIGURES
+
+        assert "cdnwide" in ALL_FIGURES

@@ -1,0 +1,84 @@
+"""Tests for experiment infrastructure (scales, memoization, sizing)."""
+
+import pytest
+
+from repro.experiments.common import (
+    DISK_SCALED_1TB,
+    FULL,
+    PAPER,
+    QUICK,
+    ExperimentResult,
+    ExperimentScale,
+    alpha_sweep_cached,
+    scale_from_env,
+    scaled_disk_chunks,
+    server_trace,
+    trace_footprint_chunks,
+)
+
+
+class TestScales:
+    def test_named_scales_ordered(self):
+        assert QUICK.profile_scale < FULL.profile_scale <= PAPER.profile_scale
+        assert QUICK.days < FULL.days
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale("bad", profile_scale=0.0, days=1.0)
+
+    def test_scale_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env() is FULL
+        assert scale_from_env(default=QUICK) is QUICK
+
+    def test_scale_from_env_named(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert scale_from_env() is QUICK
+
+    def test_scale_from_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "gigantic")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            scale_from_env()
+
+
+class TestTraceMemoization:
+    def test_same_object_returned(self):
+        a = server_trace("asia", QUICK)
+        b = server_trace("asia", QUICK)
+        assert a is b
+
+    def test_footprint_positive(self):
+        assert trace_footprint_chunks("asia", QUICK) > 0
+
+    def test_scaled_disk(self):
+        footprint = trace_footprint_chunks("asia", QUICK)
+        disk = scaled_disk_chunks("asia", QUICK, 0.5)
+        assert disk == max(16, footprint // 2)
+
+    def test_disk_fraction_validation(self):
+        with pytest.raises(ValueError):
+            scaled_disk_chunks("asia", QUICK, 0.0)
+
+
+class TestSweepCache:
+    def test_sweep_memoized(self):
+        a = alpha_sweep_cached("asia", QUICK, alphas=(1.0,))
+        b = alpha_sweep_cached("asia", QUICK, alphas=(1.0,))
+        assert a is b
+
+    def test_sweep_contains_paper_algorithms(self):
+        sweep = alpha_sweep_cached("asia", QUICK, alphas=(1.0,))
+        assert set(sweep[1.0]) == {"xLRU", "Cafe", "Psychic"}
+
+
+class TestExperimentResult:
+    def test_to_text_includes_extras(self):
+        result = ExperimentResult(
+            name="X",
+            description="d",
+            rows=[{"a": 1.0}],
+            extras={"note": "hello"},
+        )
+        text = result.to_text()
+        assert "X: d" in text
+        assert "note: hello" in text

@@ -1,0 +1,60 @@
+"""Structure tests for the extension experiments (QUICK scale)."""
+
+import math
+
+import pytest
+
+from repro.experiments import ALL_FIGURES, QUICK, proactive, robustness
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return robustness.run(QUICK, algorithms=("xLRU", "Cafe"))
+
+    def test_row_per_algorithm(self, result):
+        assert [r["algorithm"] for r in result.rows] == ["xLRU", "Cafe"]
+
+    def test_flash_traffic_observed(self, result):
+        for row in result.rows:
+            assert row["flash_requests"] > 0
+            assert 0.0 <= row["flash_local_serve_ratio"] <= 1.0
+
+    def test_recovery_delta_consistent(self, result):
+        for row in result.rows:
+            assert row["recovery_delta"] == pytest.approx(
+                row["after_eff"] - row["baseline_eff"]
+            )
+
+    def test_same_flash_volume_for_all(self, result):
+        counts = {r["flash_requests"] for r in result.rows}
+        assert len(counts) == 1  # deterministic injection, shared trace
+
+
+class TestProactive:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return proactive.run(QUICK, budget_chunks_per_window=(0, 32))
+
+    def test_zero_budget_is_plain_cafe(self, result):
+        base = result.rows[0]
+        assert base["prefetch_budget"] == 0
+        assert base["prefetched_chunks"] == 0
+        assert base["offpeak_windows"] == 0
+
+    def test_budget_row_prefetches(self, result):
+        row = result.rows[1]
+        assert row["offpeak_windows"] > 0
+
+    def test_gap_to_psychic_consistent(self, result):
+        psychic = result.extras["psychic_eff"]
+        for row in result.rows:
+            assert row["gap_to_psychic"] == pytest.approx(
+                psychic - row["efficiency"]
+            )
+            assert not math.isnan(row["efficiency"])
+
+
+class TestRegistration:
+    def test_extensions_registered(self):
+        assert {"cdnwide", "proactive", "robustness"} <= set(ALL_FIGURES)

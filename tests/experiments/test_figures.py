@@ -1,0 +1,145 @@
+"""Structure and shape tests for the figure experiments (QUICK scale).
+
+The QUICK traces are small and noisy, so assertions here check
+structure exactly but shapes only loosely; the full reproduction
+criteria run in ``benchmarks/`` at FULL scale.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import QUICK, fig2, fig3, fig4, fig5, fig6, fig7
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run(
+            QUICK,
+            servers=("europe", "asia"),
+            alphas=(2.0,),
+            num_files=30,
+            max_file_bytes=8 * 1024 * 1024,
+        )
+
+    def test_row_per_alpha(self, result):
+        assert [r["alpha"] for r in result.rows] == [2.0]
+
+    def test_lp_bound_dominates_psychic(self, result):
+        for row in result.extras["per_server"]:
+            assert row["optimal_eff"] >= row["psychic_eff"] - 1e-9
+
+    def test_delta_stats_consistent(self, result):
+        row = result.rows[0]
+        assert row["delta_min"] <= row["delta_avg"] <= row["delta_max"]
+
+    def test_exact_mode_on_one_tiny_server(self):
+        row = fig2.run_one_server(
+            "asia",
+            QUICK,
+            alpha=1.0,
+            num_files=6,
+            max_file_bytes=4 * 1024 * 1024,
+            exact=True,
+        )
+        assert row["optimal_eff"] >= row["psychic_eff"] - 1e-9
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run(QUICK)
+
+    def test_three_algorithms(self, result):
+        assert [r["algorithm"] for r in result.rows] == ["xLRU", "Cafe", "Psychic"]
+
+    def test_series_has_hourly_samples(self, result):
+        series = result.extras["series"]
+        xlru_points = [r for r in series if r["algorithm"] == "xLRU"]
+        assert len(xlru_points) > 24  # more than a day of hourly buckets
+
+    def test_gain_column_relative_to_xlru(self, result):
+        by_algo = {r["algorithm"]: r for r in result.rows}
+        assert by_algo["xLRU"]["gain_over_xLRU"] == pytest.approx(0.0)
+        assert by_algo["Psychic"]["gain_over_xLRU"] == pytest.approx(
+            by_algo["Psychic"]["efficiency"] - by_algo["xLRU"]["efficiency"]
+        )
+
+    def test_psychic_on_top(self, result):
+        by_algo = {r["algorithm"]: r["efficiency"] for r in result.rows}
+        assert by_algo["Psychic"] >= by_algo["Cafe"] - 0.05
+        assert by_algo["Psychic"] > by_algo["xLRU"]
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(QUICK, alphas=(1.0, 2.0))
+
+    def test_rows_per_alpha(self, result):
+        assert [r["alpha"] for r in result.rows] == [1.0, 2.0]
+        assert {"xLRU", "Cafe", "Psychic"} <= set(result.rows[0])
+
+    def test_cafe_gap_grows_with_alpha(self, result):
+        gap = {r["alpha"]: r["Cafe"] - r["xLRU"] for r in result.rows}
+        assert gap[2.0] > gap[1.0] - 0.05
+
+    def test_headline_extras_present(self, result):
+        assert "relative_inefficiency_reduction_alpha2" in result.extras
+        assert "cafe_minus_xlru_alpha1" in result.extras
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(QUICK, alphas=(4.0, 1.0))
+
+    def test_one_point_per_algo_per_alpha(self, result):
+        assert len(result.rows) == 6
+
+    def test_cafe_ingress_shrinks_with_alpha(self, result):
+        cafe = {r["alpha"]: r["ingress_fraction"] for r in result.rows
+                if r["algorithm"] == "Cafe"}
+        assert cafe[4.0] < cafe[1.0] + 0.02
+
+    def test_cafe_complies_better_than_xlru_at_alpha4(self, result):
+        at4 = {r["algorithm"]: r for r in result.rows if r["alpha"] == 4.0}
+        assert at4["Cafe"]["ingress_fraction"] < at4["xLRU"]["ingress_fraction"]
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(QUICK, fractions=(0.09, 0.36), with_alpha1=False)
+
+    def test_row_per_disk(self, result):
+        disks = [r["disk_chunks"] for r in result.rows]
+        assert disks == sorted(disks)
+        assert len(disks) == 2
+
+    def test_more_disk_helps_cafe(self, result):
+        assert result.rows[-1]["Cafe"] >= result.rows[0]["Cafe"] - 0.03
+
+    def test_disk_factor_extra(self, result):
+        factors = result.extras["xlru_disk_factor_vs_cafe"]
+        assert len(factors) == 2
+        assert all(f >= 0.9 or math.isinf(f) for f in factors)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(QUICK, servers=("asia", "south_america"))
+
+    def test_row_per_server(self, result):
+        assert [r["server"] for r in result.rows] == ["asia", "south_america"]
+
+    def test_ordering_holds_on_every_server(self, result):
+        for row in result.rows:
+            assert row["Psychic"] >= row["Cafe"] - 0.05
+            assert row["Psychic"] > row["xLRU"]
+
+    def test_concentrated_server_more_efficient(self, result):
+        by_server = {r["server"]: r for r in result.rows}
+        assert by_server["asia"]["Cafe"] > by_server["south_america"]["Cafe"]

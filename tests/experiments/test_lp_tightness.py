@@ -1,0 +1,41 @@
+"""Structure tests for the LP-tightness experiment (QUICK scale)."""
+
+import pytest
+
+from repro.experiments import QUICK, lp_tightness
+
+
+class TestLpTightness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return lp_tightness.run(
+            QUICK,
+            servers=("europe",),
+            alphas=(2.0,),
+            disk_fractions=(0.05, 0.15),
+            num_files=8,
+            max_requests=80,
+        )
+
+    def test_row_per_cell(self, result):
+        assert len(result.rows) == 2
+        assert {r["disk_fraction"] for r in result.rows} == {0.05, 0.15}
+
+    def test_lp_bounds_ip(self, result):
+        for row in result.rows:
+            assert row["integrality_gap"] >= -1e-6
+            assert row["lp_eff"] >= row["ip_eff"] - 1e-6
+
+    def test_ip_bounds_psychic(self, result):
+        for row in result.rows:
+            assert row["psychic_vs_ip"] >= -1e-6
+
+    def test_extras_aggregate(self, result):
+        gaps = [r["integrality_gap"] for r in result.rows]
+        assert result.extras["gap_max"] == pytest.approx(max(gaps))
+        assert result.extras["gap_mean"] == pytest.approx(sum(gaps) / len(gaps))
+
+    def test_registered(self):
+        from repro.experiments import ALL_FIGURES
+
+        assert "lp_tightness" in ALL_FIGURES

@@ -1,0 +1,122 @@
+"""Tests for the egress-capacity gate (Section 2's saturated server)."""
+
+import pytest
+
+from repro.core.base import Decision
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.psychic import PsychicCache
+from repro.core.xlru import XlruCache
+from repro.sim.capacity import EgressCapacityGate
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video=1, nbytes=K):
+    return Request(t, video, 0, nbytes - 1)
+
+
+def make_gate(rate=10 * K, burst=1.0, cache=None):
+    cache = cache or XlruCache(64, chunk_bytes=K)
+    return EgressCapacityGate(cache, egress_bytes_per_second=rate, burst_seconds=burst)
+
+
+class TestValidation:
+    def test_offline_cache_rejected(self):
+        with pytest.raises(ValueError, match="online"):
+            EgressCapacityGate(PsychicCache(8), egress_bytes_per_second=1e6)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ValueError):
+            make_gate(rate=0.0)
+        with pytest.raises(ValueError):
+            make_gate(burst=0.0)
+
+    def test_time_order_enforced(self):
+        gate = make_gate()
+        gate.handle(req(10.0))
+        with pytest.raises(ValueError, match="time-ordered"):
+            gate.handle(req(5.0))
+
+
+class TestGating:
+    def test_within_capacity_passes_through(self):
+        gate = make_gate(rate=100 * K, burst=10.0)
+        # xLRU redirects first-seen; the *gate* added no redirects
+        gate.handle(req(0.0))
+        response = gate.handle(req(1.0))
+        assert response.decision is Decision.SERVE
+        assert gate.overload_redirects == 0
+
+    def test_burst_exhaustion_redirects(self):
+        # bucket: 10K * 1s = 10K bytes; requests of 4K each, same second
+        gate = make_gate(rate=10 * K, burst=1.0)
+        gate.handle(req(0.0, video=1, nbytes=4 * K))  # redirect (first-seen), no tokens used
+        served = redirected = 0
+        for i in range(5):
+            response = gate.handle(req(0.001 * (i + 1), video=1, nbytes=4 * K))
+            if response.served:
+                served += 1
+            else:
+                redirected += 1
+        # only 2 x 4K fit in the 10K bucket within the same instant
+        assert served == 2
+        assert gate.overload_redirects >= 3
+
+    def test_tokens_recover_over_time(self):
+        gate = make_gate(rate=10 * K, burst=1.0)
+        gate.handle(req(0.0, nbytes=K))  # first-seen redirect
+        gate.handle(req(0.1, nbytes=8 * K))  # serve: bucket nearly empty
+        assert gate.handle(req(0.2, nbytes=8 * K)).decision is Decision.REDIRECT
+        # after a second the bucket refills
+        response = gate.handle(req(1.5, nbytes=8 * K))
+        assert response.decision is Decision.SERVE
+
+    def test_only_served_requests_consume_tokens(self):
+        gate = make_gate(rate=10 * K, burst=1.0)
+        # all first-seen: xLRU redirects them; bucket must stay full
+        for i in range(20):
+            gate.handle(req(float(i) / 100.0, video=100 + i, nbytes=2 * K))
+        assert gate.utilization == pytest.approx(0.0)
+
+    def test_overload_accounting(self):
+        gate = make_gate(rate=K, burst=1.0)
+        gate.handle(req(0.0, nbytes=K))
+        gate.handle(req(0.001, nbytes=K))  # serve: drains bucket
+        gate.handle(req(0.002, nbytes=K))  # overload
+        assert gate.overload_bytes == K
+
+
+class TestSaturatedServerArgument:
+    def test_gated_egress_same_across_alphas(self, small_trace):
+        """Section 2: at saturation, served volume is capacity-bound —
+        the same whether the cache fills eagerly (alpha<=1) or
+        conservatively (alpha=2); eager ingress is wasted."""
+        from repro.sim.metrics import MetricsCollector
+
+        egress = {}
+        ingress = {}
+        # pin the rate well below mean demand so the gate really binds
+        demand = sum(r.num_bytes for r in small_trace)
+        duration = small_trace[-1].t - small_trace[0].t
+        rate = 0.35 * demand / duration
+        for alpha in (1.0, 2.0):
+            cache = CafeCache(128, cost_model=CostModel(alpha))
+            gate = EgressCapacityGate(
+                cache,
+                egress_bytes_per_second=rate,
+                # bucket must hold the largest single request (8 MB spans)
+                burst_seconds=max(60.0, (16 << 20) / rate),
+            )
+            metrics = MetricsCollector(cache.cost_model)
+            for r in small_trace:
+                metrics.record(r, gate.handle(r))
+            totals = metrics.totals()
+            egress[alpha] = totals.egress_bytes
+            ingress[alpha] = totals.ingress_bytes
+        assert gate.overload_redirects >= 0
+        # egress pinned by capacity: within 15% across alphas
+        assert egress[2.0] == pytest.approx(egress[1.0], rel=0.15)
+        # but the conservative setting ingresses less for it
+        assert ingress[2.0] < ingress[1.0]

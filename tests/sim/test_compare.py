@@ -1,0 +1,91 @@
+"""Tests for bootstrap comparison of cache runs."""
+
+import pytest
+
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.xlru import XlruCache
+from repro.sim.compare import compare_runs, efficiency_ci, paired_gap_ci
+from repro.sim.engine import replay
+
+
+@pytest.fixture(scope="module")
+def runs(medium_trace):
+    cost_model = CostModel(2.0)
+    return {
+        "Cafe": replay(CafeCache(256, cost_model=cost_model), medium_trace),
+        "xLRU": replay(XlruCache(256, cost_model=cost_model), medium_trace),
+    }
+
+
+class TestEfficiencyCi:
+    def test_interval_brackets_estimate(self, runs):
+        ci = efficiency_ci(runs["Cafe"])
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.confidence == 0.95
+        assert ci.width > 0.0
+
+    def test_estimate_tracks_steady_summary(self, runs):
+        ci = efficiency_ci(runs["Cafe"])
+        steady = runs["Cafe"].steady.efficiency
+        # bucket-mean vs byte-weighted mean: close but not identical
+        assert abs(ci.estimate - steady) < 0.15
+
+    def test_deterministic_given_seed(self, runs):
+        a = efficiency_ci(runs["Cafe"], seed=7)
+        b = efficiency_ci(runs["Cafe"], seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_higher_confidence_wider(self, runs):
+        narrow = efficiency_ci(runs["Cafe"], confidence=0.5)
+        wide = efficiency_ci(runs["Cafe"], confidence=0.99)
+        assert wide.width >= narrow.width
+
+    def test_confidence_validation(self, runs):
+        with pytest.raises(ValueError):
+            efficiency_ci(runs["Cafe"], confidence=1.0)
+
+    def test_custom_metric(self, runs):
+        ci = efficiency_ci(runs["Cafe"], metric=lambda s: s.redirect_ratio)
+        assert 0.0 <= ci.estimate <= 1.0
+
+    def test_too_few_buckets_rejected(self):
+        from repro.core.xlru import XlruCache
+        from repro.trace.requests import Request
+
+        result = replay(XlruCache(8), [Request(0.0, 1, 0, 1023)])
+        with pytest.raises(ValueError, match="buckets"):
+            efficiency_ci(result)
+
+
+class TestPairedGap:
+    def test_cafe_vs_xlru_gap_significant(self, runs):
+        """The headline gap survives its own error bars."""
+        ci = paired_gap_ci(runs["Cafe"], runs["xLRU"])
+        assert ci.estimate > 0.0
+        assert ci.excludes_zero()
+
+    def test_gap_antisymmetric(self, runs):
+        forward = paired_gap_ci(runs["Cafe"], runs["xLRU"], seed=1)
+        backward = paired_gap_ci(runs["xLRU"], runs["Cafe"], seed=1)
+        assert forward.estimate == pytest.approx(-backward.estimate)
+
+    def test_self_gap_is_zero(self, runs):
+        ci = paired_gap_ci(runs["Cafe"], runs["Cafe"])
+        assert ci.estimate == pytest.approx(0.0)
+        assert not ci.excludes_zero()
+
+
+class TestCompareRuns:
+    def test_rows_against_baseline(self, runs):
+        rows = compare_runs(runs, baseline="xLRU")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["run"] == "Cafe"
+        assert row["vs"] == "xLRU"
+        assert row["ci_low"] <= row["gap"] <= row["ci_high"]
+        assert row["significant"] is True
+
+    def test_unknown_baseline(self, runs):
+        with pytest.raises(KeyError):
+            compare_runs(runs, baseline="nope")

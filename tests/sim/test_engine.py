@@ -1,0 +1,75 @@
+"""Tests for the replay engine."""
+
+import pytest
+
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.core.psychic import PsychicCache
+from repro.core.xlru import XlruCache
+from repro.sim.engine import replay
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0):
+    return Request(t, video, c0 * K, (c0 + 1) * K - 1)
+
+
+class TestReplay:
+    def test_counts_all_requests(self):
+        trace = [req(float(i), i % 3, 0) for i in range(30)]
+        result = replay(XlruCache(8, chunk_bytes=K), trace)
+        assert result.num_requests == 30
+        assert result.totals.num_requests == 30
+
+    def test_accepts_generator_for_online_cache(self):
+        result = replay(
+            XlruCache(8, chunk_bytes=K),
+            (req(float(i), 1, 0) for i in range(10)),
+        )
+        assert result.num_requests == 10
+
+    def test_accepts_generator_for_offline_cache(self):
+        result = replay(
+            PsychicCache(8, chunk_bytes=K),
+            (req(float(i), 1, 0) for i in range(10)),
+        )
+        assert result.num_requests == 10
+
+    def test_offline_cache_prepared_automatically(self):
+        trace = [req(float(i), 1, 0) for i in range(5)]
+        cache = PsychicCache(8, chunk_bytes=K)
+        result = replay(cache, trace)
+        assert result.totals.num_served >= 4  # knows the future
+
+    def test_rejects_unordered_trace(self):
+        trace = [req(5.0, 1, 0), req(1.0, 2, 0)]
+        with pytest.raises(ValueError, match="not time-ordered"):
+            replay(XlruCache(8, chunk_bytes=K), trace)
+
+    def test_on_request_hook(self):
+        seen = []
+        trace = [req(float(i), 1, 0) for i in range(4)]
+        replay(
+            XlruCache(8, chunk_bytes=K),
+            trace,
+            on_request=lambda i, r: seen.append(i),
+        )
+        assert seen == [0, 1, 2, 3]
+
+    def test_describe_mentions_metrics(self, small_trace):
+        cache = CafeCache(64, cost_model=CostModel(2.0))
+        result = replay(cache, small_trace[:500])
+        text = result.describe()
+        assert "eff=" in text and "Cafe" in text
+
+    def test_steady_uses_second_half(self, small_trace):
+        cache = XlruCache(64, cost_model=CostModel(1.0))
+        result = replay(cache, small_trace)
+        # warm-up in the first half means steady >= whole-trace efficiency
+        assert result.steady.efficiency >= result.totals.efficiency - 0.02
+
+    def test_empty_trace(self):
+        result = replay(XlruCache(8, chunk_bytes=K), [])
+        assert result.num_requests == 0

@@ -1,0 +1,200 @@
+"""Tests for byte accounting and the evaluation metrics (Section 4.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.base import CacheResponse, Decision
+from repro.core.costs import CostModel
+from repro.sim.metrics import MetricsCollector, TrafficSummary
+from repro.trace.requests import Request
+
+K = 1024
+
+SERVE_HIT = CacheResponse(Decision.SERVE)
+REDIRECT = CacheResponse(Decision.REDIRECT)
+
+
+def collector(alpha=1.0, interval=3600.0):
+    return MetricsCollector(CostModel(alpha), chunk_bytes=K, interval=interval)
+
+
+class TestAccounting:
+    def test_hit_counts_egress_only(self):
+        m = collector()
+        m.record(Request(0.0, 1, 0, 99), SERVE_HIT)
+        t = m.totals()
+        assert t.requested_bytes == 100
+        assert t.egress_bytes == 100
+        assert t.ingress_bytes == 0
+        assert t.redirected_bytes == 0
+
+    def test_fill_counts_whole_chunks(self):
+        """A chunk is fetched in full even if requested partially."""
+        m = collector()
+        m.record(Request(0.0, 1, 0, 9), CacheResponse(Decision.SERVE, filled_chunks=1))
+        t = m.totals()
+        assert t.requested_bytes == 10
+        assert t.ingress_bytes == K  # whole chunk
+        assert t.filled_chunks == 1
+
+    def test_redirect_counts_requested_bytes(self):
+        m = collector()
+        m.record(Request(0.0, 1, 0, 2 * K - 1), REDIRECT)
+        t = m.totals()
+        assert t.redirected_bytes == 2 * K
+        assert t.redirected_chunks == 2
+        assert t.egress_bytes == 0
+
+    def test_counts_accumulate(self):
+        m = collector()
+        m.record(Request(0.0, 1, 0, K - 1), CacheResponse(Decision.SERVE, filled_chunks=1))
+        m.record(Request(1.0, 1, 0, K - 1), SERVE_HIT)
+        m.record(Request(2.0, 2, 0, K - 1), REDIRECT)
+        t = m.totals()
+        assert t.num_requests == 3
+        assert t.num_served == 2
+        assert t.num_redirected == 1
+
+
+class TestDerivedMetrics:
+    def test_efficiency_eq2(self):
+        m = collector(alpha=2.0)
+        # one filled chunk served, one chunk-sized redirect
+        m.record(Request(0.0, 1, 0, K - 1), CacheResponse(Decision.SERVE, filled_chunks=1))
+        m.record(Request(1.0, 2, 0, K - 1), REDIRECT)
+        t = m.totals()
+        cf, cr = 4 / 3, 2 / 3
+        expected = 1.0 - (K * cf + K * cr) / (2 * K)
+        assert t.efficiency == pytest.approx(expected)
+
+    def test_efficiency_chunks_matches_bytes_when_aligned(self):
+        """With chunk-aligned requests the two efficiencies coincide."""
+        m = collector(alpha=2.0)
+        m.record(Request(0.0, 1, 0, K - 1), CacheResponse(Decision.SERVE, filled_chunks=1))
+        m.record(Request(1.0, 2, 0, 3 * K - 1), REDIRECT)
+        t = m.totals()
+        assert t.efficiency == pytest.approx(t.efficiency_chunks)
+
+    def test_ingress_fraction(self):
+        m = collector()
+        m.record(Request(0.0, 1, 0, 2 * K - 1), CacheResponse(Decision.SERVE, filled_chunks=1))
+        assert m.totals().ingress_fraction == pytest.approx(0.5)
+
+    def test_redirect_ratio(self):
+        m = collector()
+        m.record(Request(0.0, 1, 0, K - 1), SERVE_HIT)
+        m.record(Request(1.0, 2, 0, K - 1), REDIRECT)
+        assert m.totals().redirect_ratio == pytest.approx(0.5)
+
+    def test_idle_metrics_are_nan(self):
+        t = collector().totals()
+        assert math.isnan(t.efficiency)
+        assert math.isnan(t.redirect_ratio)
+        assert math.isnan(t.ingress_fraction)
+
+    @given(
+        fills=st.integers(0, 5),
+        redirect=st.booleans(),
+        alpha=st.floats(0.1, 10.0),
+        nbytes=st.integers(1, 4 * K),
+    )
+    def test_property_efficiency_bounded(self, fills, redirect, alpha, nbytes):
+        m = collector(alpha=alpha)
+        if redirect:
+            response = REDIRECT
+        else:
+            # fills bounded by the chunk span of the request
+            span = (nbytes + K - 1) // K
+            response = CacheResponse(Decision.SERVE, filled_chunks=min(fills, span))
+        m.record(Request(0.0, 1, 0, nbytes - 1), response)
+        t = m.totals()
+        # a single request's efficiency is within [-1, 1] up to the
+        # chunk-rounding of ingress (fills count whole chunks)
+        assert t.efficiency <= 1.0 + 1e-9
+        assert t.efficiency >= -1.0 - 2.0 * K / nbytes
+
+
+class TestTimeSeries:
+    def test_bucketing(self):
+        m = collector(interval=10.0)
+        m.record(Request(0.0, 1, 0, K - 1), SERVE_HIT)
+        m.record(Request(5.0, 1, 0, K - 1), SERVE_HIT)
+        m.record(Request(15.0, 1, 0, K - 1), REDIRECT)
+        series = m.series()
+        assert len(series) == 2
+        assert series[0].t_start == 0.0
+        assert series[0].summary.num_requests == 2
+        assert series[1].t_start == 10.0
+        assert series[1].summary.num_redirected == 1
+
+    def test_empty_buckets_skipped(self):
+        m = collector(interval=10.0)
+        m.record(Request(0.0, 1, 0, K - 1), SERVE_HIT)
+        m.record(Request(100.0, 1, 0, K - 1), SERVE_HIT)
+        assert len(m.series()) == 2  # no empty buckets in between
+
+    def test_buckets_aligned_to_interval(self):
+        m = collector(interval=10.0)
+        m.record(Request(17.0, 1, 0, K - 1), SERVE_HIT)
+        assert m.series()[0].t_start == 10.0
+
+    def test_series_sums_to_totals(self):
+        m = collector(interval=7.0)
+        for i in range(50):
+            response = SERVE_HIT if i % 3 else REDIRECT
+            m.record(Request(float(i), 1, 0, K - 1), response)
+        series = m.series()
+        assert sum(s.summary.num_requests for s in series) == 50
+        assert sum(s.summary.redirected_bytes for s in series) == (
+            m.totals().redirected_bytes
+        )
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(CostModel(), interval=0.0)
+
+
+class TestWindows:
+    def test_window_selects_buckets(self):
+        m = collector(interval=10.0)
+        m.record(Request(0.0, 1, 0, K - 1), REDIRECT)
+        m.record(Request(20.0, 1, 0, K - 1), SERVE_HIT)
+        late = m.window(15.0)
+        assert late.num_requests == 1
+        assert late.num_redirected == 0
+
+    def test_steady_state_second_half(self):
+        m = collector(interval=1.0)
+        # first half: all redirects; second half: all hits
+        for i in range(10):
+            m.record(Request(float(i), 1, 0, K - 1), REDIRECT)
+        for i in range(10, 20):
+            m.record(Request(float(i), 1, 0, K - 1), SERVE_HIT)
+        steady = m.steady_state(0.5)
+        assert steady.efficiency == pytest.approx(1.0)
+        assert m.totals().efficiency == pytest.approx(0.5)
+
+    def test_steady_state_fraction_validation(self):
+        with pytest.raises(ValueError):
+            collector().steady_state(0.0)
+
+    def test_steady_state_empty(self):
+        steady = collector().steady_state()
+        assert steady.num_requests == 0
+
+
+class TestTrafficSummaryInvariants:
+    def test_hit_bytes(self):
+        s = TrafficSummary(
+            cost_model=CostModel(),
+            num_requests=2,
+            num_served=2,
+            requested_bytes=2 * K,
+            requested_chunks=2,
+            egress_bytes=2 * K,
+            ingress_bytes=K,
+            filled_chunks=1,
+        )
+        assert s.hit_bytes == K

@@ -1,0 +1,84 @@
+"""Tests for the sweep runner and cache registry."""
+
+import pytest
+
+from repro.core.cafe import CafeCache
+from repro.sim.runner import (
+    CACHE_FACTORIES,
+    PAPER_ALGORITHMS,
+    RunConfig,
+    build_cache,
+    results_table,
+    run_matrix,
+    sweep_alpha,
+    sweep_disk,
+)
+
+
+class TestBuildCache:
+    def test_registry_covers_paper_algorithms(self):
+        for name in PAPER_ALGORITHMS:
+            assert name in CACHE_FACTORIES
+
+    def test_build_sets_knobs(self):
+        cache = build_cache("Cafe", 64, alpha_f2r=2.0, chunk_bytes=4096)
+        assert isinstance(cache, CafeCache)
+        assert cache.disk_chunks == 64
+        assert cache.cost_model.alpha_f2r == 2.0
+        assert cache.chunk_bytes == 4096
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            build_cache("NotACache", 64)
+
+    def test_extra_kwargs_forwarded(self):
+        cache = build_cache("Cafe", 64, gamma=0.5)
+        assert cache._stats.gamma == 0.5
+
+
+class TestRunConfig:
+    def test_key_defaults(self):
+        config = RunConfig("xLRU", 64, 2.0)
+        assert "xLRU" in config.key and "2.0" in config.key
+
+    def test_label_overrides_key(self):
+        assert RunConfig("xLRU", 64, label="mine").key == "mine"
+
+
+class TestSweeps:
+    def test_run_matrix_keys(self, small_trace):
+        configs = [
+            RunConfig("xLRU", 64, 1.0, label="a"),
+            RunConfig("Cafe", 64, 1.0, label="b"),
+        ]
+        results = run_matrix(configs, small_trace[:500])
+        assert set(results) == {"a", "b"}
+        assert results["a"].num_requests == 500
+
+    def test_sweep_alpha_shape(self, small_trace):
+        sweep = sweep_alpha(
+            small_trace[:400], 64, alphas=(1.0, 2.0), algorithms=("xLRU", "Cafe")
+        )
+        assert set(sweep) == {1.0, 2.0}
+        assert set(sweep[1.0]) == {"xLRU", "Cafe"}
+
+    def test_sweep_disk_shape(self, small_trace):
+        sweep = sweep_disk(
+            small_trace[:400], [32, 64], algorithms=("xLRU",), alpha_f2r=2.0
+        )
+        assert set(sweep) == {32, 64}
+        assert sweep[32]["xLRU"].cache.disk_chunks == 32
+
+    def test_more_disk_never_much_worse(self, small_trace):
+        sweep = sweep_disk(
+            small_trace, [32, 256], algorithms=("Cafe",), alpha_f2r=2.0
+        )
+        small = sweep[32]["Cafe"].steady.efficiency
+        large = sweep[256]["Cafe"].steady.efficiency
+        assert large >= small - 0.02
+
+    def test_results_table(self, small_trace):
+        configs = [RunConfig("xLRU", 64, 1.0, label="x")]
+        rows = results_table(run_matrix(configs, small_trace[:300]))
+        assert rows[0]["config"] == "x"
+        assert "efficiency" in rows[0]

@@ -1,0 +1,142 @@
+"""Tests for EWMA IAT tracking (Eqs. 8-9) including Theorem 1."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures.ewma import EwmaIat, IatEstimator, iat_at, virtual_key
+
+GAMMA = 0.25
+
+
+class TestIatAt:
+    def test_eq8_formula(self):
+        # IAT(t') = gamma*(t' - t_last) + (1-gamma)*dt
+        assert iat_at(dt=100.0, t_last=50.0, now=90.0, gamma=0.25) == pytest.approx(
+            0.25 * 40.0 + 0.75 * 100.0
+        )
+
+    def test_infinite_dt_gives_infinite_iat(self):
+        assert math.isinf(iat_at(float("inf"), 0.0, 100.0, GAMMA))
+
+    def test_iat_grows_with_silence(self):
+        # a chunk not requested for longer looks less popular
+        early = iat_at(10.0, 0.0, 5.0, GAMMA)
+        late = iat_at(10.0, 0.0, 50.0, GAMMA)
+        assert late > early
+
+
+class TestVirtualKey:
+    def test_t0_zero_form(self):
+        # key = gamma * t_last - (1 - gamma) * dt   (Eq. 9 at T0 = 0)
+        assert virtual_key(100.0, 50.0, GAMMA) == pytest.approx(
+            0.25 * 50.0 - 0.75 * 100.0
+        )
+
+    def test_matches_eq9_at_any_common_reference(self):
+        # key(T0) = T0 - IAT(T0) differs from the T0=0 form only by the
+        # shared constant (1 - gamma) * T0
+        for t0 in (0.0, 123.0, 9999.5):
+            eq9 = t0 - iat_at(100.0, 50.0, t0, GAMMA)
+            assert eq9 - (1 - GAMMA) * t0 == pytest.approx(
+                virtual_key(100.0, 50.0, GAMMA)
+            )
+
+    def test_unseen_is_minus_inf(self):
+        assert virtual_key(float("inf"), 0.0, GAMMA) == float("-inf")
+
+    def test_more_popular_has_larger_key(self):
+        # smaller IAT (more popular) -> larger key -> farther from eviction
+        popular = virtual_key(dt=5.0, t_last=99.0, gamma=GAMMA)
+        unpopular = virtual_key(dt=500.0, t_last=99.0, gamma=GAMMA)
+        assert popular > unpopular
+
+
+class TestTheorem1:
+    """Key order mirrors IAT order at every common timestamp."""
+
+    @given(
+        dt_x=st.floats(0.1, 1e5),
+        dt_y=st.floats(0.1, 1e5),
+        t_x=st.floats(0, 1e5),
+        t_y=st.floats(0, 1e5),
+        t=st.floats(0, 1e6),
+        gamma=st.floats(0.05, 1.0),
+    )
+    def test_key_order_is_iat_order(self, dt_x, dt_y, t_x, t_y, t, gamma):
+        key_x = virtual_key(dt_x, t_x, gamma)
+        key_y = virtual_key(dt_y, t_y, gamma)
+        iat_x = iat_at(dt_x, t_x, t, gamma)
+        iat_y = iat_at(dt_y, t_y, gamma=gamma, now=t)
+        # smaller key  <=>  larger IAT (less popular), at ANY time t
+        if key_x < key_y:
+            assert iat_x >= iat_y or math.isclose(iat_x, iat_y, rel_tol=1e-9)
+        if iat_x < iat_y:
+            assert key_x >= key_y or math.isclose(
+                key_x, key_y, rel_tol=1e-9, abs_tol=1e-9
+            )
+
+
+class TestEwmaIatUpdate:
+    def test_first_sample_replaces_inf(self):
+        state = EwmaIat(dt=float("inf"), t_last=10.0)
+        state.update(30.0, GAMMA)
+        assert state.dt == 20.0
+        assert state.t_last == 30.0
+
+    def test_ewma_blend(self):
+        state = EwmaIat(dt=100.0, t_last=0.0)
+        state.update(40.0, GAMMA)
+        assert state.dt == pytest.approx(0.25 * 40.0 + 0.75 * 100.0)
+        assert state.t_last == 40.0
+
+    def test_convergence_to_periodic_rate(self):
+        """Regular arrivals every P seconds drive dt toward P."""
+        state = EwmaIat(dt=1000.0, t_last=0.0)
+        t = 0.0
+        for _ in range(100):
+            t += 7.0
+            state.update(t, GAMMA)
+        assert state.dt == pytest.approx(7.0, rel=1e-3)
+
+    def test_resists_single_burst(self):
+        """One rapid re-request only partially drops the IAT (gamma blend)."""
+        state = EwmaIat(dt=100.0, t_last=1000.0)
+        state.update(1000.5, GAMMA)
+        assert state.dt > 70.0  # 0.75 * 100 + small
+
+
+class TestIatEstimator:
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            IatEstimator(0.0)
+        with pytest.raises(ValueError):
+            IatEstimator(1.5)
+
+    def test_unseen_item(self):
+        est = IatEstimator(GAMMA)
+        assert math.isinf(est.iat("x", 10.0))
+        assert est.key("x") == float("-inf")
+
+    def test_record_first_then_second(self):
+        est = IatEstimator(GAMMA)
+        est.record("x", 10.0)
+        assert math.isinf(est.iat("x", 20.0))  # one sighting: no IAT yet
+        est.record("x", 25.0)
+        assert est.iat("x", 25.0) == pytest.approx(0.75 * 15.0)
+
+    def test_estimator_is_a_dict(self):
+        est = IatEstimator(GAMMA)
+        est.record("x", 1.0)
+        assert "x" in est
+        del est["x"]
+        assert math.isinf(est.iat("x", 2.0))
+
+    def test_keys_order_popularity(self):
+        est = IatEstimator(GAMMA)
+        for t in (0.0, 10.0, 20.0, 30.0):
+            est.record("frequent", t)
+        est.record("rare", 0.0)
+        est.record("rare", 30.0)
+        assert est.key("frequent") > est.key("rare")

@@ -1,0 +1,161 @@
+"""Unit and property tests for AccessRecencyList (Section 5's structure)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures.lru import AccessRecencyList
+
+
+class TestBasics:
+    def test_empty(self):
+        lru = AccessRecencyList()
+        assert len(lru) == 0
+        assert "x" not in lru
+        assert lru.last_access("x") is None
+        assert lru.cache_age(100.0) == float("inf")
+
+    def test_oldest_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            AccessRecencyList().oldest()
+
+    def test_touch_and_lookup(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 1.0)
+        lru.touch("b", 2.0)
+        assert lru.last_access("a") == 1.0
+        assert lru.last_access("b") == 2.0
+        assert "a" in lru and "b" in lru
+        assert len(lru) == 2
+
+    def test_oldest_is_least_recent(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 1.0)
+        lru.touch("b", 2.0)
+        lru.touch("c", 3.0)
+        assert lru.oldest() == ("a", 1.0)
+
+    def test_retouch_moves_to_head(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 1.0)
+        lru.touch("b", 2.0)
+        lru.touch("a", 3.0)
+        assert lru.oldest() == ("b", 2.0)
+        assert lru.last_access("a") == 3.0
+        assert len(lru) == 2
+
+    def test_pop_oldest_removes(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 1.0)
+        lru.touch("b", 2.0)
+        assert lru.pop_oldest() == ("a", 1.0)
+        assert "a" not in lru
+        assert lru.oldest() == ("b", 2.0)
+
+    def test_equal_timestamps_allowed(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 5.0)
+        lru.touch("b", 5.0)
+        # insertion order breaks the tie: a is older
+        assert lru.pop_oldest()[0] == "a"
+
+    def test_non_monotonic_touch_rejected(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 10.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            lru.touch("b", 9.0)
+
+    def test_remove(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 1.0)
+        assert lru.remove("a") == 1.0
+        assert "a" not in lru
+        with pytest.raises(KeyError):
+            lru.remove("a")
+
+    def test_discard(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 1.0)
+        assert lru.discard("a") is True
+        assert lru.discard("a") is False
+
+    def test_cache_age(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 10.0)
+        lru.touch("b", 30.0)
+        assert lru.cache_age(40.0) == 30.0
+
+    def test_iteration_order(self):
+        lru = AccessRecencyList()
+        for i, key in enumerate("dcba"):
+            lru.touch(key, float(i))
+        assert list(lru) == ["d", "c", "b", "a"]
+        assert [k for k, _ in lru.items()] == ["d", "c", "b", "a"]
+
+
+class TestEvictOlderThan:
+    def test_evicts_strictly_older(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 1.0)
+        lru.touch("b", 2.0)
+        lru.touch("c", 3.0)
+        evicted = lru.evict_older_than(2.0)
+        assert evicted == [("a", 1.0)]
+        assert "b" in lru and "c" in lru
+
+    def test_evict_everything(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 1.0)
+        lru.touch("b", 2.0)
+        assert len(lru.evict_older_than(100.0)) == 2
+        assert len(lru) == 0
+
+    def test_evict_nothing(self):
+        lru = AccessRecencyList()
+        lru.touch("a", 5.0)
+        assert lru.evict_older_than(1.0) == []
+        assert len(lru) == 1
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 20), st.floats(0, 1000, allow_nan=False)),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_property_matches_reference_model(ops):
+    """Recency order and lookups always match a brute-force model."""
+    lru = AccessRecencyList()
+    model: dict[int, float] = {}
+    last_t = float("-inf")
+    for key, t in ops:
+        t = max(t, last_t)  # keep timestamps monotone
+        last_t = t
+        lru.touch(key, t)
+        model.pop(key, None)
+        model[key] = t
+    assert len(lru) == len(model)
+    for key, t in model.items():
+        assert lru.last_access(key) == t
+    # oldest == first inserted/retouched in the model's insertion order
+    expected_order = list(model.keys())
+    assert list(lru) == expected_order
+    if model:
+        assert lru.oldest() == (expected_order[0], model[expected_order[0]])
+
+
+@given(
+    times=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=2, max_size=50),
+    cutoff=st.floats(0, 1e6, allow_nan=False),
+)
+def test_property_evict_older_than_partition(times, cutoff):
+    """evict_older_than splits entries exactly at the cutoff."""
+    times = sorted(times)
+    lru = AccessRecencyList()
+    for i, t in enumerate(times):
+        lru.touch(i, t)
+    evicted = lru.evict_older_than(cutoff)
+    assert all(t < cutoff for _, t in evicted)
+    for key, t in lru.items():
+        assert t >= cutoff
+    assert len(evicted) + len(lru) == len(times)

@@ -1,0 +1,121 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import main_experiment, main_gen, main_sim
+
+
+class TestGen:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        code = main_gen(
+            ["--server", "asia", "--days", "1", "--scale", "0.02", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_writes_jsonl_with_stats(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl.gz"
+        code = main_gen(
+            ["--server", "asia", "--days", "1", "--scale", "0.02", "--stats", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "videos" in captured
+
+    def test_rejects_unknown_server(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_gen(["--server", "mars", str(tmp_path / "x.csv")])
+
+
+class TestSim:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        main_gen(["--server", "asia", "--days", "2", "--scale", "0.02", str(out)])
+        return out
+
+    def test_replays_trace(self, trace_file, capsys):
+        code = main_sim(
+            [str(trace_file), "--algorithm", "Cafe", "--disk-chunks", "64",
+             "--alpha", "2.0"]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "efficiency" in captured
+        assert "Cafe" in captured
+
+    def test_series_flag(self, trace_file, capsys):
+        code = main_sim(
+            [str(trace_file), "--disk-chunks", "64", "--series"]
+        )
+        assert code == 0
+        assert "time series" in capsys.readouterr().out
+
+    def test_offline_algorithm(self, trace_file, capsys):
+        code = main_sim(
+            [str(trace_file), "--algorithm", "Psychic", "--disk-chunks", "64"]
+        )
+        assert code == 0
+
+    def test_requires_disk_chunks(self, trace_file):
+        with pytest.raises(SystemExit):
+            main_sim([str(trace_file)])
+
+
+class TestExperiment:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main_experiment(["fig99"])
+
+    def test_runs_fig4_quick(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        code = main_experiment(["fig4"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Figure 4" in captured
+        assert "scale: quick" in captured
+
+    def test_scale_flag_overrides_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        code = main_experiment(["fig5", "--scale", "quick"])
+        assert code == 0
+        assert "scale: quick" in capsys.readouterr().out
+
+
+class TestValidate:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        from repro.cli import main_gen
+
+        out = tmp_path / "trace.csv"
+        main_gen(["--server", "asia", "--days", "1", "--scale", "0.02", str(out)])
+        return out
+
+    def test_clean_trace_exits_zero(self, trace_file, capsys):
+        from repro.cli import main_validate
+
+        assert main_validate([str(trace_file)]) == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_dirty_trace_exits_one(self, tmp_path, capsys):
+        from repro.cli import main_validate
+        from repro.trace.io import write_trace_csv
+        from repro.trace.requests import Request
+
+        path = tmp_path / "dirty.csv"
+        write_trace_csv(path, [Request(10.0, 1, 0, 9), Request(5.0, 2, 0, 9)])
+        assert main_validate([str(path)]) == 1
+        assert "time-order" in capsys.readouterr().out
+
+    def test_repair_writes_clean_copy(self, tmp_path, capsys):
+        from repro.cli import main_validate
+        from repro.trace.io import write_trace_csv
+        from repro.trace.requests import Request
+
+        dirty = tmp_path / "dirty.csv"
+        fixed = tmp_path / "fixed.csv"
+        write_trace_csv(dirty, [Request(10.0, 1, 0, 9), Request(5.0, 2, 0, 9)])
+        assert main_validate([str(dirty), "--repair", str(fixed)]) == 0
+        assert main_validate([str(fixed)]) == 0

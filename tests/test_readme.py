@@ -1,0 +1,36 @@
+"""Docs-sync tests: the README's code must actually run.
+
+Extracts the fenced Python blocks from README.md and executes them, so
+the quickstart can never silently rot as the API evolves.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_exists_with_python_blocks():
+    assert README.exists()
+    assert len(python_blocks()) >= 1
+
+
+@pytest.mark.parametrize("index", range(len(python_blocks())))
+def test_readme_python_block_executes(index):
+    code = python_blocks()[index]
+    # shrink any trace generation so the docs test stays fast
+    code = code.replace("days=7", "days=2")
+    namespace: dict = {}
+    exec(compile(code, f"README.md[python#{index}]", "exec"), namespace)
+    # the quickstart prints metrics from a replay result; make sure the
+    # objects it built are sane if they exist
+    if "result" in namespace:
+        steady = namespace["result"].steady
+        assert -1.0 <= steady.efficiency <= 1.0

@@ -1,0 +1,73 @@
+"""Regression guard: pinned QUICK-scale behaviour bands.
+
+Everything in this repository is seeded, so the QUICK-scale pipeline is
+deterministic on a given platform.  These tests pin the end-to-end
+numbers inside bands wide enough to survive legitimate numeric
+variation (different BLAS, float summation order) but narrow enough to
+catch silent behavioural drift — a changed default, an RNG reordering,
+an accounting bug.  If a deliberate algorithm change moves these
+numbers, update the bands alongside the change and say why in the
+commit.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    QUICK,
+    scaled_disk_chunks,
+    server_trace,
+    trace_footprint_chunks,
+)
+from repro.sim.engine import replay
+from repro.sim.runner import build_cache
+
+
+class TestTraceGenerationPinned:
+    def test_europe_quick_volume(self):
+        trace = server_trace("europe", QUICK)
+        assert 900 <= len(trace) <= 1600
+        assert 1000 <= trace_footprint_chunks("europe", QUICK) <= 1900
+
+    def test_asia_quick_volume(self):
+        trace = server_trace("asia", QUICK)
+        assert 750 <= len(trace) <= 1400
+        assert 550 <= trace_footprint_chunks("asia", QUICK) <= 1150
+
+    def test_exact_determinism_within_process(self):
+        a = server_trace("europe", QUICK)
+        from repro.workload.generator import TraceGenerator
+        from repro.workload.servers import SERVER_PROFILES
+
+        b = TraceGenerator(
+            SERVER_PROFILES["europe"].scaled(QUICK.profile_scale)
+        ).generate(days=QUICK.days)
+        assert a == b
+
+
+class TestSteadyStateBands:
+    """Pinned around measured values (2026-07): xLRU 0.225, Cafe 0.559,
+    Psychic 0.653 on the QUICK Europe trace at alpha = 2."""
+
+    @pytest.fixture(scope="class")
+    def steady(self):
+        trace = server_trace("europe", QUICK)
+        disk = scaled_disk_chunks("europe", QUICK)
+        return {
+            algo: replay(build_cache(algo, disk, alpha_f2r=2.0), trace).steady
+            for algo in ("xLRU", "Cafe", "Psychic")
+        }
+
+    def test_xlru_band(self, steady):
+        assert steady["xLRU"].efficiency == pytest.approx(0.225, abs=0.08)
+
+    def test_cafe_band(self, steady):
+        assert steady["Cafe"].efficiency == pytest.approx(0.559, abs=0.08)
+
+    def test_psychic_band(self, steady):
+        assert steady["Psychic"].efficiency == pytest.approx(0.653, abs=0.08)
+
+    def test_cafe_ingress_band(self, steady):
+        assert steady["Cafe"].ingress_fraction == pytest.approx(0.157, abs=0.06)
+
+    def test_xlru_ingress_band(self, steady):
+        assert steady["xLRU"].ingress_fraction == pytest.approx(0.613, abs=0.12)

@@ -1,0 +1,123 @@
+"""Tests for the HTTP-log adapters."""
+
+import pytest
+
+from repro.trace.adapters import (
+    ParseStats,
+    parse_clf_range_line,
+    read_clf_log,
+    read_tsv_log,
+)
+from repro.trace.requests import Request
+
+GOOD_CLF = (
+    '- - [13/Apr/2014:09:21:30 +0000] "GET /videos/123456 HTTP/1.1" '
+    '206 2097152 "bytes=0-2097151"'
+)
+
+
+class TestClfLine:
+    def test_good_line(self):
+        r = parse_clf_range_line(GOOD_CLF)
+        assert r is not None
+        assert r.video == 123456
+        assert (r.b0, r.b1) == (0, 2097151)
+        # 2014-04-13T09:21:30Z
+        assert r.t == pytest.approx(1397380890.0)
+
+    def test_epoch_rebasing(self):
+        r = parse_clf_range_line(GOOD_CLF, epoch=1397380890.0)
+        assert r.t == pytest.approx(0.0)
+
+    def test_query_string_id(self):
+        line = GOOD_CLF.replace("/videos/123456", "/watch/777?quality=hd")
+        r = parse_clf_range_line(line)
+        assert r is not None and r.video == 777
+
+    def test_no_range_header_uses_cap(self):
+        line = '- - [13/Apr/2014:09:21:30 +0000] "GET /videos/5 HTTP/1.1" 200 999'
+        r = parse_clf_range_line(line, whole_file_bytes=1000)
+        assert r is not None
+        assert (r.b0, r.b1) == (0, 999)
+
+    def test_timezone_offset_honoured(self):
+        plus_two = GOOD_CLF.replace("+0000", "+0200")
+        r = parse_clf_range_line(plus_two)
+        assert r.t == pytest.approx(1397380890.0 - 7200.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "garbage",
+            # non-2xx
+            GOOD_CLF.replace(" 206 ", " 302 "),
+            # POST
+            GOOD_CLF.replace("GET", "POST"),
+            # no numeric video id
+            GOOD_CLF.replace("/videos/123456", "/healthz"),
+            # inverted range
+            GOOD_CLF.replace("bytes=0-2097151", "bytes=100-5"),
+            # unparseable date
+            GOOD_CLF.replace("13/Apr/2014", "99/Xxx/2014"),
+        ],
+    )
+    def test_bad_lines_rejected(self, bad):
+        assert parse_clf_range_line(bad) is None
+
+
+class TestClfStream:
+    def test_skips_counted(self):
+        stats = ParseStats()
+        lines = [GOOD_CLF, "garbage", "", GOOD_CLF]
+        requests = list(read_clf_log(lines, stats=stats))
+        assert len(requests) == 2
+        assert stats.parsed == 2
+        assert stats.skipped == 1  # blank lines are not counted
+        assert stats.examples == ["garbage"]
+
+    def test_example_cap(self):
+        stats = ParseStats()
+        list(read_clf_log(["bad"] * 20, stats=stats))
+        assert stats.skipped == 20
+        assert len(stats.examples) == 5
+
+
+class TestTsv:
+    def test_good_records(self):
+        lines = ["0.5\t42\t0-1023", "1.5\t43\t2048-4095"]
+        assert list(read_tsv_log(lines)) == [
+            Request(0.5, 42, 0, 1023),
+            Request(1.5, 43, 2048, 4095),
+        ]
+
+    def test_comments_and_blanks_skipped_silently(self):
+        stats = ParseStats()
+        lines = ["# header", "", "0.5\t42\t0-1023"]
+        assert len(list(read_tsv_log(lines, stats=stats))) == 1
+        assert stats.skipped == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "justonefield",
+            "0.5\t42",  # missing range
+            "x\t42\t0-10",  # bad timestamp
+            "0.5\tvid\t0-10",  # bad id
+            "0.5\t42\t10-5",  # inverted
+            "0.5\t42\t-5-10",  # negative start parses as '' split
+        ],
+    )
+    def test_bad_records_counted(self, bad):
+        stats = ParseStats()
+        assert list(read_tsv_log([bad], stats=stats)) == []
+        assert stats.skipped == 1
+
+    def test_pipeline_into_validation(self):
+        """Adapter output flows into validate/repair as promised."""
+        from repro.trace.validate import repair_trace, validate_trace
+
+        lines = ["5.0\t1\t0-99", "1.0\t2\t0-99"]  # time-skewed
+        requests = list(read_tsv_log(lines))
+        assert not validate_trace(requests).ok
+        assert validate_trace(repair_trace(requests)).ok

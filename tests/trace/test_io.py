@@ -1,0 +1,80 @@
+"""Round-trip and format tests for trace I/O."""
+
+import pytest
+
+from repro.trace.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+from repro.trace.requests import Request
+
+
+@pytest.fixture
+def sample():
+    return [
+        Request(0.0, 1, 0, 1023),
+        Request(1.5, 2, 2048, 4095),
+        Request(1.5, 1, 0, 0),
+        Request(86400.123456, 999999, 10**9, 2 * 10**9),
+    ]
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path, sample):
+        path = tmp_path / "trace.csv"
+        assert write_trace_csv(path, sample) == len(sample)
+        assert list(read_trace_csv(path)) == sample
+
+    def test_roundtrip_gzip(self, tmp_path, sample):
+        path = tmp_path / "trace.csv.gz"
+        write_trace_csv(path, sample)
+        assert list(read_trace_csv(path)) == sample
+        # actually compressed: gzip magic bytes
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_trace_csv(path, []) == 0
+        assert list(read_trace_csv(path)) == []
+
+    def test_float_precision_preserved(self, tmp_path):
+        r = Request(0.1 + 0.2, 1, 0, 1)
+        path = tmp_path / "p.csv"
+        write_trace_csv(path, [r])
+        assert next(iter(read_trace_csv(path))).t == r.t
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,vid,start,end\n1,2,3,4\n")
+        with pytest.raises(ValueError, match="unexpected trace header"):
+            list(read_trace_csv(path))
+
+    def test_streaming_reader_is_lazy(self, tmp_path, sample):
+        path = tmp_path / "trace.csv"
+        write_trace_csv(path, sample)
+        reader = read_trace_csv(path)
+        assert next(reader) == sample[0]  # no full materialization needed
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path, sample):
+        path = tmp_path / "trace.jsonl"
+        assert write_trace_jsonl(path, sample) == len(sample)
+        assert list(read_trace_jsonl(path)) == sample
+
+    def test_roundtrip_gzip(self, tmp_path, sample):
+        path = tmp_path / "trace.jsonl.gz"
+        write_trace_jsonl(path, sample)
+        assert list(read_trace_jsonl(path)) == sample
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"t": 1.0, "video": 2, "b0": 0, "b1": 9}\n\n\n')
+        assert list(read_trace_jsonl(path)) == [Request(1.0, 2, 0, 9)]
+
+    def test_generator_input(self, tmp_path, sample):
+        path = tmp_path / "gen.jsonl"
+        write_trace_jsonl(path, (r for r in sample))
+        assert list(read_trace_jsonl(path)) == sample

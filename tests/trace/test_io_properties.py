@@ -1,0 +1,43 @@
+"""Property tests: trace serialization round-trips exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+from repro.trace.requests import Request
+
+request_strategy = st.builds(
+    lambda t, video, b0, length: Request(t, video, b0, b0 + length - 1),
+    t=st.floats(0, 1e9, allow_nan=False, allow_infinity=False),
+    video=st.integers(0, 2**62),
+    b0=st.integers(0, 2**40),
+    length=st.integers(1, 2**30),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=st.lists(request_strategy, max_size=50))
+def test_csv_roundtrip_exact(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "t.csv"
+    write_trace_csv(path, trace)
+    assert list(read_trace_csv(path)) == trace
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=st.lists(request_strategy, max_size=50))
+def test_jsonl_roundtrip_exact(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "t.jsonl"
+    write_trace_jsonl(path, trace)
+    assert list(read_trace_jsonl(path)) == trace
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=st.lists(request_strategy, min_size=1, max_size=30))
+def test_gzip_roundtrip_exact(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "t.csv.gz"
+    write_trace_csv(path, trace)
+    assert list(read_trace_csv(path)) == trace

@@ -1,0 +1,116 @@
+"""Tests for the request/chunk model (Section 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.requests import (
+    DEFAULT_CHUNK_BYTES,
+    Request,
+    chunk_range,
+    request_chunks,
+)
+
+K = 1024
+
+
+class TestChunkRange:
+    def test_single_chunk(self):
+        assert chunk_range(0, K - 1, K) == (0, 0)
+
+    def test_spanning_boundary(self):
+        assert chunk_range(K - 1, K, K) == (0, 1)
+
+    def test_aligned_multi_chunk(self):
+        assert chunk_range(2 * K, 5 * K - 1, K) == (2, 4)
+
+    def test_single_byte(self):
+        assert chunk_range(3 * K + 7, 3 * K + 7, K) == (3, 3)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_range(10, 5, K)
+        with pytest.raises(ValueError):
+            chunk_range(-1, 5, K)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_range(0, 10, 0)
+
+    def test_default_chunk_is_2mb(self):
+        assert DEFAULT_CHUNK_BYTES == 2 * 1024 * 1024
+
+    @given(b0=st.integers(0, 10**9), length=st.integers(1, 10**8))
+    def test_property_covers_endpoints(self, b0, length):
+        b1 = b0 + length - 1
+        c0, c1 = chunk_range(b0, b1, K)
+        assert c0 * K <= b0 < (c0 + 1) * K
+        assert c1 * K <= b1 < (c1 + 1) * K
+        assert c0 <= c1
+
+
+class TestRequest:
+    def test_num_bytes_inclusive(self):
+        r = Request(0.0, 1, 100, 199)
+        assert r.num_bytes == 100
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            Request(0.0, 1, 100, 50)
+
+    def test_num_chunks(self):
+        r = Request(0.0, 1, 0, 3 * K - 1)
+        assert r.num_chunks(K) == 3
+
+    def test_chunk_ids(self):
+        r = Request(0.0, 7, K, 3 * K - 1)
+        assert list(r.chunk_ids(K)) == [(7, 1), (7, 2)]
+
+    def test_request_chunks_helper(self):
+        r = Request(0.0, 7, 0, 2 * K - 1)
+        assert request_chunks(r, K) == [(7, 0), (7, 1)]
+
+    def test_frozen(self):
+        r = Request(0.0, 1, 0, 10)
+        with pytest.raises(AttributeError):
+            r.t = 5.0  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Request(1.0, 2, 3, 4) == Request(1.0, 2, 3, 4)
+        assert Request(1.0, 2, 3, 4) != Request(1.0, 2, 3, 5)
+
+
+class TestClipped:
+    def test_no_clip_needed(self):
+        r = Request(0.0, 1, 0, 99)
+        assert r.clipped(1000) == r
+
+    def test_clip_tail(self):
+        r = Request(0.0, 1, 50, 500)
+        clipped = r.clipped(100)
+        assert clipped is not None
+        assert (clipped.b0, clipped.b1) == (50, 99)
+
+    def test_fully_beyond_cap_dropped(self):
+        r = Request(0.0, 1, 200, 300)
+        assert r.clipped(100) is None
+
+    def test_boundary_exact(self):
+        r = Request(0.0, 1, 99, 150)
+        clipped = r.clipped(100)
+        assert clipped is not None and (clipped.b0, clipped.b1) == (99, 99)
+
+    @given(
+        b0=st.integers(0, 10**6),
+        length=st.integers(1, 10**6),
+        cap=st.integers(1, 2 * 10**6),
+    )
+    def test_property_clip_within_cap(self, b0, length, cap):
+        r = Request(0.0, 1, b0, b0 + length - 1)
+        clipped = r.clipped(cap)
+        if b0 >= cap:
+            assert clipped is None
+        else:
+            assert clipped is not None
+            assert clipped.b1 <= cap - 1
+            assert clipped.b0 == b0
+            assert clipped.num_bytes <= r.num_bytes

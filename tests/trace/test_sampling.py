@@ -1,0 +1,110 @@
+"""Tests for the Section 9.1 down-sampling pipeline."""
+
+from collections import Counter
+
+import pytest
+
+from repro.trace.requests import Request
+from repro.trace.sampling import (
+    disk_chunks_for_fraction,
+    downsample_trace,
+    select_files_uniform_by_rank,
+    time_window,
+)
+
+K = 1024
+
+
+def req(t, video, b0=0, b1=K - 1):
+    return Request(t, video, b0, b1)
+
+
+class TestTimeWindow:
+    def test_half_open_interval(self):
+        trace = [req(0.0, 1), req(5.0, 2), req(10.0, 3)]
+        assert time_window(trace, 0.0, 10.0) == trace[:2]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            time_window([], 10.0, 5.0)
+
+    def test_order_preserved(self):
+        trace = [req(1.0, 1), req(2.0, 2), req(3.0, 1)]
+        assert time_window(trace, 0.0, 100.0) == trace
+
+
+class TestSelectFilesUniform:
+    def test_selects_m_files(self):
+        hits = Counter({v: 100 - v for v in range(100)})
+        chosen = select_files_uniform_by_rank(hits, 10)
+        assert len(chosen) == 10
+        assert len(set(chosen)) == 10
+
+    def test_spans_head_and_tail(self):
+        hits = Counter({v: 1000 // (v + 1) for v in range(100)})
+        chosen = select_files_uniform_by_rank(hits, 10)
+        ranked = [v for v, _ in hits.most_common()]
+        positions = [ranked.index(v) for v in chosen]
+        assert min(positions) == 0  # includes the most popular file
+        assert max(positions) >= 80  # reaches the tail
+
+    def test_m_larger_than_population(self):
+        hits = Counter({1: 5, 2: 3})
+        assert set(select_files_uniform_by_rank(hits, 10)) == {1, 2}
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            select_files_uniform_by_rank(Counter({1: 1}), 0)
+
+
+class TestDownsample:
+    def test_restricts_to_selected_files(self):
+        trace = [req(float(i), v) for i, v in enumerate([1, 2, 3, 4, 5] * 4)]
+        sample = downsample_trace(trace, num_files=2, max_file_bytes=None)
+        assert len({r.video for r in sample}) == 2
+
+    def test_size_cap_clips(self):
+        trace = [Request(0.0, 1, 0, 10 * K), Request(1.0, 1, 20 * K, 30 * K)]
+        sample = downsample_trace(trace, num_files=1, max_file_bytes=5 * K)
+        assert len(sample) == 1  # second request lies beyond the cap
+        assert sample[0].b1 == 5 * K - 1
+
+    def test_window_applied_first(self):
+        trace = [req(0.0, 1), req(100.0, 2)]
+        sample = downsample_trace(
+            trace, num_files=10, max_file_bytes=None, window=(0.0, 50.0)
+        )
+        assert [r.video for r in sample] == [1]
+
+    def test_empty_input(self):
+        assert downsample_trace([], num_files=10) == []
+
+    def test_paper_defaults(self, small_trace):
+        t0 = small_trace[0].t
+        sample = downsample_trace(
+            small_trace, window=(t0, t0 + 2 * 86400.0)
+        )
+        videos = {r.video for r in sample}
+        assert 0 < len(videos) <= 100
+        assert all(r.b1 < 20 * 1024 * 1024 for r in sample)
+        # chronological order preserved
+        assert all(a.t <= b.t for a, b in zip(sample, sample[1:]))
+
+
+class TestDiskSizing:
+    def test_five_percent_of_unique_chunks(self):
+        # 100 unique chunks -> 5
+        trace = [Request(float(c), 1, c * K, (c + 1) * K - 1) for c in range(100)]
+        assert disk_chunks_for_fraction(trace, 0.05, chunk_bytes=K) == 5
+
+    def test_at_least_one(self):
+        trace = [Request(0.0, 1, 0, K - 1)]
+        assert disk_chunks_for_fraction(trace, 0.05, chunk_bytes=K) == 1
+
+    def test_duplicates_not_double_counted(self):
+        trace = [Request(float(i), 1, 0, K - 1) for i in range(50)]
+        assert disk_chunks_for_fraction(trace, 1.0, chunk_bytes=K) == 1
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            disk_chunks_for_fraction([], 0.0)

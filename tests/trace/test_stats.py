@@ -1,0 +1,130 @@
+"""Tests for TraceStats — the workload-characterization metrics."""
+
+import math
+
+import pytest
+
+from repro.trace.requests import Request
+from repro.trace.stats import TraceStats
+
+K = 1024
+
+
+def req(t, video, c0, c1):
+    return Request(t, video, c0 * K, (c1 + 1) * K - 1)
+
+
+class TestCounters:
+    def test_empty(self):
+        stats = TraceStats(chunk_bytes=K)
+        assert stats.num_requests == 0
+        assert stats.duration == 0.0
+        assert stats.num_videos == 0
+        assert stats.single_hit_fraction() == 0.0
+        assert stats.head_concentration() == 0.0
+
+    def test_basic_counts(self):
+        stats = TraceStats.from_requests(
+            [req(0, 1, 0, 1), req(10, 1, 0, 0), req(20, 2, 5, 5)], chunk_bytes=K
+        )
+        assert stats.num_requests == 3
+        assert stats.num_videos == 2
+        assert stats.num_unique_chunks == 3  # (1,0) (1,1) (2,5)
+        assert stats.footprint_bytes == 3 * K
+        assert stats.duration == 20.0
+
+    def test_requested_bytes(self):
+        stats = TraceStats.from_requests([Request(0, 1, 0, 99)], chunk_bytes=K)
+        assert stats.total_requested_bytes == 100
+
+    def test_video_hits(self):
+        stats = TraceStats.from_requests(
+            [req(0, 1, 0, 0), req(1, 1, 0, 0), req(2, 2, 0, 0)], chunk_bytes=K
+        )
+        assert stats.video_hits[1] == 2
+        assert stats.video_hits[2] == 1
+
+
+class TestDerived:
+    def test_single_hit_fraction(self):
+        stats = TraceStats.from_requests(
+            [req(0, 1, 0, 0), req(1, 1, 0, 0), req(2, 2, 0, 0), req(3, 3, 0, 0)],
+            chunk_bytes=K,
+        )
+        assert stats.single_hit_fraction() == pytest.approx(2 / 3)
+
+    def test_head_concentration(self):
+        # 10 videos; video 0 gets 91 hits, others 1 each
+        requests = [req(float(i), 0, 0, 0) for i in range(91)]
+        requests += [req(100.0 + v, v, 0, 0) for v in range(1, 10)]
+        stats = TraceStats.from_requests(requests, chunk_bytes=K)
+        assert stats.head_concentration(0.1) == pytest.approx(0.91)
+
+    def test_head_concentration_validation(self):
+        with pytest.raises(ValueError):
+            TraceStats().head_concentration(0.0)
+
+    def test_zipf_fit_on_exact_zipf(self):
+        # construct counts following rank^-1 exactly
+        requests = []
+        t = 0.0
+        for rank in range(1, 51):
+            count = max(1, round(1000 / rank))
+            for _ in range(count):
+                requests.append(req(t, rank, 0, 0))
+                t += 1.0
+        stats = TraceStats.from_requests(requests, chunk_bytes=K)
+        assert stats.zipf_exponent() == pytest.approx(1.0, abs=0.1)
+
+    def test_zipf_needs_three_videos(self):
+        stats = TraceStats.from_requests([req(0, 1, 0, 0), req(1, 2, 0, 0)], chunk_bytes=K)
+        with pytest.raises(ValueError):
+            stats.zipf_exponent()
+
+    def test_early_chunk_bias(self):
+        requests = [req(float(i), 1, 0, 0) for i in range(10)]  # 10 hits chunk 0
+        requests.append(req(100.0, 1, 5, 5))  # 1 hit on a late chunk
+        stats = TraceStats.from_requests(requests, chunk_bytes=K)
+        assert stats.early_chunk_bias(prefix_chunks=1) == pytest.approx(10.0)
+
+    def test_early_chunk_bias_no_tail(self):
+        stats = TraceStats.from_requests([req(0, 1, 0, 0)], chunk_bytes=K)
+        assert stats.early_chunk_bias(prefix_chunks=1) == float("inf")
+
+    def test_diurnal_peak_to_trough(self):
+        # all requests in one hour bucket -> some hours empty -> inf
+        stats = TraceStats.from_requests([req(10.0, 1, 0, 0)], chunk_bytes=K)
+        assert stats.diurnal_peak_to_trough() == float("inf")
+
+    def test_summary_keys(self):
+        stats = TraceStats.from_requests(
+            [req(float(i), v, 0, 0) for i, v in enumerate([1, 2, 3, 1])],
+            chunk_bytes=K,
+        )
+        summary = stats.summary()
+        assert {"requests", "videos", "unique_chunks", "zipf_exponent"} <= set(summary)
+
+
+class TestSyntheticTraceProperties:
+    """The generated workloads must show the paper's trace properties."""
+
+    @pytest.fixture(scope="class")
+    def stats(self, small_trace):
+        return TraceStats.from_requests(small_trace)
+
+    def test_zipf_like_popularity(self, stats):
+        assert 0.5 <= stats.zipf_exponent() <= 2.0
+
+    def test_heavy_head(self, stats):
+        assert stats.head_concentration(0.1) > 0.35
+
+    def test_long_tail_of_rare_videos(self, stats):
+        assert stats.single_hit_fraction() > 0.10
+
+    def test_early_chunk_bias_present(self, stats):
+        bias = stats.early_chunk_bias(prefix_chunks=2)
+        assert bias > 2.0
+
+    def test_diurnal_swing_present(self, stats):
+        ratio = stats.diurnal_peak_to_trough()
+        assert math.isinf(ratio) or ratio > 1.5

@@ -1,0 +1,70 @@
+"""Tests for popularity-turnover measurement."""
+
+import pytest
+
+from repro.trace.requests import Request
+from repro.trace.turnover import popularity_turnover, top_videos_by_window
+
+K = 1024
+
+
+def req(t, video, nbytes=K):
+    return Request(t, video, 0, nbytes - 1)
+
+
+class TestTopVideos:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_videos_by_window([], window=0.0, top_k=5)
+        with pytest.raises(ValueError):
+            top_videos_by_window([], window=10.0, top_k=0)
+
+    def test_ranked_by_bytes_not_count(self):
+        trace = [req(0.0, 1, nbytes=10 * K)] + [req(0.1, 2, nbytes=K)] * 3
+        tops = top_videos_by_window(trace, window=10.0, top_k=2)
+        assert tops[0.0] == [1, 2]
+
+    def test_window_alignment(self):
+        trace = [req(5.0, 1), req(15.0, 2)]
+        tops = top_videos_by_window(trace, window=10.0, top_k=5)
+        assert set(tops) == {0.0, 10.0}
+
+    def test_top_k_truncates(self):
+        trace = [req(0.0, v) for v in range(10)]
+        tops = top_videos_by_window(trace, window=10.0, top_k=3)
+        assert len(tops[0.0]) == 3
+
+
+class TestTurnover:
+    def test_identical_windows_no_turnover(self):
+        trace = [req(t, v) for t in (0.0, 10.0) for v in range(5)]
+        samples = popularity_turnover(trace, window=10.0, top_k=5)
+        assert len(samples) == 1
+        assert samples[0].jaccard == 1.0
+        assert samples[0].new_fraction == 0.0
+
+    def test_disjoint_windows_full_turnover(self):
+        trace = [req(0.0, v) for v in range(5)]
+        trace += [req(10.0, v) for v in range(100, 105)]
+        samples = popularity_turnover(trace, window=10.0, top_k=5)
+        assert samples[0].jaccard == 0.0
+        assert samples[0].new_fraction == 1.0
+
+    def test_partial_overlap(self):
+        trace = [req(0.0, v) for v in (1, 2, 3)]
+        trace += [req(10.0, v) for v in (2, 3, 4)]
+        samples = popularity_turnover(trace, window=10.0, top_k=3)
+        assert samples[0].jaccard == pytest.approx(2 / 4)
+        assert samples[0].new_fraction == pytest.approx(1 / 3)
+
+    def test_single_window_no_samples(self):
+        trace = [req(0.0, 1), req(1.0, 2)]
+        assert popularity_turnover(trace, window=100.0) == []
+
+    def test_synthetic_trace_churns(self, medium_trace):
+        """The paper's premise: the popular set is transient."""
+        samples = popularity_turnover(medium_trace, window=2 * 86400.0, top_k=30)
+        assert len(samples) >= 3
+        mean_new = sum(s.new_fraction for s in samples) / len(samples)
+        # some churn every couple of days, but not total chaos
+        assert 0.05 < mean_new < 0.9

@@ -1,0 +1,107 @@
+"""Tests for trace validation and repair."""
+
+import pytest
+
+from repro.trace.requests import Request
+from repro.trace.validate import repair_trace, validate_trace
+
+K = 1024
+
+
+def req(t, video=1, b0=0, b1=K - 1):
+    return Request(t, video, b0, b1)
+
+
+class TestValidateClean:
+    def test_empty_trace_ok(self):
+        report = validate_trace([])
+        assert report.ok
+        assert report.num_requests == 0
+        assert "no issues" in report.summary()
+
+    def test_clean_trace_ok(self, small_trace):
+        report = validate_trace(small_trace[:500])
+        assert report.ok
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            validate_trace([], size_jump_factor=1.0)
+        with pytest.raises(ValueError):
+            validate_trace([], duplicate_threshold=0)
+
+
+class TestTimeOrder:
+    def test_out_of_order_flagged(self):
+        report = validate_trace([req(10.0), req(5.0)])
+        assert report.by_kind()["time-order"] == 1
+        assert report.issues[0].index == 1
+
+    def test_equal_timestamps_ok(self):
+        report = validate_trace([req(5.0, video=1), req(5.0, video=2)])
+        assert report.ok
+
+
+class TestSizeJump:
+    def test_wild_extent_jump_flagged(self):
+        trace = [
+            req(0.0, video=7, b0=0, b1=K - 1),
+            # same video suddenly 10000x bigger: ID-collision symptom
+            req(1.0, video=7, b0=0, b1=10_000 * K * K),
+        ]
+        report = validate_trace(trace)
+        assert report.by_kind()["size-jump"] == 1
+
+    def test_moderate_growth_ok(self):
+        trace = [
+            req(0.0, video=7, b0=0, b1=10 * K),
+            req(1.0, video=7, b0=0, b1=20 * K),  # file grew; fine
+        ]
+        assert validate_trace(trace).ok
+
+    def test_small_files_never_trip(self):
+        trace = [
+            req(0.0, video=7, b0=0, b1=10),
+            req(1.0, video=7, b0=0, b1=100_000),  # below the 1 MB floor
+        ]
+        assert validate_trace(trace).ok
+
+
+class TestDuplicates:
+    def test_triplicate_flagged(self):
+        trace = [req(1.0), req(1.0), req(1.0)]
+        report = validate_trace(trace, duplicate_threshold=2)
+        assert report.by_kind()["duplicate"] == 1
+
+    def test_pair_below_threshold_ok(self):
+        trace = [req(1.0), req(1.0)]
+        assert validate_trace(trace, duplicate_threshold=2).ok
+
+    def test_max_issues_caps_report(self):
+        trace = [req(1.0)] * 50
+        report = validate_trace(trace, duplicate_threshold=1, max_issues=5)
+        assert len(report.issues) == 5
+
+
+class TestRepair:
+    def test_restores_time_order(self):
+        trace = [req(10.0, video=1), req(5.0, video=2), req(7.0, video=3)]
+        repaired = repair_trace(trace)
+        assert [r.t for r in repaired] == [5.0, 7.0, 10.0]
+        assert validate_trace(repaired).ok
+
+    def test_stable_for_equal_timestamps(self):
+        trace = [req(5.0, video=1), req(5.0, video=2)]
+        assert [r.video for r in repair_trace(trace)] == [1, 2]
+
+    def test_repaired_trace_replays(self, small_trace):
+        import random
+
+        shuffled = list(small_trace[:300])
+        random.Random(3).shuffle(shuffled)
+        repaired = repair_trace(shuffled)
+
+        from repro.core.xlru import XlruCache
+        from repro.sim.engine import replay
+
+        result = replay(XlruCache(64), repaired)
+        assert result.num_requests == 300

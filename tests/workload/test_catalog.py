@@ -1,0 +1,94 @@
+"""Tests for the video catalog generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.catalog import Video, VideoCatalog
+
+
+class TestVideo:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Video(video_id=1, size_bytes=0, rank=0, birth=-1.0)
+
+
+class TestCatalogBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VideoCatalog([])
+
+    def test_duplicate_ids_rejected(self):
+        v = Video(1, 100, 0, -1.0)
+        with pytest.raises(ValueError):
+            VideoCatalog([v, Video(1, 200, 1, -1.0)])
+
+    def test_lookup(self):
+        catalog = VideoCatalog([Video(7, 100, 0, -1.0)])
+        assert catalog[7].size_bytes == 100
+        assert 7 in catalog
+        assert 8 not in catalog
+
+    def test_subset(self):
+        catalog = VideoCatalog.generate(20, seed=1)
+        sub = catalog.subset([0, 5, 19])
+        assert len(sub) == 3
+        with pytest.raises(KeyError):
+            catalog.subset([999])
+
+
+class TestGenerate:
+    def test_deterministic_for_seed(self):
+        a = VideoCatalog.generate(50, seed=42)
+        b = VideoCatalog.generate(50, seed=42)
+        assert [v.size_bytes for v in a.videos] == [v.size_bytes for v in b.videos]
+
+    def test_different_seeds_differ(self):
+        a = VideoCatalog.generate(50, seed=1)
+        b = VideoCatalog.generate(50, seed=2)
+        assert [v.size_bytes for v in a.videos] != [v.size_bytes for v in b.videos]
+
+    def test_sizes_within_bounds(self):
+        catalog = VideoCatalog.generate(
+            200, seed=0, min_size_bytes=1 << 20, max_size_bytes=64 << 20
+        )
+        sizes = catalog.sizes_array()
+        assert sizes.min() >= 1 << 20
+        assert sizes.max() <= 64 << 20
+
+    def test_mean_size_roughly_requested(self):
+        catalog = VideoCatalog.generate(3000, seed=0, mean_size_bytes=24e6)
+        mean = catalog.sizes_array().mean()
+        assert 0.6 * 24e6 < mean < 1.4 * 24e6  # clipping shifts it a bit
+
+    def test_ranks_are_permutation(self):
+        catalog = VideoCatalog.generate(100, seed=3)
+        assert sorted(v.rank for v in catalog.videos) == list(range(100))
+
+    def test_churn_fraction(self):
+        catalog = VideoCatalog.generate(
+            400, seed=0, churn_fraction=0.25, duration=100.0
+        )
+        churned = [v for v in catalog.videos if v.birth >= 0]
+        assert len(churned) == 100
+        assert all(0 <= v.birth < 100.0 for v in churned)
+
+    def test_no_churn(self):
+        catalog = VideoCatalog.generate(50, seed=0, churn_fraction=0.0)
+        assert all(v.birth < 0 for v in catalog.videos)
+
+    def test_churn_validation(self):
+        with pytest.raises(ValueError):
+            VideoCatalog.generate(10, churn_fraction=1.0)
+
+    def test_num_videos_validation(self):
+        with pytest.raises(ValueError):
+            VideoCatalog.generate(0)
+
+    def test_first_id_offset(self):
+        catalog = VideoCatalog.generate(10, seed=0, first_id=100)
+        assert {v.video_id for v in catalog.videos} == set(range(100, 110))
+
+    def test_describe(self):
+        summary = VideoCatalog.generate(100, seed=0).describe()
+        assert summary["videos"] == 100
+        assert summary["total_gb"] > 0

@@ -1,0 +1,83 @@
+"""Tests for the diurnal arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.workload.diurnal import DAY, DiurnalRate
+
+
+class TestValidation:
+    def test_base_rate_positive(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(base_rate=0.0)
+
+    def test_amplitude_range(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(base_rate=1.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalRate(base_rate=1.0, amplitude=-0.1)
+
+    def test_weekend_boost_positive(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(base_rate=1.0, weekend_boost=0.0)
+
+
+class TestRateShape:
+    def test_peak_at_peak_hour(self):
+        d = DiurnalRate(base_rate=1.0, amplitude=0.5, peak_hour=20.0, weekend_boost=1.0)
+        peak = d.rate(20.0 * 3600.0)
+        trough = d.rate(8.0 * 3600.0)  # 12h away
+        assert peak == pytest.approx(1.5)
+        assert trough == pytest.approx(0.5)
+
+    def test_amplitude_zero_is_flat(self):
+        d = DiurnalRate(base_rate=2.0, amplitude=0.0, weekend_boost=1.0)
+        rates = [d.rate(h * 3600.0) for h in range(24)]
+        assert all(r == pytest.approx(2.0) for r in rates)
+
+    def test_weekend_boost_applies_on_days_5_and_6(self):
+        d = DiurnalRate(base_rate=1.0, amplitude=0.0, weekend_boost=2.0)
+        assert d.rate(0.0) == pytest.approx(1.0)  # day 0
+        assert d.rate(5 * DAY + 10.0) == pytest.approx(2.0)  # day 5
+
+    def test_periodicity(self):
+        d = DiurnalRate(base_rate=1.0, amplitude=0.6, weekend_boost=1.0)
+        assert d.rate(3600.0) == pytest.approx(d.rate(3600.0 + DAY))
+
+
+class TestArrivals:
+    def test_sorted_and_in_range(self):
+        d = DiurnalRate(base_rate=0.05)
+        rng = np.random.default_rng(0)
+        times = list(d.arrivals(DAY, rng))
+        assert times == sorted(times)
+        assert all(0 <= t < DAY for t in times)
+
+    def test_volume_matches_expectation(self):
+        d = DiurnalRate(base_rate=0.05)
+        rng = np.random.default_rng(1)
+        times = list(d.arrivals(7 * DAY, rng))
+        expected = d.expected_sessions(7 * DAY)
+        assert abs(len(times) - expected) < 5 * np.sqrt(expected)
+
+    def test_busy_hours_busier(self):
+        d = DiurnalRate(base_rate=0.05, amplitude=0.8, peak_hour=20.0, weekend_boost=1.0)
+        rng = np.random.default_rng(2)
+        times = np.fromiter(d.arrivals(10 * DAY, rng), dtype=float)
+        hours = ((times / 3600.0) % 24).astype(int)
+        peak_count = np.isin(hours, [19, 20, 21]).sum()
+        trough_count = np.isin(hours, [7, 8, 9]).sum()
+        assert peak_count > 2 * trough_count
+
+    def test_deterministic_given_rng_seed(self):
+        d = DiurnalRate(base_rate=0.05)
+        a = list(d.arrivals(DAY, np.random.default_rng(3)))
+        b = list(d.arrivals(DAY, np.random.default_rng(3)))
+        assert a == b
+
+    def test_duration_validation(self):
+        d = DiurnalRate(base_rate=1.0)
+        with pytest.raises(ValueError):
+            list(d.arrivals(0.0, np.random.default_rng(0)))
+        with pytest.raises(ValueError):
+            list(d.arrivals(10.0, np.random.default_rng(0), step=0.0))

@@ -1,0 +1,136 @@
+"""Tests for flash-crowd and surge injection, and cache robustness."""
+
+import numpy as np
+import pytest
+
+from repro.core.cafe import CafeCache
+from repro.core.costs import CostModel
+from repro.sim.engine import replay
+from repro.trace.requests import Request
+from repro.workload.catalog import Video
+from repro.workload.events import inject_flash_crowd, inject_rate_surge
+
+MB = 1 << 20
+
+FLASH_VIDEO = Video(video_id=999_999, size_bytes=20 * MB, rank=0, birth=-1.0)
+
+
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestFlashCrowdInjection:
+    def test_validation(self, small_trace):
+        with pytest.raises(ValueError):
+            inject_flash_crowd(small_trace, FLASH_VIDEO, 0.0, -1.0, 100.0, rng())
+        with pytest.raises(ValueError):
+            inject_flash_crowd(small_trace, FLASH_VIDEO, 0.0, 10.0, 0.0, rng())
+        with pytest.raises(ValueError):
+            inject_flash_crowd(
+                small_trace, FLASH_VIDEO, 0.0, 10.0, 10.0, rng(), ramp_fraction=1.0
+            )
+
+    def test_result_sorted_and_superset(self, small_trace):
+        merged = inject_flash_crowd(
+            small_trace, FLASH_VIDEO, 86400.0, 6 * 3600.0, 300.0, rng()
+        )
+        assert all(a.t <= b.t for a, b in zip(merged, merged[1:]))
+        assert len(merged) > len(small_trace)
+
+    def test_flash_requests_confined_to_window(self, small_trace):
+        t0, duration = 86400.0, 6 * 3600.0
+        merged = inject_flash_crowd(
+            small_trace, FLASH_VIDEO, t0, duration, 300.0, rng()
+        )
+        flash = [r for r in merged if r.video == FLASH_VIDEO.video_id]
+        assert flash
+        # sessions *start* inside the window; playback may spill a bit
+        assert min(r.t for r in flash) >= t0
+        assert max(r.t for r in flash) < t0 + duration + 3600.0
+
+    def test_intensity_peaks_near_ramp_end(self, small_trace):
+        t0, duration = 86400.0, 10 * 3600.0
+        merged = inject_flash_crowd(
+            small_trace, FLASH_VIDEO, t0, duration, 600.0, rng(), ramp_fraction=0.2
+        )
+        flash_times = np.array(
+            [r.t for r in merged if r.video == FLASH_VIDEO.video_id]
+        )
+        early = ((flash_times >= t0) & (flash_times < t0 + 0.3 * duration)).sum()
+        late = (flash_times >= t0 + 0.7 * duration).sum()
+        assert early > late  # triangular shape: front-loaded after ramp
+
+    def test_original_trace_untouched(self, small_trace):
+        before = list(small_trace)
+        inject_flash_crowd(small_trace, FLASH_VIDEO, 0.0, 3600.0, 100.0, rng())
+        assert list(small_trace) == before
+
+
+class TestRateSurge:
+    def test_validation(self, small_trace):
+        with pytest.raises(ValueError):
+            inject_rate_surge(small_trace, 0.0, 0.0, 2.0, rng())
+        with pytest.raises(ValueError):
+            inject_rate_surge(small_trace, 0.0, 10.0, 0.5, rng())
+
+    def test_window_volume_multiplied(self, small_trace):
+        t0, duration = 86400.0, 12 * 3600.0
+        merged = inject_rate_surge(small_trace, t0, duration, 3.0, rng())
+        in_window = lambda rs: sum(1 for r in rs if t0 <= r.t < t0 + duration)  # noqa: E731
+        original = in_window(small_trace)
+        surged = in_window(merged)
+        assert original > 0
+        assert surged == pytest.approx(3.0 * original, rel=0.25)
+
+    def test_outside_window_unchanged(self, small_trace):
+        t0, duration = 86400.0, 3600.0
+        merged = inject_rate_surge(small_trace, t0, duration, 4.0, rng())
+        outside = [r for r in merged if not t0 <= r.t < t0 + duration]
+        original_outside = [
+            r for r in small_trace if not t0 <= r.t < t0 + duration
+        ]
+        assert outside == original_outside
+
+    def test_popularity_mix_preserved(self, small_trace):
+        t0, duration = 86400.0, 12 * 3600.0
+        merged = inject_rate_surge(small_trace, t0, duration, 3.0, rng())
+        extra_videos = {r.video for r in merged if t0 <= r.t < t0 + duration}
+        base_videos = {r.video for r in small_trace if t0 <= r.t < t0 + duration}
+        assert extra_videos == base_videos  # replays, no new content
+
+
+class TestCacheRobustness:
+    """Caches must absorb a flash crowd and recover afterwards."""
+
+    @pytest.fixture(scope="class")
+    def flash_trace(self, medium_trace):
+        mid = medium_trace[len(medium_trace) // 2].t
+        return inject_flash_crowd(
+            medium_trace, FLASH_VIDEO, mid, 8 * 3600.0, 400.0,
+            np.random.default_rng(12),
+        )
+
+    def test_capacity_invariant_through_event(self, flash_trace):
+        cache = CafeCache(128, cost_model=CostModel(2.0))
+        for r in flash_trace:
+            cache.handle(r)
+            assert len(cache) <= 128
+
+    def test_flash_content_gets_admitted(self, flash_trace):
+        cache = CafeCache(256, cost_model=CostModel(2.0))
+        admitted = False
+        for r in flash_trace:
+            response = cache.handle(r)
+            if r.video == FLASH_VIDEO.video_id and response.served:
+                admitted = True
+        assert admitted, "a viral video must be cached during its event"
+
+    def test_cache_recovers_after_event(self, medium_trace, flash_trace):
+        """Post-event efficiency is not wrecked by leftover pollution."""
+        base = replay(
+            CafeCache(128, cost_model=CostModel(2.0)), medium_trace
+        ).steady.efficiency
+        flashed = replay(
+            CafeCache(128, cost_model=CostModel(2.0)), flash_trace
+        ).steady.efficiency
+        assert flashed > base - 0.12

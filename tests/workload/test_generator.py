@@ -1,0 +1,97 @@
+"""Tests for end-to-end trace generation."""
+
+import pytest
+
+from repro.workload.generator import TraceGenerator
+from repro.workload.servers import SERVER_PROFILES, ServerProfile
+
+
+def tiny_profile(**overrides):
+    base = dict(
+        name="test",
+        region="Test",
+        num_videos=200,
+        zipf_s=0.9,
+        sessions_per_day=120,
+        seed=5,
+    )
+    base.update(overrides)
+    return ServerProfile(**base)
+
+
+class TestGeneration:
+    def test_time_sorted(self):
+        trace = TraceGenerator(tiny_profile()).generate(days=3.0)
+        assert all(a.t <= b.t for a, b in zip(trace, trace[1:]))
+
+    def test_deterministic_for_seed(self):
+        a = TraceGenerator(tiny_profile()).generate(days=2.0)
+        b = TraceGenerator(tiny_profile()).generate(days=2.0)
+        assert a == b
+
+    def test_seed_override_changes_trace(self):
+        a = TraceGenerator(tiny_profile()).generate(days=2.0)
+        b = TraceGenerator(tiny_profile(), seed=99).generate(days=2.0)
+        assert a != b
+
+    def test_volume_tracks_sessions_per_day(self):
+        small = TraceGenerator(tiny_profile()).generate(days=3.0)
+        big = TraceGenerator(
+            tiny_profile(sessions_per_day=480)
+        ).generate(days=3.0)
+        assert len(big) > 2.5 * len(small)
+
+    def test_timestamps_within_duration(self):
+        trace = TraceGenerator(tiny_profile()).generate(days=2.0)
+        # sessions starting near the end may run slightly past the
+        # nominal duration (playback time), but starts are within range
+        assert trace[0].t >= 0.0
+        assert trace[-1].t < 2.5 * 86400.0
+
+    def test_videos_come_from_catalog(self):
+        generator = TraceGenerator(tiny_profile())
+        trace = generator.generate(days=2.0)
+        catalog = generator.build_catalog(2.0 * 86400.0)
+        assert all(r.video in catalog for r in trace)
+
+    def test_no_requests_for_unborn_videos(self):
+        generator = TraceGenerator(tiny_profile(churn_fraction=0.5))
+        trace = generator.generate(days=3.0)
+        catalog = generator.build_catalog(3.0 * 86400.0)
+        for r in trace:
+            birth = catalog[r.video].birth
+            assert r.t >= birth
+
+    def test_days_validation(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(tiny_profile()).generate(days=0.0)
+
+    def test_estimate_requests_in_ballpark(self):
+        generator = TraceGenerator(tiny_profile())
+        trace = generator.generate(days=4.0)
+        estimate = generator.estimate_requests(days=4.0)
+        assert 0.3 * estimate < len(trace) < 3.0 * estimate
+
+
+class TestServerDiversityShows:
+    """The Figure 7 premise: different profiles, different demand."""
+
+    def test_asia_more_concentrated_than_south_america(self):
+        asia = TraceGenerator(SERVER_PROFILES["asia"].scaled(0.05)).generate(days=4.0)
+        sa = TraceGenerator(
+            SERVER_PROFILES["south_america"].scaled(0.05)
+        ).generate(days=4.0)
+        asia_videos = len({r.video for r in asia})
+        sa_videos = len({r.video for r in sa})
+        # South America: busier and more diverse
+        assert len(sa) > len(asia)
+        assert sa_videos > asia_videos
+
+    def test_profiles_are_decorrelated(self):
+        europe = TraceGenerator(SERVER_PROFILES["europe"].scaled(0.05)).generate(
+            days=2.0
+        )
+        africa = TraceGenerator(SERVER_PROFILES["africa"].scaled(0.05)).generate(
+            days=2.0
+        )
+        assert europe != africa

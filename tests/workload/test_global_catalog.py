@@ -1,0 +1,117 @@
+"""Tests for the global catalog with per-server views."""
+
+import pytest
+
+from repro.workload.generator import TraceGenerator
+from repro.workload.global_catalog import GlobalCatalog
+from repro.workload.servers import SERVER_PROFILES, ServerProfile
+
+DURATION = 10 * 86400.0
+
+
+def profile(name="a", num_videos=200, seed=1, **kwargs):
+    defaults = dict(
+        name=name,
+        region="X",
+        num_videos=num_videos,
+        zipf_s=0.9,
+        sessions_per_day=100,
+        seed=seed,
+    )
+    defaults.update(kwargs)
+    return ServerProfile(**defaults)
+
+
+class TestGeneration:
+    def test_master_has_no_churn(self):
+        corpus = GlobalCatalog.generate(300, seed=0)
+        assert all(v.birth < 0 for v in corpus.master.videos)
+        assert len(corpus) == 300
+
+    def test_deterministic(self):
+        a = GlobalCatalog.generate(100, seed=5)
+        b = GlobalCatalog.generate(100, seed=5)
+        assert [v.size_bytes for v in a.master.videos] == [
+            v.size_bytes for v in b.master.videos
+        ]
+
+
+class TestServerView:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return GlobalCatalog.generate(400, seed=0)
+
+    def test_view_size(self, corpus):
+        view = corpus.server_view(profile(num_videos=150), DURATION)
+        assert len(view) == 150
+
+    def test_oversized_view_rejected(self, corpus):
+        with pytest.raises(ValueError, match="corpus"):
+            corpus.server_view(profile(num_videos=9999), DURATION)
+
+    def test_sizes_globally_consistent(self, corpus):
+        """The invariant hierarchies need: same ID -> same size."""
+        view_a = corpus.server_view(profile(seed=1), DURATION)
+        view_b = corpus.server_view(profile(name="b", seed=2), DURATION)
+        for video in view_a.videos:
+            if video.video_id in view_b:
+                assert (
+                    view_b[video.video_id].size_bytes == video.size_bytes
+                )
+
+    def test_local_ranks_decorrelated(self, corpus):
+        """[28]: per-location popularity != global popularity."""
+        view_a = corpus.server_view(profile(seed=1), DURATION)
+        view_b = corpus.server_view(profile(name="b", seed=2), DURATION)
+        shared = [v.video_id for v in view_a.videos if v.video_id in view_b]
+        assert len(shared) > 20
+        disagreements = sum(
+            1
+            for vid in shared
+            if view_a[vid].rank != view_b[vid].rank
+        )
+        assert disagreements > len(shared) // 2
+
+    def test_views_overlap(self, corpus):
+        view_a = corpus.server_view(profile(num_videos=300, seed=1), DURATION)
+        view_b = corpus.server_view(
+            profile(name="b", num_videos=300, seed=2), DURATION
+        )
+        assert corpus.overlap(view_a, view_b) > 0.3
+
+    def test_churn_drawn_per_view(self, corpus):
+        view = corpus.server_view(
+            profile(churn_fraction=0.3, num_videos=200), DURATION
+        )
+        churned = [v for v in view.videos if v.birth >= 0]
+        assert len(churned) == 60
+        assert all(0 <= v.birth < DURATION for v in churned)
+
+    def test_deterministic_per_profile_seed(self, corpus):
+        a = corpus.server_view(profile(seed=9), DURATION)
+        b = corpus.server_view(profile(seed=9), DURATION)
+        assert [v.video_id for v in a.videos] == [v.video_id for v in b.videos]
+
+
+class TestGeneratorIntegration:
+    def test_generator_uses_injected_view(self):
+        corpus = GlobalCatalog.generate(500, seed=3)
+        p = SERVER_PROFILES["asia"].scaled(0.03)
+        view = corpus.server_view(p, 3 * 86400.0)
+        generator = TraceGenerator(p, catalog=view)
+        trace = generator.generate(days=3.0)
+        assert trace
+        corpus_ids = {v.video_id for v in corpus.master.videos}
+        assert all(r.video in corpus_ids for r in trace)
+
+    def test_two_servers_share_corpus_content(self):
+        corpus = GlobalCatalog.generate(300, seed=4)
+        duration = 3 * 86400.0
+        traces = {}
+        for name in ("europe", "africa"):
+            p = SERVER_PROFILES[name].scaled(0.02)
+            view = corpus.server_view(p, duration)
+            traces[name] = TraceGenerator(p, catalog=view).generate(days=3.0)
+        videos_a = {r.video for r in traces["europe"]}
+        videos_b = {r.video for r in traces["africa"]}
+        assert videos_a & videos_b  # real shared demand across edges

@@ -1,0 +1,114 @@
+"""Tests for the dynamic popularity model."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.workload.catalog import Video, VideoCatalog
+from repro.workload.popularity import PopularityModel
+
+
+def static_catalog(n, seed=0):
+    return VideoCatalog.generate(n, seed=seed, churn_fraction=0.0)
+
+
+class TestValidation:
+    def test_zipf_s_positive(self):
+        with pytest.raises(ValueError):
+            PopularityModel(static_catalog(10), zipf_s=0.0)
+
+    def test_time_constants_positive(self):
+        with pytest.raises(ValueError):
+            PopularityModel(static_catalog(10), epoch=0.0)
+
+
+class TestStaticZipf:
+    def test_rank_zero_most_sampled(self):
+        catalog = static_catalog(100)
+        model = PopularityModel(catalog, zipf_s=1.0, drift_sigma=0.0, seed=1)
+        samples = model.sample(0.0, size=20_000)
+        counts = Counter(samples.tolist())
+        top_video = counts.most_common(1)[0][0]
+        assert catalog[top_video].rank == 0
+
+    def test_sampling_follows_zipf_weights(self):
+        catalog = static_catalog(50)
+        model = PopularityModel(catalog, zipf_s=1.0, drift_sigma=0.0, seed=2)
+        samples = model.sample(0.0, size=50_000)
+        counts = Counter(samples.tolist())
+        # rank-0 should get roughly sum(1/r)/1 fraction; just check the
+        # top rank clearly dominates a deep-tail rank
+        by_rank = {catalog[v].rank: c for v, c in counts.items()}
+        assert by_rank.get(0, 0) > 10 * by_rank.get(40, 1)
+
+    def test_weights_at_static(self):
+        catalog = static_catalog(10)
+        model = PopularityModel(catalog, zipf_s=1.0, drift_sigma=0.0)
+        w0 = model.weights_at(0.0)
+        w1 = model.weights_at(10_000.0)
+        assert np.allclose(w0, w1)
+
+    def test_deterministic_given_seed(self):
+        catalog = static_catalog(30)
+        a = PopularityModel(catalog, seed=7).sample(0.0, 100)
+        b = PopularityModel(catalog, seed=7).sample(0.0, 100)
+        assert np.array_equal(a, b)
+
+
+class TestLifecycle:
+    def make_model(self, birth):
+        videos = [
+            Video(0, 100, rank=0, birth=-1.0),
+            Video(1, 100, rank=1, birth=birth),
+        ]
+        return PopularityModel(
+            VideoCatalog(videos),
+            zipf_s=1.0,
+            ramp=100.0,
+            decay_tau=1000.0,
+            drift_sigma=0.0,
+        )
+
+    def test_unborn_video_has_zero_weight(self):
+        model = self.make_model(birth=500.0)
+        weights = model.weights_at(100.0)
+        assert weights[1] == 0.0
+
+    def test_ramp_grows_linearly(self):
+        model = self.make_model(birth=0.0)
+        w_half = model.weights_at(50.0)[1]
+        w_full = model.weights_at(100.0)[1]
+        assert w_half == pytest.approx(w_full / 2.0)
+
+    def test_decay_after_peak(self):
+        model = self.make_model(birth=0.0)
+        w_peak = model.weights_at(100.0)[1]
+        w_later = model.weights_at(1100.0)[1]
+        assert w_later == pytest.approx(w_peak * np.exp(-1.0), rel=1e-6)
+
+    def test_sampling_never_returns_unborn_video(self):
+        videos = [Video(0, 100, rank=1, birth=-1.0), Video(1, 100, rank=0, birth=1e9)]
+        model = PopularityModel(VideoCatalog(videos), drift_sigma=0.0)
+        samples = model.sample(0.0, size=500)
+        assert set(samples.tolist()) == {0}
+
+
+class TestDrift:
+    def test_drift_changes_weights_across_epochs(self):
+        catalog = static_catalog(50)
+        model = PopularityModel(catalog, drift_sigma=0.3, epoch=10.0, seed=3)
+        model.sample(0.0, 10)
+        w0 = model.weights_at(0.0).copy()
+        model.sample(1000.0, 10)  # advances many epochs
+        w1 = model.weights_at(1000.0)
+        assert not np.allclose(w0, w1)
+
+    def test_drift_preserves_total_volume_roughly(self):
+        catalog = static_catalog(200)
+        model = PopularityModel(catalog, drift_sigma=0.2, epoch=10.0, seed=4)
+        model.sample(0.0, 1)
+        total0 = model.weights_at(0.0).sum()
+        model.sample(5000.0, 1)
+        total1 = model.weights_at(5000.0).sum()
+        assert 0.3 * total0 < total1 < 3.0 * total0

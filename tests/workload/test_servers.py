@@ -1,0 +1,78 @@
+"""Tests for the six regional server profiles."""
+
+import pytest
+
+from repro.workload.servers import SERVER_PROFILES, ServerProfile, paper_server_profiles
+
+
+class TestPaperProfiles:
+    def test_six_continents(self):
+        expected = {
+            "africa",
+            "asia",
+            "australia",
+            "europe",
+            "north_america",
+            "south_america",
+        }
+        assert set(SERVER_PROFILES) == expected
+
+    def test_distinct_seeds(self):
+        """Per-server popularity must be decorrelated [28]."""
+        seeds = [p.seed for p in SERVER_PROFILES.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_asia_most_concentrated(self):
+        asia = SERVER_PROFILES["asia"]
+        others = [p for name, p in SERVER_PROFILES.items() if name != "asia"]
+        assert all(asia.num_videos <= p.num_videos for p in others)
+        assert all(asia.zipf_s >= p.zipf_s for p in others)
+
+    def test_south_america_busiest_and_most_diverse(self):
+        sa = SERVER_PROFILES["south_america"]
+        others = [p for name, p in SERVER_PROFILES.items() if name != "south_america"]
+        assert all(sa.sessions_per_day >= p.sessions_per_day for p in others)
+        assert all(sa.num_videos >= p.num_videos for p in others)
+
+    def test_factory_returns_fresh_dict(self):
+        profiles = paper_server_profiles()
+        profiles["europe"] = None  # type: ignore[assignment]
+        assert SERVER_PROFILES["europe"] is not None
+
+
+class TestScaling:
+    def test_scaled_shrinks_volume_and_diversity(self):
+        scaled = SERVER_PROFILES["europe"].scaled(0.1)
+        assert scaled.num_videos == SERVER_PROFILES["europe"].num_videos // 10
+        assert scaled.sessions_per_day == pytest.approx(
+            SERVER_PROFILES["europe"].sessions_per_day * 0.1
+        )
+
+    def test_scaled_keeps_identity(self):
+        scaled = SERVER_PROFILES["asia"].scaled(0.5)
+        assert scaled.name == "asia"
+        assert scaled.zipf_s == SERVER_PROFILES["asia"].zipf_s
+        assert scaled.seed == SERVER_PROFILES["asia"].seed
+
+    def test_scaled_never_empty(self):
+        assert SERVER_PROFILES["asia"].scaled(1e-9).num_videos == 1
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            SERVER_PROFILES["asia"].scaled(0.0)
+
+
+class TestValidation:
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            ServerProfile(
+                name="x", region="X", num_videos=0, zipf_s=1.0, sessions_per_day=10
+            )
+        with pytest.raises(ValueError):
+            ServerProfile(
+                name="x", region="X", num_videos=10, zipf_s=0.0, sessions_per_day=10
+            )
+        with pytest.raises(ValueError):
+            ServerProfile(
+                name="x", region="X", num_videos=10, zipf_s=1.0, sessions_per_day=0
+            )

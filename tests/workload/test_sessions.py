@@ -1,0 +1,109 @@
+"""Tests for the session/byte-range model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.catalog import Video
+from repro.workload.sessions import SessionModel
+
+MB = 1 << 20
+
+
+def video(size=40 * MB):
+    return Video(video_id=1, size_bytes=size, rank=0, birth=-1.0)
+
+
+class TestValidation:
+    def test_probability_ranges(self):
+        with pytest.raises(ValueError):
+            SessionModel(full_watch_prob=1.5)
+        with pytest.raises(ValueError):
+            SessionModel(seek_prob=-0.1)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ValueError):
+            SessionModel(abandon_alpha=0.0)
+        with pytest.raises(ValueError):
+            SessionModel(request_span_bytes=0)
+        with pytest.raises(ValueError):
+            SessionModel(bitrate=0.0)
+
+
+class TestRequestShape:
+    def test_requests_cover_contiguous_range(self):
+        model = SessionModel(seek_prob=0.0)
+        rng = np.random.default_rng(0)
+        requests = model.generate(video(), 100.0, rng)
+        assert requests
+        assert requests[0].b0 == 0
+        for a, b in zip(requests, requests[1:]):
+            assert b.b0 == a.b1 + 1  # contiguous spans
+
+    def test_spans_bounded(self):
+        model = SessionModel(request_span_bytes=4 * MB, seek_prob=0.0)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            for r in model.generate(video(), 0.0, rng):
+                assert r.num_bytes <= 4 * MB
+
+    def test_timestamps_follow_playback(self):
+        model = SessionModel(
+            request_span_bytes=4 * MB,
+            bitrate=1 * MB,
+            full_watch_prob=1.0,
+            seek_prob=0.0,
+        )
+        rng = np.random.default_rng(2)
+        requests = model.generate(video(12 * MB), 10.0, rng)
+        assert [r.t for r in requests] == pytest.approx([10.0, 14.0, 18.0])
+
+    def test_full_watch_covers_file(self):
+        model = SessionModel(full_watch_prob=1.0, seek_prob=0.0)
+        rng = np.random.default_rng(3)
+        requests = model.generate(video(10 * MB), 0.0, rng)
+        assert requests[-1].b1 == 10 * MB - 1
+
+    def test_never_beyond_file_end(self):
+        model = SessionModel()
+        rng = np.random.default_rng(4)
+        for _ in range(200):
+            for r in model.generate(video(8 * MB), 0.0, rng):
+                assert r.b1 < 8 * MB
+                assert r.b0 >= 0
+
+    def test_minimum_watch(self):
+        model = SessionModel(full_watch_prob=0.0, seek_prob=0.0, min_watch_bytes=MB)
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            requests = model.generate(video(), 0.0, rng)
+            watched = sum(r.num_bytes for r in requests)
+            assert watched >= MB
+
+
+class TestBehaviourDistribution:
+    def test_early_abandonment_dominates(self):
+        """Most sessions watch well under half the file."""
+        model = SessionModel(full_watch_prob=0.2, seek_prob=0.0)
+        rng = np.random.default_rng(6)
+        fractions = []
+        for _ in range(500):
+            requests = model.generate(video(), 0.0, rng)
+            watched = sum(r.num_bytes for r in requests)
+            fractions.append(watched / (40 * MB))
+        assert np.median(fractions) < 0.5
+
+    def test_seeks_start_midfile(self):
+        model = SessionModel(seek_prob=1.0)
+        rng = np.random.default_rng(7)
+        starts = [model.generate(video(), 0.0, rng)[0].b0 for _ in range(100)]
+        assert sum(1 for s in starts if s > 0) > 80
+
+    def test_no_seeks_start_at_zero(self):
+        model = SessionModel(seek_prob=0.0)
+        rng = np.random.default_rng(8)
+        starts = [model.generate(video(), 0.0, rng)[0].b0 for _ in range(50)]
+        assert all(s == 0 for s in starts)
+
+    def test_expected_requests_estimate_positive(self):
+        model = SessionModel()
+        assert model.expected_requests_per_session(40 * MB) >= 1.0
