@@ -2,13 +2,20 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick experiments examples clean
+.PHONY: install test verify bench bench-quick bench-sweep experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1 gate: the full unit/integration suite against the in-tree
+# sources (no install needed), plus a sweep-scheduler smoke bench.
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
+	REPRO_SCALE=quick PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
+		benchmarks/test_perf_caches.py::test_sweep_throughput
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
@@ -18,6 +25,12 @@ bench:
 
 bench-quick:
 	REPRO_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Sweep-throughput comparison (seed vs single-pass vs parallel); writes
+# BENCH_sweep.json at the repo root.
+bench-sweep:
+	PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
+		benchmarks/test_perf_caches.py::test_sweep_throughput
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -22,10 +22,12 @@ absorb at its "lines of defense") and redirect-hop counts.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.base import CacheResponse, Decision
+from repro.sim.instrumentation import ProgressCallback, ProgressTicker, RunReport, StageTimer
 from repro.sim.metrics import MetricsCollector, TrafficSummary
 from repro.trace.requests import Request
 from repro.cdn.topology import CdnTopology
@@ -49,6 +51,8 @@ class CdnSimulationResult:
     user_requested_bytes: int = 0
     #: user-requested bytes that ended up served by the origin
     origin_redirect_bytes: int = 0
+    #: engine observability: wall time, request rate, stage breakdown
+    report: Optional[RunReport] = None
 
     def summary(self, server: str) -> TrafficSummary:
         """Whole-run traffic totals of one named server."""
@@ -97,6 +101,8 @@ class CdnSimulator:
         self,
         edge_traces: Mapping[str, Sequence[Request]],
         interval: float = 3600.0,
+        progress: Optional[ProgressCallback] = None,
+        progress_every: int = 8192,
     ) -> CdnSimulationResult:
         """Replay ``edge_traces`` (server name -> its user trace)."""
         for name in edge_traces:
@@ -118,11 +124,29 @@ class CdnSimulator:
             topology=self.topology, per_server=collectors
         )
 
+        timer = StageTimer()
+        total = sum(len(trace) for trace in edge_traces.values())
+        ticker = ProgressTicker(progress, every=progress_every, total=total)
+        t0 = time.perf_counter()
         for name, request in _merge_by_time(edge_traces):
             result.num_user_requests += 1
             result.user_requested_bytes += request.num_bytes
             hops = self._handle(name, request, result, hop=0)
             result.redirect_hops[hops] = result.redirect_hops.get(hops, 0) + 1
+            ticker.tick(result.num_user_requests)
+        wall = time.perf_counter() - t0
+        timer.add("replay", wall, result.num_user_requests)
+        ticker.finish(result.num_user_requests)
+
+        result.report = RunReport(
+            engine="cdn",
+            mode="serial",
+            wall_seconds=wall,
+            num_requests=result.num_user_requests,
+            num_caches=len(collectors),
+            stages=timer.timings(),
+            extra={"edges": len(edge_traces), "servers": len(self.topology.servers)},
+        )
         return result
 
     # -- internals -----------------------------------------------------------

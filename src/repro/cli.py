@@ -95,11 +95,24 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--series", action="store_true", help="also print the hourly time series"
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print replay progress to stderr while running",
+    )
     args = parser.parse_args(argv)
 
     requests = list(_read_trace(args.trace))
     cache = build_cache(args.algorithm, args.disk_chunks, alpha_f2r=args.alpha)
-    result = replay(cache, requests, interval=args.interval)
+
+    progress = None
+    if args.progress:
+
+        def progress(done, total, elapsed):
+            where = f"{done}/{total}" if total is not None else str(done)
+            print(f"  replayed {where} requests in {elapsed:.1f}s", file=sys.stderr)
+
+    result = replay(cache, requests, interval=args.interval, progress=progress)
     steady = result.steady
     totals = result.totals
     rows = [
@@ -113,6 +126,11 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
          "requests": totals.num_requests},
     ]
     print(format_table(rows, title=cache.describe()))
+    if result.report is not None:
+        print(result.report.describe())
+        for stage in result.report.stages:
+            rate = f", {stage.rate:,.0f} items/s" if stage.rate else ""
+            print(f"  {stage.name}: {stage.seconds:.3f}s{rate}")
     if args.series:
         srows = [
             {
@@ -153,12 +171,25 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="additionally write the results as a Markdown report",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for sweep execution (sets REPRO_WORKERS; "
+            "default 1 = in-process)"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    if args.scale is not None:
-        import os
+    import os
 
+    if args.scale is not None:
         os.environ["REPRO_SCALE"] = args.scale
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        os.environ["REPRO_WORKERS"] = str(args.workers)
     scale = scale_from_env()
 
     names = list(ALL_FIGURES) if args.figures == ["all"] else args.figures

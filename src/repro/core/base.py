@@ -20,7 +20,7 @@ from typing import Sequence
 from repro.core.costs import CostModel
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
 
-__all__ = ["Decision", "CacheResponse", "VideoCache"]
+__all__ = ["Decision", "CacheResponse", "REDIRECT", "SERVE_HIT", "VideoCache"]
 
 
 class Decision(enum.Enum):
@@ -55,6 +55,13 @@ class CacheResponse:
         return self.decision is Decision.SERVE
 
 
+#: Shared immutable responses for the two outcomes that carry no counts.
+#: ``CacheResponse`` is a frozen value object, so reusing one instance is
+#: safe and avoids a dataclass construction in the replay hot path.
+REDIRECT = CacheResponse(Decision.REDIRECT)
+SERVE_HIT = CacheResponse(Decision.SERVE)
+
+
 class VideoCache(ABC):
     """Abstract video cache server.
 
@@ -67,6 +74,11 @@ class VideoCache(ABC):
     name: str = "abstract"
     #: Whether the algorithm needs the full future sequence (Problem 2).
     offline: bool = False
+    #: Whether serve/redirect/evict decisions consult ``cost_model``.
+    #: When False (e.g. pull-through LRU), replay outcomes are identical
+    #: at every ``alpha_F2R`` and sweep schedulers may simulate one
+    #: alpha and reinterpret the traffic counters for the others.
+    cost_sensitive: bool = True
 
     def __init__(
         self,

@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Deque, Dict, Optional, Sequence
 
-from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.core.base import REDIRECT, SERVE_HIT, CacheResponse, Decision, VideoCache
 from repro.core.costs import CostModel
 from repro.structures.lru import AccessRecencyList
 from repro.structures.treap import TreapMap
@@ -39,6 +39,7 @@ class PullThroughLruCache(VideoCache):
     """Fetch-on-miss LRU: the standard Web-proxy pattern (Section 2)."""
 
     name = "PullLRU"
+    cost_sensitive = False  # always serves; never consults the cost model
 
     def __init__(
         self,
@@ -53,7 +54,7 @@ class PullThroughLruCache(VideoCache):
         now = request.t
         chunks = list(request.chunk_ids(self.chunk_bytes))
         if len(chunks) > self.disk_chunks:
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
         missing = []
         for chunk in chunks:
             if chunk in self._disk:
@@ -90,6 +91,7 @@ class LfuAdmissionCache(VideoCache):
     """
 
     name = "LFU"
+    cost_sensitive = False  # admission/aging are frequency-only
 
     def __init__(
         self,
@@ -124,13 +126,13 @@ class LfuAdmissionCache(VideoCache):
                 self._cached.insert(chunk, self._freq[chunk])
 
         if len(chunks) > self.disk_chunks:
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
         if self._video_hits[request.video] < self.min_video_hits:
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
 
         missing = [c for c in chunks if c not in self._cached]
         if not missing:
-            return CacheResponse(Decision.SERVE)
+            return SERVE_HIT
         evicted = 0
         free = self.disk_chunks - len(self._cached)
         need = len(missing) - free
@@ -179,6 +181,7 @@ class BeladyCache(VideoCache):
 
     name = "Belady"
     offline = True
+    cost_sensitive = False  # always serves; evicts purely by next use
 
     def __init__(
         self,
@@ -223,7 +226,7 @@ class BeladyCache(VideoCache):
                 self._cached.insert(chunk, self._eviction_key(chunk))
 
         if len(chunks) > self.disk_chunks:
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
 
         missing = [c for c in chunks if c not in self._cached]
         evicted = 0

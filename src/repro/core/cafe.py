@@ -43,7 +43,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.core.base import REDIRECT, SERVE_HIT, CacheResponse, Decision, VideoCache
 from repro.core.costs import CostModel
 from repro.structures.ewma import EwmaIat, IatEstimator
 from repro.structures.lru import AccessRecencyList
@@ -134,12 +134,12 @@ class CafeCache(VideoCache):
 
         if len(chunks) > self.disk_chunks:
             self._note_ghosts(chunks, now)
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
 
         missing = [c for c in chunks if c not in self._cached]
         if not missing:
             # Pure hit: serving costs 0, which can never lose.
-            return CacheResponse(Decision.SERVE)
+            return SERVE_HIT
 
         horizon = self._horizon if self._horizon is not None else self.cache_age(now)
         future_unit = self.cost_model.future_cost
@@ -158,7 +158,7 @@ class CafeCache(VideoCache):
 
         if cost_serve > cost_redirect:
             self._note_ghosts(chunks, now)
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
 
         for chunk, _key in victims:
             self._evict(chunk, now)

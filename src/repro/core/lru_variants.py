@@ -32,7 +32,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict
 
-from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.core.base import REDIRECT, SERVE_HIT, CacheResponse, Decision, VideoCache
 from repro.core.costs import CostModel
 from repro.structures.treap import TreapMap
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
@@ -46,6 +46,7 @@ class LruKCache(VideoCache):
     """LRU-K admission and replacement at video granularity (§3, [17])."""
 
     name = "LRU-K"
+    cost_sensitive = False  # admission/eviction use access recency only
 
     def __init__(
         self,
@@ -92,14 +93,14 @@ class LruKCache(VideoCache):
             self._cached.insert((request.video, chunk_number), score)
 
         if len(chunks) > self.disk_chunks:
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
         if len(history) < self.k:
             # "unproven" video: below K recorded accesses
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
 
         missing = [c for c in chunks if c not in self._cached]
         if not missing:
-            return CacheResponse(Decision.SERVE)
+            return SERVE_HIT
 
         evicted = 0
         need = len(missing) - (self.disk_chunks - len(self._cached))
@@ -182,7 +183,7 @@ class GreedyDualSizeCache(VideoCache):
     def handle(self, request: Request) -> CacheResponse:
         chunks = list(request.chunk_ids(self.chunk_bytes))
         if len(chunks) > self.disk_chunks:
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
 
         credit = self._inflation + self.cost_model.fill_cost
         missing = []
@@ -192,7 +193,7 @@ class GreedyDualSizeCache(VideoCache):
             else:
                 missing.append(chunk)
         if not missing:
-            return CacheResponse(Decision.SERVE)
+            return SERVE_HIT
 
         evicted = 0
         need = len(missing) - (self.disk_chunks - len(self._cached))

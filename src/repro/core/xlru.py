@@ -24,7 +24,7 @@ is evicted until the disk is full.
 
 from __future__ import annotations
 
-from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.core.base import REDIRECT, CacheResponse, Decision, VideoCache
 from repro.core.costs import CostModel
 from repro.structures.lru import AccessRecencyList
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
@@ -59,15 +59,15 @@ class XlruCache(VideoCache):
         self._maybe_cleanup_tracker(now)
 
         if last is None:
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
         if (now - last) * self.cost_model.alpha_f2r > self.cache_age(now):
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
 
         chunks = list(request.chunk_ids(self.chunk_bytes))
         if len(chunks) > self.disk_chunks:
             # The request alone exceeds the disk; it can never be fully
             # served from this cache, so redirect it.
-            return CacheResponse(Decision.REDIRECT)
+            return REDIRECT
 
         # Touch the chunks already present first so LRU eviction cannot
         # pick a chunk this very request needs.

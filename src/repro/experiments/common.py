@@ -138,13 +138,19 @@ def alpha_sweep_cached(
     scale: ExperimentScale,
     alphas: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     disk_fraction: float = DISK_SCALED_1TB,
+    workers: Optional[int] = None,
 ) -> Mapping[float, Dict[str, SimulationResult]]:
-    """Run (or reuse) the xLRU/Cafe/Psychic alpha sweep on a server."""
+    """Run (or reuse) the xLRU/Cafe/Psychic alpha sweep on a server.
+
+    ``workers`` is forwarded to the sweep scheduler (it also honours
+    the ``REPRO_WORKERS`` environment variable); the cache key ignores
+    it because the results are execution-strategy independent.
+    """
     key = (server, scale.name, tuple(alphas), disk_fraction)
     if key not in _SWEEP_CACHE:
         trace = server_trace(server, scale)
         disk = scaled_disk_chunks(server, scale, disk_fraction)
-        _SWEEP_CACHE[key] = _sweep_alpha(trace, disk, alphas=alphas)
+        _SWEEP_CACHE[key] = _sweep_alpha(trace, disk, alphas=alphas, workers=workers)
     return _SWEEP_CACHE[key]
 
 

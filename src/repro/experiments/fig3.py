@@ -24,8 +24,8 @@ from repro.experiments.common import (
     scaled_disk_chunks,
     server_trace,
 )
-from repro.sim.engine import SimulationResult, replay
-from repro.sim.runner import PAPER_ALGORITHMS, build_cache
+from repro.sim.engine import SimulationResult
+from repro.sim.runner import PAPER_ALGORITHMS, RunConfig, run_matrix
 
 __all__ = ["run", "SERVER"]
 
@@ -42,10 +42,12 @@ def run(
     trace = server_trace(SERVER, scale)
     disk = scaled_disk_chunks(SERVER, scale, DISK_SCALED_1TB)
 
-    results: Dict[str, SimulationResult] = {}
-    for algo in algorithms:
-        cache = build_cache(algo, disk, alpha_f2r=ALPHA)
-        results[algo] = replay(cache, trace, interval=interval)
+    # One scheduler plan: the online caches (xLRU, Cafe) share a single
+    # pass of the trace; Psychic runs as an independent offline task.
+    configs = [RunConfig(algo, disk, ALPHA, label=algo) for algo in algorithms]
+    results: Dict[str, SimulationResult] = run_matrix(
+        configs, trace, interval=interval
+    )
 
     series_rows: List[dict] = []
     for algo, result in results.items():

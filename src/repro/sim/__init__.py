@@ -16,15 +16,25 @@ from repro.sim.diskmodel import (
     DiskModel,
     analyze_disk_load,
 )
-from repro.sim.engine import SimulationResult, replay
+from repro.sim.engine import MultiReplay, SimulationResult, replay
+from repro.sim.instrumentation import (
+    ProgressTicker,
+    RunReport,
+    StageTimer,
+    StageTiming,
+)
 from repro.sim.metrics import IntervalSample, MetricsCollector, TrafficSummary
 from repro.sim.runner import (
     CACHE_FACTORIES,
+    PAPER_ALGORITHMS,
+    RunConfig,
     build_cache,
+    results_table,
     run_matrix,
     sweep_alpha,
     sweep_disk,
 )
+from repro.sim.schedule import SweepPlan, SweepScheduler, resolve_workers
 
 __all__ = [
     "EgressCapacityGate",
@@ -37,13 +47,24 @@ __all__ = [
     "paired_gap_ci",
     "compare_runs",
     "replay",
+    "MultiReplay",
     "SimulationResult",
     "MetricsCollector",
     "TrafficSummary",
     "IntervalSample",
+    "RunReport",
+    "StageTimer",
+    "StageTiming",
+    "ProgressTicker",
     "CACHE_FACTORIES",
+    "PAPER_ALGORITHMS",
+    "RunConfig",
     "build_cache",
     "run_matrix",
     "sweep_alpha",
     "sweep_disk",
+    "results_table",
+    "SweepPlan",
+    "SweepScheduler",
+    "resolve_workers",
 ]

@@ -1,20 +1,36 @@
-"""The replay engine: drive a cache with a trace, collect metrics.
+"""The replay engine: drive caches with a trace, collect metrics.
 
 This is the experimental loop of Section 9: "We replay the logs of each
 server to the different algorithms and measure the resultant ingress
 traffic, redirection ratio and the overall cache efficiency."
+
+Two entry points share one streaming core:
+
+* :func:`replay` — one cache, one pass (the original API);
+* :class:`MultiReplay` — N caches, **one** pass: every request is
+  handled by every cache, each with its own
+  :class:`~repro.sim.metrics.MetricsCollector`.  A sweep of online
+  configurations costs O(trace) iteration instead of
+  O(configs x trace), and request-derived values (bytes, chunk count,
+  time-order checks) are computed once and shared across the lanes.
+
+Offline caches need the materialized sequence for ``prepare``; a
+generator trace is spilled to a list once (and only then).  Online-only
+broadcasts stream straight through.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.core.base import VideoCache
+from repro.sim.instrumentation import ProgressCallback, RunReport, StageTiming
 from repro.sim.metrics import MetricsCollector, TrafficSummary
 from repro.trace.requests import Request
 
-__all__ = ["SimulationResult", "replay"]
+__all__ = ["SimulationResult", "replay", "MultiReplay"]
 
 
 @dataclass
@@ -24,6 +40,10 @@ class SimulationResult:
     cache: VideoCache
     metrics: MetricsCollector
     num_requests: int
+    #: Observability record of the pass that produced this result.  In a
+    #: broadcast run the report (and its wall time) is shared by every
+    #: cache of the pass — ``report.num_caches`` says how many.
+    report: Optional[RunReport] = None
 
     @property
     def totals(self) -> TrafficSummary:
@@ -45,40 +65,170 @@ class SimulationResult:
         )
 
 
+class MultiReplay:
+    """Drive N caches through a single pass of a request stream.
+
+    ``caches`` maps result keys to caches; the keys are preserved in the
+    returned mapping, in insertion order.  Broadcast replay is exactly
+    equivalent to replaying each cache separately — caches never
+    interact — but the trace is iterated (and validated, and reduced to
+    per-request byte/chunk counts) once instead of N times.
+    """
+
+    def __init__(
+        self,
+        caches: Mapping[str, VideoCache],
+        interval: float = 3600.0,
+        collectors: Optional[Mapping[str, MetricsCollector]] = None,
+    ) -> None:
+        if not caches:
+            raise ValueError("MultiReplay needs at least one cache")
+        self.caches: Dict[str, VideoCache] = dict(caches)
+        self.interval = interval
+        self.collectors: Dict[str, MetricsCollector] = {}
+        for key, cache in self.caches.items():
+            if collectors is not None and key in collectors:
+                self.collectors[key] = collectors[key]
+            else:
+                self.collectors[key] = MetricsCollector(
+                    cache.cost_model, chunk_bytes=cache.chunk_bytes, interval=interval
+                )
+
+    def run(
+        self,
+        requests: Iterable[Request],
+        on_request: Optional[Callable[[int, Request], None]] = None,
+        progress: Optional[ProgressCallback] = None,
+        progress_every: int = 8192,
+    ) -> Dict[str, SimulationResult]:
+        """Replay ``requests`` (time-ordered) through every cache.
+
+        ``on_request(i, request)`` is called once per request (not per
+        cache), before the lanes handle it.  ``progress(done, total,
+        elapsed)`` fires every ``progress_every`` requests.
+        """
+        t_start = time.perf_counter()
+        keys = list(self.caches)
+        sequence: Sequence[Request] | Iterable[Request] = requests
+
+        prepare_seconds = 0.0
+        offline = [c for c in self.caches.values() if c.offline]
+        if offline:
+            # Spill-to-list tee: offline caches need the whole future.
+            if not isinstance(sequence, Sequence):
+                sequence = list(sequence)
+            t0 = time.perf_counter()
+            for cache in offline:
+                cache.prepare(sequence)
+            prepare_seconds = time.perf_counter() - t0
+
+        total = len(sequence) if isinstance(sequence, Sequence) else None
+
+        # Hot loop: prebound (handle, record) lanes, request-derived
+        # values computed once per request.  Lanes are grouped by chunk
+        # size so the chunk count is shared whenever possible.
+        lanes = [
+            (self.caches[key].handle, self.collectors[key].record_raw)
+            for key in keys
+        ]
+        # The collector's chunk size governs the byte accounting (it may
+        # legitimately differ from the cache's — e.g. external metrics).
+        chunk_sizes = [self.collectors[key].chunk_bytes for key in keys]
+        uniform_k = chunk_sizes[0] if len(set(chunk_sizes)) == 1 else None
+
+        count = 0
+        last_t = float("-inf")
+        t_replay0 = time.perf_counter()
+        if uniform_k is not None:
+            k = uniform_k
+            for request in sequence:
+                t = request.t
+                if t < last_t:
+                    raise ValueError(
+                        f"trace not time-ordered at index {count}: {t} < {last_t}"
+                    )
+                last_t = t
+                if on_request is not None:
+                    on_request(count, request)
+                # Inline num_bytes / num_chunks (see Request): this pair
+                # of expressions runs once per request for all N lanes.
+                nbytes = request.b1 - request.b0 + 1
+                nchunks = request.b1 // k - request.b0 // k + 1
+                for handle, record in lanes:
+                    record(t, nbytes, nchunks, handle(request))
+                count += 1
+                if progress is not None and count % progress_every == 0:
+                    progress(count, total, time.perf_counter() - t_replay0)
+        else:
+            per_lane_k = list(zip(lanes, chunk_sizes))
+            for request in sequence:
+                t = request.t
+                if t < last_t:
+                    raise ValueError(
+                        f"trace not time-ordered at index {count}: {t} < {last_t}"
+                    )
+                last_t = t
+                if on_request is not None:
+                    on_request(count, request)
+                nbytes = request.b1 - request.b0 + 1
+                for (handle, record), k in per_lane_k:
+                    nchunks = request.b1 // k - request.b0 // k + 1
+                    record(t, nbytes, nchunks, handle(request))
+                count += 1
+                if progress is not None and count % progress_every == 0:
+                    progress(count, total, time.perf_counter() - t_replay0)
+        replay_seconds = time.perf_counter() - t_replay0
+        if progress is not None:
+            progress(count, total, replay_seconds)
+
+        report = RunReport(
+            engine="multireplay",
+            mode="broadcast",
+            wall_seconds=time.perf_counter() - t_start,
+            num_requests=count,
+            num_caches=len(keys),
+        )
+        if prepare_seconds:
+            report.stages.append(
+                StageTiming("prepare", prepare_seconds, len(offline))
+            )
+        report.stages.append(StageTiming("replay", replay_seconds, count))
+
+        return {
+            key: SimulationResult(
+                cache=self.caches[key],
+                metrics=self.collectors[key],
+                num_requests=count,
+                report=report,
+            )
+            for key in keys
+        }
+
+
 def replay(
     cache: VideoCache,
     requests: Iterable[Request],
     interval: float = 3600.0,
     metrics: Optional[MetricsCollector] = None,
     on_request: Optional[Callable[[int, Request], None]] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> SimulationResult:
     """Replay ``requests`` (time-ordered) through ``cache``.
 
     Offline caches (``cache.offline``) receive the materialized sequence
     via ``prepare`` first, so passing a generator is fine — it is
     drained once either way.  ``on_request(i, request)`` is an optional
-    progress hook called before each request.
+    progress hook called before each request; ``progress`` receives
+    periodic ``(done, total, elapsed)`` callbacks.  The result carries a
+    :class:`~repro.sim.instrumentation.RunReport`.
     """
-    if metrics is None:
-        metrics = MetricsCollector(
-            cache.cost_model, chunk_bytes=cache.chunk_bytes, interval=interval
-        )
-    sequence: Sequence[Request] | Iterable[Request] = requests
-    if cache.offline:
-        sequence = requests if isinstance(requests, Sequence) else list(requests)
-        cache.prepare(sequence)
-
-    count = 0
-    last_t = float("-inf")
-    for i, request in enumerate(sequence):
-        if request.t < last_t:
-            raise ValueError(
-                f"trace not time-ordered at index {i}: {request.t} < {last_t}"
-            )
-        last_t = request.t
-        if on_request is not None:
-            on_request(i, request)
-        response = cache.handle(request)
-        metrics.record(request, response)
-        count += 1
-    return SimulationResult(cache=cache, metrics=metrics, num_requests=count)
+    engine = MultiReplay(
+        {"__only__": cache},
+        interval=interval,
+        collectors={"__only__": metrics} if metrics is not None else None,
+    )
+    result = engine.run(requests, on_request=on_request, progress=progress)["__only__"]
+    assert result.report is not None
+    result.report.engine = "replay"
+    result.report.mode = "serial"
+    return result

@@ -23,7 +23,7 @@ compared against Optimal-Cache bounds in the same units (Figure 2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.core.base import CacheResponse
@@ -101,7 +101,12 @@ class IntervalSample:
 
 
 class MetricsCollector:
-    """Accumulates per-request outcomes into totals and a time series."""
+    """Accumulates per-request outcomes into totals and a time series.
+
+    Only the live interval bucket is touched per request; whole-trace
+    totals are the (exact, integer) merge of the completed buckets, so
+    the hot :meth:`record_raw` path does a single counter update.
+    """
 
     def __init__(
         self,
@@ -114,33 +119,66 @@ class MetricsCollector:
         self.cost_model = cost_model
         self.chunk_bytes = chunk_bytes
         self.interval = interval
-        self._totals = _MutableCounters()
         self._bucket = _MutableCounters()
         self._bucket_start: Optional[float] = None
+        self._bucket_end: Optional[float] = None
         self._samples: List[IntervalSample] = []
         self._t_first: Optional[float] = None
         self._t_last: Optional[float] = None
 
     def record(self, request: Request, response: CacheResponse) -> None:
         """Fold one handled request into the metrics."""
-        t = request.t
+        self.record_raw(
+            request.t,
+            request.num_bytes,
+            request.num_chunks(self.chunk_bytes),
+            response,
+        )
+
+    def record_raw(
+        self, t: float, nbytes: int, nchunks: int, response: CacheResponse
+    ) -> None:
+        """Hot-path record with request-derived values precomputed.
+
+        Broadcast replay computes ``nbytes``/``nchunks`` once per
+        request and shares them across every collector in the pass.
+        """
         if self._t_first is None:
             self._t_first = t
         self._t_last = t
 
-        if self._bucket_start is None:
-            self._bucket_start = self._aligned(t)
-        while t >= self._bucket_start + self.interval:
-            self._flush_bucket()
+        end = self._bucket_end
+        if end is None:
+            start = math.floor(t / self.interval) * self.interval
+            self._bucket_start = start
+            self._bucket_end = start + self.interval
+        elif t >= end:
+            self._advance_to(t)
 
-        for counters in (self._totals, self._bucket):
-            counters.add(request, response, self.chunk_bytes)
+        bucket = self._bucket
+        bucket.num_requests += 1
+        bucket.requested_bytes += nbytes
+        bucket.requested_chunks += nchunks
+        if response.served:
+            bucket.num_served += 1
+            bucket.egress_bytes += nbytes
+            filled = response.filled_chunks
+            if filled:
+                bucket.ingress_bytes += filled * self.chunk_bytes
+                bucket.filled_chunks += filled
+        else:
+            bucket.redirected_bytes += nbytes
+            bucket.redirected_chunks += nchunks
 
     # -- results -------------------------------------------------------------
 
     def totals(self) -> TrafficSummary:
         """Summary over everything recorded so far."""
-        return self._totals.freeze(self.cost_model)
+        agg = _MutableCounters()
+        for sample in self._samples:
+            agg.merge(sample.summary)
+        agg.merge_counters(self._bucket)
+        return agg.freeze(self.cost_model)
 
     def series(self) -> List[IntervalSample]:
         """Completed + current interval buckets, in time order."""
@@ -176,19 +214,39 @@ class MetricsCollector:
         cut = self._t_last - (self._t_last - self._t_first) * fraction
         return self.window(cut)
 
+    def with_cost_model(self, cost_model: CostModel) -> "MetricsCollector":
+        """A copy of this collector reinterpreted under ``cost_model``.
+
+        The traffic counters are cost-independent — only the derived
+        efficiency changes — so a cache whose *decisions* ignore the
+        cost model can be replayed once and re-read at any ``alpha``.
+        The scheduler uses this to collapse alpha-duplicate sweep cells.
+        """
+        clone = MetricsCollector(cost_model, self.chunk_bytes, self.interval)
+        clone._samples = [
+            IntervalSample(s.t_start, replace(s.summary, cost_model=cost_model))
+            for s in self._samples
+        ]
+        clone._bucket = self._bucket.copy()
+        clone._bucket_start = self._bucket_start
+        clone._bucket_end = self._bucket_end
+        clone._t_first = self._t_first
+        clone._t_last = self._t_last
+        return clone
+
     # -- internals -----------------------------------------------------------
 
-    def _aligned(self, t: float) -> float:
-        return math.floor(t / self.interval) * self.interval
-
-    def _flush_bucket(self) -> None:
+    def _advance_to(self, t: float) -> None:
+        """Close the live bucket and open the aligned one containing ``t``."""
         assert self._bucket_start is not None
         if self._bucket.num_requests:
             self._samples.append(
                 IntervalSample(self._bucket_start, self._bucket.freeze(self.cost_model))
             )
-        self._bucket = _MutableCounters()
-        self._bucket_start += self.interval
+            self._bucket = _MutableCounters()
+        start = math.floor(t / self.interval) * self.interval
+        self._bucket_start = start
+        self._bucket_end = start + self.interval
 
 
 class _MutableCounters:
@@ -242,6 +300,22 @@ class _MutableCounters:
         self.redirected_bytes += other.redirected_bytes
         self.filled_chunks += other.filled_chunks
         self.redirected_chunks += other.redirected_chunks
+
+    def merge_counters(self, other: "_MutableCounters") -> None:
+        self.num_requests += other.num_requests
+        self.num_served += other.num_served
+        self.requested_bytes += other.requested_bytes
+        self.requested_chunks += other.requested_chunks
+        self.egress_bytes += other.egress_bytes
+        self.ingress_bytes += other.ingress_bytes
+        self.redirected_bytes += other.redirected_bytes
+        self.filled_chunks += other.filled_chunks
+        self.redirected_chunks += other.redirected_chunks
+
+    def copy(self) -> "_MutableCounters":
+        dup = _MutableCounters()
+        dup.merge_counters(self)
+        return dup
 
     def freeze(self, cost_model: CostModel) -> TrafficSummary:
         return TrafficSummary(

@@ -5,12 +5,20 @@ size — over per-server traces.  :func:`run_matrix` runs any cross
 product of cache factories and configurations;
 :func:`sweep_alpha` / :func:`sweep_disk` are the two named sweeps
 (Figures 4–6).
+
+Execution is delegated to :class:`~repro.sim.schedule.SweepScheduler`:
+online cells share a single broadcast pass of the trace, offline cells
+run as independent tasks, and a worker count > 1 (argument or
+``REPRO_WORKERS``) distributes the work over a process pool.  The
+results are identical to per-cell sequential replay — the
+golden-equivalence suite in ``tests/sim/test_equivalence.py`` holds the
+scheduler to that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.base import VideoCache
 from repro.core.baselines import BeladyCache, LfuAdmissionCache, PullThroughLruCache
@@ -19,16 +27,19 @@ from repro.core.costs import CostModel
 from repro.core.lru_variants import GreedyDualSizeCache, LruKCache
 from repro.core.psychic import PsychicCache
 from repro.core.xlru import XlruCache
-from repro.sim.engine import SimulationResult, replay
+from repro.sim.engine import SimulationResult
+from repro.sim.instrumentation import ProgressCallback
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
 
 __all__ = [
     "CACHE_FACTORIES",
+    "PAPER_ALGORITHMS",
     "build_cache",
     "RunConfig",
     "run_matrix",
     "sweep_alpha",
     "sweep_disk",
+    "results_table",
 ]
 
 #: Registry of algorithm name -> cache class, for config-driven runs.
@@ -96,19 +107,36 @@ class RunConfig:
 
 def run_matrix(
     configs: Iterable[RunConfig],
-    requests: Sequence[Request],
+    requests: Iterable[Request],
     interval: float = 3600.0,
+    *,
+    workers: Optional[int] = None,
+    mode: str = "auto",
+    collapse: bool = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, SimulationResult]:
     """Replay ``requests`` against every configuration.
 
-    The trace must be an in-memory sequence: offline caches need it
-    whole, and the matrix replays it repeatedly.
+    Online cells share one broadcast pass; offline cells spill the
+    trace to a list and run independently.  ``workers`` > 1 (or the
+    ``REPRO_WORKERS`` environment variable) executes the plan on a
+    process pool; ``mode`` selects the execution strategy (see
+    :class:`~repro.sim.schedule.SweepScheduler`).
+
+    Raises :class:`ValueError` when two configs share a ``key`` (e.g. a
+    duplicate ``label``) — previously the later cell silently
+    overwrote the earlier one.
     """
-    results: Dict[str, SimulationResult] = {}
-    for config in configs:
-        cache = config.build()
-        results[config.key] = replay(cache, requests, interval=interval)
-    return results
+    from repro.sim.schedule import SweepScheduler
+
+    scheduler = SweepScheduler(
+        workers=workers,
+        mode=mode,
+        interval=interval,
+        collapse=collapse,
+        progress=progress,
+    )
+    return scheduler.run(list(configs), requests)
 
 
 def sweep_alpha(
@@ -118,16 +146,34 @@ def sweep_alpha(
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
     interval: float = 3600.0,
+    *,
+    workers: Optional[int] = None,
+    mode: str = "auto",
 ) -> Mapping[float, Dict[str, SimulationResult]]:
-    """The Figure 4/5 sweep: every algorithm at every ``alpha_F2R``."""
-    out: Dict[float, Dict[str, SimulationResult]] = {}
-    for alpha in alphas:
-        configs = [
-            RunConfig(algo, disk_chunks, alpha, chunk_bytes, label=algo)
-            for algo in algorithms
-        ]
-        out[alpha] = run_matrix(configs, requests, interval=interval)
-    return out
+    """The Figure 4/5 sweep: every algorithm at every ``alpha_F2R``.
+
+    The whole alpha x algorithm matrix is scheduled as ONE plan, so all
+    online cells — across every alpha — share a single pass of the
+    trace instead of one pass per alpha.
+    """
+    alphas = list(dict.fromkeys(alphas))
+    algorithms = list(dict.fromkeys(algorithms))
+    configs = [
+        RunConfig(
+            algo, disk_chunks, alpha, chunk_bytes, label=f"alpha={alpha:g}/{algo}"
+        )
+        for alpha in alphas
+        for algo in algorithms
+    ]
+    results = run_matrix(
+        configs, requests, interval=interval, workers=workers, mode=mode
+    )
+    return {
+        alpha: {
+            algo: results[f"alpha={alpha:g}/{algo}"] for algo in algorithms
+        }
+        for alpha in alphas
+    }
 
 
 def sweep_disk(
@@ -137,16 +183,31 @@ def sweep_disk(
     algorithms: Sequence[str] = PAPER_ALGORITHMS,
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
     interval: float = 3600.0,
+    *,
+    workers: Optional[int] = None,
+    mode: str = "auto",
 ) -> Mapping[int, Dict[str, SimulationResult]]:
-    """The Figure 6 sweep: every algorithm at every disk size (chunks)."""
-    out: Dict[int, Dict[str, SimulationResult]] = {}
-    for disk in disk_sizes:
-        configs = [
-            RunConfig(algo, disk, alpha_f2r, chunk_bytes, label=algo)
-            for algo in algorithms
-        ]
-        out[disk] = run_matrix(configs, requests, interval=interval)
-    return out
+    """The Figure 6 sweep: every algorithm at every disk size (chunks).
+
+    Like :func:`sweep_alpha`, the whole disk x algorithm matrix is one
+    scheduler plan — online cells at every disk size share one pass.
+    """
+    disk_sizes = list(dict.fromkeys(disk_sizes))
+    algorithms = list(dict.fromkeys(algorithms))
+    configs = [
+        RunConfig(
+            algo, disk, alpha_f2r, chunk_bytes, label=f"disk={disk}/{algo}"
+        )
+        for disk in disk_sizes
+        for algo in algorithms
+    ]
+    results = run_matrix(
+        configs, requests, interval=interval, workers=workers, mode=mode
+    )
+    return {
+        disk: {algo: results[f"disk={disk}/{algo}"] for algo in algorithms}
+        for disk in disk_sizes
+    }
 
 
 def results_table(

@@ -1,0 +1,388 @@
+"""Sweep scheduling: partition matrix cells, execute groups, in parallel.
+
+The paper's experiments (Figures 4–7) are matrices — algorithm x
+``alpha_F2R`` x disk size — replayed over a month-long trace.  The
+:class:`SweepScheduler` turns such a matrix into an execution plan:
+
+* **Broadcast groups** — online caches share a single streaming pass of
+  the trace (:class:`~repro.sim.engine.MultiReplay`), so the matrix
+  costs O(trace) iteration instead of O(cells x trace).
+* **Single tasks** — offline caches (Psychic, Belady) need the
+  materialized future via ``prepare`` and run as independent cells.
+* **Alpha-collapsing** — caches whose *decisions* never consult the
+  cost model (``cost_sensitive = False``: PullLRU, LFU, Belady, LRU-K)
+  produce byte-identical traffic counters at every ``alpha``; the
+  scheduler simulates one representative cell and derives the others by
+  reinterpreting its counters under each cell's cost model.  This is
+  exact, not approximate — efficiency is a property computed from the
+  counters at read time.
+* **Parallel execution** — groups run via
+  ``concurrent.futures.ProcessPoolExecutor`` when a worker count > 1 is
+  requested (argument or ``REPRO_WORKERS``), with a graceful in-process
+  fallback when process pools are unavailable or fail.
+
+Result keys and ordering are deterministic: the returned mapping is
+keyed by ``RunConfig.key`` in input order, whatever the execution
+strategy.  Duplicate keys are a hard error (they would silently
+overwrite results).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.costs import CostModel
+from repro.sim.engine import MultiReplay, SimulationResult, replay
+from repro.sim.instrumentation import ProgressCallback, RunReport, StageTiming
+from repro.trace.requests import Request
+
+__all__ = [
+    "WORKERS_ENV",
+    "CellGroup",
+    "SweepPlan",
+    "SweepScheduler",
+    "resolve_workers",
+]
+
+#: Environment knob for the default worker count ("repro-experiment
+#: --workers N" sets it; 0/1/unset mean in-process execution).
+WORKERS_ENV = "REPRO_WORKERS"
+
+_MODES = ("auto", "serial", "parallel", "cells")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit argument, else ``REPRO_WORKERS``."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV}={raw!r} is not an integer"
+                ) from None
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class CellGroup:
+    """One executable unit of a sweep plan."""
+
+    #: "broadcast" — online caches sharing one trace pass;
+    #: "single" — an offline cache running its own prepare + replay.
+    kind: str
+    configs: Tuple["RunConfig", ...]  # noqa: F821 - see repro.sim.runner
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(config.key for config in self.configs)
+
+
+@dataclass
+class SweepPlan:
+    """How a config matrix will be executed."""
+
+    groups: List[CellGroup]
+    #: clone key -> primary key for alpha-collapsed cells
+    clones: Dict[str, str] = field(default_factory=dict)
+    #: every cell key, in input order (the result-dict ordering)
+    keys: Tuple[str, ...] = ()
+    configs_by_key: Dict[str, "RunConfig"] = field(default_factory=dict)  # noqa: F821
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.keys)
+
+    @property
+    def num_simulated(self) -> int:
+        """Cells that actually replay (the rest are exact clones)."""
+        return sum(len(group.configs) for group in self.groups)
+
+    def describe(self) -> str:
+        broadcast = [g for g in self.groups if g.kind == "broadcast"]
+        singles = [g for g in self.groups if g.kind == "single"]
+        return (
+            f"{self.num_cells} cells -> {self.num_simulated} simulations "
+            f"({len(broadcast)} broadcast groups, {len(singles)} offline "
+            f"tasks, {len(self.clones)} collapsed clones)"
+        )
+
+
+class SweepScheduler:
+    """Plans and executes experiment matrices over one trace.
+
+    Modes:
+
+    * ``auto`` (default) — ``parallel`` when the effective worker count
+      is > 1, else ``serial``;
+    * ``serial`` — broadcast groups and offline tasks, in-process;
+    * ``parallel`` — groups distributed over a process pool (the online
+      broadcast group is split into ~``workers`` balanced sub-groups);
+    * ``cells`` — strict per-cell sequential replay with no grouping or
+      collapsing.  This is the seed ``run_matrix`` behaviour, kept as a
+      baseline for benchmarking and for the golden-equivalence suite.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        mode: str = "auto",
+        interval: float = 3600.0,
+        collapse: bool = True,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.workers = resolve_workers(workers)
+        self.mode = mode
+        self.interval = interval
+        self.collapse = collapse
+        self.progress = progress
+        #: Observability record of the last :meth:`run` (None before).
+        self.last_report: Optional[RunReport] = None
+
+    # -- planning ------------------------------------------------------------
+
+    def effective_mode(self) -> str:
+        if self.mode == "auto":
+            return "parallel" if self.workers > 1 else "serial"
+        return self.mode
+
+    def plan(self, configs: Sequence["RunConfig"]) -> SweepPlan:  # noqa: F821
+        """Partition ``configs`` into groups, clones and key order."""
+        from repro.sim.runner import CACHE_FACTORIES
+
+        configs = list(configs)
+        keys = [config.key for config in configs]
+        seen: Dict[str, int] = {}
+        duplicates = []
+        for key in keys:
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] == 2:
+                duplicates.append(key)
+        if duplicates:
+            raise ValueError(
+                "duplicate RunConfig keys (results would overwrite each "
+                f"other): {duplicates!r}; give the configs distinct labels"
+            )
+
+        mode = self.effective_mode()
+        clones: Dict[str, str] = {}
+        primaries: List["RunConfig"] = []  # noqa: F821
+        if self.collapse and mode != "cells":
+            # Cells that differ only in alpha are byte-identical for
+            # cost-insensitive algorithms: simulate the first, clone the
+            # rest by reinterpreting its counters under each cost model.
+            rep_by_shape: Dict[tuple, str] = {}
+            for config in configs:
+                factory = CACHE_FACTORIES.get(config.algorithm)
+                insensitive = (
+                    factory is not None
+                    and getattr(factory, "cost_sensitive", True) is False
+                )
+                if not insensitive:
+                    primaries.append(config)
+                    continue
+                shape = (config.algorithm, config.disk_chunks, config.chunk_bytes)
+                primary_key = rep_by_shape.get(shape)
+                if primary_key is None:
+                    rep_by_shape[shape] = config.key
+                    primaries.append(config)
+                else:
+                    clones[config.key] = primary_key
+        else:
+            primaries = configs
+
+        def is_offline(config) -> bool:
+            factory = CACHE_FACTORIES.get(config.algorithm)
+            return factory is not None and getattr(factory, "offline", False)
+
+        online = [c for c in primaries if not is_offline(c)]
+        offline = [c for c in primaries if is_offline(c)]
+
+        groups: List[CellGroup] = []
+        if mode == "cells":
+            groups = [CellGroup("single", (c,)) for c in primaries]
+        else:
+            if online:
+                if mode == "parallel":
+                    n_groups = max(1, min(self.workers, len(online)))
+                else:
+                    n_groups = 1
+                # Round-robin keeps heterogeneous algorithms balanced
+                # across the sub-groups.
+                for i in range(n_groups):
+                    part = tuple(online[i::n_groups])
+                    if part:
+                        groups.append(CellGroup("broadcast", part))
+            groups.extend(CellGroup("single", (c,)) for c in offline)
+
+        return SweepPlan(
+            groups=groups,
+            clones=clones,
+            keys=tuple(keys),
+            configs_by_key={c.key: c for c in configs},
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        configs: Sequence["RunConfig"],  # noqa: F821
+        requests: Iterable[Request],
+    ) -> Dict[str, SimulationResult]:
+        """Execute the plan for ``configs`` over ``requests``.
+
+        Returns ``{config.key: SimulationResult}`` in input-config
+        order.  ``requests`` may be a generator when the plan is a
+        single in-process broadcast group (all-online, serial); any
+        other shape needs — and gets — a one-time spill to a list.
+        """
+        t_start = time.perf_counter()
+        plan = self.plan(configs)
+        mode = self.effective_mode()
+
+        needs_list = (
+            mode == "parallel"
+            or len(plan.groups) > 1
+            or any(group.kind == "single" for group in plan.groups)
+        )
+        if needs_list and not isinstance(requests, Sequence):
+            requests = list(requests)
+
+        parallel_used = False
+        if mode == "parallel" and len(plan.groups) > 1:
+            results, parallel_used = self._run_parallel(plan, requests)
+        else:
+            results = self._run_groups(plan.groups, requests)
+
+        self._apply_clones(plan, results)
+
+        wall = time.perf_counter() - t_start
+        num_requests = next(iter(results.values())).num_requests if results else 0
+        self.last_report = RunReport(
+            engine="scheduler",
+            mode="parallel" if parallel_used else mode,
+            wall_seconds=wall,
+            num_requests=num_requests,
+            num_caches=plan.num_cells,
+            workers=self.workers if parallel_used else 1,
+            stages=[StageTiming("sweep", wall, plan.num_simulated)],
+            extra={
+                "cells": plan.num_cells,
+                "simulated": plan.num_simulated,
+                "clones": len(plan.clones),
+                "groups": len(plan.groups),
+            },
+        )
+        for result in results.values():
+            if result.report is not None:
+                result.report.extra.setdefault("scheduler_mode", self.last_report.mode)
+                result.report.extra.setdefault(
+                    "scheduler_workers", self.last_report.workers
+                )
+
+        # Deterministic output order: the input-config order.
+        return {key: results[key] for key in plan.keys}
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_groups(
+        self, groups: Sequence[CellGroup], requests: Iterable[Request]
+    ) -> Dict[str, SimulationResult]:
+        results: Dict[str, SimulationResult] = {}
+        for group in groups:
+            results.update(
+                _execute_group(
+                    group.kind, group.configs, requests, self.interval, self.progress
+                )
+            )
+        return results
+
+    def _run_parallel(
+        self, plan: SweepPlan, requests: Sequence[Request]
+    ) -> Tuple[Dict[str, SimulationResult], bool]:
+        """Distribute groups over a process pool; fall back serially."""
+        max_workers = min(self.workers, len(plan.groups))
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(
+                        _execute_group, group.kind, group.configs, requests,
+                        self.interval, None,
+                    )
+                    for group in plan.groups
+                ]
+                results: Dict[str, SimulationResult] = {}
+                for future in as_completed(futures):
+                    results.update(future.result())
+            return results, True
+        except (OSError, ValueError, RuntimeError, ImportError) as exc:
+            warnings.warn(
+                f"parallel sweep execution failed ({exc!r}); "
+                "falling back to in-process execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return self._run_groups(plan.groups, requests), False
+
+    def _apply_clones(
+        self, plan: SweepPlan, results: Dict[str, SimulationResult]
+    ) -> None:
+        """Materialize alpha-collapsed cells from their primaries.
+
+        The clone's cache state is byte-identical to the primary's (its
+        decisions never consulted the cost model), so a copy with the
+        clone's cost model swapped in is exactly what a dedicated replay
+        would have produced.  Copying goes through pickle — serialize
+        each primary once, deserialize per clone — which is several
+        times faster than ``copy.deepcopy`` on treap-heavy cache state.
+        """
+        blobs: Dict[str, bytes] = {}
+        for clone_key, primary_key in plan.clones.items():
+            config = plan.configs_by_key[clone_key]
+            primary = results[primary_key]
+            cost_model = CostModel(config.alpha_f2r)
+            blob = blobs.get(primary_key)
+            if blob is None:
+                blob = blobs[primary_key] = pickle.dumps(
+                    primary.cache, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            cache = pickle.loads(blob)
+            cache.cost_model = cost_model
+            results[clone_key] = SimulationResult(
+                cache=cache,
+                metrics=primary.metrics.with_cost_model(cost_model),
+                num_requests=primary.num_requests,
+                report=primary.report,
+            )
+
+
+def _execute_group(
+    kind: str,
+    configs: Tuple["RunConfig", ...],  # noqa: F821
+    requests: Iterable[Request],
+    interval: float,
+    progress: Optional[ProgressCallback],
+) -> Dict[str, SimulationResult]:
+    """Run one cell group (module-level so process pools can pickle it)."""
+    if kind == "single":
+        (config,) = configs
+        return {
+            config.key: replay(
+                config.build(), requests, interval=interval, progress=progress
+            )
+        }
+    caches = {config.key: config.build() for config in configs}
+    return MultiReplay(caches, interval=interval).run(requests, progress=progress)

@@ -1,0 +1,127 @@
+"""Golden equivalence: broadcast/scheduled sweeps == sequential replay.
+
+The layered engine promises *exact* equivalence, not approximate: a
+broadcast pass, a scheduler plan (with alpha-collapsing) and a process
+pool must all produce byte-identical traffic counters to the seed
+behaviour of replaying each cell on its own.  These tests hold every
+registered algorithm to that, both whole-trace and steady-state.
+"""
+
+import pytest
+
+from repro.sim.engine import MultiReplay, replay
+from repro.sim.runner import CACHE_FACTORIES, RunConfig, build_cache
+from repro.sim.schedule import SweepScheduler
+
+ONLINE = sorted(n for n, f in CACHE_FACTORIES.items() if not f.offline)
+OFFLINE = sorted(n for n, f in CACHE_FACTORIES.items() if f.offline)
+ALL = ONLINE + OFFLINE
+
+DISK = 64
+
+
+@pytest.fixture(scope="module")
+def trace(small_trace):
+    return small_trace[:600]
+
+
+@pytest.fixture(scope="module")
+def sequential_baseline(trace):
+    """Per-cell sequential replay of every algorithm (the seed path)."""
+    out = {}
+    for algo in ALL:
+        result = replay(build_cache(algo, DISK, alpha_f2r=2.0), trace)
+        out[algo] = (result.totals, result.steady)
+    return out
+
+
+class TestBroadcastEquivalence:
+    @pytest.mark.parametrize("algo", ALL)
+    def test_each_algorithm_matches_sequential(
+        self, algo, trace, sequential_baseline
+    ):
+        # every algorithm in ONE broadcast engine, vs one-at-a-time
+        engine = MultiReplay(
+            {a: build_cache(a, DISK, alpha_f2r=2.0) for a in ALL}
+        )
+        results = engine.run(trace)
+        totals, steady = sequential_baseline[algo]
+        assert results[algo].totals == totals
+        assert results[algo].steady == steady
+
+    def test_broadcast_series_matches_sequential(self, trace):
+        solo = replay(build_cache("Cafe", DISK, alpha_f2r=2.0), trace)
+        multi = MultiReplay({"Cafe": build_cache("Cafe", DISK, alpha_f2r=2.0)})
+        shared = multi.run(trace)["Cafe"]
+        assert [
+            (s.t_start, s.summary) for s in solo.metrics.series()
+        ] == [(s.t_start, s.summary) for s in shared.metrics.series()]
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("mode", ["serial", "cells", "parallel"])
+    def test_all_algorithms_all_modes(
+        self, mode, trace, sequential_baseline
+    ):
+        configs = [
+            RunConfig(algo, DISK, 2.0, label=algo) for algo in ALL
+        ]
+        workers = 2 if mode == "parallel" else None
+        scheduler = SweepScheduler(workers=workers, mode=mode)
+        results = scheduler.run(configs, trace)
+        for algo in ALL:
+            totals, steady = sequential_baseline[algo]
+            assert results[algo].totals == totals, algo
+            assert results[algo].steady == steady, algo
+
+    @pytest.mark.parametrize("algo", ONLINE)
+    def test_alpha_collapse_is_exact_online(self, algo, trace):
+        """collapse=True must equal collapse=False at every alpha."""
+        configs = [
+            RunConfig(algo, DISK, alpha, label=f"a={alpha:g}")
+            for alpha in (0.5, 1.0, 2.0, 4.0)
+        ]
+        collapsed = SweepScheduler(mode="serial", collapse=True).run(configs, trace)
+        direct = SweepScheduler(mode="serial", collapse=False).run(configs, trace)
+        for key in direct:
+            assert collapsed[key].totals == direct[key].totals, (algo, key)
+            assert collapsed[key].steady == direct[key].steady, (algo, key)
+            assert (
+                collapsed[key].cache.cost_model.alpha_f2r
+                == direct[key].cache.cost_model.alpha_f2r
+            )
+
+    @pytest.mark.parametrize("algo", OFFLINE)
+    def test_offline_fallback_path(self, algo, trace, sequential_baseline):
+        """Offline cells run as independent single tasks — still exact."""
+        configs = [RunConfig(algo, DISK, 2.0, label=algo)]
+        results = SweepScheduler(mode="serial").run(configs, trace)
+        totals, steady = sequential_baseline[algo]
+        assert results[algo].totals == totals
+        assert results[algo].steady == steady
+
+    def test_mixed_online_offline_matrix(self, trace):
+        """The fig3-shaped matrix: online broadcast + offline singles."""
+        configs = [
+            RunConfig(algo, DISK, 2.0, label=algo)
+            for algo in ("xLRU", "Cafe", "Psychic", "Belady")
+        ]
+        scheduled = SweepScheduler(mode="serial").run(configs, trace)
+        for config in configs:
+            solo = replay(
+                build_cache(config.algorithm, DISK, alpha_f2r=2.0), trace
+            )
+            assert scheduled[config.key].totals == solo.totals, config.key
+            assert scheduled[config.key].steady == solo.steady, config.key
+
+    def test_collapsed_clone_cache_state_matches_direct(self, trace):
+        """The clone's cache is a faithful final state, not a stub."""
+        configs = [
+            RunConfig("PullLRU", DISK, 1.0, label="a1"),
+            RunConfig("PullLRU", DISK, 4.0, label="a4"),
+        ]
+        results = SweepScheduler(mode="serial").run(configs, trace)
+        direct = replay(build_cache("PullLRU", DISK, alpha_f2r=4.0), trace)
+        clone_cache = results["a4"].cache
+        assert len(clone_cache) == len(direct.cache)
+        assert clone_cache.cost_model.alpha_f2r == 4.0

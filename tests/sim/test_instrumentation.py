@@ -1,0 +1,146 @@
+"""Tests for engine observability: timers, tickers, run reports."""
+
+import json
+
+import pytest
+
+from repro.sim.engine import replay
+from repro.sim.instrumentation import (
+    ProgressTicker,
+    RunReport,
+    StageTimer,
+    StageTiming,
+)
+from repro.sim.runner import build_cache
+
+
+class TestStageTiming:
+    def test_rate(self):
+        timing = StageTiming("replay", seconds=2.0, items=1000)
+        assert timing.rate == 500.0
+
+    def test_rate_zero_seconds(self):
+        assert StageTiming("noop", seconds=0.0, items=10).rate == 0.0
+
+    def test_dict_round_trip(self):
+        timing = StageTiming("prepare", seconds=0.5, items=3)
+        again = StageTiming.from_dict(timing.to_dict())
+        assert again == timing
+
+
+class TestStageTimer:
+    def test_stage_context_accumulates(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("a"):
+            pass
+        with timer.stage("b", items=7):
+            pass
+        timings = timer.timings()
+        assert [t.name for t in timings] == ["a", "b"]
+        assert timings[1].items == 7
+        assert timer.seconds("a") >= 0.0
+        assert timer.seconds("never-entered") == 0.0
+
+    def test_add_folds_items(self):
+        timer = StageTimer()
+        timer.add("replay", 1.0, items=10)
+        timer.add("replay", 2.0, items=5)
+        (timing,) = timer.timings()
+        assert timing.seconds == pytest.approx(3.0)
+        assert timing.items == 15
+
+    def test_exception_still_recorded(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("boom"):
+                raise RuntimeError("x")
+        assert timer.seconds("boom") >= 0.0
+        assert [t.name for t in timer.timings()] == ["boom"]
+
+
+class TestProgressTicker:
+    def test_fires_on_cadence(self):
+        calls = []
+        ticker = ProgressTicker(lambda d, t, e: calls.append((d, t)), every=3, total=10)
+        for i in range(1, 8):
+            ticker.tick(i)
+        assert [c[0] for c in calls] == [3, 6]
+        assert all(c[1] == 10 for c in calls)
+
+    def test_finish_always_fires(self):
+        calls = []
+        ticker = ProgressTicker(lambda d, t, e: calls.append(d), every=1000)
+        ticker.finish(42)
+        assert calls == [42]
+
+    def test_no_callback_is_free(self):
+        ticker = ProgressTicker(None, every=2)
+        ticker.tick(2)
+        ticker.finish(2)  # must not raise
+
+    def test_rejects_bad_cadence(self):
+        with pytest.raises(ValueError, match="every"):
+            ProgressTicker(None, every=0)
+
+
+class TestRunReport:
+    def test_rates(self):
+        report = RunReport(
+            engine="multireplay", wall_seconds=2.0, num_requests=1000, num_caches=4
+        )
+        assert report.requests_per_second == 500.0
+        assert report.handles_per_second == 2000.0
+
+    def test_json_round_trip(self):
+        report = RunReport(
+            engine="scheduler",
+            mode="parallel",
+            wall_seconds=1.5,
+            num_requests=100,
+            num_caches=3,
+            workers=2,
+            stages=[StageTiming("replay", 1.4, 100)],
+            extra={"cells": 3},
+        )
+        data = json.loads(report.to_json())
+        again = RunReport.from_dict(data)
+        assert again == report
+
+    def test_describe_mentions_engine_and_rate(self):
+        report = RunReport(engine="replay", wall_seconds=1.0, num_requests=500)
+        text = report.describe()
+        assert "replay" in text and "500 requests" in text and "req/s" in text
+
+
+class TestReplayReport:
+    def test_replay_attaches_report(self, small_trace):
+        trace = small_trace[:400]
+        result = replay(build_cache("xLRU", 64), trace)
+        report = result.report
+        assert report is not None
+        assert report.engine == "replay"
+        assert report.mode == "serial"
+        assert report.num_requests == 400
+        assert report.wall_seconds > 0.0
+        assert report.requests_per_second > 0.0
+        # must be JSON-serializable end to end
+        json.dumps(report.to_dict())
+        stage_names = [s.name for s in report.stages]
+        assert "replay" in stage_names
+
+    def test_offline_replay_times_prepare(self, small_trace):
+        result = replay(build_cache("Psychic", 64), small_trace[:400])
+        stage_names = [s.name for s in result.report.stages]
+        assert stage_names == ["prepare", "replay"]
+
+    def test_replay_progress_callbacks(self, small_trace):
+        calls = []
+        replay(
+            build_cache("xLRU", 64),
+            small_trace[:300],
+            progress=lambda done, total, elapsed: calls.append((done, total)),
+        )
+        # final callback always fires with the full count
+        assert calls[-1] == (300, 300)

@@ -82,3 +82,50 @@ class TestSweeps:
         rows = results_table(run_matrix(configs, small_trace[:300]))
         assert rows[0]["config"] == "x"
         assert "efficiency" in rows[0]
+
+    def test_duplicate_keys_raise(self, small_trace):
+        # Regression: duplicate keys used to silently overwrite results.
+        configs = [
+            RunConfig("xLRU", 64, 1.0, label="same"),
+            RunConfig("Cafe", 64, 1.0, label="same"),
+        ]
+        with pytest.raises(ValueError, match="duplicate RunConfig keys"):
+            run_matrix(configs, small_trace[:100])
+
+    def test_duplicate_default_keys_raise(self, small_trace):
+        configs = [RunConfig("xLRU", 64, 1.0), RunConfig("xLRU", 64, 1.0)]
+        with pytest.raises(ValueError, match="duplicate"):
+            run_matrix(configs, small_trace[:100])
+
+    def test_sweep_alpha_tolerates_repeated_alphas(self, small_trace):
+        # The seed silently deduped via dict keys; keep that behaviour
+        # rather than surfacing the scheduler's duplicate-key error.
+        sweep = sweep_alpha(
+            small_trace[:300], 64, alphas=(1.0, 1.0, 2.0), algorithms=("xLRU",)
+        )
+        assert set(sweep) == {1.0, 2.0}
+
+    def test_results_ordered_like_configs(self, small_trace):
+        configs = [
+            RunConfig("Cafe", 64, 2.0, label="z"),
+            RunConfig("xLRU", 64, 1.0, label="a"),
+            RunConfig("Psychic", 64, 1.0, label="m"),
+        ]
+        results = run_matrix(configs, small_trace[:300])
+        assert list(results) == ["z", "a", "m"]
+
+
+class TestPublicApi:
+    def test_results_table_exported(self):
+        # Regression: results_table was missing from runner.__all__.
+        import repro.sim.runner as runner
+
+        assert "results_table" in runner.__all__
+        assert "PAPER_ALGORITHMS" in runner.__all__
+
+    def test_package_reexports(self):
+        import repro.sim as sim
+
+        for name in ("SweepScheduler", "MultiReplay", "RunReport", "results_table"):
+            assert hasattr(sim, name)
+            assert name in sim.__all__

@@ -1,0 +1,169 @@
+"""Tests for the sweep scheduler: planning, execution, parallelism."""
+
+import pytest
+
+from repro.sim.runner import RunConfig
+from repro.sim.schedule import (
+    WORKERS_ENV,
+    SweepScheduler,
+    resolve_workers,
+)
+
+
+def _matrix(algorithms, alphas, disk=64):
+    return [
+        RunConfig(algo, disk, alpha, label=f"{algo}/a={alpha:g}")
+        for algo in algorithms
+        for alpha in alphas
+    ]
+
+
+class TestResolveWorkers:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers() == 4
+
+    def test_bad_env_value(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(0)
+
+
+class TestPlanning:
+    def test_online_share_one_broadcast_group(self):
+        plan = SweepScheduler().plan(_matrix(("xLRU", "Cafe"), (1.0, 2.0)))
+        broadcast = [g for g in plan.groups if g.kind == "broadcast"]
+        assert len(broadcast) == 1
+        assert len(broadcast[0].configs) == 4
+        assert plan.num_cells == 4
+
+    def test_offline_cells_are_single_tasks(self):
+        plan = SweepScheduler().plan(_matrix(("xLRU", "Psychic"), (1.0, 2.0)))
+        singles = [g for g in plan.groups if g.kind == "single"]
+        assert len(singles) == 2
+        assert all(c.algorithm == "Psychic" for g in singles for c in g.configs)
+
+    def test_alpha_collapse_of_cost_insensitive_cells(self):
+        # PullLRU never consults the cost model: one simulation feeds
+        # every alpha; xLRU stays one simulation per alpha.
+        plan = SweepScheduler().plan(_matrix(("xLRU", "PullLRU"), (0.5, 1.0, 2.0)))
+        assert plan.num_cells == 6
+        assert plan.num_simulated == 4  # 3 xLRU + 1 PullLRU primary
+        assert len(plan.clones) == 2
+        assert set(plan.clones.values()) == {"PullLRU/a=0.5"}
+
+    def test_collapse_keeps_distinct_disks_separate(self):
+        configs = [
+            RunConfig("PullLRU", 32, 1.0, label="d32"),
+            RunConfig("PullLRU", 64, 2.0, label="d64"),
+        ]
+        plan = SweepScheduler().plan(configs)
+        assert plan.num_simulated == 2 and not plan.clones
+
+    def test_collapse_can_be_disabled(self):
+        plan = SweepScheduler(collapse=False).plan(
+            _matrix(("PullLRU",), (1.0, 2.0))
+        )
+        assert plan.num_simulated == 2 and not plan.clones
+
+    def test_parallel_mode_splits_broadcast_group(self):
+        scheduler = SweepScheduler(workers=2, mode="parallel", collapse=False)
+        plan = scheduler.plan(_matrix(("xLRU", "Cafe"), (1.0, 2.0)))
+        broadcast = [g for g in plan.groups if g.kind == "broadcast"]
+        assert len(broadcast) == 2
+        assert sorted(len(g.configs) for g in broadcast) == [2, 2]
+
+    def test_cells_mode_is_per_cell(self):
+        plan = SweepScheduler(mode="cells").plan(_matrix(("xLRU", "PullLRU"), (1.0, 2.0)))
+        assert all(g.kind == "single" and len(g.configs) == 1 for g in plan.groups)
+        assert plan.num_simulated == 4 and not plan.clones
+
+    def test_duplicate_keys_rejected(self):
+        configs = [RunConfig("xLRU", 64, label="k"), RunConfig("Cafe", 64, label="k")]
+        with pytest.raises(ValueError, match="duplicate RunConfig keys"):
+            SweepScheduler().plan(configs)
+
+    def test_describe(self):
+        plan = SweepScheduler().plan(_matrix(("xLRU", "PullLRU"), (1.0, 2.0)))
+        text = plan.describe()
+        assert "4 cells" in text and "3 simulations" in text
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            SweepScheduler(mode="warp")
+
+
+class TestExecution:
+    def test_serial_run_keys_in_input_order(self, small_trace):
+        configs = _matrix(("Cafe", "xLRU"), (2.0, 1.0))
+        results = SweepScheduler(mode="serial").run(configs, small_trace[:300])
+        assert list(results) == [c.key for c in configs]
+
+    def test_generator_trace_streams_for_online_plan(self, small_trace):
+        trace = small_trace[:300]
+        results = SweepScheduler(mode="serial").run(
+            [RunConfig("xLRU", 64, 1.0, label="x"), RunConfig("Cafe", 64, 1.0, label="c")],
+            iter(trace),
+        )
+        assert results["x"].num_requests == 300
+
+    def test_clone_results_share_counters_not_cost_model(self, small_trace):
+        trace = small_trace[:400]
+        configs = _matrix(("PullLRU",), (1.0, 4.0))
+        results = SweepScheduler(mode="serial").run(configs, trace)
+        a, b = results["PullLRU/a=1"], results["PullLRU/a=4"]
+        # identical traffic counters, different cost interpretation
+        assert a.totals.num_requests == b.totals.num_requests
+        assert a.totals.ingress_bytes == b.totals.ingress_bytes
+        assert b.cache.cost_model.alpha_f2r == 4.0
+        assert a.totals.efficiency != b.totals.efficiency
+
+    def test_parallel_execution_matches_serial(self, small_trace):
+        trace = small_trace[:400]
+        configs = _matrix(("xLRU", "Cafe"), (1.0, 2.0))
+        serial = SweepScheduler(mode="serial").run(configs, trace)
+        par = SweepScheduler(workers=2, mode="parallel").run(configs, trace)
+        for key in serial:
+            assert serial[key].totals == par[key].totals
+            assert serial[key].steady == par[key].steady
+
+    def test_parallel_fallback_warns_and_succeeds(self, small_trace, monkeypatch):
+        import repro.sim.schedule as schedule
+
+        class BrokenPool:
+            def __init__(self, *a, **k):
+                raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(schedule, "ProcessPoolExecutor", BrokenPool)
+        configs = _matrix(("xLRU", "Cafe"), (1.0,))
+        scheduler = SweepScheduler(workers=2, mode="parallel", collapse=False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            results = scheduler.run(configs, small_trace[:200])
+        assert len(results) == 2
+        assert scheduler.last_report.mode == "parallel"  # requested mode kept
+        assert scheduler.last_report.workers == 1  # but executed in-process
+
+    def test_last_report_and_result_reports(self, small_trace):
+        scheduler = SweepScheduler(mode="serial")
+        configs = _matrix(("xLRU", "PullLRU"), (1.0, 2.0))
+        results = scheduler.run(configs, small_trace[:300])
+        report = scheduler.last_report
+        assert report is not None and report.engine == "scheduler"
+        assert report.extra["cells"] == 4
+        assert report.extra["simulated"] == 3
+        assert report.extra["clones"] == 1
+        for result in results.values():
+            assert result.report is not None
+            assert result.report.extra["scheduler_mode"] == "serial"
