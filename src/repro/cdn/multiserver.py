@@ -45,6 +45,11 @@ class CdnSimulationResult:
     origin_bytes: int = 0
     #: user requests that ended at the origin via redirects
     origin_requests: int = 0
+    #: cache-fill requests that reached the origin (directly or after
+    #: redirects at intermediate servers)
+    origin_fill_requests: int = 0
+    #: bytes of ``origin_bytes`` attributable to cache fills
+    origin_fill_bytes: int = 0
     #: distribution of redirect chain lengths: hops -> request count
     redirect_hops: Dict[int, int] = field(default_factory=dict)
     num_user_requests: int = 0
@@ -105,11 +110,22 @@ class CdnSimulator:
         progress_every: int = 8192,
     ) -> CdnSimulationResult:
         """Replay ``edge_traces`` (server name -> its user trace)."""
-        for name in edge_traces:
+        for name, trace in edge_traces.items():
             if name not in self.topology:
                 raise KeyError(f"trace for unknown server {name!r}")
             if self.topology[name].is_origin:
                 raise ValueError("user traces cannot target the origin directly")
+            last_t = float("-inf")
+            for index, request in enumerate(trace):
+                if request.t < last_t:
+                    # Fail before any cache mutates: heapq.merge would
+                    # silently interleave an unsorted stream and feed
+                    # caches time-travelling requests.
+                    raise ValueError(
+                        f"trace for edge {name!r} not time-ordered at "
+                        f"index {index}: t={request.t} after t={last_t}"
+                    )
+                last_t = request.t
 
         collectors: Dict[str, MetricsCollector] = {}
         for name, server in self.topology.servers.items():
@@ -157,13 +173,26 @@ class CdnSimulator:
         request: Request,
         result: CdnSimulationResult,
         hop: int,
+        user: bool = True,
     ) -> int:
-        """Process ``request`` at ``server_name``; returns redirect hops."""
+        """Process ``request`` at ``server_name``; returns redirect hops.
+
+        ``user`` distinguishes the user path from the fill path: a
+        cache-fill request that climbs to the origin (directly, or after
+        being redirected by an intermediate server) is origin *load* but
+        not a failure of the redirect tier, so it must not count toward
+        ``origin_requests`` / ``origin_redirect_bytes`` — those feed
+        ``origin_offload``, which is defined over user traffic only.
+        """
         server = self.topology[server_name]
         if server.is_origin:
             result.origin_bytes += request.num_bytes
-            result.origin_requests += 1
-            result.origin_redirect_bytes += request.num_bytes
+            if user:
+                result.origin_requests += 1
+                result.origin_redirect_bytes += request.num_bytes
+            else:
+                result.origin_fill_requests += 1
+                result.origin_fill_bytes += request.num_bytes
             return hop
 
         assert server.cache is not None
@@ -179,7 +208,7 @@ class CdnSimulator:
         target = server.redirect_to
         if target is None or hop + 1 >= self.max_redirects:
             target = self.topology.origin_name
-        return self._handle(target, request, result, hop + 1)
+        return self._handle(target, request, result, hop + 1, user=user)
 
     def _fill_upstream(
         self,
@@ -194,11 +223,7 @@ class CdnSimulator:
             return
         cache = server.cache
         for fill in _fill_requests(request, cache, response.filled_chunks):
-            fill_server = self.topology[target]
-            if fill_server.is_origin:
-                result.origin_bytes += fill.num_bytes
-            else:
-                self._handle(target, fill, result, hop=0)
+            self._handle(target, fill, result, hop=0, user=False)
 
 
 def _fill_requests(request: Request, cache, filled_chunks: int) -> List[Request]:
@@ -213,9 +238,14 @@ def _fill_requests(request: Request, cache, filled_chunks: int) -> List[Request]
     if filled_chunks <= 0:
         return []
     k = cache.chunk_bytes
-    c0, _c1 = request.chunks(k)
+    c0, c1 = request.chunks(k)
+    # Clamp to the request's own chunk range: a cache can only have
+    # filled chunks the request touched, so a larger report (e.g. from a
+    # buggy or wrapped implementation) must not make the upstream fill
+    # wider than the request itself.
+    last = min(c0 + filled_chunks, c1 + 1)
     b0 = c0 * k
-    b1 = (c0 + filled_chunks) * k - 1
+    b1 = last * k - 1
     return [Request(t=request.t, video=request.video, b0=b0, b1=b1)]
 
 

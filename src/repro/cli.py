@@ -1,11 +1,14 @@
 """Command-line entry points.
 
-Four commands are installed by the package:
+Five commands are installed by the package:
 
 * ``repro-gen`` — synthesize a server trace and write it to CSV/JSONL;
 * ``repro-sim`` — replay a trace file through one algorithm;
 * ``repro-experiment`` — run the paper-figure experiments;
-* ``repro-validate`` — validate (and optionally repair) a trace file.
+* ``repro-validate`` — validate (and optionally repair) a trace file;
+* ``repro-verify`` — differentially verify the fast cache
+  implementations against their reference oracles on adversarial
+  fuzz traces (see :mod:`repro.verify`).
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ from repro.trace.stats import TraceStats
 from repro.workload.generator import TraceGenerator
 from repro.workload.servers import SERVER_PROFILES
 
-__all__ = ["main_gen", "main_sim", "main_experiment", "main_validate"]
+__all__ = ["main_gen", "main_sim", "main_experiment", "main_validate", "main_verify"]
 
 
 def _read_trace(path: str):
@@ -100,10 +103,25 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print replay progress to stderr while running",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "wrap the cache in an invariant-auditing proxy "
+            "(capacity, fill/eviction accounting, redirect purity); "
+            "exits non-zero on any violation"
+        ),
+    )
     args = parser.parse_args(argv)
 
     requests = list(_read_trace(args.trace))
     cache = build_cache(args.algorithm, args.disk_chunks, alpha_f2r=args.alpha)
+    audited = None
+    if args.audit:
+        from repro.verify.audit import AuditedCache
+
+        audited = AuditedCache(cache, strict=False)
+        cache = audited
 
     progress = None
     if args.progress:
@@ -142,6 +160,14 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
             for s in result.metrics.series()
         ]
         print(format_table(srows, title="time series"))
+    if audited is not None:
+        print(audited.summary())
+        for violation in audited.violations[:20]:
+            print(f"  {violation}")
+        if len(audited.violations) > 20:
+            print(f"  ... and {len(audited.violations) - 20} more")
+        if not audited.ok:
+            return 1
     return 0
 
 
@@ -258,6 +284,112 @@ def main_validate(argv: Optional[Sequence[str]] = None) -> int:
     return 0 if report.ok else 1
 
 
+def main_verify(argv: Optional[Sequence[str]] = None) -> int:
+    """Differentially verify fast caches against their oracles."""
+    parser = argparse.ArgumentParser(
+        prog="repro-verify", description=main_verify.__doc__
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=20, help="fuzz scenarios per algorithm"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=600, help="requests per fuzz trace"
+    )
+    parser.add_argument(
+        "--algorithms",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="subset of online algorithms to verify (default: all with oracles)",
+    )
+    parser.add_argument(
+        "--dump-dir",
+        default="verify-failures",
+        help="directory for minimized counterexample artifacts",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging of failing traces (faster triage)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="DIR",
+        default=None,
+        help="re-run one dumped counterexample directory and exit",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.verify.differential import (
+        dump_counterexample,
+        replay_counterexample,
+        verify_algorithm,
+    )
+    from repro.verify.fuzz import scenario_matrix
+    from repro.verify.oracles import ORACLE_FACTORIES
+
+    if args.replay:
+        result = replay_counterexample(args.replay)
+        if result.ok:
+            print(f"counterexample no longer reproduces: {args.replay}")
+            return 0
+        if result.divergence is not None:
+            print(result.divergence)
+        for violation in result.violations:
+            print(violation)
+        return 1
+
+    algorithms = args.algorithms or sorted(ORACLE_FACTORIES)
+    unknown = [a for a in algorithms if a not in ORACLE_FACTORIES]
+    if unknown:
+        parser.error(
+            f"no oracle for: {unknown}; choose from {sorted(ORACLE_FACTORIES)}"
+        )
+
+    scenarios = list(scenario_matrix(seeds=args.seeds, num_requests=args.requests))
+    failures = 0
+    rows = []
+    for algorithm in algorithms:
+        diverged = 0
+        violated = 0
+        for scenario in scenarios:
+            result, minimal = verify_algorithm(
+                algorithm, scenario, shrink=not args.no_shrink
+            )
+            if result.ok:
+                continue
+            failures += 1
+            if result.divergence is not None:
+                diverged += 1
+            if result.violations:
+                violated += 1
+            trace = minimal if minimal is not None else scenario.trace()
+            path = dump_counterexample(
+                args.dump_dir, algorithm, scenario, result, trace
+            )
+            print(f"FAIL {algorithm} on {scenario.label}:")
+            if result.divergence is not None:
+                print(f"  {result.divergence}")
+            for violation in result.violations[:5]:
+                print(f"  {violation}")
+            print(f"  minimized to {len(trace)} requests -> {path}")
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "scenarios": len(scenarios),
+                "divergences": diverged,
+                "violations": violated,
+                "status": "ok" if diverged == 0 and violated == 0 else "FAIL",
+            }
+        )
+    print(format_table(rows, title=f"differential verification ({args.requests} req/trace)"))
+    if failures:
+        print(f"{failures} failing case(s); artifacts under {args.dump_dir}/")
+        return 1
+    print("all algorithms match their oracles")
+    return 0
+
+
 def _dispatch() -> int:  # pragma: no cover - convenience for python -m
     prog = sys.argv[1] if len(sys.argv) > 1 else ""
     mains = {
@@ -265,10 +397,11 @@ def _dispatch() -> int:  # pragma: no cover - convenience for python -m
         "sim": main_sim,
         "experiment": main_experiment,
         "validate": main_validate,
+        "verify": main_verify,
     }
     if prog not in mains:
         print(
-            "usage: python -m repro.cli {gen|sim|experiment|validate} ...",
+            "usage: python -m repro.cli {gen|sim|experiment|validate|verify} ...",
             file=sys.stderr,
         )
         return 2

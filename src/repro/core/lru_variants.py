@@ -81,10 +81,22 @@ class LruKCache(VideoCache):
         now = request.t
         history = self._history.get(request.video)
         if history is None:
+            # Record this access *before* trimming: an empty history
+            # keys as -inf, so trimming first would evict the video
+            # being recorded whenever the table is full — new videos
+            # could then never accumulate the K accesses admission
+            # requires.  With the access recorded the video keys as the
+            # most recent and a genuinely stale entry is dropped
+            # instead.  (Re-fetch afterwards: when every other tracked
+            # video has cached chunks, this video is still the only
+            # trimmable entry and may legitimately be gone.)
             history = deque(maxlen=self.k)
             self._history[request.video] = history
+            history.append(now)
             self._trim_history()
-        history.append(now)
+            history = self._history.get(request.video)
+        else:
+            history.append(now)
 
         chunks = list(request.chunk_ids(self.chunk_bytes))
         score = self._kth_access(request.video)
@@ -94,8 +106,9 @@ class LruKCache(VideoCache):
 
         if len(chunks) > self.disk_chunks:
             return REDIRECT
-        if len(history) < self.k:
-            # "unproven" video: below K recorded accesses
+        if history is None or len(history) < self.k:
+            # "unproven" video: below K recorded accesses (or trimmed
+            # right back out of a table crowded with cached videos)
             return REDIRECT
 
         missing = [c for c in chunks if c not in self._cached]

@@ -154,6 +154,14 @@ class MetricsCollector:
             self._bucket_end = start + self.interval
         elif t >= end:
             self._advance_to(t)
+        elif t < self._bucket_start:
+            # A sample before the live bucket cannot be re-bucketed (its
+            # interval was already frozen or never opened); silently
+            # folding it into the current bucket would skew the series.
+            raise ValueError(
+                f"timestamp {t} precedes the live bucket start "
+                f"{self._bucket_start}; trace must be time-ordered"
+            )
 
         bucket = self._bucket
         bucket.num_requests += 1

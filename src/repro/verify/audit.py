@@ -1,0 +1,211 @@
+"""Per-request invariant auditing for any :class:`VideoCache`.
+
+:class:`AuditedCache` wraps a cache and checks, on every ``handle``
+call, the conservation laws that every algorithm in this repository
+must obey regardless of its policy:
+
+* **time order** — request timestamps are non-decreasing (the replay
+  contract every cache relies on);
+* **capacity** — occupancy never exceeds ``disk_chunks``;
+* **serve completeness** — after a SERVE, every requested chunk is on
+  disk (the paper's model: a request is *fully* served or redirected);
+* **fill accounting** — ``filled_chunks`` equals the number of
+  requested chunks that were missing before the request (chunks are
+  fetched in full, exactly once, only when absent);
+* **eviction accounting** — ``evicted_chunks`` equals
+  ``occupancy_before + filled_chunks - occupancy_after`` (chunks never
+  appear or vanish off the books);
+* **redirect purity** — a REDIRECT leaves occupancy and the cached
+  state of every requested chunk untouched (policy state like
+  popularity trackers may advance; disk contents may not).
+
+Violations are raised as :class:`InvariantViolation` (``strict=True``,
+the default) or collected on ``violations`` for post-hoc inspection.
+The wrapper is itself a :class:`VideoCache`, so it drops into the
+replay engine, the CDN simulator and the differential harness
+unchanged; ``repro-sim --audit`` is the CLI surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.base import CacheResponse, Decision, VideoCache
+from repro.trace.requests import ChunkId, Request
+
+__all__ = ["AuditedCache", "InvariantViolation", "Violation"]
+
+
+class InvariantViolation(AssertionError):
+    """A cache broke one of the per-request invariants."""
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One recorded invariant violation."""
+
+    index: int
+    invariant: str
+    detail: str
+    request: Request
+
+    def __str__(self) -> str:
+        return f"request #{self.index} [{self.invariant}]: {self.detail}"
+
+
+class AuditedCache(VideoCache):
+    """A :class:`VideoCache` proxy that audits every request it relays."""
+
+    def __init__(self, inner: VideoCache, strict: bool = True) -> None:
+        super().__init__(inner.disk_chunks, inner.chunk_bytes, inner.cost_model)
+        self.inner = inner
+        self.strict = strict
+        self.name = f"audited:{inner.name}"
+        self.offline = inner.offline
+        self.cost_sensitive = inner.cost_sensitive
+        self.violations: List[Violation] = []
+        self.requests_audited = 0
+        self._last_t = float("-inf")
+
+    # -- auditing ------------------------------------------------------------
+
+    def handle(self, request: Request) -> CacheResponse:
+        index = self.requests_audited
+        inner = self.inner
+        if request.t < self._last_t:
+            self._flag(
+                index,
+                "time-order",
+                f"timestamp {request.t} precedes previous request at {self._last_t}",
+                request,
+            )
+        self._last_t = max(self._last_t, request.t)
+
+        chunks = list(request.chunk_ids(self.chunk_bytes))
+        occupancy_before = len(inner)
+        cached_before = [chunk in inner for chunk in chunks]
+
+        response = inner.handle(request)
+        self.requests_audited += 1
+
+        occupancy_after = len(inner)
+        if occupancy_after > self.disk_chunks:
+            self._flag(
+                index,
+                "capacity",
+                f"occupancy {occupancy_after} exceeds disk_chunks {self.disk_chunks}",
+                request,
+            )
+
+        if response.decision is Decision.SERVE:
+            self._audit_serve(
+                index, request, response, chunks, cached_before,
+                occupancy_before, occupancy_after,
+            )
+        else:
+            self._audit_redirect(
+                index, request, chunks, cached_before,
+                occupancy_before, occupancy_after,
+            )
+        return response
+
+    def _audit_serve(
+        self,
+        index: int,
+        request: Request,
+        response: CacheResponse,
+        chunks: List[ChunkId],
+        cached_before: List[bool],
+        occupancy_before: int,
+        occupancy_after: int,
+    ) -> None:
+        inner = self.inner
+        absent = [c for c in chunks if c not in inner]
+        if absent:
+            self._flag(
+                index,
+                "serve-completeness",
+                f"served but {len(absent)} requested chunk(s) not on disk "
+                f"afterwards, e.g. {absent[0]}",
+                request,
+            )
+        missing_before = sum(1 for was in cached_before if not was)
+        if response.filled_chunks != missing_before:
+            self._flag(
+                index,
+                "fill-accounting",
+                f"filled_chunks={response.filled_chunks} but {missing_before} "
+                f"requested chunk(s) were missing before the request",
+                request,
+            )
+        expected_evicted = occupancy_before + response.filled_chunks - occupancy_after
+        if response.evicted_chunks != expected_evicted:
+            self._flag(
+                index,
+                "eviction-accounting",
+                f"evicted_chunks={response.evicted_chunks} but occupancy went "
+                f"{occupancy_before} -> {occupancy_after} with "
+                f"{response.filled_chunks} fill(s) (expected {expected_evicted})",
+                request,
+            )
+
+    def _audit_redirect(
+        self,
+        index: int,
+        request: Request,
+        chunks: List[ChunkId],
+        cached_before: List[bool],
+        occupancy_before: int,
+        occupancy_after: int,
+    ) -> None:
+        inner = self.inner
+        if occupancy_after != occupancy_before:
+            self._flag(
+                index,
+                "redirect-purity",
+                f"redirect changed occupancy {occupancy_before} -> {occupancy_after}",
+                request,
+            )
+        for chunk, was_cached in zip(chunks, cached_before):
+            if (chunk in inner) != was_cached:
+                self._flag(
+                    index,
+                    "redirect-purity",
+                    f"redirect changed cached state of requested chunk {chunk} "
+                    f"({was_cached} -> {not was_cached})",
+                    request,
+                )
+                break
+
+    def _flag(self, index: int, invariant: str, detail: str, request: Request) -> None:
+        violation = Violation(index, invariant, detail, request)
+        self.violations.append(violation)
+        if self.strict:
+            raise InvariantViolation(str(violation))
+
+    @property
+    def ok(self) -> bool:
+        """Whether every audited request satisfied all invariants."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line audit outcome for reports."""
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"audit[{self.inner.name}]: {self.requests_audited} requests, {status}"
+        )
+
+    # -- delegation ----------------------------------------------------------
+
+    def prepare(self, requests: Sequence[Request]) -> None:
+        self.inner.prepare(requests)
+
+    def __contains__(self, chunk: ChunkId) -> bool:
+        return chunk in self.inner
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def describe(self) -> str:
+        return f"audited({self.inner.describe()})"

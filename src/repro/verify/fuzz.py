@@ -1,0 +1,167 @@
+"""Seeded adversarial trace generation for the differential harness.
+
+Real traces are gentle: mostly increasing timestamps, modest ranges,
+popularity that moves slowly.  The bugs that survive into a fast cache
+implementation live in the corners, so this generator manufactures
+them deliberately:
+
+* **timestamp ties and zero-gap bursts** — several requests at the
+  exact same instant (EWMA inter-arrival samples of zero, LRU recency
+  ties, bucket boundary cases);
+* **oversized requests** — byte ranges spanning more chunks than the
+  whole disk (must redirect without touching state);
+* **degenerate disks** — 1-chunk disks make every admission also an
+  eviction decision;
+* **odd chunk sizes** — non-power-of-two ``chunk_bytes`` and
+  unaligned byte ranges exercise the floor-division chunk mapping;
+* **alpha extremes** — ``alpha_F2R`` of 0.5 and 4 flip which of
+  fill/redirect is the "cheap" direction and stress tie-breaking in
+  the Eq. 6–7 cost comparison.
+
+Timestamps advance in multiples of 1/8 second.  Dyadic steps keep the
+EWMA arithmetic (gamma = 0.25) exact in binary floating point, so an
+oracle that orders chunks by Eq. 8 IATs and an implementation that
+orders by Eq. 9 virtual keys compute *bit-identical* popularity
+comparisons — any divergence the harness reports is a logic bug, never
+float rounding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.trace.requests import Request
+
+__all__ = ["FuzzScenario", "adversarial_trace", "scenario_matrix"]
+
+#: Timestamp quantum: all inter-arrival gaps are multiples of this.
+TIME_STEP = 0.125
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """One differential-verification case: a trace plus cache knobs."""
+
+    seed: int
+    num_requests: int
+    disk_chunks: int
+    chunk_bytes: int
+    alpha_f2r: float
+    name: str = ""
+    #: extra per-algorithm constructor kwargs (applied to fast cache
+    #: and oracle alike), e.g. tiny cleanup/aging intervals so the
+    #: housekeeping paths run inside short traces
+    cache_kwargs: Dict[str, Dict] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return self.name or (
+            f"seed={self.seed}/disk={self.disk_chunks}"
+            f"/k={self.chunk_bytes}/alpha={self.alpha_f2r:g}"
+        )
+
+    def trace(self) -> List[Request]:
+        return adversarial_trace(
+            seed=self.seed,
+            num_requests=self.num_requests,
+            disk_chunks=self.disk_chunks,
+            chunk_bytes=self.chunk_bytes,
+        )
+
+
+def adversarial_trace(
+    seed: int,
+    num_requests: int = 600,
+    disk_chunks: int = 8,
+    chunk_bytes: int = 1024,
+    num_videos: Optional[int] = None,
+    max_request_chunks: Optional[int] = None,
+    p_tie: float = 0.25,
+    p_burst: float = 0.10,
+    p_oversize: float = 0.06,
+    p_jump: float = 0.05,
+) -> List[Request]:
+    """A deterministic, time-ordered, hostile request trace.
+
+    The video pool is kept small relative to the disk so that reuse,
+    eviction and re-admission all happen within a short trace; a hot
+    subset of videos absorbs most requests (crude popularity skew).
+    """
+    rng = random.Random(seed)
+    if num_videos is None:
+        num_videos = max(4, disk_chunks * 2)
+    if max_request_chunks is None:
+        max_request_chunks = max(2, min(disk_chunks, 6))
+    hot = max(1, num_videos // 4)
+
+    requests: List[Request] = []
+    t = 0.0
+    while len(requests) < num_requests:
+        roll = rng.random()
+        if roll < p_tie:
+            pass  # same instant as the previous request
+        elif roll < p_tie + p_jump:
+            t += TIME_STEP * rng.randrange(256, 4096)  # long quiet gap
+        else:
+            t += TIME_STEP * rng.randrange(1, 64)
+
+        burst = 1 + (rng.randrange(2, 6) if rng.random() < p_burst else 0)
+        for _ in range(burst):
+            if len(requests) >= num_requests:
+                break
+            video = (
+                rng.randrange(hot)
+                if rng.random() < 0.7
+                else rng.randrange(num_videos)
+            )
+            if rng.random() < p_oversize:
+                # more chunks than the whole disk: must be redirected
+                n_chunks = disk_chunks + rng.randrange(1, 4)
+                c0 = 0
+            else:
+                n_chunks = rng.randrange(1, max_request_chunks + 1)
+                c0 = rng.randrange(0, 10)
+            b0 = c0 * chunk_bytes
+            b1 = (c0 + n_chunks) * chunk_bytes - 1
+            if rng.random() < 0.5:
+                # unaligned range: nibble bytes off either end; the
+                # offsets stay inside the first/last chunk, so the
+                # chunk range is unchanged (except possibly collapsing
+                # a 1-chunk request to a shorter byte span)
+                b0 += rng.randrange(0, chunk_bytes)
+                b1 -= rng.randrange(0, chunk_bytes)
+                if b1 < b0:
+                    b1 = b0
+            requests.append(Request(t=t, video=video, b0=b0, b1=b1))
+    return requests
+
+
+def scenario_matrix(
+    seeds: int = 20, num_requests: int = 600
+) -> Iterator[FuzzScenario]:
+    """The default differential-verification matrix: ``seeds`` scenarios
+    cycling through degenerate disks, odd chunk sizes and alpha
+    extremes, with housekeeping intervals shrunk on half of them so
+    tracker cleanup (xLRU) and frequency aging (LFU) run inside short
+    traces."""
+    disks = (1, 2, 7, 32)
+    chunk_sizes = (1024, 1000, 4096)
+    alphas = (0.5, 1.0, 2.0, 4.0)
+    for i in range(seeds):
+        stress_housekeeping = i % 2 == 1
+        kwargs: Dict[str, Dict] = {}
+        if stress_housekeeping:
+            kwargs = {
+                "xLRU": {"tracker_cleanup_interval": 97},
+                "LFU": {"aging_interval": 89},
+            }
+        yield FuzzScenario(
+            seed=1000 + i,
+            num_requests=num_requests,
+            disk_chunks=disks[i % len(disks)],
+            chunk_bytes=chunk_sizes[i % len(chunk_sizes)],
+            alpha_f2r=alphas[i % len(alphas)],
+            cache_kwargs=kwargs,
+        )

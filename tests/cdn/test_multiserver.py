@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.cdn.multiserver import CdnSimulator
+from repro.cdn.multiserver import CdnSimulator, _fill_requests
 from repro.cdn.topology import CdnServer, CdnTopology, hierarchy, peered_edges
+from repro.core.baselines import PullThroughLruCache
 from repro.core.cafe import CafeCache
 from repro.core.costs import CostModel
 from repro.core.xlru import XlruCache
@@ -149,3 +150,106 @@ class TestTimeMerging:
         # would raise inside AccessRecencyList if order were violated
         result = simulator.run(traces)
         assert result.num_user_requests == 4
+
+
+class TestOriginAccounting:
+    """Regression: fill-path traffic must not count as user redirects.
+
+    Before the fix, a cache fill that climbed to the origin (after a
+    redirect at an intermediate server) incremented ``origin_requests``
+    and ``origin_redirect_bytes``, corrupting ``origin_offload`` even
+    when every user request was served at the edge.
+    """
+
+    def fill_heavy_simulator(self):
+        # PullLRU edge always serves and fills; the xLRU parent
+        # redirects every first-seen request, so the edge's fill is
+        # pushed from the parent to the origin via the redirect map.
+        edges = {"e1": PullThroughLruCache(8, chunk_bytes=K)}
+        parent = XlruCache(64, chunk_bytes=K, cost_model=CostModel(1.0))
+        return CdnSimulator(hierarchy(edges, parent))
+
+    def test_fill_redirected_to_origin_is_not_a_user_redirect(self):
+        simulator = self.fill_heavy_simulator()
+        result = simulator.run({"e1": [req(0.0, 1, 0)]})
+        # the user request was served at the edge...
+        assert result.per_server["e1"].totals().num_served == 1
+        # ...so no *user* traffic reached the origin,
+        assert result.origin_requests == 0
+        assert result.origin_redirect_bytes == 0
+        assert result.origin_offload == 1.0
+        # even though the fill did (origin load, tracked separately)
+        assert result.origin_fill_requests == 1
+        assert result.origin_fill_bytes == K
+        assert result.origin_bytes == K
+
+    def test_user_redirects_still_counted(self):
+        # an xLRU edge redirects first-seen user requests; the parent
+        # (also first-seen) redirects too, so the request reaches the
+        # origin as pure user traffic
+        edges = {"e1": XlruCache(8, chunk_bytes=K)}
+        parent = XlruCache(64, chunk_bytes=K)
+        simulator = CdnSimulator(hierarchy(edges, parent))
+        result = simulator.run({"e1": [req(0.0, 1, 0)]})
+        assert result.origin_requests == 1
+        assert result.origin_redirect_bytes == K
+        assert result.origin_fill_requests == 0
+        assert result.origin_fill_bytes == 0
+        assert result.origin_bytes == K
+
+
+class TestFillRequestClamp:
+    """Regression: fill requests stay inside the user request's chunks."""
+
+    def test_overreported_fill_clamped(self):
+        cache = PullThroughLruCache(16, chunk_bytes=K)
+        request = req(0.0, 1, 2, 4)  # chunks 2..4
+        fills = _fill_requests(request, cache, filled_chunks=10)
+        assert len(fills) == 1
+        assert fills[0].chunks(K) == (2, 4)
+        assert fills[0].b0 == 2 * K
+        assert fills[0].b1 == 5 * K - 1
+
+    def test_exact_fill_unchanged(self):
+        cache = PullThroughLruCache(16, chunk_bytes=K)
+        fills = _fill_requests(req(0.0, 1, 2, 4), cache, filled_chunks=3)
+        assert fills[0].chunks(K) == (2, 4)
+
+    def test_partial_fill_is_a_prefix(self):
+        cache = PullThroughLruCache(16, chunk_bytes=K)
+        fills = _fill_requests(req(0.0, 1, 2, 4), cache, filled_chunks=1)
+        assert fills[0].chunks(K) == (2, 2)
+
+    def test_zero_fill_is_empty(self):
+        cache = PullThroughLruCache(16, chunk_bytes=K)
+        assert _fill_requests(req(0.0, 1, 0), cache, 0) == []
+
+
+class TestEdgeTraceValidation:
+    """Regression: unsorted per-edge traces fail fast, with context."""
+
+    def test_unsorted_edge_trace_rejected_with_edge_and_index(self):
+        simulator = CdnSimulator(small_hierarchy())
+        traces = {
+            "e1": [req(0.0, 1, 0)],
+            "e2": [req(5.0, 2, 0), req(1.0, 2, 0)],
+        }
+        with pytest.raises(ValueError) as excinfo:
+            simulator.run(traces)
+        message = str(excinfo.value)
+        assert "e2" in message
+        assert "index 1" in message
+
+    def test_rejection_happens_before_any_replay(self):
+        topology = small_hierarchy()
+        simulator = CdnSimulator(topology)
+        with pytest.raises(ValueError):
+            simulator.run({"e1": [req(1.0, 1, 0), req(0.0, 1, 0)]})
+        # validation ran before the merge loop: no cache was touched
+        assert len(topology["e1"].cache) == 0
+
+    def test_equal_timestamps_allowed(self):
+        simulator = CdnSimulator(small_hierarchy())
+        traces = {"e1": [req(1.0, 1, 0), req(1.0, 2, 0), req(1.0, 1, 0)]}
+        result = simulator.run(traces)
+        assert result.num_user_requests == 3

@@ -129,3 +129,44 @@ class TestSection3Argument:
 
         assert build_cache("LRU-K", 16).name == "LRU-K"
         assert build_cache("GDS", 16).name == "GDS"
+
+
+class TestLruKHistoryTrimRegression:
+    """Regression: new videos must survive the history-table trim.
+
+    Found by differential replay against the LRU-K oracle: when the
+    bounded history table was full, a first-seen video's (empty) history
+    entry was created and then immediately trimmed — an empty history
+    keys as -inf, the stalest possible — before its access was recorded.
+    New videos could then never accumulate the K accesses admission
+    requires and were redirected forever.
+    """
+
+    def test_new_video_admissible_with_full_history_table(self):
+        # history_factor=1 -> table holds exactly disk_chunks=4 videos
+        cache = LruKCache(4, cost_model=CostModel(), history_factor=1.0)
+        trace = []
+        t = 0.0
+        for video in (0, 1, 2):  # admit and cache three videos (k=2)
+            trace += [req(t, video, 0), req(t + 1.0, video, 0)]
+            t += 2.0
+        trace.append(req(t, 3, 0))  # tracked but uncached (one access)
+        for request in trace:
+            cache.handle(request)
+
+        # the table is now full; a brand-new video must still be able
+        # to prove itself across two accesses
+        first = cache.handle(req(t + 1.0, 9, 0))
+        second = cache.handle(req(t + 2.0, 9, 0))
+        assert first.decision is Decision.REDIRECT
+        assert second.decision is Decision.SERVE
+
+    def test_new_video_still_trimmable_when_all_others_cached(self):
+        # with every tracked video holding cached chunks, the new video
+        # is the only trimmable entry and legitimately stays unproven
+        cache = LruKCache(2, cost_model=CostModel(), history_factor=1.0)
+        for video in (0, 1):
+            cache.handle(req(float(video), video, 0))
+            cache.handle(req(float(video) + 0.5, video, 0))
+        assert cache.handle(req(10.0, 9, 0)).decision is Decision.REDIRECT
+        assert cache.handle(req(11.0, 9, 0)).decision is Decision.REDIRECT

@@ -198,3 +198,32 @@ class TestTrafficSummaryInvariants:
             filled_chunks=1,
         )
         assert s.hit_bytes == K
+
+
+class TestTimeRegression:
+    """Regression: samples older than the live bucket are rejected.
+
+    Before the fix a time-travelling sample was silently folded into
+    whatever bucket happened to be open, skewing the interval series
+    without any signal that the input was out of order.
+    """
+
+    def test_sample_before_live_bucket_raises(self):
+        m = collector(interval=3600.0)
+        m.record(Request(5000.0, 1, 0, K - 1), SERVE_HIT)  # bucket [3600, 7200)
+        with pytest.raises(ValueError, match="precedes the live bucket"):
+            m.record(Request(100.0, 1, 0, K - 1), SERVE_HIT)
+
+    def test_backwards_within_live_bucket_allowed(self):
+        # heapq-merged multi-edge streams can interleave equal or
+        # slightly-earlier stamps that still land in the open bucket
+        m = collector(interval=3600.0)
+        m.record(Request(5000.0, 1, 0, K - 1), SERVE_HIT)
+        m.record(Request(3600.0, 1, 0, K - 1), SERVE_HIT)  # == bucket start
+        assert m.totals().num_requests == 2
+
+    def test_exactly_bucket_start_boundary(self):
+        m = collector(interval=3600.0)
+        m.record(Request(3600.0, 1, 0, K - 1), SERVE_HIT)
+        with pytest.raises(ValueError):
+            m.record_raw(3599.875, K, 1, SERVE_HIT)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main_experiment, main_gen, main_sim
+from repro.cli import main_experiment, main_gen, main_sim, main_verify
 
 
 class TestGen:
@@ -119,3 +119,65 @@ class TestValidate:
         write_trace_csv(dirty, [Request(10.0, 1, 0, 9), Request(5.0, 2, 0, 9)])
         assert main_validate([str(dirty), "--repair", str(fixed)]) == 0
         assert main_validate([str(fixed)]) == 0
+
+
+class TestSimAudit:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        main_gen(["--server", "asia", "--days", "2", "--scale", "0.02", str(out)])
+        return out
+
+    def test_clean_audit_exits_zero(self, trace_file, capsys):
+        code = main_sim(
+            [str(trace_file), "--algorithm", "xLRU", "--disk-chunks", "64",
+             "--audit"]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "audit[xLRU]" in captured
+        assert "OK" in captured
+
+
+class TestVerify:
+    def test_all_algorithms_match_oracles(self, capsys):
+        code = main_verify(["--seeds", "2", "--requests", "120"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "all algorithms match their oracles" in captured
+        assert "Cafe" in captured and "xLRU" in captured
+
+    def test_algorithm_subset(self, capsys):
+        code = main_verify(
+            ["--seeds", "1", "--requests", "80", "--algorithms", "PullLRU"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PullLRU" in out
+        assert "Cafe" not in out.split("differential verification")[-1]
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main_verify(["--algorithms", "NotReal"])
+
+    def test_replay_missing_artifact_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main_verify(["--replay", str(tmp_path / "nope")])
+
+    def test_replay_roundtrip(self, tmp_path, capsys):
+        from repro.verify.differential import dump_counterexample
+        from repro.verify.fuzz import FuzzScenario
+        from repro.verify.differential import DifferentialResult
+
+        scenario = FuzzScenario(
+            seed=5, num_requests=40, disk_chunks=4, chunk_bytes=1024,
+            alpha_f2r=1.0,
+        )
+        result = DifferentialResult(algorithm="PullLRU", num_requests=40)
+        path = dump_counterexample(
+            str(tmp_path), "PullLRU", scenario, result, scenario.trace()
+        )
+        # artifact replays clean against the (correct) current sources
+        code = main_verify(["--replay", path])
+        assert code == 0
+        assert "no longer reproduces" in capsys.readouterr().out

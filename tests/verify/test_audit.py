@@ -1,0 +1,147 @@
+"""Tests for the invariant-auditing cache wrapper."""
+
+import pytest
+
+from repro.core.base import (
+    REDIRECT,
+    SERVE_HIT,
+    CacheResponse,
+    Decision,
+    VideoCache,
+)
+from repro.core.cafe import CafeCache
+from repro.sim.engine import replay
+from repro.trace.requests import Request
+from repro.verify.audit import AuditedCache, InvariantViolation
+from repro.verify.fuzz import adversarial_trace
+
+K = 1024
+
+
+def req(t, video, c0, c1=None):
+    c1 = c0 if c1 is None else c1
+    return Request(t, video, c0 * K, (c1 + 1) * K - 1)
+
+
+class FakeCache(VideoCache):
+    """Minimal dict-backed LRU-ish cache with injectable misbehaviours.
+
+    ``bug`` selects one deliberate violation: ``capacity`` (never
+    evicts), ``serve-incomplete`` (claims SERVE without storing),
+    ``fill-lie`` (over-reports ``filled_chunks``), ``evict-lie``
+    (over-reports ``evicted_chunks``), ``redirect-impure`` (mutates
+    state on REDIRECT).
+    """
+
+    name = "fake"
+
+    def __init__(self, disk_chunks=4, chunk_bytes=K, bug=None):
+        super().__init__(disk_chunks, chunk_bytes)
+        self._store = {}
+        self.bug = bug
+
+    def handle(self, request):
+        chunks = list(request.chunk_ids(self.chunk_bytes))
+        if self.bug == "redirect-impure":
+            self._store[chunks[0]] = True
+            return REDIRECT
+        if len(chunks) > self.disk_chunks:
+            return REDIRECT
+        missing = [c for c in chunks if c not in self._store]
+        if not missing:
+            return SERVE_HIT
+        evicted = 0
+        if self.bug != "capacity":
+            while len(self._store) + len(missing) > self.disk_chunks:
+                del self._store[next(iter(self._store))]
+                evicted += 1
+        if self.bug != "serve-incomplete":
+            for chunk in missing:
+                self._store[chunk] = True
+        filled = len(missing) + (1 if self.bug == "fill-lie" else 0)
+        evicted += 1 if self.bug == "evict-lie" else 0
+        return CacheResponse(
+            Decision.SERVE, filled_chunks=filled, evicted_chunks=evicted
+        )
+
+    def __contains__(self, chunk):
+        return chunk in self._store
+
+    def __len__(self):
+        return len(self._store)
+
+
+class TestCleanCachePasses:
+    def test_correct_cache_has_no_violations(self):
+        audited = AuditedCache(FakeCache(disk_chunks=2))
+        for i in range(20):
+            audited.handle(req(float(i), i % 5, 0))
+        assert audited.ok
+        assert audited.requests_audited == 20
+        assert "OK" in audited.summary()
+
+    def test_real_cache_on_fuzz_trace(self):
+        audited = AuditedCache(CafeCache(8, chunk_bytes=K))
+        for request in adversarial_trace(
+            seed=2, num_requests=400, disk_chunks=8, chunk_bytes=K
+        ):
+            audited.handle(request)
+        assert audited.ok
+
+    def test_drops_into_replay_engine(self):
+        audited = AuditedCache(CafeCache(8, chunk_bytes=K))
+        trace = adversarial_trace(seed=4, num_requests=200, chunk_bytes=K)
+        result = replay(audited, trace)
+        assert result.totals.num_requests == 200
+        assert audited.ok
+
+
+class TestPlantedViolationsCaught:
+    @pytest.mark.parametrize(
+        "bug,invariant",
+        [
+            ("capacity", "capacity"),
+            ("serve-incomplete", "serve-completeness"),
+            ("fill-lie", "fill-accounting"),
+            ("evict-lie", "eviction-accounting"),
+            ("redirect-impure", "redirect-purity"),
+        ],
+    )
+    def test_bug_flagged(self, bug, invariant):
+        audited = AuditedCache(FakeCache(disk_chunks=2, bug=bug), strict=False)
+        for i in range(10):
+            audited.handle(req(float(i), i, 0, 1))
+        assert not audited.ok
+        assert invariant in {v.invariant for v in audited.violations}
+
+    def test_time_regression_flagged(self):
+        audited = AuditedCache(FakeCache(), strict=False)
+        audited.handle(req(10.0, 1, 0))
+        audited.handle(req(3.0, 2, 0))
+        assert {v.invariant for v in audited.violations} == {"time-order"}
+
+    def test_strict_mode_raises(self):
+        audited = AuditedCache(FakeCache(disk_chunks=1, bug="fill-lie"))
+        with pytest.raises(InvariantViolation, match="fill-accounting"):
+            audited.handle(req(0.0, 1, 0))
+
+    def test_violation_records_context(self):
+        audited = AuditedCache(FakeCache(bug="fill-lie"), strict=False)
+        request = req(0.0, 7, 0)
+        audited.handle(request)
+        violation = audited.violations[0]
+        assert violation.index == 0
+        assert violation.request == request
+        assert "fill-accounting" in str(violation)
+
+
+class TestDelegation:
+    def test_cache_interface_passthrough(self):
+        inner = FakeCache(disk_chunks=4)
+        audited = AuditedCache(inner)
+        audited.handle(req(0.0, 1, 0, 1))
+        assert len(audited) == len(inner) == 2
+        assert (1, 0) in audited
+        assert audited.name == "audited:fake"
+        assert "fake" in audited.describe()
+        assert audited.disk_chunks == inner.disk_chunks

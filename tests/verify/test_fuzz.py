@@ -1,0 +1,102 @@
+"""Tests for the adversarial fuzz trace generator."""
+
+import math
+
+from repro.trace.requests import Request
+from repro.verify.fuzz import (
+    TIME_STEP,
+    FuzzScenario,
+    adversarial_trace,
+    scenario_matrix,
+)
+
+
+class TestAdversarialTrace:
+    def test_deterministic_per_seed(self):
+        assert adversarial_trace(seed=7) == adversarial_trace(seed=7)
+        assert adversarial_trace(seed=7) != adversarial_trace(seed=8)
+
+    def test_time_ordered(self):
+        trace = adversarial_trace(seed=3, num_requests=500)
+        for a, b in zip(trace, trace[1:]):
+            assert a.t <= b.t
+
+    def test_timestamps_are_dyadic(self):
+        """All stamps are multiples of TIME_STEP, so EWMA math is exact."""
+        for request in adversarial_trace(seed=11, num_requests=400):
+            steps = request.t / TIME_STEP
+            assert steps == int(steps)
+
+    def test_contains_ties(self):
+        trace = adversarial_trace(seed=5, num_requests=500)
+        assert any(a.t == b.t for a, b in zip(trace, trace[1:]))
+
+    def test_contains_oversized_requests(self):
+        disk, k = 8, 1024
+        trace = adversarial_trace(
+            seed=9, num_requests=500, disk_chunks=disk, chunk_bytes=k
+        )
+        assert any(r.num_chunks(k) > disk for r in trace)
+
+    def test_ranges_valid(self):
+        for request in adversarial_trace(seed=13, num_requests=500):
+            assert 0 <= request.b0 <= request.b1
+
+    def test_requested_length(self):
+        assert len(adversarial_trace(seed=1, num_requests=123)) == 123
+
+
+class TestScenarioMatrix:
+    def test_count_and_uniqueness(self):
+        scenarios = list(scenario_matrix(seeds=20))
+        assert len(scenarios) == 20
+        assert len({s.label for s in scenarios}) == 20
+
+    def test_covers_degenerate_corners(self):
+        scenarios = list(scenario_matrix(seeds=20))
+        assert any(s.disk_chunks == 1 for s in scenarios)
+        assert any(s.chunk_bytes == 1000 for s in scenarios)
+        assert any(s.alpha_f2r == 0.5 for s in scenarios)
+        assert any(s.alpha_f2r == 4.0 for s in scenarios)
+
+    def test_housekeeping_stressed_on_half(self):
+        scenarios = list(scenario_matrix(seeds=4))
+        stressed = [s for s in scenarios if s.cache_kwargs]
+        assert len(stressed) == 2
+        assert all("xLRU" in s.cache_kwargs for s in stressed)
+
+    def test_scenario_trace_roundtrip(self):
+        scenario = FuzzScenario(
+            seed=42, num_requests=50, disk_chunks=4, chunk_bytes=1000,
+            alpha_f2r=2.0,
+        )
+        trace = scenario.trace()
+        assert len(trace) == 50
+        assert trace == scenario.trace()  # regenerable from the knobs
+        assert all(isinstance(r, Request) for r in trace)
+
+
+class TestCafeExplainProperty:
+    def test_explain_predicts_handle_on_fuzz_traces(self):
+        """Property (on seeded adversarial traces): ``explain(r)`` names
+        exactly the decision ``handle(r)`` then takes."""
+        from repro.core.cafe import CafeCache
+        from repro.core.costs import CostModel
+
+        for seed in range(6):
+            for alpha in (0.5, 1.0, 4.0):
+                cache = CafeCache(
+                    8, chunk_bytes=1024, cost_model=CostModel(alpha)
+                )
+                trace = adversarial_trace(
+                    seed=seed, num_requests=250, disk_chunks=8,
+                    chunk_bytes=1024,
+                )
+                for index, request in enumerate(trace):
+                    explanation = cache.explain(request)
+                    response = cache.handle(request)
+                    assert explanation.decision is response.decision, (
+                        f"seed={seed} alpha={alpha} request #{index}: "
+                        f"explain said {explanation.decision}, handle did "
+                        f"{response.decision}"
+                    )
