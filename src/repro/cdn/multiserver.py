@@ -17,6 +17,13 @@ Traces from multiple edges are merged in timestamp order so every cache
 sees non-decreasing time.  The result carries per-server metrics plus
 CDN-wide aggregates: origin egress (the traffic the CDN failed to
 absorb at its "lines of defense") and redirect-hop counts.
+
+A :class:`~repro.cdn.faults.FaultSchedule` can be injected to model
+server outages, cold restarts (cache wipes), degraded ingress links
+and origin brownouts; see :mod:`repro.cdn.faults` for the routing and
+accounting semantics.  Without a schedule the fault machinery costs a
+single ``is None`` check per hop and the replay is byte-identical to a
+fault-unaware one.
 """
 
 from __future__ import annotations
@@ -27,9 +34,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.base import CacheResponse, Decision
-from repro.sim.instrumentation import ProgressCallback, ProgressTicker, RunReport, StageTimer
+from repro.sim.instrumentation import (
+    EngineEvent,
+    ProgressCallback,
+    ProgressTicker,
+    RunReport,
+    StageTimer,
+)
 from repro.sim.metrics import MetricsCollector, TrafficSummary
 from repro.trace.requests import Request
+from repro.cdn.faults import FaultRuntime, FaultSchedule, ServerAvailability
 from repro.cdn.topology import CdnTopology
 
 __all__ = ["CdnSimulator", "CdnSimulationResult"]
@@ -56,6 +70,18 @@ class CdnSimulationResult:
     user_requested_bytes: int = 0
     #: user-requested bytes that ended up served by the origin
     origin_redirect_bytes: int = 0
+    #: user requests dropped by an origin brownout (served by no one)
+    requests_lost: int = 0
+    lost_bytes: int = 0
+    #: cache-fill requests dropped by an origin brownout (the transfer
+    #: is assumed to succeed on transport-level retry, so cache state
+    #: stays consistent; the degraded service is what is counted)
+    fill_requests_lost: int = 0
+    fill_bytes_lost: int = 0
+    #: per-server availability accounting; empty when no faults ran
+    availability: Dict[str, ServerAvailability] = field(default_factory=dict)
+    #: the fault schedule this replay ran under (None = fault-free)
+    faults: Optional[FaultSchedule] = None
     #: engine observability: wall time, request rate, stage breakdown
     report: Optional[RunReport] = None
 
@@ -74,6 +100,17 @@ class CdnSimulationResult:
             return float("nan")
         return 1.0 - self.origin_redirect_bytes / self.user_requested_bytes
 
+    @property
+    def availability_ratio(self) -> float:
+        """Fraction of user requests that were served by *someone*.
+
+        1.0 in a fault-free replay; below 1.0 only when origin
+        brownouts dropped requests end to end.
+        """
+        if self.num_user_requests == 0:
+            return float("nan")
+        return 1.0 - self.requests_lost / self.num_user_requests
+
     def describe(self) -> str:
         """Multi-line human-readable report of the replay."""
         lines = [
@@ -81,6 +118,12 @@ class CdnSimulationResult:
             f"origin served {self.origin_bytes / 1e9:.2f} GB "
             f"({self.origin_requests} redirected-to-origin requests)"
         ]
+        if self.faults is not None:
+            lines.append(
+                f"  faults: {self.faults.describe()} -> "
+                f"{self.requests_lost} lost requests "
+                f"(availability {self.availability_ratio:.4f})"
+            )
         for name, collector in sorted(self.per_server.items()):
             s = collector.totals()
             if s.num_requests == 0:
@@ -94,13 +137,29 @@ class CdnSimulationResult:
 
 
 class CdnSimulator:
-    """Replays per-edge user traces through a :class:`CdnTopology`."""
+    """Replays per-edge user traces through a :class:`CdnTopology`.
 
-    def __init__(self, topology: CdnTopology, max_redirects: int = 4) -> None:
+    ``faults`` (optional) injects the :mod:`repro.cdn.faults` event
+    schedule: down servers are skipped via failover routing, cold
+    restarts wipe cache state at recovery, degraded links and origin
+    brownouts are accounted.  ``faults=None`` and an empty schedule are
+    equivalent — and exactly free.
+    """
+
+    def __init__(
+        self,
+        topology: CdnTopology,
+        max_redirects: int = 4,
+        faults: Optional[FaultSchedule] = None,
+    ) -> None:
         if max_redirects < 1:
             raise ValueError("max_redirects must be >= 1")
         self.topology = topology
         self.max_redirects = max_redirects
+        self.faults = faults
+        #: the live FaultRuntime while :meth:`run` executes (None
+        #: otherwise, and None throughout for empty/absent schedules)
+        self._rt: Optional[FaultRuntime] = None
 
     def run(
         self,
@@ -140,20 +199,48 @@ class CdnSimulator:
             topology=self.topology, per_server=collectors
         )
 
+        rt = self.faults.runtime(self.topology) if self.faults is not None else None
+        self._rt = rt
+        events: List[EngineEvent] = []
+
         timer = StageTimer()
         total = sum(len(trace) for trace in edge_traces.values())
         ticker = ProgressTicker(progress, every=progress_every, total=total)
         t0 = time.perf_counter()
-        for name, request in _merge_by_time(edge_traces):
-            result.num_user_requests += 1
-            result.user_requested_bytes += request.num_bytes
-            hops = self._handle(name, request, result, hop=0)
-            result.redirect_hops[hops] = result.redirect_hops.get(hops, 0) + 1
-            ticker.tick(result.num_user_requests)
+        try:
+            if rt is None:
+                for name, request in _merge_by_time(edge_traces):
+                    result.num_user_requests += 1
+                    result.user_requested_bytes += request.num_bytes
+                    hops = self._handle(name, request, result, hop=0)
+                    result.redirect_hops[hops] = result.redirect_hops.get(hops, 0) + 1
+                    ticker.tick(result.num_user_requests)
+            else:
+                for name, request in _merge_by_time(edge_traces):
+                    for wiped in rt.advance_to(request.t):
+                        events.append(
+                            EngineEvent(request.t, "cache-wipe", wiped)
+                        )
+                    result.num_user_requests += 1
+                    result.user_requested_bytes += request.num_bytes
+                    hops = self._handle(name, request, result, hop=0, edge=name)
+                    result.redirect_hops[hops] = result.redirect_hops.get(hops, 0) + 1
+                    ticker.tick(result.num_user_requests)
+        finally:
+            self._rt = None
         wall = time.perf_counter() - t0
         timer.add("replay", wall, result.num_user_requests)
         ticker.finish(result.num_user_requests)
 
+        extra: Dict[str, object] = {
+            "edges": len(edge_traces),
+            "servers": len(self.topology.servers),
+        }
+        if rt is not None:
+            result.availability = rt.availability
+            result.faults = self.faults
+            extra["fault_events"] = len(self.faults)
+            extra["requests_lost"] = result.requests_lost
         result.report = RunReport(
             engine="cdn",
             mode="serial",
@@ -161,7 +248,8 @@ class CdnSimulator:
             num_requests=result.num_user_requests,
             num_caches=len(collectors),
             stages=timer.timings(),
-            extra={"edges": len(edge_traces), "servers": len(self.topology.servers)},
+            extra=extra,
+            events=events,
         )
         return result
 
@@ -174,6 +262,8 @@ class CdnSimulator:
         result: CdnSimulationResult,
         hop: int,
         user: bool = True,
+        edge: Optional[str] = None,
+        failover: bool = False,
     ) -> int:
         """Process ``request`` at ``server_name``; returns redirect hops.
 
@@ -183,9 +273,58 @@ class CdnSimulator:
         not a failure of the redirect tier, so it must not count toward
         ``origin_requests`` / ``origin_redirect_bytes`` — those feed
         ``origin_offload``, which is defined over user traffic only.
+
+        ``edge`` (faulted replays only) is the server the user request
+        originally landed on — losses are attributed there.
+        ``failover`` marks a request that already skipped a down server;
+        whoever serves it counts its bytes as backup traffic.
         """
+        rt = self._rt
         server = self.topology[server_name]
+
+        if rt is not None and not server.is_origin and rt.is_down(
+            server_name, request.t
+        ):
+            # Failover: a down server is skipped along the secondary
+            # map (user path) or the next fill hop (fill path), with
+            # the origin as the final backstop.
+            stats = rt.availability[server_name]
+            stats.failover_hops += 1
+            if user:
+                stats.down_requests += 1
+                target = server.redirect_to
+                if target is None or hop + 1 >= self.max_redirects:
+                    target = self.topology.origin_name
+                return self._handle(
+                    target, request, result, hop + 1,
+                    user=True, edge=edge, failover=True,
+                )
+            stats.down_fills += 1
+            target = server.fill_from
+            if target is None:
+                target = self.topology.origin_name
+            return self._handle(
+                target, request, result, hop,
+                user=False, edge=edge, failover=True,
+            )
+
         if server.is_origin:
+            if rt is not None and rt.origin_drops(request.t):
+                # Brownout shed: the request is served by no one.
+                if user:
+                    result.requests_lost += 1
+                    result.lost_bytes += request.num_bytes
+                    if edge is not None:
+                        stats = rt.availability[edge]
+                        stats.lost_requests += 1
+                        stats.lost_bytes += request.num_bytes
+                        collector = result.per_server.get(edge)
+                        if collector is not None:
+                            collector.record_lost(request.t, request.num_bytes)
+                else:
+                    result.fill_requests_lost += 1
+                    result.fill_bytes_lost += request.num_bytes
+                return hop
             result.origin_bytes += request.num_bytes
             if user:
                 result.origin_requests += 1
@@ -199,16 +338,32 @@ class CdnSimulator:
         response = server.cache.handle(request)
         result.per_server[server_name].record(request, response)
 
+        if rt is not None:
+            if failover and response.decision is Decision.SERVE:
+                stats = rt.availability[server_name]
+                stats.backup_requests += 1
+                stats.backup_bytes += request.num_bytes
+            if response.filled_chunks:
+                rt.note_fill(
+                    server_name,
+                    request.t,
+                    response.filled_chunks * server.cache.chunk_bytes,
+                    len(server.cache),
+                )
+
         if response.decision is Decision.SERVE:
             if response.filled_chunks:
-                self._fill_upstream(server, request, response, result)
+                self._fill_upstream(server, request, response, result, edge=edge)
             return hop
 
         # Redirect: follow the secondary map; origin backstops.
         target = server.redirect_to
         if target is None or hop + 1 >= self.max_redirects:
             target = self.topology.origin_name
-        return self._handle(target, request, result, hop + 1, user=user)
+        return self._handle(
+            target, request, result, hop + 1,
+            user=user, edge=edge, failover=failover,
+        )
 
     def _fill_upstream(
         self,
@@ -216,6 +371,7 @@ class CdnSimulator:
         request: Request,
         response: CacheResponse,
         result: CdnSimulationResult,
+        edge: Optional[str] = None,
     ) -> None:
         """Send this server's cache-fill as requests to its fill source."""
         target = server.fill_from
@@ -223,7 +379,7 @@ class CdnSimulator:
             return
         cache = server.cache
         for fill in _fill_requests(request, cache, response.filled_chunks):
-            self._handle(target, fill, result, hop=0, user=False)
+            self._handle(target, fill, result, hop=0, user=False, edge=edge)
 
 
 def _fill_requests(request: Request, cache, filled_chunks: int) -> List[Request]:

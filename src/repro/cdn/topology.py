@@ -62,9 +62,24 @@ class CdnServer:
 
 
 class CdnTopology:
-    """A validated set of servers with redirect/fill wiring."""
+    """A validated set of servers with redirect/fill wiring.
 
-    def __init__(self, servers: Iterable[CdnServer]) -> None:
+    Cycles are detected at construction time, with the offending path
+    in the error.  ``fill_from`` cycles are always fatal: a fill is
+    real data movement and must terminate at the origin.
+    ``redirect_to`` rings are legitimate between peered siblings (the
+    simulator bounds them with its hop limit and backstops at the
+    origin), so they are allowed by default; pass
+    ``allow_redirect_rings=False`` for topologies that must be acyclic
+    (e.g. hierarchies), where a ring is a wiring bug that the hop limit
+    would otherwise silently mask at replay time.
+    """
+
+    def __init__(
+        self,
+        servers: Iterable[CdnServer],
+        allow_redirect_rings: bool = True,
+    ) -> None:
         self.servers: Dict[str, CdnServer] = {}
         for server in servers:
             if server.name in self.servers:
@@ -73,6 +88,7 @@ class CdnTopology:
         if not any(s.is_origin for s in self.servers.values()):
             raise ValueError("topology needs an origin (a server with cache=None)")
         self._validate_links()
+        self._validate_cycles(allow_redirect_rings)
 
     def __getitem__(self, name: str) -> CdnServer:
         return self.servers[name]
@@ -114,23 +130,53 @@ class CdnTopology:
                     )
                 if target == server.name:
                     raise ValueError(f"server {server.name!r}: {attr} loops to itself")
-        # Fill chains must terminate at the origin: a fill is real data
-        # movement and cannot loop.  Redirect *rings* are legitimate
-        # (peered siblings redirect to each other); the simulator bounds
-        # them with its hop limit and backstops at the origin.
-        for server in self.servers.values():
-            seen = {server.name}
-            node = server
-            while True:
-                target = node.fill_from
-                if target is None:
-                    break
-                if target in seen:
-                    raise ValueError(f"fill_from cycle involving {server.name!r}")
-                seen.add(target)
-                node = self.servers[target]
-                if node.is_origin:
-                    break
+
+    def _validate_cycles(self, allow_redirect_rings: bool) -> None:
+        """Reject cycles at construction, naming the offending path.
+
+        Relying on ``max_redirects`` to bound a cycle at replay time
+        masks the wiring bug (and, under fault-injection failover,
+        silently burns the whole hop budget walking the ring), so
+        cycles are surfaced here, where the fix is obvious.
+        """
+        cycle = self._find_cycle("fill_from")
+        if cycle is not None:
+            raise ValueError(
+                "fill_from cycle (fills must terminate at the origin): "
+                + " -> ".join(cycle)
+            )
+        if not allow_redirect_rings:
+            cycle = self._find_cycle("redirect_to")
+            if cycle is not None:
+                raise ValueError(
+                    "redirect_to cycle in a ring-free topology: "
+                    + " -> ".join(cycle)
+                )
+
+    def _find_cycle(self, attr: str) -> Optional[List[str]]:
+        """First cycle of the functional graph ``attr``, as a path.
+
+        Each server has at most one outgoing ``attr`` edge, so a walk
+        from every unvisited node either terminates (None target or a
+        node already cleared) or closes a cycle; nodes proven
+        cycle-free are never re-walked, keeping this O(servers).
+        """
+        cleared: set = set()
+        for start in self.servers:
+            if start in cleared:
+                continue
+            path: List[str] = []
+            position: Dict[str, int] = {}
+            node: Optional[str] = start
+            while node is not None and node not in cleared:
+                if node in position:
+                    cycle = path[position[node]:]
+                    return cycle + [node]
+                position[node] = len(path)
+                path.append(node)
+                node = getattr(self.servers[node], attr)
+            cleared.update(path)
+        return None
 
 
 def hierarchy(
@@ -162,7 +208,9 @@ def hierarchy(
                 fill_from=parent_name,
             )
         )
-    return CdnTopology(servers)
+    # A hierarchy is acyclic by definition: any redirect ring here is a
+    # wiring bug, so have the topology reject it with the path.
+    return CdnTopology(servers, allow_redirect_rings=False)
 
 
 def peered_edges(

@@ -182,7 +182,7 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
         default=["all"],
         help=(
             "experiment names (fig2..fig7, cdnwide, proactive, "
-            "robustness, lp_tightness) or 'all'"
+            "robustness, lp_tightness, availability) or 'all'"
         ),
     )
     parser.add_argument(
@@ -206,6 +206,16 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
             "default 1 = in-process)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "persist each completed sweep group to PATH (sets "
+            "REPRO_CHECKPOINT) so a killed run resumes where it stopped; "
+            "delete the file to force a fresh run"
+        ),
+    )
     args = parser.parse_args(argv)
 
     import os
@@ -216,6 +226,8 @@ def main_experiment(argv: Optional[Sequence[str]] = None) -> int:
         if args.workers < 1:
             parser.error("--workers must be >= 1")
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.checkpoint is not None:
+        os.environ["REPRO_CHECKPOINT"] = args.checkpoint
     scale = scale_from_env()
 
     names = list(ALL_FIGURES) if args.figures == ["all"] else args.figures
@@ -318,6 +330,17 @@ def main_verify(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="re-run one dumped counterexample directory and exit",
     )
+    parser.add_argument(
+        "--fault-seeds",
+        type=int,
+        default=10,
+        metavar="N",
+        help=(
+            "fault-fuzz scenarios per algorithm: random outage/restart/"
+            "degrade/brownout schedules replayed over 1-3 server "
+            "topologies with audited caches (0 disables)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.verify.differential import (
@@ -383,8 +406,51 @@ def main_verify(argv: Optional[Sequence[str]] = None) -> int:
             }
         )
     print(format_table(rows, title=f"differential verification ({args.requests} req/trace)"))
-    if failures:
-        print(f"{failures} failing case(s); artifacts under {args.dump_dir}/")
+
+    fault_failures = 0
+    if args.fault_seeds > 0:
+        from repro.verify.faultcheck import DEFAULT_ALGORITHMS, run_fault_fuzz
+
+        fault_algorithms = tuple(
+            a for a in algorithms if a in DEFAULT_ALGORITHMS
+        ) or DEFAULT_ALGORITHMS
+        outcomes = run_fault_fuzz(
+            seeds=args.fault_seeds,
+            algorithms=fault_algorithms,
+            num_requests=args.requests,
+        )
+        fault_rows = []
+        for algorithm in fault_algorithms:
+            mine = [o for o in outcomes if o.scenario.algorithm == algorithm]
+            bad = [o for o in mine if not o.ok]
+            fault_failures += len(bad)
+            for outcome in bad:
+                print(f"FAULT-FAIL {outcome.scenario.label}:")
+                for issue in outcome.issues[:5]:
+                    print(f"  {issue}")
+                for violation in outcome.violations[:5]:
+                    print(f"  {violation}")
+            fault_rows.append(
+                {
+                    "algorithm": algorithm,
+                    "scenarios": len(mine),
+                    "lost_requests": sum(o.requests_lost for o in mine),
+                    "restarts": sum(o.restarts for o in mine),
+                    "status": "ok" if not bad else "FAIL",
+                }
+            )
+        print(
+            format_table(
+                fault_rows,
+                title=f"fault fuzzing ({args.fault_seeds} schedules/algorithm)",
+            )
+        )
+
+    if failures or fault_failures:
+        if failures:
+            print(f"{failures} failing case(s); artifacts under {args.dump_dir}/")
+        if fault_failures:
+            print(f"{fault_failures} failing fault scenario(s)")
         return 1
     print("all algorithms match their oracles")
     return 0

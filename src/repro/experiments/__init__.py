@@ -22,6 +22,7 @@ from repro.experiments.common import (
     scale_from_env,
 )
 from repro.experiments import (
+    availability,
     cdnwide,
     fig2,
     fig3,
@@ -46,6 +47,7 @@ ALL_FIGURES = {
     "proactive": proactive,
     "robustness": robustness,
     "lp_tightness": lp_tightness,
+    "availability": availability,
 }
 
 __all__ = [
@@ -67,4 +69,5 @@ __all__ = [
     "proactive",
     "robustness",
     "lp_tightness",
+    "availability",
 ]

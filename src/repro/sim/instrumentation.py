@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
 __all__ = [
+    "EngineEvent",
     "StageTiming",
     "StageTimer",
     "ProgressTicker",
@@ -31,6 +32,32 @@ __all__ = [
 #: Signature of a progress callback: ``(done, total, elapsed_seconds)``.
 #: ``total`` is None when the request stream is not sized.
 ProgressCallback = Callable[[int, Optional[int], float], None]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineEvent:
+    """One notable engine occurrence: a fault applied, a worker retry.
+
+    ``t`` is producer-defined: simulation time for replay-level events
+    (cache wipes), wall-clock seconds since run start for executor
+    events (group crashes, retries, checkpoint resumes).  ``kind`` is a
+    short machine-friendly tag; ``detail`` is free-form context.
+    """
+
+    t: float
+    kind: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"t": self.t, "kind": self.kind, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineEvent":
+        return cls(t=data["t"], kind=data["kind"], detail=data.get("detail", ""))
+
+    def __str__(self) -> str:
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"[{self.t:g}] {self.kind}{suffix}"
 
 
 @dataclass
@@ -162,6 +189,9 @@ class RunReport:
     workers: int = 1
     stages: List[StageTiming] = field(default_factory=list)
     extra: Dict[str, Union[int, float, str]] = field(default_factory=dict)
+    #: notable occurrences (faults applied, worker retries, checkpoint
+    #: resumes); empty for ordinary runs
+    events: List[EngineEvent] = field(default_factory=list)
 
     @property
     def requests_per_second(self) -> float:
@@ -187,6 +217,7 @@ class RunReport:
             "requests_per_second": self.requests_per_second,
             "stages": [s.to_dict() for s in self.stages],
             "extra": dict(self.extra),
+            "events": [e.to_dict() for e in self.events],
         }
 
     def to_json(self, **kwargs) -> str:
@@ -203,6 +234,7 @@ class RunReport:
             workers=data.get("workers", 1),
             stages=[StageTiming.from_dict(s) for s in data.get("stages", [])],
             extra=dict(data.get("extra", {})),
+            events=[EngineEvent.from_dict(e) for e in data.get("events", [])],
         )
 
     def describe(self) -> str:

@@ -47,10 +47,27 @@ class TrafficSummary:
     redirected_bytes: int = 0
     filled_chunks: int = 0
     redirected_chunks: int = 0
+    #: requests lost to faults (origin brownouts) — tracked separately
+    #: from ``num_requests`` so efficiency/redirect metrics are
+    #: unchanged; always 0 in fault-free replays
+    num_lost: int = 0
+    lost_bytes: int = 0
 
     @property
     def num_redirected(self) -> int:
         return self.num_requests - self.num_served
+
+    @property
+    def availability(self) -> float:
+        """Fraction of demand that was served by someone (NaN when idle).
+
+        Lost requests are those no server — origin included — answered;
+        a fault-free replay reports exactly 1.0.
+        """
+        demand = self.num_requests + self.num_lost
+        if demand == 0:
+            return math.nan
+        return 1.0 - self.num_lost / demand
 
     @property
     def redirect_ratio(self) -> float:
@@ -178,6 +195,37 @@ class MetricsCollector:
             bucket.redirected_bytes += nbytes
             bucket.redirected_chunks += nchunks
 
+    def record_lost(self, t: float, nbytes: int) -> None:
+        """Fold one *lost* request (dropped by a faulted origin) in.
+
+        Lost requests live in their own counters: they never touch
+        ``num_requests`` or the byte totals that efficiency and
+        redirect metrics are computed from, so a fault-free replay and
+        a faulted replay agree on every classic metric and differ only
+        in the loss columns.  Note a lost request may *also* appear as
+        a redirect in ``num_requests`` when this server handled (and
+        redirected) it before the origin dropped it downstream.
+        """
+        # Cold path: duplicates record_raw's bucket advance rather than
+        # slowing the hot path with a shared helper call.
+        if self._t_first is None:
+            self._t_first = t
+        self._t_last = t
+        end = self._bucket_end
+        if end is None:
+            start = math.floor(t / self.interval) * self.interval
+            self._bucket_start = start
+            self._bucket_end = start + self.interval
+        elif t >= end:
+            self._advance_to(t)
+        elif t < self._bucket_start:
+            raise ValueError(
+                f"timestamp {t} precedes the live bucket start "
+                f"{self._bucket_start}; trace must be time-ordered"
+            )
+        self._bucket.num_lost += 1
+        self._bucket.lost_bytes += nbytes
+
     # -- results -------------------------------------------------------------
 
     def totals(self) -> TrafficSummary:
@@ -191,7 +239,9 @@ class MetricsCollector:
     def series(self) -> List[IntervalSample]:
         """Completed + current interval buckets, in time order."""
         out = list(self._samples)
-        if self._bucket_start is not None and self._bucket.num_requests:
+        if self._bucket_start is not None and (
+            self._bucket.num_requests or self._bucket.num_lost
+        ):
             out.append(
                 IntervalSample(self._bucket_start, self._bucket.freeze(self.cost_model))
             )
@@ -247,7 +297,7 @@ class MetricsCollector:
     def _advance_to(self, t: float) -> None:
         """Close the live bucket and open the aligned one containing ``t``."""
         assert self._bucket_start is not None
-        if self._bucket.num_requests:
+        if self._bucket.num_requests or self._bucket.num_lost:
             self._samples.append(
                 IntervalSample(self._bucket_start, self._bucket.freeze(self.cost_model))
             )
@@ -270,6 +320,8 @@ class _MutableCounters:
         "redirected_bytes",
         "filled_chunks",
         "redirected_chunks",
+        "num_lost",
+        "lost_bytes",
     )
 
     def __init__(self) -> None:
@@ -282,6 +334,8 @@ class _MutableCounters:
         self.redirected_bytes = 0
         self.filled_chunks = 0
         self.redirected_chunks = 0
+        self.num_lost = 0
+        self.lost_bytes = 0
 
     def add(self, request: Request, response: CacheResponse, chunk_bytes: int) -> None:
         nbytes = request.num_bytes
@@ -308,6 +362,8 @@ class _MutableCounters:
         self.redirected_bytes += other.redirected_bytes
         self.filled_chunks += other.filled_chunks
         self.redirected_chunks += other.redirected_chunks
+        self.num_lost += other.num_lost
+        self.lost_bytes += other.lost_bytes
 
     def merge_counters(self, other: "_MutableCounters") -> None:
         self.num_requests += other.num_requests
@@ -319,6 +375,8 @@ class _MutableCounters:
         self.redirected_bytes += other.redirected_bytes
         self.filled_chunks += other.filled_chunks
         self.redirected_chunks += other.redirected_chunks
+        self.num_lost += other.num_lost
+        self.lost_bytes += other.lost_bytes
 
     def copy(self) -> "_MutableCounters":
         dup = _MutableCounters()
@@ -337,4 +395,6 @@ class _MutableCounters:
             redirected_bytes=self.redirected_bytes,
             filled_chunks=self.filled_chunks,
             redirected_chunks=self.redirected_chunks,
+            num_lost=self.num_lost,
+            lost_bytes=self.lost_bytes,
         )

@@ -16,10 +16,20 @@ The paper's experiments (Figures 4–7) are matrices — algorithm x
   reinterpreting its counters under each cell's cost model.  This is
   exact, not approximate — efficiency is a property computed from the
   counters at read time.
-* **Parallel execution** — groups run via
+* **Supervised parallel execution** — groups run via
   ``concurrent.futures.ProcessPoolExecutor`` when a worker count > 1 is
-  requested (argument or ``REPRO_WORKERS``), with a graceful in-process
-  fallback when process pools are unavailable or fail.
+  requested (argument or ``REPRO_WORKERS``).  The executor is
+  supervised: a crashed or timed-out group is retried on a fresh pool
+  with capped exponential backoff, results of groups that *did* finish
+  are salvaged (never re-simulated), and only groups that exhaust their
+  retries fall back to in-process execution.
+* **Checkpointing** — an opt-in append-only journal
+  (:class:`SweepCheckpoint`, ``checkpoint=`` or ``REPRO_CHECKPOINT``)
+  persists each finished group as it completes, so a sweep killed
+  mid-run resumes from its last completed group instead of starting
+  over.  Records are bound to a fingerprint of the plan, interval and
+  trace, so a stale journal from a different sweep is ignored, not
+  misapplied.
 
 Result keys and ordering are deterministic: the returned mapping is
 keyed by ``RunConfig.key`` in input order, whatever the execution
@@ -29,22 +39,30 @@ overwrite results).
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.costs import CostModel
 from repro.sim.engine import MultiReplay, SimulationResult, replay
-from repro.sim.instrumentation import ProgressCallback, RunReport, StageTiming
+from repro.sim.instrumentation import (
+    EngineEvent,
+    ProgressCallback,
+    RunReport,
+    StageTiming,
+)
 from repro.trace.requests import Request
 
 __all__ = [
+    "CHECKPOINT_ENV",
     "WORKERS_ENV",
     "CellGroup",
+    "SweepCheckpoint",
     "SweepPlan",
     "SweepScheduler",
     "resolve_workers",
@@ -53,6 +71,10 @@ __all__ = [
 #: Environment knob for the default worker count ("repro-experiment
 #: --workers N" sets it; 0/1/unset mean in-process execution).
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment knob for the default checkpoint path ("repro-experiment
+#: --checkpoint PATH" sets it; unset/empty means no checkpointing).
+CHECKPOINT_ENV = "REPRO_CHECKPOINT"
 
 _MODES = ("auto", "serial", "parallel", "cells")
 
@@ -87,6 +109,103 @@ class CellGroup:
     @property
     def keys(self) -> Tuple[str, ...]:
         return tuple(config.key for config in self.configs)
+
+
+def _group_id(group: CellGroup) -> str:
+    """Stable identity of a group inside one plan (checkpoint key)."""
+    return group.kind + ":" + "\x1f".join(group.keys)
+
+
+class SweepCheckpoint:
+    """Append-only journal of completed sweep groups.
+
+    Each record is one pickled ``(version, fingerprint, group_id,
+    results)`` tuple, appended (and fsync'd) the moment a group
+    finishes — so the file only ever contains *fully completed* groups,
+    plus possibly one truncated tail record if the writer was killed
+    mid-append.  :meth:`load` tolerates that tail: it keeps every
+    intact record before it and discards the rest.
+
+    The fingerprint binds records to one specific sweep — the plan's
+    group structure, the metrics interval and a cheap trace signature
+    (length plus first/last request) — so resuming with a different
+    matrix, worker split or trace silently starts fresh instead of
+    grafting foreign results.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: "os.PathLike | str") -> None:
+        self.path = os.fspath(path)
+
+    @staticmethod
+    def fingerprint(
+        plan: "SweepPlan", interval: float, requests: Sequence[Request]
+    ) -> str:
+        """Hex digest identifying (plan structure, interval, trace)."""
+        h = hashlib.sha256()
+        h.update(
+            f"sweep-checkpoint-v{SweepCheckpoint.VERSION}|"
+            f"interval={interval!r}".encode()
+        )
+        for group in plan.groups:
+            h.update(("|" + _group_id(group)).encode())
+        n = len(requests)
+        sig: Tuple = (n,)
+        if n:
+            first, last = requests[0], requests[-1]
+            sig = (
+                n,
+                first.t, first.video, first.b0, first.b1,
+                last.t, last.video, last.b0, last.b1,
+            )
+        h.update(f"|trace={sig!r}".encode())
+        return h.hexdigest()
+
+    def load(self, fingerprint: str) -> Dict[str, Dict[str, SimulationResult]]:
+        """Completed groups matching ``fingerprint``: id -> results.
+
+        Missing file means a fresh run (empty dict).  A corrupt or
+        truncated tail — the normal aftermath of a killed sweep — stops
+        the scan; every record before it is returned.
+        """
+        try:
+            stream = open(self.path, "rb")
+        except (FileNotFoundError, IsADirectoryError, PermissionError):
+            return {}
+        records: Dict[str, Dict[str, SimulationResult]] = {}
+        with stream:
+            while True:
+                try:
+                    record = pickle.load(stream)
+                except EOFError:
+                    break
+                except Exception:
+                    break  # truncated/corrupt tail: keep what is intact
+                try:
+                    version, fp, group_id, results = record
+                except (TypeError, ValueError):
+                    break
+                if version != self.VERSION or fp != fingerprint:
+                    continue
+                records[group_id] = results
+        return records
+
+    def append(
+        self,
+        fingerprint: str,
+        group_id: str,
+        results: Dict[str, SimulationResult],
+    ) -> None:
+        """Persist one completed group (flushed to disk before return)."""
+        with open(self.path, "ab") as stream:
+            pickle.dump(
+                (self.VERSION, fingerprint, group_id, results),
+                stream,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            stream.flush()
+            os.fsync(stream.fileno())
 
 
 @dataclass
@@ -132,6 +251,15 @@ class SweepScheduler:
     * ``cells`` — strict per-cell sequential replay with no grouping or
       collapsing.  This is the seed ``run_matrix`` behaviour, kept as a
       baseline for benchmarking and for the golden-equivalence suite.
+
+    Robustness knobs (parallel mode): a group whose worker crashes or
+    exceeds ``group_timeout`` seconds is retried up to ``max_retries``
+    times on a fresh pool, sleeping ``backoff_seconds * 2**attempt``
+    (capped at ``backoff_cap``) between rounds; groups that exhaust
+    their retries run in-process.  Completed groups are never re-run.
+    ``checkpoint`` (a path, a :class:`SweepCheckpoint`, or the
+    ``REPRO_CHECKPOINT`` environment variable) persists each finished
+    group so a killed sweep resumes where it stopped.
     """
 
     def __init__(
@@ -141,14 +269,42 @@ class SweepScheduler:
         interval: float = 3600.0,
         collapse: bool = True,
         progress: Optional[ProgressCallback] = None,
+        checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.25,
+        backoff_cap: float = 4.0,
+        group_timeout: Optional[float] = None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {backoff_seconds}"
+            )
+        if backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be >= 0, got {backoff_cap}")
+        if group_timeout is not None and group_timeout <= 0:
+            raise ValueError(
+                f"group_timeout must be positive, got {group_timeout}"
+            )
         self.workers = resolve_workers(workers)
         self.mode = mode
         self.interval = interval
         self.collapse = collapse
         self.progress = progress
+        if checkpoint is None:
+            env_path = os.environ.get(CHECKPOINT_ENV, "").strip()
+            if env_path:
+                checkpoint = env_path
+        if checkpoint is not None and not isinstance(checkpoint, SweepCheckpoint):
+            checkpoint = SweepCheckpoint(checkpoint)
+        self.checkpoint: Optional[SweepCheckpoint] = checkpoint
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap = backoff_cap
+        self.group_timeout = group_timeout
         #: Observability record of the last :meth:`run` (None before).
         self.last_report: Optional[RunReport] = None
 
@@ -246,31 +402,80 @@ class SweepScheduler:
 
         Returns ``{config.key: SimulationResult}`` in input-config
         order.  ``requests`` may be a generator when the plan is a
-        single in-process broadcast group (all-online, serial); any
-        other shape needs — and gets — a one-time spill to a list.
+        single in-process broadcast group (all-online, serial, no
+        checkpoint); any other shape needs — and gets — a one-time
+        spill to a list.
         """
         t_start = time.perf_counter()
         plan = self.plan(configs)
         mode = self.effective_mode()
+        checkpoint = self.checkpoint
 
         needs_list = (
             mode == "parallel"
             or len(plan.groups) > 1
             or any(group.kind == "single" for group in plan.groups)
+            # The checkpoint fingerprint needs a sized, indexable trace.
+            or checkpoint is not None
         )
         if needs_list and not isinstance(requests, Sequence):
             requests = list(requests)
 
-        parallel_used = False
-        if mode == "parallel" and len(plan.groups) > 1:
-            results, parallel_used = self._run_parallel(plan, requests)
-        else:
-            results = self._run_groups(plan.groups, requests)
+        events: List[EngineEvent] = []
+        results: Dict[str, SimulationResult] = {}
+        run_groups: List[CellGroup] = list(plan.groups)
+        on_group: Optional[Callable[[CellGroup, Dict[str, SimulationResult]], None]]
+        on_group = None
+        resumed = 0
+        if checkpoint is not None:
+            fp = checkpoint.fingerprint(plan, self.interval, requests)
+            loaded = checkpoint.load(fp)
+            remaining: List[CellGroup] = []
+            for group in plan.groups:
+                cached = loaded.get(_group_id(group))
+                if cached is not None:
+                    results.update(cached)
+                    resumed += 1
+                else:
+                    remaining.append(group)
+            run_groups = remaining
+            if resumed:
+                events.append(
+                    EngineEvent(
+                        0.0,
+                        "checkpoint-resume",
+                        f"{resumed}/{len(plan.groups)} group(s) restored "
+                        f"from {checkpoint.path}",
+                    )
+                )
 
-        self._apply_clones(plan, results)
+            def on_group(group, group_results, _fp=fp, _ckpt=checkpoint):
+                _ckpt.append(_fp, _group_id(group), group_results)
+
+        parallel_used = False
+        exec_stats: Dict[str, int] = {}
+        if mode == "parallel" and len(run_groups) > 1:
+            pool_results, parallel_used, pool_events, exec_stats = (
+                self._run_parallel(run_groups, requests, on_group)
+            )
+            results.update(pool_results)
+            events.extend(pool_events)
+        else:
+            results.update(self._run_groups(run_groups, requests, on_group))
+
+        self._apply_clones(plan, results, requests)
 
         wall = time.perf_counter() - t_start
         num_requests = next(iter(results.values())).num_requests if results else 0
+        extra: Dict = {
+            "cells": plan.num_cells,
+            "simulated": plan.num_simulated,
+            "clones": len(plan.clones),
+            "groups": len(plan.groups),
+        }
+        if resumed:
+            extra["resumed_groups"] = resumed
+        extra.update(exec_stats)
         self.last_report = RunReport(
             engine="scheduler",
             mode="parallel" if parallel_used else mode,
@@ -279,12 +484,8 @@ class SweepScheduler:
             num_caches=plan.num_cells,
             workers=self.workers if parallel_used else 1,
             stages=[StageTiming("sweep", wall, plan.num_simulated)],
-            extra={
-                "cells": plan.num_cells,
-                "simulated": plan.num_simulated,
-                "clones": len(plan.clones),
-                "groups": len(plan.groups),
-            },
+            extra=extra,
+            events=events,
         )
         for result in results.values():
             if result.report is not None:
@@ -299,46 +500,191 @@ class SweepScheduler:
     # -- internals -----------------------------------------------------------
 
     def _run_groups(
-        self, groups: Sequence[CellGroup], requests: Iterable[Request]
+        self,
+        groups: Sequence[CellGroup],
+        requests: Iterable[Request],
+        on_group: Optional[
+            Callable[[CellGroup, Dict[str, SimulationResult]], None]
+        ] = None,
     ) -> Dict[str, SimulationResult]:
         results: Dict[str, SimulationResult] = {}
         for group in groups:
-            results.update(
-                _execute_group(
-                    group.kind, group.configs, requests, self.interval, self.progress
-                )
+            group_results = _execute_group(
+                group.kind, group.configs, requests, self.interval, self.progress
             )
+            results.update(group_results)
+            if on_group is not None:
+                on_group(group, group_results)
         return results
 
     def _run_parallel(
-        self, plan: SweepPlan, requests: Sequence[Request]
-    ) -> Tuple[Dict[str, SimulationResult], bool]:
-        """Distribute groups over a process pool; fall back serially."""
-        max_workers = min(self.workers, len(plan.groups))
-        try:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = [
+        self,
+        groups: Sequence[CellGroup],
+        requests: Sequence[Request],
+        on_group: Optional[
+            Callable[[CellGroup, Dict[str, SimulationResult]], None]
+        ] = None,
+    ) -> Tuple[Dict[str, SimulationResult], bool, List[EngineEvent], Dict[str, int]]:
+        """Distribute groups over a supervised process pool.
+
+        Rounds of execution: every still-pending group is submitted to
+        a fresh pool; groups whose futures complete are harvested (and
+        checkpointed) immediately, groups that crash or time out are
+        re-queued for the next round after a capped exponential
+        backoff.  A crash therefore costs only the crashed group's work
+        — completed siblings are salvaged, never re-simulated.  Groups
+        that exhaust ``max_retries`` run in-process at the end, which
+        doubles as the fallback when process pools are unavailable
+        altogether.
+        """
+        t0 = time.perf_counter()
+        results: Dict[str, SimulationResult] = {}
+        events: List[EngineEvent] = []
+        pending: List[Tuple[int, CellGroup]] = list(enumerate(groups))
+        attempts: Dict[int, int] = {i: 0 for i, _ in pending}
+        fallback: List[Tuple[int, CellGroup]] = []
+        retries = 0
+        pool_ran = False
+
+        def elapsed() -> float:
+            return time.perf_counter() - t0
+
+        while pending:
+            max_workers = min(self.workers, len(pending))
+            try:
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+                future_group = {
                     pool.submit(
                         _execute_group, group.kind, group.configs, requests,
                         self.interval, None,
+                    ): (index, group)
+                    for index, group in pending
+                }
+            except (OSError, ValueError, RuntimeError, ImportError) as exc:
+                # The pool cannot even start (sandbox, missing fork
+                # support, ...): nothing parallel will work — route all
+                # remaining groups to the in-process fallback.
+                events.append(
+                    EngineEvent(elapsed(), "pool-unavailable", repr(exc))
+                )
+                fallback.extend(pending)
+                pending = []
+                break
+            pool_ran = True
+            crashed: List[Tuple[int, CellGroup, str]] = []
+            deadline = (
+                time.monotonic() + self.group_timeout
+                if self.group_timeout is not None
+                else None
+            )
+            not_done = set(future_group)
+            timed_out = False
+            while not_done:
+                timeout = None
+                if deadline is not None:
+                    timeout = deadline - time.monotonic()
+                    if timeout <= 0:
+                        timed_out = True
+                        break
+                done, not_done = wait(
+                    not_done, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    timed_out = True
+                    break
+                for future in done:
+                    index, group = future_group[future]
+                    try:
+                        group_results = future.result()
+                    except Exception as exc:
+                        # Includes BrokenProcessPool: a dead worker
+                        # fails every unfinished future, and each lands
+                        # here to be retried; finished siblings were
+                        # already harvested above.
+                        crashed.append((index, group, repr(exc)))
+                    else:
+                        results.update(group_results)
+                        if on_group is not None:
+                            on_group(group, group_results)
+            if timed_out:
+                for future in not_done:
+                    index, group = future_group[future]
+                    future.cancel()
+                    crashed.append(
+                        (index, group, f"timed out after {self.group_timeout}s")
                     )
-                    for group in plan.groups
-                ]
-                results: Dict[str, SimulationResult] = {}
-                for future in as_completed(futures):
-                    results.update(future.result())
-            return results, True
-        except (OSError, ValueError, RuntimeError, ImportError) as exc:
+            # A timed-out worker may be wedged: don't block shutdown on
+            # it (the abandoned process dies with the interpreter).
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+
+            pending = []
+            max_attempt = 0
+            for index, group, why in crashed:
+                attempts[index] += 1
+                events.append(
+                    EngineEvent(
+                        elapsed(),
+                        "group-crash",
+                        f"group {index} ({group.kind} x{len(group.configs)}) "
+                        f"attempt {attempts[index]}: {why}",
+                    )
+                )
+                if attempts[index] > self.max_retries:
+                    fallback.append((index, group))
+                else:
+                    pending.append((index, group))
+                    retries += 1
+                    max_attempt = max(max_attempt, attempts[index])
+            if pending:
+                delay = min(
+                    self.backoff_cap,
+                    self.backoff_seconds * (2 ** (max_attempt - 1)),
+                )
+                events.append(
+                    EngineEvent(
+                        elapsed(),
+                        "retry-backoff",
+                        f"retrying {len(pending)} group(s) after {delay:g}s",
+                    )
+                )
+                if delay > 0:
+                    time.sleep(delay)
+
+        if fallback:
             warnings.warn(
-                f"parallel sweep execution failed ({exc!r}); "
-                "falling back to in-process execution",
+                f"parallel sweep execution failed for {len(fallback)} "
+                "group(s); falling back to in-process execution for those "
+                f"(salvaged {len(groups) - len(fallback)} completed)",
                 RuntimeWarning,
                 stacklevel=3,
             )
-            return self._run_groups(plan.groups, requests), False
+            for index, group in sorted(fallback):
+                events.append(
+                    EngineEvent(
+                        elapsed(), "group-fallback", f"group {index} in-process"
+                    )
+                )
+                group_results = _execute_group(
+                    group.kind, group.configs, requests, self.interval,
+                    self.progress,
+                )
+                results.update(group_results)
+                if on_group is not None:
+                    on_group(group, group_results)
+
+        stats: Dict[str, int] = {}
+        if retries:
+            stats["group_retries"] = retries
+        if fallback:
+            stats["fallback_groups"] = len(fallback)
+            stats["salvaged_groups"] = len(groups) - len(fallback)
+        return results, pool_ran, events, stats
 
     def _apply_clones(
-        self, plan: SweepPlan, results: Dict[str, SimulationResult]
+        self,
+        plan: SweepPlan,
+        results: Dict[str, SimulationResult],
+        requests: Iterable[Request],
     ) -> None:
         """Materialize alpha-collapsed cells from their primaries.
 
@@ -348,17 +694,46 @@ class SweepScheduler:
         would have produced.  Copying goes through pickle — serialize
         each primary once, deserialize per clone — which is several
         times faster than ``copy.deepcopy`` on treap-heavy cache state.
+
+        A primary whose cache refuses to pickle (e.g. an instrumented
+        wrapper holding a live file handle) degrades to a dedicated
+        replay of each clone — exact, just slower — or raises a clear
+        error when the trace was a one-shot generator that is already
+        spent.
         """
-        blobs: Dict[str, bytes] = {}
+        blobs: Dict[str, Optional[bytes]] = {}
         for clone_key, primary_key in plan.clones.items():
             config = plan.configs_by_key[clone_key]
             primary = results[primary_key]
             cost_model = CostModel(config.alpha_f2r)
-            blob = blobs.get(primary_key)
+            if primary_key not in blobs:
+                try:
+                    blobs[primary_key] = pickle.dumps(
+                        primary.cache, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                    blobs[primary_key] = None
+                    warnings.warn(
+                        f"cache state of {primary_key!r} is not picklable "
+                        f"({exc!r}); materializing its alpha-collapsed "
+                        "clones by dedicated replay",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+            blob = blobs[primary_key]
             if blob is None:
-                blob = blobs[primary_key] = pickle.dumps(
-                    primary.cache, protocol=pickle.HIGHEST_PROTOCOL
+                if not isinstance(requests, Sequence):
+                    raise RuntimeError(
+                        f"cannot materialize clone {clone_key!r}: the "
+                        f"primary {primary_key!r} cache is unpicklable and "
+                        "the request stream was a one-shot generator that "
+                        "is already consumed; pass a materialized sequence "
+                        "or construct the scheduler with collapse=False"
+                    )
+                results[clone_key] = replay(
+                    config.build(), requests, interval=self.interval
                 )
+                continue
             cache = pickle.loads(blob)
             cache.cost_model = cost_model
             results[clone_key] = SimulationResult(

@@ -21,7 +21,12 @@ online algorithm gets:
 * **adversarial fuzzing** (:mod:`repro.verify.fuzz`) — seeded trace
   generators aimed at the historically bug-prone corners: timestamp
   ties, zero-gap bursts, oversized requests, 1-chunk disks, odd chunk
-  sizes and alpha extremes.
+  sizes and alpha extremes;
+* **fault fuzzing** (:mod:`repro.verify.faultcheck`) — seeded random
+  fault schedules (outages, cold restarts, degraded links, brownouts)
+  replayed over 1–3 server topologies with audited caches, checking
+  the invariants hold under failover and that an empty schedule is
+  byte-identical to no schedule at all.
 
 The ``repro-verify`` CLI entry point wires these together.
 """
@@ -37,6 +42,13 @@ from repro.verify.differential import (
     shrink_trace,
     verify_algorithm,
 )
+from repro.verify.faultcheck import (
+    FaultCheckResult,
+    FaultScenario,
+    fault_scenarios,
+    run_fault_fuzz,
+    run_fault_scenario,
+)
 from repro.verify.fuzz import FuzzScenario, adversarial_trace, scenario_matrix
 from repro.verify.oracles import ORACLE_FACTORIES, build_oracle
 
@@ -51,6 +63,11 @@ __all__ = [
     "replay_counterexample",
     "shrink_trace",
     "verify_algorithm",
+    "FaultCheckResult",
+    "FaultScenario",
+    "fault_scenarios",
+    "run_fault_fuzz",
+    "run_fault_scenario",
     "FuzzScenario",
     "adversarial_trace",
     "scenario_matrix",

@@ -29,7 +29,7 @@ unchanged; ``repro-sim --audit`` is the CLI surface.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.base import CacheResponse, Decision, VideoCache
 from repro.trace.requests import ChunkId, Request
@@ -43,12 +43,16 @@ class InvariantViolation(AssertionError):
 
 @dataclass(frozen=True, slots=True)
 class Violation:
-    """One recorded invariant violation."""
+    """One recorded invariant violation.
+
+    ``request`` is None for lifecycle violations (e.g. a cache wipe
+    that left chunks behind) that are not tied to a single request.
+    """
 
     index: int
     invariant: str
     detail: str
-    request: Request
+    request: Optional[Request]
 
     def __str__(self) -> str:
         return f"request #{self.index} [{self.invariant}]: {self.detail}"
@@ -66,6 +70,7 @@ class AuditedCache(VideoCache):
         self.cost_sensitive = inner.cost_sensitive
         self.violations: List[Violation] = []
         self.requests_audited = 0
+        self.wipes = 0
         self._last_t = float("-inf")
 
     # -- auditing ------------------------------------------------------------
@@ -178,7 +183,29 @@ class AuditedCache(VideoCache):
                 )
                 break
 
-    def _flag(self, index: int, invariant: str, detail: str, request: Request) -> None:
+    def note_wipe(self) -> None:
+        """Audit a cold-restart cache wipe (fault-injection replays).
+
+        A wipe must leave occupancy exactly 0 — a restart that carries
+        chunks over is not a cold restart, and any fill/eviction
+        bookkeeping that survived it would silently corrupt the
+        capacity and accounting invariants that keep holding afterwards
+        (the auditor itself persists across the wipe, so post-wipe
+        fills are still checked against ``disk_chunks``).
+        """
+        self.wipes += 1
+        occupancy = len(self.inner)
+        if occupancy != 0:
+            self._flag(
+                self.requests_audited,
+                "wipe-emptiness",
+                f"cache wipe left occupancy {occupancy} (expected exactly 0)",
+                None,
+            )
+
+    def _flag(
+        self, index: int, invariant: str, detail: str, request: Optional[Request]
+    ) -> None:
         violation = Violation(index, invariant, detail, request)
         self.violations.append(violation)
         if self.strict:

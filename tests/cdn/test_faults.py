@@ -1,0 +1,317 @@
+"""Tests for the fault-injection layer: schedules, routing, accounting."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.cdn.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    FaultRuntime,
+)
+from repro.cdn.multiserver import CdnSimulator
+from repro.cdn.topology import CdnServer, CdnTopology, hierarchy
+from repro.sim.runner import CACHE_FACTORIES, build_cache
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def req(t, video, c0, c1=None):
+    c1 = c0 if c1 is None else c1
+    return Request(t, video, c0 * K, (c1 + 1) * K - 1)
+
+
+def small_hierarchy(algo="Cafe", edge_disk=8, parent_disk=64):
+    edges = {
+        "e1": build_cache(algo, edge_disk, chunk_bytes=K),
+        "e2": build_cache(algo, edge_disk, chunk_bytes=K),
+    }
+    parent = build_cache(algo, parent_disk, chunk_bytes=K)
+    return hierarchy(edges, parent)
+
+
+def random_traces(seed=7, n=600, videos=40):
+    rng = random.Random(seed)
+    traces = {"e1": [], "e2": []}
+    for i in range(n):
+        edge = rng.choice(("e1", "e2"))
+        traces[edge].append(
+            req(float(i), rng.randrange(videos), 0, rng.randrange(1, 4))
+        )
+    return traces
+
+
+def fingerprint(result):
+    per = tuple(
+        (name, dataclasses.astuple(result.summary(name)))
+        for name in sorted(result.per_server)
+    )
+    return (
+        per,
+        result.origin_bytes,
+        result.origin_requests,
+        result.origin_fill_requests,
+        result.origin_fill_bytes,
+        tuple(sorted(result.redirect_hops.items())),
+        result.num_user_requests,
+        result.origin_redirect_bytes,
+        result.requests_lost,
+        result.lost_bytes,
+    )
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("meteor", "e1", 0.0, 10.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent("outage", "e1", 0.0, 0.0)
+
+    def test_degrade_needs_factor_above_one(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent("degrade", "e1", 0.0, 10.0, factor=1.0)
+
+    def test_brownout_drop_fraction_bounds(self):
+        with pytest.raises(ValueError, match="drop_fraction"):
+            FaultEvent("brownout", "origin", 0.0, 10.0, drop_fraction=0.0)
+        with pytest.raises(ValueError, match="drop_fraction"):
+            FaultEvent("brownout", "origin", 0.0, 10.0, drop_fraction=1.5)
+
+    def test_describe_mentions_kind_and_window(self):
+        text = FaultEvent("degrade", "e1", 5.0, 10.0, factor=3.0).describe()
+        assert "degrade" in text and "e1" in text and "x3" in text
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent("outage", "e1", 50.0, 10.0),
+                FaultEvent("outage", "e2", 5.0, 10.0),
+            ]
+        )
+        assert [e.t for e in schedule.events] == [5.0, 50.0]
+
+    def test_empty_schedule_is_falsy_and_has_no_runtime(self):
+        schedule = FaultSchedule([])
+        assert not schedule and len(schedule) == 0
+        assert schedule.runtime(small_hierarchy()) is None
+
+    def test_random_is_deterministic(self):
+        a = FaultSchedule.random(["e1", "e2"], "origin", 1000.0, seed=9)
+        b = FaultSchedule.random(["e1", "e2"], "origin", 1000.0, seed=9)
+        assert a.events == b.events
+        c = FaultSchedule.random(["e1", "e2"], "origin", 1000.0, seed=10)
+        assert a.events != c.events
+
+    def test_runtime_rejects_unknown_server(self):
+        schedule = FaultSchedule([FaultEvent("outage", "nope", 0.0, 1.0)])
+        with pytest.raises(ValueError, match="unknown server"):
+            schedule.runtime(small_hierarchy())
+
+    def test_runtime_rejects_brownout_off_origin(self):
+        schedule = FaultSchedule(
+            [FaultEvent("brownout", "e1", 0.0, 1.0, drop_fraction=0.5)]
+        )
+        with pytest.raises(ValueError, match="origin"):
+            schedule.runtime(small_hierarchy())
+
+    def test_runtime_rejects_outage_of_origin(self):
+        schedule = FaultSchedule([FaultEvent("outage", "origin", 0.0, 1.0)])
+        with pytest.raises(ValueError, match="brownout instead"):
+            schedule.runtime(small_hierarchy())
+
+
+class TestGoldenEquivalence:
+    """Empty schedule (or none) must be byte-identical for every algorithm."""
+
+    @pytest.mark.parametrize(
+        "algo",
+        [a for a in sorted(CACHE_FACTORIES)
+         if not getattr(CACHE_FACTORIES[a], "offline", False)],
+    )
+    def test_empty_schedule_is_byte_identical(self, algo):
+        traces = random_traces()
+        bare = CdnSimulator(small_hierarchy(algo)).run(traces)
+        empty = CdnSimulator(
+            small_hierarchy(algo), faults=FaultSchedule([])
+        ).run(traces)
+        assert fingerprint(bare) == fingerprint(empty)
+        assert empty.faults is None or not empty.faults
+
+    def test_faulted_replay_is_deterministic(self):
+        traces = random_traces()
+        schedule = FaultSchedule(
+            [
+                FaultEvent("outage", "e1", 100.0, 150.0),
+                FaultEvent("restart", "e2", 300.0, 50.0),
+                FaultEvent("brownout", "origin", 450.0, 100.0, drop_fraction=0.5),
+            ],
+            seed=3,
+        )
+        a = CdnSimulator(small_hierarchy(), faults=schedule).run(traces)
+        b = CdnSimulator(small_hierarchy(), faults=schedule).run(traces)
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestFailoverRouting:
+    def test_down_edge_fails_over_to_redirect_target(self):
+        schedule = FaultSchedule([FaultEvent("outage", "e1", 0.0, 100.0)])
+        simulator = CdnSimulator(small_hierarchy(), faults=schedule)
+        result = simulator.run({"e1": [req(10.0, 1, 0, 1)]})
+        # e1 was down: the parent served as backup, e1 saw nothing.
+        assert result.summary("e1").num_requests == 0
+        assert result.summary("parent").num_requests == 1
+        av = result.availability
+        assert av["e1"].down_requests == 1
+        assert av["e1"].failover_hops == 1
+        assert av["parent"].backup_requests == 1
+        assert av["parent"].backup_bytes == 2 * K
+
+    def test_down_server_without_redirect_goes_to_origin(self):
+        topology = CdnTopology(
+            [
+                CdnServer(name="origin", cache=None),
+                CdnServer(
+                    name="solo",
+                    cache=build_cache("Cafe", 8, chunk_bytes=K),
+                ),
+            ]
+        )
+        schedule = FaultSchedule([FaultEvent("outage", "solo", 0.0, 100.0)])
+        result = CdnSimulator(topology, faults=schedule).run(
+            {"solo": [req(1.0, 1, 0)]}
+        )
+        assert result.origin_requests == 1
+        assert result.summary("solo").num_requests == 0
+
+    def test_fill_to_down_parent_retries_next_hop(self):
+        # Parent down: the edge's fill must climb to the origin instead,
+        # and the parent cache must see no fill traffic.
+        schedule = FaultSchedule([FaultEvent("outage", "parent", 0.0, 100.0)])
+        simulator = CdnSimulator(small_hierarchy("PullLRU"), faults=schedule)
+        result = simulator.run({"e1": [req(1.0, 1, 0, 1)]})
+        assert result.summary("e1").num_requests == 1
+        assert result.summary("parent").num_requests == 0
+        assert result.availability["parent"].down_fills == 1
+        assert result.origin_fill_requests >= 1
+
+    def test_server_serves_again_after_recovery(self):
+        schedule = FaultSchedule([FaultEvent("outage", "e1", 0.0, 50.0)])
+        simulator = CdnSimulator(small_hierarchy(), faults=schedule)
+        result = simulator.run(
+            {"e1": [req(10.0, 1, 0), req(60.0, 1, 0)]}
+        )
+        assert result.availability["e1"].down_requests == 1
+        assert result.summary("e1").num_requests == 1
+
+
+class TestColdRestart:
+    def test_restart_wipes_cache_and_counts_refill(self):
+        traces = {
+            "e1": [req(float(i), i % 5, 0, 1) for i in range(50)]
+            + [req(200.0 + i, i % 5, 0, 1) for i in range(50)]
+        }
+        schedule = FaultSchedule([FaultEvent("restart", "e1", 100.0, 50.0)])
+        simulator = CdnSimulator(small_hierarchy("PullLRU"), faults=schedule)
+        result = simulator.run(traces)
+        stats = result.availability["e1"]
+        assert stats.restarts == 1
+        assert stats.refill_bytes > 0
+        assert stats.rewarm_seconds and stats.rewarm_seconds[0] >= 0.0
+        wipe_events = [e for e in result.report.events if e.kind == "cache-wipe"]
+        assert len(wipe_events) == 1 and "e1" in wipe_events[0].detail
+
+    def test_outage_preserves_cache_state(self):
+        # Same window as a restart but kind=outage: state must survive,
+        # so the post-recovery request is a hit (no ingress).
+        trace = {"e1": [req(1.0, 1, 0), req(200.0, 1, 0)]}
+        schedule = FaultSchedule([FaultEvent("outage", "e1", 100.0, 50.0)])
+        simulator = CdnSimulator(small_hierarchy("PullLRU"), faults=schedule)
+        result = simulator.run(trace)
+        summary = result.summary("e1")
+        assert summary.num_requests == 2
+        assert summary.ingress_bytes == K  # only the first request filled
+
+
+class TestDegradeAndBrownout:
+    def test_degrade_accounts_extra_ingress(self):
+        trace = {"e1": [req(10.0, 1, 0, 1)]}
+        schedule = FaultSchedule(
+            [FaultEvent("degrade", "e1", 0.0, 100.0, factor=3.0)]
+        )
+        simulator = CdnSimulator(small_hierarchy("PullLRU"), faults=schedule)
+        result = simulator.run(trace)
+        stats = result.availability["e1"]
+        assert stats.degraded_fill_bytes == 2 * K
+        assert stats.extra_ingress_bytes == pytest.approx(2.0 * 2 * K)
+
+    def test_full_brownout_drops_all_origin_traffic(self):
+        topology = CdnTopology(
+            [
+                CdnServer(name="origin", cache=None),
+                CdnServer(
+                    name="solo", cache=build_cache("Cafe", 2, chunk_bytes=K)
+                ),
+            ]
+        )
+        # Oversized request redirects straight to the origin, which is
+        # fully browned out: the request must be lost end to end.
+        schedule = FaultSchedule(
+            [FaultEvent("brownout", "origin", 0.0, 100.0, drop_fraction=1.0)]
+        )
+        result = CdnSimulator(topology, faults=schedule).run(
+            {"solo": [req(1.0, 1, 0, 10)]}
+        )
+        assert result.requests_lost == 1
+        assert result.lost_bytes == 11 * K
+        assert result.availability["solo"].lost_requests == 1
+        assert result.availability_ratio == 0.0
+
+    def test_brownout_seed_changes_which_requests_drop(self):
+        traces = random_traces(n=400)
+        def run_with_seed(seed):
+            schedule = FaultSchedule(
+                [FaultEvent("brownout", "origin", 0.0, 1e9, drop_fraction=0.5)],
+                seed=seed,
+            )
+            # Tiny edges force frequent redirects to origin.
+            edges = {
+                "e1": build_cache("Cafe", 2, chunk_bytes=K),
+                "e2": build_cache("Cafe", 2, chunk_bytes=K),
+            }
+            parent = build_cache("Cafe", 2, chunk_bytes=K)
+            return CdnSimulator(
+                hierarchy(edges, parent), faults=schedule
+            ).run(traces)
+
+        a, b = run_with_seed(1), run_with_seed(2)
+        assert a.requests_lost > 0 and b.requests_lost > 0
+        assert fingerprint(run_with_seed(1)) == fingerprint(a)  # same seed
+        assert fingerprint(a) != fingerprint(b)  # different seed
+
+
+class TestAuditedWipe:
+    def test_wipe_keeps_auditor_and_invariants(self):
+        from repro.verify.audit import AuditedCache
+
+        edges = {
+            "e1": AuditedCache(build_cache("Cafe", 8, chunk_bytes=K)),
+            "e2": AuditedCache(build_cache("Cafe", 8, chunk_bytes=K)),
+        }
+        parent = AuditedCache(build_cache("Cafe", 64, chunk_bytes=K))
+        topology = hierarchy(edges, parent)
+        schedule = FaultSchedule([FaultEvent("restart", "e1", 100.0, 50.0)])
+        traces = {
+            "e1": [req(float(i), i % 4, 0, 1) for i in range(80)]
+            + [req(300.0 + i, i % 4, 0, 1) for i in range(80)]
+        }
+        CdnSimulator(topology, faults=schedule).run(traces)
+        assert edges["e1"].wipes == 1
+        assert edges["e1"].ok
+        assert len(edges["e1"].inner) > 0  # re-warmed after the wipe

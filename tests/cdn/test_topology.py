@@ -78,6 +78,47 @@ class TestTopologyValidation:
         )
         assert len(topology) == 3
 
+    def test_fill_cycle_error_names_the_path(self):
+        with pytest.raises(ValueError) as err:
+            CdnTopology(
+                [
+                    CdnServer(name="origin", cache=None),
+                    CdnServer(name="a", cache=cache(), fill_from="b"),
+                    CdnServer(name="b", cache=cache(), fill_from="c"),
+                    CdnServer(name="c", cache=cache(), fill_from="a"),
+                ]
+            )
+        message = str(err.value)
+        assert "fill_from cycle" in message
+        # The offending path is spelled out, closing on the repeat node.
+        assert "a -> b -> c -> a" in message
+
+    def test_redirect_ring_rejected_when_disallowed(self):
+        servers = [
+            CdnServer(name="origin", cache=None),
+            CdnServer(name="a", cache=cache(), redirect_to="b", fill_from="origin"),
+            CdnServer(name="b", cache=cache(), redirect_to="a", fill_from="origin"),
+        ]
+        with pytest.raises(ValueError, match="redirect_to cycle"):
+            CdnTopology(servers, allow_redirect_rings=False)
+
+    def test_long_fill_chain_to_origin_is_fine(self):
+        topology = CdnTopology(
+            [
+                CdnServer(name="origin", cache=None),
+                CdnServer(name="a", cache=cache(), fill_from="b"),
+                CdnServer(name="b", cache=cache(), fill_from="c"),
+                CdnServer(name="c", cache=cache(), fill_from="origin"),
+            ]
+        )
+        assert len(topology) == 4
+
+    def test_hierarchy_builder_is_ring_free(self):
+        # hierarchy() opts into strict cycle checking; its own wiring is
+        # acyclic, so construction must succeed.
+        topology = hierarchy({"e1": cache()}, cache(64))
+        assert topology["e1"].redirect_to == "parent"
+
 
 class TestBuilders:
     def test_hierarchy_wiring(self):

@@ -1,0 +1,76 @@
+"""Structure tests for the availability experiment (QUICK scale)."""
+
+import math
+
+import pytest
+
+from repro.cdn.faults import FaultSchedule
+from repro.experiments import QUICK, availability
+
+
+class TestFaultSchedule:
+    def test_schedule_scales_to_span(self):
+        span = 10_000.0
+        schedule = availability.fault_schedule(span)
+        assert len(schedule) == 4
+        kinds = {e.kind for e in schedule.events}
+        assert kinds == {"outage", "restart", "degrade", "brownout"}
+        for event in schedule.events:
+            assert 0.0 < event.t < span
+            assert event.t_end <= span
+
+    def test_outage_window_matches_constants(self):
+        span = 1000.0
+        schedule = availability.fault_schedule(span)
+        outage = next(e for e in schedule.events if e.kind == "outage")
+        assert outage.server == availability.OUTAGE_SERVER
+        assert outage.t == pytest.approx(availability.OUTAGE_WINDOW[0] * span)
+        assert outage.t_end == pytest.approx(
+            availability.OUTAGE_WINDOW[1] * span
+        )
+
+    def test_schedule_is_deterministic(self):
+        a = availability.fault_schedule(500.0)
+        b = availability.fault_schedule(500.0)
+        assert isinstance(a, FaultSchedule)
+        assert a.describe() == b.describe()
+        assert a.seed == b.seed == availability.FAULT_SEED
+
+
+class TestAvailabilityRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return availability.run(QUICK, edge_algorithms=("PullLRU", "Cafe"))
+
+    def test_row_per_edge_algorithm(self, result):
+        assert [r["edge_algo"] for r in result.rows] == ["PullLRU", "Cafe"]
+
+    def test_faults_cost_efficiency(self, result):
+        for row in result.rows:
+            assert row["eff_faulted"] <= row["eff_clean"] + 1e-9
+            assert row["eff_drop"] >= -1e-9
+
+    def test_parent_absorbs_failover_inside_outage(self, result):
+        for row in result.rows:
+            # Users of the dark edge land on the parent: it must see
+            # failover hops, and its in-window efficiency is reported.
+            assert row["failover_hops"] > 0
+            assert not math.isnan(row["parent_eff_in_outage"])
+
+    def test_availability_and_loss_accounting(self, result):
+        for row in result.rows:
+            assert 0.0 <= row["availability"] <= 1.0
+            assert row["requests_lost"] >= 0
+            assert row["refill_gb"] >= 0.0
+
+    def test_extras_describe_schedule(self, result):
+        assert "outage" in result.extras["schedule"]
+        assert result.extras["trace_span_seconds"] > 0
+        from repro.experiments.cdnwide import EDGE_SERVERS
+
+        assert set(result.extras["edge_disks"]) == set(EDGE_SERVERS)
+
+    def test_registered_in_cli_experiments(self):
+        from repro.experiments import ALL_FIGURES
+
+        assert "availability" in ALL_FIGURES

@@ -185,6 +185,58 @@ class TestWindows:
         assert steady.num_requests == 0
 
 
+class TestLostRequests:
+    def test_lost_counters_separate_from_traffic(self):
+        m = collector()
+        m.record(Request(0.0, 1, 0, K - 1), SERVE_HIT)
+        m.record_lost(1.0, 3 * K)
+        t = m.totals()
+        assert t.num_requests == 1  # lost request not in the classic counters
+        assert t.num_lost == 1
+        assert t.lost_bytes == 3 * K
+        assert t.requested_bytes == K  # byte totals untouched
+
+    def test_availability_property(self):
+        m = collector()
+        for i in range(3):
+            m.record(Request(float(i), 1, 0, K - 1), SERVE_HIT)
+        m.record_lost(3.0, K)
+        assert m.totals().availability == pytest.approx(0.75)
+
+    def test_availability_is_one_without_losses(self):
+        m = collector()
+        m.record(Request(0.0, 1, 0, K - 1), SERVE_HIT)
+        assert m.totals().availability == 1.0
+
+    def test_availability_nan_when_idle(self):
+        assert math.isnan(collector().totals().availability)
+
+    def test_lost_only_bucket_survives_bucket_advance(self):
+        # A bucket holding nothing but losses must be emitted, not
+        # silently folded into the next interval.
+        m = collector(interval=10.0)
+        m.record_lost(5.0, K)
+        m.record(Request(25.0, 1, 0, K - 1), SERVE_HIT)
+        series = m.series()
+        assert len(series) == 2
+        assert series[0].summary.num_lost == 1
+        assert series[0].summary.num_requests == 0
+        assert series[1].summary.num_lost == 0
+
+    def test_lost_requests_respect_time_order(self):
+        m = collector(interval=10.0)
+        m.record(Request(50.0, 1, 0, K - 1), SERVE_HIT)
+        with pytest.raises(ValueError, match="precedes the live bucket"):
+            m.record_lost(5.0, K)
+
+    def test_with_cost_model_preserves_lost_counters(self):
+        m = collector(alpha=1.0)
+        m.record_lost(0.0, K)
+        clone = m.with_cost_model(CostModel(2.0))
+        assert clone.totals().num_lost == 1
+        assert clone.totals().lost_bytes == K
+
+
 class TestTrafficSummaryInvariants:
     def test_hit_bytes(self):
         s = TrafficSummary(

@@ -1,10 +1,16 @@
 """Tests for the sweep scheduler: planning, execution, parallelism."""
 
+import os
+import pickle
+import time
+
 import pytest
 
 from repro.sim.runner import RunConfig
 from repro.sim.schedule import (
+    CHECKPOINT_ENV,
     WORKERS_ENV,
+    SweepCheckpoint,
     SweepScheduler,
     resolve_workers,
 )
@@ -155,6 +161,59 @@ class TestExecution:
         assert scheduler.last_report.mode == "parallel"  # requested mode kept
         assert scheduler.last_report.workers == 1  # but executed in-process
 
+    def test_unpicklable_primary_degrades_to_dedicated_replay(
+        self, small_trace, monkeypatch
+    ):
+        from repro.core.baselines import PullThroughLruCache
+        from repro.sim.runner import CACHE_FACTORIES
+
+        class UnpicklablePullLRU(PullThroughLruCache):
+            def __getstate__(self):
+                raise TypeError("live file handle cannot be pickled")
+
+        monkeypatch.setitem(
+            CACHE_FACTORIES, "UnpicklablePullLRU", UnpicklablePullLRU
+        )
+        trace = small_trace[:300]
+        configs = [
+            RunConfig("UnpicklablePullLRU", 64, a, label=f"u/{a:g}")
+            for a in (1.0, 2.0)
+        ]
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            results = SweepScheduler(mode="serial").run(configs, trace)
+        reference = SweepScheduler(mode="serial", collapse=False).run(
+            configs, trace
+        )
+        # Dedicated replay of the clone is exact: same counters as a
+        # collapse-free run of the same cell.
+        assert results["u/2"].totals == reference["u/2"].totals
+
+    def test_unpicklable_primary_with_spent_generator_raises(
+        self, small_trace, monkeypatch
+    ):
+        from repro.core.baselines import PullThroughLruCache
+        from repro.sim.runner import CACHE_FACTORIES
+
+        class UnpicklablePullLRU(PullThroughLruCache):
+            def __getstate__(self):
+                raise TypeError("live file handle cannot be pickled")
+
+        monkeypatch.setitem(
+            CACHE_FACTORIES, "UnpicklablePullLRU", UnpicklablePullLRU
+        )
+        configs = [
+            RunConfig("UnpicklablePullLRU", 64, a, label=f"u/{a:g}")
+            for a in (1.0, 2.0)
+        ]
+        # One broadcast group, serial, no checkpoint: the generator is
+        # streamed and spent, so the fallback replay is impossible and
+        # the failure must be loud, not silent.
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            with pytest.raises(RuntimeError, match="one-shot generator"):
+                SweepScheduler(mode="serial").run(
+                    configs, iter(small_trace[:300])
+                )
+
     def test_last_report_and_result_reports(self, small_trace):
         scheduler = SweepScheduler(mode="serial")
         configs = _matrix(("xLRU", "PullLRU"), (1.0, 2.0))
@@ -167,3 +226,310 @@ class TestExecution:
         for result in results.values():
             assert result.report is not None
             assert result.report.extra["scheduler_mode"] == "serial"
+
+
+# --------------------------------------------------------------------------
+# Supervised executor & checkpoint tests.
+#
+# The helpers below are module-level on purpose: the scheduler submits the
+# (monkeypatched) ``schedule._execute_group`` to a ProcessPoolExecutor,
+# which pickles the callable by qualified name — test-local closures would
+# fail to pickle and the crash would fire in the parent process instead of
+# a worker.  Paths are plumbed through environment variables, which fork
+# workers inherit.  ``_ORIG_EXECUTE_GROUP`` is captured at import time so
+# the helpers can delegate to the real implementation even though the
+# module attribute is patched while they run.
+
+import repro.sim.schedule as schedule_module
+
+_ORIG_EXECUTE_GROUP = schedule_module._execute_group
+
+_CRASH_MARKER_ENV = "REPRO_TEST_SCHED_CRASH_MARKER"
+_RUNS_DIR_ENV = "REPRO_TEST_SCHED_RUNS_DIR"
+_DONE_MARKER_ENV = "REPRO_TEST_SCHED_DONE_MARKER"
+_MAIN_PID_ENV = "REPRO_TEST_SCHED_MAIN_PID"
+
+
+def _crash_once_execute_group(kind, configs, requests, interval, progress):
+    """Die like a SIGKILLed worker the first time group ``x`` runs."""
+    marker = os.environ[_CRASH_MARKER_ENV]
+    if any(c.key == "x" for c in configs) and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(1)
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+
+
+def _instrumented_execute_group(kind, configs, requests, interval, progress):
+    """Count executions per group; group ``x`` waits until the parent has
+    *harvested* its sibling (signalled via the checkpoint's ``append``,
+    which runs in the parent) and then dies like a killed worker."""
+    runs_dir = os.environ[_RUNS_DIR_ENV]
+    done_marker = os.environ[_DONE_MARKER_ENV]
+    crash_marker = os.environ[_CRASH_MARKER_ENV]
+    key = configs[0].key
+    count = len([n for n in os.listdir(runs_dir) if n.startswith(key + "-")])
+    open(os.path.join(runs_dir, f"{key}-{count}-{os.getpid()}"), "w").close()
+    if key == "x" and not os.path.exists(crash_marker):
+        open(crash_marker, "w").close()
+        deadline = time.monotonic() + 30.0
+        while not os.path.exists(done_marker):  # pragma: no branch
+            if time.monotonic() > deadline:  # pragma: no cover
+                break  # don't hang the suite; crash anyway
+            time.sleep(0.01)
+        os._exit(1)
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+
+
+class _SignalingCheckpoint(SweepCheckpoint):
+    """Checkpoint whose parent-side ``append`` drops a marker file when
+    the ``c`` group is recorded — proof the future was harvested."""
+
+    def append(self, fingerprint, group_id, results):
+        super().append(fingerprint, group_id, results)
+        if "c" in results:
+            open(os.environ[_DONE_MARKER_ENV], "w").close()
+
+
+def _sleepy_execute_group(kind, configs, requests, interval, progress):
+    """Hang forever — but only inside a pool worker, never the parent."""
+    main_pid = int(os.environ[_MAIN_PID_ENV])
+    if any(c.key == "x" for c in configs) and os.getpid() != main_pid:
+        time.sleep(60.0)
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+
+
+class TestSupervisedExecutor:
+    def _configs(self):
+        return [
+            RunConfig("xLRU", 64, 1.0, label="x"),
+            RunConfig("Cafe", 64, 1.0, label="c"),
+        ]
+
+    def test_worker_killed_mid_group_is_retried(
+        self, small_trace, monkeypatch, tmp_path
+    ):
+        trace = small_trace[:300]
+        monkeypatch.setenv(_CRASH_MARKER_ENV, str(tmp_path / "crashed"))
+        monkeypatch.setattr(
+            schedule_module, "_execute_group", _crash_once_execute_group
+        )
+        scheduler = SweepScheduler(
+            workers=2, mode="parallel", collapse=False, backoff_seconds=0.01
+        )
+        results = scheduler.run(self._configs(), trace)
+        serial = SweepScheduler(mode="serial", collapse=False).run(
+            self._configs(), trace
+        )
+        for key in serial:
+            assert serial[key].totals == results[key].totals
+        assert scheduler.last_report.extra["group_retries"] >= 1
+        kinds = {e.kind for e in scheduler.last_report.events}
+        assert "group-crash" in kinds and "retry-backoff" in kinds
+
+    def test_completed_groups_salvaged_not_rerun(
+        self, small_trace, monkeypatch, tmp_path
+    ):
+        trace = small_trace[:300]
+        runs_dir = tmp_path / "runs"
+        runs_dir.mkdir()
+        monkeypatch.setenv(_RUNS_DIR_ENV, str(runs_dir))
+        monkeypatch.setenv(_DONE_MARKER_ENV, str(tmp_path / "c-done"))
+        monkeypatch.setenv(_CRASH_MARKER_ENV, str(tmp_path / "crashed"))
+        monkeypatch.setattr(
+            schedule_module, "_execute_group", _instrumented_execute_group
+        )
+        scheduler = SweepScheduler(
+            workers=2, mode="parallel", collapse=False, backoff_seconds=0.01,
+            checkpoint=_SignalingCheckpoint(tmp_path / "salvage.ckpt"),
+        )
+        results = scheduler.run(self._configs(), trace)
+        assert set(results) == {"x", "c"}
+        # The crashed group ran twice; the salvaged sibling exactly once.
+        runs = sorted(p.name for p in runs_dir.iterdir())
+        assert len([n for n in runs if n.startswith("x-")]) == 2
+        assert len([n for n in runs if n.startswith("c-")]) == 1
+        assert scheduler.last_report.extra["group_retries"] >= 1
+
+    def test_group_timeout_triggers_fallback(self, small_trace, monkeypatch):
+        trace = small_trace[:200]
+        monkeypatch.setenv(_MAIN_PID_ENV, str(os.getpid()))
+        monkeypatch.setattr(
+            schedule_module, "_execute_group", _sleepy_execute_group
+        )
+        scheduler = SweepScheduler(
+            workers=2, mode="parallel", collapse=False,
+            max_retries=0, group_timeout=1.0,
+        )
+        t0 = time.perf_counter()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            results = scheduler.run(self._configs(), trace)
+        assert time.perf_counter() - t0 < 30.0  # never waited for the hang
+        serial = SweepScheduler(mode="serial", collapse=False).run(
+            self._configs(), trace
+        )
+        for key in serial:
+            assert serial[key].totals == results[key].totals
+        kinds = {e.kind for e in scheduler.last_report.events}
+        assert "group-crash" in kinds and "group-fallback" in kinds
+        assert scheduler.last_report.extra["fallback_groups"] >= 1
+
+    def test_retry_knob_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SweepScheduler(max_retries=-1)
+        with pytest.raises(ValueError, match="group_timeout"):
+            SweepScheduler(group_timeout=0.0)
+        with pytest.raises(ValueError, match="backoff_seconds"):
+            SweepScheduler(backoff_seconds=-0.5)
+
+
+class TestCheckpoint:
+    def _configs(self):
+        return [
+            RunConfig("xLRU", 64, 1.0, label="x"),
+            RunConfig("Cafe", 64, 1.0, label="c"),
+            RunConfig("Psychic", 64, 1.0, label="p"),
+        ]
+
+    def test_checkpoint_written_and_fully_resumed(
+        self, small_trace, tmp_path, monkeypatch
+    ):
+        trace = small_trace[:300]
+        path = tmp_path / "sweep.ckpt"
+        first = SweepScheduler(mode="serial", checkpoint=path).run(
+            self._configs(), trace
+        )
+        assert path.exists()
+
+        # Resume must touch no simulation code at all (serial mode: the
+        # patched callable would run in-process, so a closure is fine).
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("resume re-executed a completed group")
+
+        monkeypatch.setattr(schedule_module, "_execute_group", boom)
+        scheduler = SweepScheduler(mode="serial", checkpoint=path)
+        second = scheduler.run(self._configs(), trace)
+        for key in first:
+            assert first[key].totals == second[key].totals
+        assert scheduler.last_report.extra["resumed_groups"] == 2
+        assert any(
+            e.kind == "checkpoint-resume" for e in scheduler.last_report.events
+        )
+
+    def test_killed_sweep_resumes_identically(
+        self, small_trace, tmp_path, monkeypatch
+    ):
+        """The acceptance path: die mid-sweep, resume, match uninterrupted."""
+        trace = small_trace[:300]
+        path = tmp_path / "sweep.ckpt"
+        calls = {"n": 0}
+
+        def dies_after_first_group(kind, configs, requests, interval, progress):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise KeyboardInterrupt  # the process is killed
+            return _ORIG_EXECUTE_GROUP(
+                kind, configs, requests, interval, progress
+            )
+
+        monkeypatch.setattr(
+            schedule_module, "_execute_group", dies_after_first_group
+        )
+        with pytest.raises(KeyboardInterrupt):
+            SweepScheduler(mode="serial", checkpoint=path).run(
+                self._configs(), trace
+            )
+        monkeypatch.setattr(
+            schedule_module, "_execute_group", _ORIG_EXECUTE_GROUP
+        )
+
+        scheduler = SweepScheduler(mode="serial", checkpoint=path)
+        resumed = scheduler.run(self._configs(), trace)
+        assert scheduler.last_report.extra["resumed_groups"] == 1
+        uninterrupted = SweepScheduler(mode="serial").run(
+            self._configs(), trace
+        )
+        assert list(resumed) == list(uninterrupted)
+        for key in uninterrupted:
+            assert uninterrupted[key].totals == resumed[key].totals
+            assert uninterrupted[key].steady == resumed[key].steady
+
+    def test_worker_sigkill_with_checkpoint_resumes(
+        self, small_trace, tmp_path, monkeypatch
+    ):
+        """SIGKILL of a pool worker: the supervisor retries the dead
+        group, the checkpoint keeps both, and a fresh scheduler resumes
+        without re-executing anything."""
+        trace = small_trace[:300]
+        path = tmp_path / "sweep.ckpt"
+        monkeypatch.setenv(_CRASH_MARKER_ENV, str(tmp_path / "crashed"))
+        monkeypatch.setattr(
+            schedule_module, "_execute_group", _crash_once_execute_group
+        )
+        configs = [
+            RunConfig("xLRU", 64, 1.0, label="x"),
+            RunConfig("Cafe", 64, 1.0, label="c"),
+        ]
+        scheduler = SweepScheduler(
+            workers=2, mode="parallel", collapse=False,
+            checkpoint=path, backoff_seconds=0.01,
+        )
+        results = scheduler.run(configs, trace)
+        serial = SweepScheduler(mode="serial", collapse=False).run(
+            configs, trace
+        )
+        for key in serial:
+            assert serial[key].totals == results[key].totals
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("resume re-executed a completed group")
+
+        monkeypatch.setattr(schedule_module, "_execute_group", boom)
+        again = SweepScheduler(
+            workers=2, mode="parallel", collapse=False, checkpoint=path
+        ).run(configs, trace)
+        for key in serial:
+            assert serial[key].totals == again[key].totals
+
+    def test_corrupt_tail_tolerated(self, small_trace, tmp_path):
+        trace = small_trace[:300]
+        path = tmp_path / "sweep.ckpt"
+        SweepScheduler(mode="serial", checkpoint=path).run(
+            self._configs(), trace
+        )
+        with open(path, "ab") as fh:
+            fh.write(b"\x80\x05truncated-mid-append")
+        scheduler = SweepScheduler(mode="serial", checkpoint=path)
+        results = scheduler.run(self._configs(), trace)
+        assert scheduler.last_report.extra["resumed_groups"] == 2
+        assert len(results) == 3
+
+    def test_stale_fingerprint_ignored(self, small_trace, tmp_path):
+        trace = small_trace[:300]
+        path = tmp_path / "sweep.ckpt"
+        SweepScheduler(mode="serial", checkpoint=path).run(
+            self._configs(), trace
+        )
+        # Different trace -> different fingerprint -> fresh run, not a
+        # graft of foreign results.
+        other = small_trace[:200]
+        scheduler = SweepScheduler(mode="serial", checkpoint=path)
+        results = scheduler.run(self._configs(), other)
+        assert "resumed_groups" not in scheduler.last_report.extra
+        assert results["x"].totals.num_requests == 200
+
+    def test_env_knob_sets_checkpoint(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.ckpt"
+        monkeypatch.setenv(CHECKPOINT_ENV, str(path))
+        scheduler = SweepScheduler()
+        assert scheduler.checkpoint is not None
+        assert str(scheduler.checkpoint.path) == str(path)
+        monkeypatch.delenv(CHECKPOINT_ENV)
+        assert SweepScheduler().checkpoint is None
+
+    def test_checkpoint_accepts_instance(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "x.ckpt")
+        assert SweepScheduler(checkpoint=ckpt).checkpoint is ckpt
+
+    def test_load_missing_file_is_fresh(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "missing.ckpt")
+        assert ckpt.load("whatever") == {}

@@ -83,6 +83,26 @@ class TestExperiment:
         assert code == 0
         assert "scale: quick" in capsys.readouterr().out
 
+    def test_checkpoint_flag_sets_env(self, tmp_path, capsys, monkeypatch):
+        import os
+
+        # register the var with monkeypatch so the CLI's mutation is
+        # rolled back after the test
+        monkeypatch.setenv("REPRO_CHECKPOINT", "sentinel")
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        path = tmp_path / "sweep.ckpt"
+        code = main_experiment(["fig4", "--checkpoint", str(path)])
+        assert code == 0
+        assert os.environ["REPRO_CHECKPOINT"] == str(path)
+
+    def test_runs_availability_quick(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        code = main_experiment(["availability"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Availability" in captured
+        assert "eff_faulted" in captured
+
 
 class TestValidate:
     @pytest.fixture
@@ -163,6 +183,24 @@ class TestVerify:
     def test_replay_missing_artifact_errors(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main_verify(["--replay", str(tmp_path / "nope")])
+
+    def test_fault_fuzz_table_prints(self, capsys):
+        code = main_verify(
+            ["--seeds", "1", "--requests", "100", "--fault-seeds", "2",
+             "--algorithms", "PullLRU"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault fuzzing" in out
+        assert "restarts" in out
+
+    def test_fault_seeds_zero_disables(self, capsys):
+        code = main_verify(
+            ["--seeds", "1", "--requests", "80", "--fault-seeds", "0",
+             "--algorithms", "PullLRU"]
+        )
+        assert code == 0
+        assert "fault fuzzing" not in capsys.readouterr().out
 
     def test_replay_roundtrip(self, tmp_path, capsys):
         from repro.verify.differential import dump_counterexample

@@ -135,6 +135,44 @@ class TestPlantedViolationsCaught:
         assert "fill-accounting" in str(violation)
 
 
+class TestWipeAudit:
+    def test_clean_wipe_passes(self):
+        inner = FakeCache(disk_chunks=4)
+        audited = AuditedCache(inner, strict=False)
+        audited.handle(req(0.0, 1, 0, 1))
+        inner._store.clear()  # a proper cold restart empties the cache
+        audited.note_wipe()
+        assert audited.wipes == 1
+        assert audited.ok
+
+    def test_dirty_wipe_flagged(self):
+        audited = AuditedCache(FakeCache(disk_chunks=4), strict=False)
+        audited.handle(req(0.0, 1, 0, 1))
+        audited.note_wipe()  # chunks still on disk: not a cold restart
+        assert not audited.ok
+        violation = audited.violations[0]
+        assert violation.invariant == "wipe-emptiness"
+        assert violation.request is None  # lifecycle violation, no request
+
+    def test_dirty_wipe_strict_raises(self):
+        audited = AuditedCache(FakeCache(disk_chunks=4))
+        audited.handle(req(0.0, 1, 0))
+        with pytest.raises(InvariantViolation, match="wipe-emptiness"):
+            audited.note_wipe()
+
+    def test_auditing_continues_after_wipe(self):
+        inner = FakeCache(disk_chunks=2)
+        audited = AuditedCache(inner, strict=False)
+        audited.handle(req(0.0, 1, 0, 1))
+        inner._store.clear()
+        audited.note_wipe()
+        # Post-wipe fills are still audited against capacity and the
+        # fill/eviction accounting laws.
+        audited.handle(req(1.0, 2, 0, 1))
+        assert audited.ok
+        assert audited.requests_audited == 2
+
+
 class TestDelegation:
     def test_cache_interface_passthrough(self):
         inner = FakeCache(disk_chunks=4)

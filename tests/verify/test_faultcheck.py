@@ -1,0 +1,81 @@
+"""Tests for the fault-schedule fuzzing harness."""
+
+import pytest
+
+from repro.verify.faultcheck import (
+    DEFAULT_ALGORITHMS,
+    FaultCheckResult,
+    FaultScenario,
+    fault_scenarios,
+    run_fault_fuzz,
+    run_fault_scenario,
+)
+
+
+class TestScenarioMatrix:
+    def test_matrix_shape(self):
+        scenarios = list(fault_scenarios(seeds=6))
+        assert len(scenarios) == 6 * len(DEFAULT_ALGORITHMS)
+        # topology sizes cycle 1 -> 2 -> 3 across the seed axis
+        sizes = [s.num_servers for s in scenarios[:6]]
+        assert sizes == [1, 2, 3, 1, 2, 3]
+        assert {s.algorithm for s in scenarios} == set(DEFAULT_ALGORITHMS)
+
+    def test_seeds_are_distinct_per_algorithm(self):
+        scenarios = list(fault_scenarios(seeds=4, algorithms=("xLRU",)))
+        assert len({s.seed for s in scenarios}) == 4
+
+    def test_invalid_server_count_rejected(self):
+        with pytest.raises(ValueError, match="num_servers"):
+            FaultScenario(seed=1, num_servers=4, algorithm="xLRU")
+
+    def test_label_names_the_case(self):
+        scenario = FaultScenario(seed=7, num_servers=2, algorithm="Cafe")
+        assert scenario.label == "Cafe/servers=2/seed=7"
+
+
+class TestScenarioChecks:
+    @pytest.mark.parametrize("num_servers", [1, 2, 3])
+    def test_scenarios_pass_on_all_topology_sizes(self, num_servers):
+        scenario = FaultScenario(
+            seed=4001,
+            num_servers=num_servers,
+            algorithm="Cafe",
+            num_requests=200,
+        )
+        outcome = run_fault_scenario(scenario)
+        assert outcome.ok, (outcome.issues, outcome.violations)
+
+    def test_faults_actually_fire(self):
+        # At least one scenario in a short sweep must exercise restarts,
+        # otherwise the harness silently tests nothing.
+        outcomes = [
+            run_fault_scenario(
+                FaultScenario(
+                    seed=4000 + i,
+                    num_servers=(i % 3) + 1,
+                    algorithm="PullLRU",
+                    num_requests=200,
+                )
+            )
+            for i in range(4)
+        ]
+        assert all(o.ok for o in outcomes)
+        assert sum(o.restarts for o in outcomes) > 0
+
+    def test_result_ok_reflects_issues(self):
+        result = FaultCheckResult(
+            FaultScenario(seed=1, num_servers=1, algorithm="xLRU")
+        )
+        assert result.ok
+        result.issues.append("boom")
+        assert not result.ok
+
+
+class TestFuzzEntryPoint:
+    def test_small_fuzz_run_is_green(self):
+        outcomes = run_fault_fuzz(
+            seeds=2, algorithms=("xLRU",), num_requests=150
+        )
+        assert len(outcomes) == 2
+        assert all(o.ok for o in outcomes)
