@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test verify bench bench-quick bench-sweep experiments examples clean
+.PHONY: install test verify bench bench-quick bench-sweep bench-replay experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -31,6 +31,12 @@ bench-quick:
 bench-sweep:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
 		benchmarks/test_perf_caches.py::test_sweep_throughput
+
+# Replay-throughput comparison (seed loop vs object path vs packed
+# columnar lane vs parallel sweep); writes BENCH_replay.json.
+bench-replay:
+	PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
+		benchmarks/test_replay_throughput.py
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -112,6 +112,18 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
             "exits non-zero on any violation"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        default=None,
+        type=int,
+        metavar="N",
+        help=(
+            "run the replay under cProfile and print the top-N functions "
+            "by cumulative time (default N=25)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     requests = list(_read_trace(args.trace))
@@ -130,7 +142,18 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
             where = f"{done}/{total}" if total is not None else str(done)
             print(f"  replayed {where} requests in {elapsed:.1f}s", file=sys.stderr)
 
-    result = replay(cache, requests, interval=args.interval, progress=progress)
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = replay(cache, requests, interval=args.interval, progress=progress)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(args.profile)
+    else:
+        result = replay(cache, requests, interval=args.interval, progress=progress)
     steady = result.steady
     totals = result.totals
     rows = [

@@ -20,7 +20,14 @@ from typing import Sequence
 from repro.core.costs import CostModel
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
 
-__all__ = ["Decision", "CacheResponse", "REDIRECT", "SERVE_HIT", "VideoCache"]
+__all__ = [
+    "Decision",
+    "CacheResponse",
+    "REDIRECT",
+    "SERVE_HIT",
+    "VideoCache",
+    "serve_response",
+]
 
 
 class Decision(enum.Enum):
@@ -60,6 +67,22 @@ class CacheResponse:
 #: safe and avoids a dataclass construction in the replay hot path.
 REDIRECT = CacheResponse(Decision.REDIRECT)
 SERVE_HIT = CacheResponse(Decision.SERVE)
+
+#: Interned SERVE responses keyed by (filled, evicted).  The key space
+#: is bounded by the per-request chunk count squared (requests larger
+#: than the disk are redirected), so the table stays small while the
+#: hot path skips CacheResponse.__post_init__ for repeated shapes.
+_SERVE_RESPONSES: dict[tuple[int, int], CacheResponse] = {}
+
+
+def serve_response(filled_chunks: int, evicted_chunks: int = 0) -> CacheResponse:
+    """A SERVE :class:`CacheResponse`, value-interned for the hot path."""
+    key = (filled_chunks, evicted_chunks)
+    response = _SERVE_RESPONSES.get(key)
+    if response is None:
+        response = CacheResponse(Decision.SERVE, filled_chunks, evicted_chunks)
+        _SERVE_RESPONSES[key] = response
+    return response
 
 
 class VideoCache(ABC):
@@ -110,6 +133,21 @@ class VideoCache(ABC):
 
         Requests must arrive in non-decreasing timestamp order.
         """
+
+    def handle_span(
+        self, t: float, video: int, b0: int, b1: int, c0: int, c1: int
+    ) -> CacheResponse:
+        """Handle one request given as packed scalar columns.
+
+        ``(c0, c1)`` is the inclusive chunk range already derived for
+        this cache's ``chunk_bytes``.  The default materializes a
+        :class:`Request` and delegates to :meth:`handle`, which keeps
+        every subclass and wrapper that only overrides ``handle``
+        correct under the packed replay lane; hot caches override this
+        with allocation-free logic and make ``handle`` the thin wrapper
+        instead.
+        """
+        return self.handle(Request(t, video, b0, b1))
 
     # -- introspection (shared by tests, examples and the CDN layer) --------
 

@@ -24,7 +24,14 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Deque, Dict, Optional, Sequence
 
-from repro.core.base import REDIRECT, SERVE_HIT, CacheResponse, Decision, VideoCache
+from repro.core.base import (
+    REDIRECT,
+    SERVE_HIT,
+    CacheResponse,
+    Decision,
+    VideoCache,
+    serve_response,
+)
 from repro.core.costs import CostModel
 from repro.structures.lru import AccessRecencyList
 from repro.structures.treap import TreapMap
@@ -51,26 +58,40 @@ class PullThroughLruCache(VideoCache):
         self._disk: AccessRecencyList[ChunkId] = AccessRecencyList()
 
     def handle(self, request: Request) -> CacheResponse:
-        now = request.t
-        chunks = list(request.chunk_ids(self.chunk_bytes))
-        if len(chunks) > self.disk_chunks:
+        k = self.chunk_bytes
+        return self.handle_span(
+            request.t,
+            request.video,
+            request.b0,
+            request.b1,
+            request.b0 // k,
+            request.b1 // k,
+        )
+
+    def handle_span(
+        self, t: float, video: int, b0: int, b1: int, c0: int, c1: int
+    ) -> CacheResponse:
+        if c1 - c0 + 1 > self.disk_chunks:
             return REDIRECT
+        disk = self._disk
+        touch = disk.touch
         missing = []
-        for chunk in chunks:
-            if chunk in self._disk:
-                self._disk.touch(chunk, now)
+        for c in range(c0, c1 + 1):
+            chunk = (video, c)
+            if chunk in disk:
+                touch(chunk, t)
             else:
                 missing.append(chunk)
+        if not missing:
+            return SERVE_HIT
         evicted = 0
-        free = self.disk_chunks - len(self._disk)
+        free = self.disk_chunks - len(disk)
         for _ in range(len(missing) - free):
-            self._disk.pop_oldest()
+            disk.pop_oldest()
             evicted += 1
         for chunk in missing:
-            self._disk.touch(chunk, now)
-        return CacheResponse(
-            Decision.SERVE, filled_chunks=len(missing), evicted_chunks=evicted
-        )
+            touch(chunk, t)
+        return serve_response(len(missing), evicted)
 
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._disk
@@ -115,39 +136,57 @@ class LfuAdmissionCache(VideoCache):
         self._handled = 0
 
     def handle(self, request: Request) -> CacheResponse:
+        k = self.chunk_bytes
+        return self.handle_span(
+            request.t,
+            request.video,
+            request.b0,
+            request.b1,
+            request.b0 // k,
+            request.b1 // k,
+        )
+
+    def handle_span(
+        self, t: float, video: int, b0: int, b1: int, c0: int, c1: int
+    ) -> CacheResponse:
         self._handled += 1
         if self._handled % self.aging_interval == 0:
             self._age()
-        self._video_hits[request.video] += 1
-        chunks = list(request.chunk_ids(self.chunk_bytes))
-        for chunk in chunks:
-            if chunk in self._cached:
-                self._freq[chunk] = self._freq.get(chunk, 0.0) + 1.0
-                self._cached.insert(chunk, self._freq[chunk])
+        self._video_hits[video] += 1
+        cached = self._cached
+        freq = self._freq
+        missing = []
+        for c in range(c0, c1 + 1):
+            chunk = (video, c)
+            if chunk in cached:
+                score = freq.get(chunk, 0.0) + 1.0
+                freq[chunk] = score
+                cached.insert(chunk, score)
+            else:
+                missing.append(chunk)
 
-        if len(chunks) > self.disk_chunks:
+        if c1 - c0 + 1 > self.disk_chunks:
             return REDIRECT
-        if self._video_hits[request.video] < self.min_video_hits:
+        if self._video_hits[video] < self.min_video_hits:
             return REDIRECT
 
-        missing = [c for c in chunks if c not in self._cached]
         if not missing:
             return SERVE_HIT
         evicted = 0
-        free = self.disk_chunks - len(self._cached)
+        free = self.disk_chunks - len(cached)
         need = len(missing) - free
         if need > 0:
-            victims = self._cached.n_smallest(need, exclude=set(chunks))
+            exclude = {(video, c) for c in range(c0, c1 + 1)}
+            victims = cached.n_smallest(need, exclude=exclude)
             for chunk, _score in victims:
-                self._cached.remove(chunk)
-                self._freq.pop(chunk, None)
+                cached.remove(chunk)
+                freq.pop(chunk, None)
                 evicted += 1
         for chunk in missing:
-            self._freq[chunk] = self._freq.get(chunk, 0.0) + 1.0
-            self._cached.insert(chunk, self._freq[chunk])
-        return CacheResponse(
-            Decision.SERVE, filled_chunks=len(missing), evicted_chunks=evicted
-        )
+            score = freq.get(chunk, 0.0) + 1.0
+            freq[chunk] = score
+            cached.insert(chunk, score)
+        return serve_response(len(missing), evicted)
 
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._cached

@@ -43,7 +43,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.base import REDIRECT, SERVE_HIT, CacheResponse, Decision, VideoCache
+from repro.core.base import (
+    REDIRECT,
+    SERVE_HIT,
+    CacheResponse,
+    Decision,
+    VideoCache,
+    serve_response,
+)
 from repro.core.costs import CostModel
 from repro.structures.ewma import EwmaIat, IatEstimator
 from repro.structures.lru import AccessRecencyList
@@ -119,24 +126,41 @@ class CafeCache(VideoCache):
     # -- VideoCache interface ------------------------------------------------
 
     def handle(self, request: Request) -> CacheResponse:
-        now = request.t
-        chunks = list(request.chunk_ids(self.chunk_bytes))
+        k = self.chunk_bytes
+        return self.handle_span(
+            request.t,
+            request.video,
+            request.b0,
+            request.b1,
+            request.b0 // k,
+            request.b1 // k,
+        )
+
+    def handle_span(
+        self, t: float, video: int, b0: int, b1: int, c0: int, c1: int
+    ) -> CacheResponse:
+        now = t
+        chunks = [(video, c) for c in range(c0, c1 + 1)]
 
         # Popularity tracking happens regardless of the decision (like
         # xLRU's tracker update before its admission test): fold the
         # access into each chunk's EWMA, then re-key cached chunks.
+        stats = self._stats
+        cached = self._cached
+        ghosts = self._ghosts
+        gamma = stats.gamma
         for chunk in chunks:
-            self._stats.record(chunk, now)
-            if chunk in self._cached:
-                self._cached.insert(chunk, self._stats.key(chunk))
-            elif chunk in self._ghosts:
-                self._ghosts.touch(chunk, now)
+            state = stats.record(chunk, now)
+            if chunk in cached:
+                cached.insert(chunk, state.key(gamma))
+            elif chunk in ghosts:
+                ghosts.touch(chunk, now)
 
         if len(chunks) > self.disk_chunks:
             self._note_ghosts(chunks, now)
             return REDIRECT
 
-        missing = [c for c in chunks if c not in self._cached]
+        missing = [c for c in chunks if c not in cached]
         if not missing:
             # Pure hit: serving costs 0, which can never lose.
             return SERVE_HIT
@@ -144,13 +168,13 @@ class CafeCache(VideoCache):
         horizon = self._horizon if self._horizon is not None else self.cache_age(now)
         future_unit = self.cost_model.future_cost
 
-        free = self.disk_chunks - len(self._cached)
+        free = self.disk_chunks - len(cached)
         n_evict = max(0, len(missing) - free)
-        victims = self._cached.n_smallest(n_evict, exclude=set(chunks))
+        victims = cached.n_smallest(n_evict, exclude=set(chunks))
 
         cost_serve = len(missing) * self.cost_model.fill_cost
         for chunk, _key in victims:
-            cost_serve += _future_term(self._stats.iat(chunk, now), horizon) * future_unit
+            cost_serve += _future_term(stats.iat(chunk, now), horizon) * future_unit
 
         cost_redirect = len(chunks) * self.cost_model.redirect_cost
         for chunk in missing:
@@ -165,9 +189,7 @@ class CafeCache(VideoCache):
         for chunk in missing:
             self._admit(chunk, now)
         self._collect_ghosts()
-        return CacheResponse(
-            Decision.SERVE, filled_chunks=len(missing), evicted_chunks=len(victims)
-        )
+        return serve_response(len(missing), len(victims))
 
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._cached

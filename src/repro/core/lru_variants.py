@@ -32,7 +32,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict
 
-from repro.core.base import REDIRECT, SERVE_HIT, CacheResponse, Decision, VideoCache
+from repro.core.base import (
+    REDIRECT,
+    SERVE_HIT,
+    CacheResponse,
+    VideoCache,
+    serve_response,
+)
 from repro.core.costs import CostModel
 from repro.structures.treap import TreapMap
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
@@ -78,8 +84,20 @@ class LruKCache(VideoCache):
     # -- VideoCache interface ------------------------------------------------
 
     def handle(self, request: Request) -> CacheResponse:
-        now = request.t
-        history = self._history.get(request.video)
+        k = self.chunk_bytes
+        return self.handle_span(
+            request.t,
+            request.video,
+            request.b0,
+            request.b1,
+            request.b0 // k,
+            request.b1 // k,
+        )
+
+    def handle_span(
+        self, t: float, video: int, b0: int, b1: int, c0: int, c1: int
+    ) -> CacheResponse:
+        history = self._history.get(video)
         if history is None:
             # Record this access *before* trimming: an empty history
             # keys as -inf, so trimming first would evict the video
@@ -91,42 +109,44 @@ class LruKCache(VideoCache):
             # video has cached chunks, this video is still the only
             # trimmable entry and may legitimately be gone.)
             history = deque(maxlen=self.k)
-            self._history[request.video] = history
-            history.append(now)
+            self._history[video] = history
+            history.append(t)
             self._trim_history()
-            history = self._history.get(request.video)
+            history = self._history.get(video)
         else:
-            history.append(now)
+            history.append(t)
 
-        chunks = list(request.chunk_ids(self.chunk_bytes))
-        score = self._kth_access(request.video)
+        cached = self._cached
+        score = self._kth_access(video)
         # re-key this video's cached chunks under its new K-distance
-        for chunk_number in self._video_chunks.get(request.video, ()):
-            self._cached.insert((request.video, chunk_number), score)
+        for chunk_number in self._video_chunks.get(video, ()):
+            cached.insert((video, chunk_number), score)
 
-        if len(chunks) > self.disk_chunks:
+        if c1 - c0 + 1 > self.disk_chunks:
             return REDIRECT
         if history is None or len(history) < self.k:
             # "unproven" video: below K recorded accesses (or trimmed
             # right back out of a table crowded with cached videos)
             return REDIRECT
 
-        missing = [c for c in chunks if c not in self._cached]
+        missing = [
+            (video, c) for c in range(c0, c1 + 1) if (video, c) not in cached
+        ]
         if not missing:
             return SERVE_HIT
 
         evicted = 0
-        need = len(missing) - (self.disk_chunks - len(self._cached))
+        need = len(missing) - (self.disk_chunks - len(cached))
         if need > 0:
-            for chunk, _score in self._cached.n_smallest(need, exclude=set(chunks)):
+            exclude = {(video, c) for c in range(c0, c1 + 1)}
+            for chunk, _score in cached.n_smallest(need, exclude=exclude):
                 self._evict(chunk)
                 evicted += 1
+        siblings = self._video_chunks.setdefault(video, set())
         for chunk in missing:
-            self._cached.insert(chunk, score)
-            self._video_chunks.setdefault(chunk[0], set()).add(chunk[1])
-        return CacheResponse(
-            Decision.SERVE, filled_chunks=len(missing), evicted_chunks=evicted
-        )
+            cached.insert(chunk, score)
+            siblings.add(chunk[1])
+        return serve_response(len(missing), evicted)
 
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._cached
@@ -194,33 +214,46 @@ class GreedyDualSizeCache(VideoCache):
         self._inflation = 0.0
 
     def handle(self, request: Request) -> CacheResponse:
-        chunks = list(request.chunk_ids(self.chunk_bytes))
-        if len(chunks) > self.disk_chunks:
+        k = self.chunk_bytes
+        return self.handle_span(
+            request.t,
+            request.video,
+            request.b0,
+            request.b1,
+            request.b0 // k,
+            request.b1 // k,
+        )
+
+    def handle_span(
+        self, t: float, video: int, b0: int, b1: int, c0: int, c1: int
+    ) -> CacheResponse:
+        if c1 - c0 + 1 > self.disk_chunks:
             return REDIRECT
 
+        cached = self._cached
         credit = self._inflation + self.cost_model.fill_cost
         missing = []
-        for chunk in chunks:
-            if chunk in self._cached:
-                self._cached.insert(chunk, credit)  # refresh H on hit
+        for c in range(c0, c1 + 1):
+            chunk = (video, c)
+            if chunk in cached:
+                cached.insert(chunk, credit)  # refresh H on hit
             else:
                 missing.append(chunk)
         if not missing:
             return SERVE_HIT
 
         evicted = 0
-        need = len(missing) - (self.disk_chunks - len(self._cached))
+        need = len(missing) - (self.disk_chunks - len(cached))
         if need > 0:
-            for chunk, h_value in self._cached.n_smallest(need, exclude=set(chunks)):
-                self._cached.remove(chunk)
+            exclude = {(video, c) for c in range(c0, c1 + 1)}
+            for chunk, h_value in cached.n_smallest(need, exclude=exclude):
+                cached.remove(chunk)
                 self._inflation = max(self._inflation, h_value)
                 evicted += 1
             credit = self._inflation + self.cost_model.fill_cost
         for chunk in missing:
-            self._cached.insert(chunk, credit)
-        return CacheResponse(
-            Decision.SERVE, filled_chunks=len(missing), evicted_chunks=evicted
-        )
+            cached.insert(chunk, credit)
+        return serve_response(len(missing), evicted)
 
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._cached

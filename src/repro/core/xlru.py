@@ -24,7 +24,7 @@ is evicted until the disk is full.
 
 from __future__ import annotations
 
-from repro.core.base import REDIRECT, CacheResponse, Decision, VideoCache
+from repro.core.base import REDIRECT, SERVE_HIT, CacheResponse, VideoCache, serve_response
 from repro.core.costs import CostModel
 from repro.structures.lru import AccessRecencyList
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
@@ -53,40 +53,56 @@ class XlruCache(VideoCache):
     # -- VideoCache interface ------------------------------------------------
 
     def handle(self, request: Request) -> CacheResponse:
-        now = request.t
-        last = self._tracker.last_access(request.video)
-        self._tracker.touch(request.video, now)
-        self._maybe_cleanup_tracker(now)
+        k = self.chunk_bytes
+        return self.handle_span(
+            request.t,
+            request.video,
+            request.b0,
+            request.b1,
+            request.b0 // k,
+            request.b1 // k,
+        )
+
+    def handle_span(
+        self, t: float, video: int, b0: int, b1: int, c0: int, c1: int
+    ) -> CacheResponse:
+        last = self._tracker.last_access(video)
+        self._tracker.touch(video, t)
+        self._maybe_cleanup_tracker(t)
 
         if last is None:
             return REDIRECT
-        if (now - last) * self.cost_model.alpha_f2r > self.cache_age(now):
+        if (t - last) * self.cost_model.alpha_f2r > self.cache_age(t):
             return REDIRECT
 
-        chunks = list(request.chunk_ids(self.chunk_bytes))
-        if len(chunks) > self.disk_chunks:
+        if c1 - c0 + 1 > self.disk_chunks:
             # The request alone exceeds the disk; it can never be fully
             # served from this cache, so redirect it.
             return REDIRECT
 
         # Touch the chunks already present first so LRU eviction cannot
         # pick a chunk this very request needs.
+        disk = self._disk
+        touch = disk.touch
         missing = []
-        for chunk in chunks:
-            if chunk in self._disk:
-                self._disk.touch(chunk, now)
+        for c in range(c0, c1 + 1):
+            chunk = (video, c)
+            if chunk in disk:
+                touch(chunk, t)
             else:
                 missing.append(chunk)
+        if not missing:
+            return SERVE_HIT
 
         evicted = 0
-        free = self.disk_chunks - len(self._disk)
+        free = self.disk_chunks - len(disk)
         for _ in range(len(missing) - free):
-            self._disk.pop_oldest()
+            disk.pop_oldest()
             evicted += 1
         for chunk in missing:
-            self._disk.touch(chunk, now)
+            touch(chunk, t)
 
-        return CacheResponse(Decision.SERVE, filled_chunks=len(missing), evicted_chunks=evicted)
+        return serve_response(len(missing), evicted)
 
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._disk

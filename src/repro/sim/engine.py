@@ -28,9 +28,52 @@ from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
 from repro.core.base import VideoCache
 from repro.sim.instrumentation import ProgressCallback, RunReport, StageTiming
 from repro.sim.metrics import MetricsCollector, TrafficSummary
+from repro.trace.columnar import PackedTrace, pack_trace
 from repro.trace.requests import Request
 
-__all__ = ["SimulationResult", "replay", "MultiReplay"]
+__all__ = ["SimulationResult", "replay", "MultiReplay", "AUTO_PACK_MIN_REQUESTS"]
+
+#: Materialized traces at least this long are packed automatically when
+#: every lane supports the packed path; shorter traces are not worth the
+#: packing pass.  Module-level (read at call time) so tests and callers
+#: can tune it.
+AUTO_PACK_MIN_REQUESTS = 2048
+
+#: Requests per packed block: small enough to keep the column slices in
+#: cache and progress callbacks frequent, large enough to amortize the
+#: per-block dispatch.
+PACKED_BLOCK = 16384
+
+
+def _span_native(cache: VideoCache) -> bool:
+    """Whether ``cache`` implements its own batched ``handle_span``.
+
+    Caches on the default (Request-materializing) ``handle_span`` gain
+    nothing from auto-packing — and wrappers/offline caches that only
+    override ``handle`` must keep receiving Request objects there.
+    Duck-typed caches outside the VideoCache hierarchy (e.g. the CDN
+    layer's sharded server) count as non-native and use the object path.
+    """
+    return (
+        getattr(type(cache), "handle_span", None) is not VideoCache.handle_span
+        and getattr(cache, "handle_span", None) is not None
+    )
+
+
+def _packed_collector_ok(collector: MetricsCollector) -> bool:
+    """Whether the packed lane preserves ``collector``'s semantics.
+
+    A subclass that overrides ``record``/``record_raw`` without
+    overriding ``record_packed`` would be silently bypassed by the
+    batched entry point; fall back to the object path for those.
+    """
+    cls = type(collector)
+    if cls.record_packed is not MetricsCollector.record_packed:
+        return True
+    return (
+        cls.record_raw is MetricsCollector.record_raw
+        and cls.record is MetricsCollector.record
+    )
 
 
 @dataclass
@@ -106,6 +149,14 @@ class MultiReplay:
         ``on_request(i, request)`` is called once per request (not per
         cache), before the lanes handle it.  ``progress(done, total,
         elapsed)`` fires every ``progress_every`` requests.
+
+        A :class:`~repro.trace.columnar.PackedTrace` input always takes
+        the packed fast lane; a plain materialized trace of at least
+        ``AUTO_PACK_MIN_REQUESTS`` requests is packed automatically when
+        every cache is span-native and no ``on_request`` hook or
+        record-overriding collector needs per-request objects.
+        Generator traces (and everything else) stream through the
+        object path unchanged.
         """
         t_start = time.perf_counter()
         keys = list(self.caches)
@@ -122,7 +173,58 @@ class MultiReplay:
                 cache.prepare(sequence)
             prepare_seconds = time.perf_counter() - t0
 
+        packed_ok = (
+            on_request is None
+            and all(_packed_collector_ok(self.collectors[key]) for key in keys)
+            and all(
+                hasattr(cache, "handle_span") for cache in self.caches.values()
+            )
+        )
+        packed: Optional[PackedTrace] = (
+            sequence if isinstance(sequence, PackedTrace) and packed_ok else None
+        )
+        pack_seconds = 0.0
+        if (
+            packed is None
+            and packed_ok
+            and isinstance(sequence, Sequence)
+            and len(sequence) >= AUTO_PACK_MIN_REQUESTS
+            and all(_span_native(cache) for cache in self.caches.values())
+        ):
+            t0 = time.perf_counter()
+            packed = pack_trace(
+                sequence, chunk_bytes=self.caches[keys[0]].chunk_bytes
+            )
+            pack_seconds = time.perf_counter() - t0
+
         total = len(sequence) if isinstance(sequence, Sequence) else None
+
+        if packed is not None:
+            count, replay_seconds = self._run_packed(packed, keys, progress)
+            report = RunReport(
+                engine="multireplay",
+                mode="broadcast",
+                wall_seconds=time.perf_counter() - t_start,
+                num_requests=count,
+                num_caches=len(keys),
+            )
+            report.extra["trace_format"] = "packed"
+            if prepare_seconds:
+                report.stages.append(
+                    StageTiming("prepare", prepare_seconds, len(offline))
+                )
+            if pack_seconds:
+                report.stages.append(StageTiming("pack", pack_seconds, count))
+            report.stages.append(StageTiming("replay", replay_seconds, count))
+            return {
+                key: SimulationResult(
+                    cache=self.caches[key],
+                    metrics=self.collectors[key],
+                    num_requests=count,
+                    report=report,
+                )
+                for key in keys
+            }
 
         # Hot loop: prebound (handle, record) lanes, request-derived
         # values computed once per request.  Lanes are grouped by chunk
@@ -188,6 +290,7 @@ class MultiReplay:
             num_requests=count,
             num_caches=len(keys),
         )
+        report.extra["trace_format"] = "objects"
         if prepare_seconds:
             report.stages.append(
                 StageTiming("prepare", prepare_seconds, len(offline))
@@ -203,6 +306,78 @@ class MultiReplay:
             )
             for key in keys
         }
+
+    def _run_packed(
+        self,
+        packed: PackedTrace,
+        keys: list,
+        progress: Optional[ProgressCallback],
+    ) -> "tuple[int, float]":
+        """The packed fast lane: block-at-a-time, cache-major dispatch.
+
+        Caches are independent, so handling a whole block through one
+        cache before the next is exactly equivalent to the per-request
+        interleaving of the object path — but lets each lane run as a
+        single C-level ``map`` over column slices.  Time order and byte
+        ranges were validated at pack time, so no per-request checks
+        run here.
+        """
+        ts, videos, b0s, b1s, c0s, c1s, num_bytes, num_chunks = packed.hot_columns()
+        n = len(ts)
+        pk = packed.chunk_bytes
+
+        # Per-lane column adaptation: chunk columns follow the cache's
+        # chunk size, the byte-accounting column follows the collector's
+        # (they may legitimately differ from the packed trace's).
+        lanes = []
+        for key in keys:
+            cache = self.caches[key]
+            collector = self.collectors[key]
+            ck = cache.chunk_bytes
+            if ck == pk:
+                lane_c0, lane_c1 = c0s, c1s
+            else:
+                lane_c0 = [b // ck for b in b0s]
+                lane_c1 = [b // ck for b in b1s]
+            mk = collector.chunk_bytes
+            if mk == pk:
+                lane_nc = num_chunks
+            elif mk == ck:
+                lane_nc = [hi - lo + 1 for lo, hi in zip(lane_c0, lane_c1)]
+            else:
+                lane_nc = [b1 // mk - b0 // mk + 1 for b0, b1 in zip(b0s, b1s)]
+            lanes.append(
+                (cache.handle_span, collector.record_packed, lane_c0, lane_c1, lane_nc)
+            )
+
+        t0 = time.perf_counter()
+        block = PACKED_BLOCK
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            block_t = ts[start:stop]
+            block_video = videos[start:stop]
+            block_b0 = b0s[start:stop]
+            block_b1 = b1s[start:stop]
+            block_nb = num_bytes[start:stop]
+            for handle_span, record_packed, lane_c0, lane_c1, lane_nc in lanes:
+                responses = list(
+                    map(
+                        handle_span,
+                        block_t,
+                        block_video,
+                        block_b0,
+                        block_b1,
+                        lane_c0[start:stop],
+                        lane_c1[start:stop],
+                    )
+                )
+                record_packed(block_t, block_nb, lane_nc[start:stop], responses)
+            if progress is not None:
+                progress(stop, n, time.perf_counter() - t0)
+        replay_seconds = time.perf_counter() - t0
+        if n == 0 and progress is not None:
+            progress(0, 0, replay_seconds)
+        return n, replay_seconds
 
 
 def replay(

@@ -195,6 +195,48 @@ class MetricsCollector:
             bucket.redirected_bytes += nbytes
             bucket.redirected_chunks += nchunks
 
+    def record_packed(self, ts, nbytes, nchunks, responses) -> None:
+        """Batched hot-path record over one block of packed columns.
+
+        Exactly equivalent to calling :meth:`record_raw` element-wise,
+        minus the per-call out-of-order guard: callers must guarantee
+        ``ts`` is non-decreasing and no earlier than anything recorded
+        so far.  Pack-time validation establishes this for
+        :class:`~repro.trace.columnar.PackedTrace` replays, which is
+        why the engine's packed lane may use it.
+        """
+        if len(ts) == 0:
+            return
+        if self._t_first is None:
+            self._t_first = ts[0]
+        if self._bucket_end is None:
+            start = math.floor(ts[0] / self.interval) * self.interval
+            self._bucket_start = start
+            self._bucket_end = start + self.interval
+        bucket = self._bucket
+        end = self._bucket_end
+        chunk_bytes = self.chunk_bytes
+        advance = self._advance_to
+        for t, nb, nc, response in zip(ts, nbytes, nchunks, responses):
+            if t >= end:
+                advance(t)
+                bucket = self._bucket
+                end = self._bucket_end
+            bucket.num_requests += 1
+            bucket.requested_bytes += nb
+            bucket.requested_chunks += nc
+            if response.served:
+                bucket.num_served += 1
+                bucket.egress_bytes += nb
+                filled = response.filled_chunks
+                if filled:
+                    bucket.ingress_bytes += filled * chunk_bytes
+                    bucket.filled_chunks += filled
+            else:
+                bucket.redirected_bytes += nb
+                bucket.redirected_chunks += nc
+        self._t_last = ts[-1]
+
     def record_lost(self, t: float, nbytes: int) -> None:
         """Fold one *lost* request (dropped by a faulted origin) in.
 

@@ -56,10 +56,12 @@ from repro.sim.instrumentation import (
     RunReport,
     StageTiming,
 )
+from repro.trace.columnar import PackedTrace, SharedTraceHandle, pack_trace
 from repro.trace.requests import Request
 
 __all__ = [
     "CHECKPOINT_ENV",
+    "PARALLEL_MIN_WORK_ENV",
     "WORKERS_ENV",
     "CellGroup",
     "SweepCheckpoint",
@@ -75,6 +77,16 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: Environment knob for the default checkpoint path ("repro-experiment
 #: --checkpoint PATH" sets it; unset/empty means no checkpointing).
 CHECKPOINT_ENV = "REPRO_CHECKPOINT"
+
+#: Environment knob for the auto-mode parallel threshold (see
+#: ``SweepScheduler.parallel_min_work``).
+PARALLEL_MIN_WORK_ENV = "REPRO_PARALLEL_MIN_WORK"
+
+#: Below this many simulated-cell-requests (cells x trace length), pool
+#: startup + result pickling costs more than the parallel speedup is
+#: worth; auto mode runs such sweeps serially.  The default corresponds
+#: to roughly a second of single-pass replay work.
+DEFAULT_PARALLEL_MIN_WORK = 200_000
 
 _MODES = ("auto", "serial", "parallel", "cells")
 
@@ -95,6 +107,26 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return workers
+
+
+def _resolve_min_work(parallel_min_work: Optional[int]) -> int:
+    """Effective auto-parallel threshold: argument, env, else default."""
+    if parallel_min_work is None:
+        raw = os.environ.get(PARALLEL_MIN_WORK_ENV, "").strip()
+        if raw:
+            try:
+                parallel_min_work = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{PARALLEL_MIN_WORK_ENV}={raw!r} is not an integer"
+                ) from None
+    if parallel_min_work is None:
+        return DEFAULT_PARALLEL_MIN_WORK
+    if parallel_min_work < 0:
+        raise ValueError(
+            f"parallel_min_work must be >= 0, got {parallel_min_work}"
+        )
+    return parallel_min_work
 
 
 @dataclass(frozen=True)
@@ -244,7 +276,9 @@ class SweepScheduler:
     Modes:
 
     * ``auto`` (default) — ``parallel`` when the effective worker count
-      is > 1, else ``serial``;
+      is > 1 *and* the sweep is big enough to amortize pool startup
+      (``parallel_min_work``, see :meth:`run`) on a multi-core host,
+      else ``serial``;
     * ``serial`` — broadcast groups and offline tasks, in-process;
     * ``parallel`` — groups distributed over a process pool (the online
       broadcast group is split into ~``workers`` balanced sub-groups);
@@ -274,6 +308,7 @@ class SweepScheduler:
         backoff_seconds: float = 0.25,
         backoff_cap: float = 4.0,
         group_timeout: Optional[float] = None,
+        parallel_min_work: Optional[int] = None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -305,6 +340,12 @@ class SweepScheduler:
         self.backoff_seconds = backoff_seconds
         self.backoff_cap = backoff_cap
         self.group_timeout = group_timeout
+        #: Auto-mode work-size threshold: a sweep whose total work
+        #: (simulated cells x trace length) falls below this runs
+        #: serially even when workers > 1, because pool startup and
+        #: per-group pickling would dominate.  Explicit
+        #: ``mode="parallel"`` bypasses the heuristic.
+        self.parallel_min_work = _resolve_min_work(parallel_min_work)
         #: Observability record of the last :meth:`run` (None before).
         self.last_report: Optional[RunReport] = None
 
@@ -315,8 +356,18 @@ class SweepScheduler:
             return "parallel" if self.workers > 1 else "serial"
         return self.mode
 
-    def plan(self, configs: Sequence["RunConfig"]) -> SweepPlan:  # noqa: F821
-        """Partition ``configs`` into groups, clones and key order."""
+    def plan(
+        self,
+        configs: Sequence["RunConfig"],  # noqa: F821
+        mode: Optional[str] = None,
+    ) -> SweepPlan:
+        """Partition ``configs`` into groups, clones and key order.
+
+        ``mode`` overrides the execution mode planned for (default: the
+        scheduler's :meth:`effective_mode`); :meth:`run` passes the
+        heuristic-decided mode so a work-size-collapsed sweep is planned
+        as one broadcast group rather than a split plan run serially.
+        """
         from repro.sim.runner import CACHE_FACTORIES
 
         configs = list(configs)
@@ -333,7 +384,8 @@ class SweepScheduler:
                 f"other): {duplicates!r}; give the configs distinct labels"
             )
 
-        mode = self.effective_mode()
+        if mode is None:
+            mode = self.effective_mode()
         clones: Dict[str, str] = {}
         primaries: List["RunConfig"] = []  # noqa: F821
         if self.collapse and mode != "cells":
@@ -405,10 +457,36 @@ class SweepScheduler:
         single in-process broadcast group (all-online, serial, no
         checkpoint); any other shape needs — and gets — a one-time
         spill to a list.
+
+        In ``auto`` mode a work-size heuristic decides serial vs
+        parallel: pools are only worth starting when the host has more
+        than one CPU and ``len(configs) * len(trace)`` is at least
+        ``parallel_min_work`` (``REPRO_PARALLEL_MIN_WORK``).  Explicit
+        ``mode="parallel"`` always uses pools.
         """
         t_start = time.perf_counter()
-        plan = self.plan(configs)
+        configs = list(configs)
+        events: List[EngineEvent] = []
+
         mode = self.effective_mode()
+        if mode == "parallel" and self.mode == "auto":
+            if not isinstance(requests, Sequence):
+                requests = list(requests)
+            work = len(configs) * len(requests)
+            cpus = os.cpu_count() or 1
+            if cpus < 2 or work < self.parallel_min_work:
+                mode = "serial"
+                events.append(
+                    EngineEvent(
+                        0.0,
+                        "parallel-collapsed",
+                        f"work={work} (cells x requests) below threshold "
+                        f"{self.parallel_min_work} or cpus={cpus} < 2; "
+                        "running serially",
+                    )
+                )
+
+        plan = self.plan(configs, mode)
         checkpoint = self.checkpoint
 
         needs_list = (
@@ -421,7 +499,6 @@ class SweepScheduler:
         if needs_list and not isinstance(requests, Sequence):
             requests = list(requests)
 
-        events: List[EngineEvent] = []
         results: Dict[str, SimulationResult] = {}
         run_groups: List[CellGroup] = list(plan.groups)
         on_group: Optional[Callable[[CellGroup, Dict[str, SimulationResult]], None]]
@@ -453,11 +530,56 @@ class SweepScheduler:
                 _ckpt.append(_fp, _group_id(group), group_results)
 
         parallel_used = False
-        exec_stats: Dict[str, int] = {}
+        exec_stats: Dict[str, float] = {}
+        pack_seconds = 0.0
         if mode == "parallel" and len(run_groups) > 1:
-            pool_results, parallel_used, pool_events, exec_stats = (
-                self._run_parallel(run_groups, requests, on_group)
-            )
+            # Ship the trace to workers as one shared-memory segment
+            # instead of pickling a copy per group.  The parent owns the
+            # segment: the ``finally`` guarantees it is unlinked even
+            # when a group crashes, retries, or the sweep itself dies —
+            # no leaked ``/dev/shm`` entries.
+            shared: Optional[SharedTraceHandle] = None
+            payload: "Sequence[Request] | SharedTraceHandle" = requests
+            try:
+                if len(requests):
+                    try:
+                        t_pack = time.perf_counter()
+                        packed = (
+                            requests
+                            if isinstance(requests, PackedTrace)
+                            else pack_trace(requests)
+                        )
+                        shared = packed.to_shared()
+                        pack_seconds = time.perf_counter() - t_pack
+                        payload = shared
+                        events.append(
+                            EngineEvent(
+                                time.perf_counter() - t_start,
+                                "shared-trace",
+                                f"{len(packed)} requests -> "
+                                f"{shared.nbytes >> 10} KiB shared segment "
+                                f"{shared.name}",
+                            )
+                        )
+                    except Exception as exc:
+                        # Packing or shm unavailable (exotic platform,
+                        # exhausted /dev/shm): fall back to pickling the
+                        # request objects per group, as before.
+                        shared = None
+                        payload = requests
+                        events.append(
+                            EngineEvent(
+                                time.perf_counter() - t_start,
+                                "shared-trace-unavailable",
+                                repr(exc),
+                            )
+                        )
+                pool_results, parallel_used, pool_events, exec_stats = (
+                    self._run_parallel(run_groups, payload, on_group)
+                )
+            finally:
+                if shared is not None:
+                    shared.unlink()
             results.update(pool_results)
             events.extend(pool_events)
         else:
@@ -476,6 +598,9 @@ class SweepScheduler:
         if resumed:
             extra["resumed_groups"] = resumed
         extra.update(exec_stats)
+        stages = [StageTiming("sweep", wall, plan.num_simulated)]
+        if pack_seconds:
+            stages.insert(0, StageTiming("pack", pack_seconds, num_requests))
         self.last_report = RunReport(
             engine="scheduler",
             mode="parallel" if parallel_used else mode,
@@ -483,7 +608,7 @@ class SweepScheduler:
             num_requests=num_requests,
             num_caches=plan.num_cells,
             workers=self.workers if parallel_used else 1,
-            stages=[StageTiming("sweep", wall, plan.num_simulated)],
+            stages=stages,
             extra=extra,
             events=events,
         )
@@ -520,7 +645,7 @@ class SweepScheduler:
     def _run_parallel(
         self,
         groups: Sequence[CellGroup],
-        requests: Sequence[Request],
+        requests: "Sequence[Request] | SharedTraceHandle",
         on_group: Optional[
             Callable[[CellGroup, Dict[str, SimulationResult]], None]
         ] = None,
@@ -747,17 +872,38 @@ class SweepScheduler:
 def _execute_group(
     kind: str,
     configs: Tuple["RunConfig", ...],  # noqa: F821
-    requests: Iterable[Request],
+    requests: "Iterable[Request] | SharedTraceHandle",
     interval: float,
     progress: Optional[ProgressCallback],
 ) -> Dict[str, SimulationResult]:
-    """Run one cell group (module-level so process pools can pickle it)."""
-    if kind == "single":
-        (config,) = configs
-        return {
-            config.key: replay(
-                config.build(), requests, interval=interval, progress=progress
-            )
-        }
-    caches = {config.key: config.build() for config in configs}
-    return MultiReplay(caches, interval=interval).run(requests, progress=progress)
+    """Run one cell group (module-level so process pools can pickle it).
+
+    ``requests`` may be a :class:`SharedTraceHandle`; the group then
+    attaches the parent's shared-memory segment (zero-copy) and releases
+    its mapping when done — the parent keeps segment ownership and does
+    the unlink.
+    """
+    attached: Optional[PackedTrace] = None
+    if isinstance(requests, SharedTraceHandle):
+        attached = requests.attach()
+        requests = attached
+    try:
+        if kind == "single":
+            (config,) = configs
+            return {
+                config.key: replay(
+                    config.build(), requests, interval=interval, progress=progress
+                )
+            }
+        caches = {config.key: config.build() for config in configs}
+        return MultiReplay(caches, interval=interval).run(
+            requests, progress=progress
+        )
+    finally:
+        # Broadcast groups never retain the trace, so the mapping can be
+        # released eagerly.  Offline ("single") caches keep the prepared
+        # sequence alive inside the returned cache state — it is pickled
+        # back with the result, so the mapping must stay open here and
+        # is released when the worker exits.
+        if attached is not None and kind == "broadcast":
+            attached.close()

@@ -67,9 +67,9 @@ class AccessRecencyList(Generic[K]):
                 f"{self._max_time}; access times must be non-decreasing"
             )
         self._max_time = now
-        if key in self._entries:
-            del self._entries[key]
-        self._entries[key] = now
+        entries = self._entries
+        entries.pop(key, None)  # one hash probe instead of contains+del
+        entries[key] = now
 
     def last_access(self, key: K) -> Optional[float]:
         """Return the last access time of ``key``, or None if untracked."""

@@ -14,6 +14,7 @@ from repro.trace.requests import (
     chunk_range,
     request_chunks,
 )
+from repro.trace.columnar import PackedTrace, SharedTraceHandle, pack_trace
 from repro.trace.io import read_trace_csv, read_trace_jsonl, write_trace_csv, write_trace_jsonl
 from repro.trace.adapters import ParseStats, read_clf_log, read_tsv_log
 from repro.trace.sampling import downsample_trace, time_window
@@ -27,6 +28,9 @@ __all__ = [
     "Request",
     "chunk_range",
     "request_chunks",
+    "PackedTrace",
+    "SharedTraceHandle",
+    "pack_trace",
     "read_trace_csv",
     "read_trace_jsonl",
     "write_trace_csv",

@@ -1,0 +1,212 @@
+"""Scheduler heuristics and shared-memory trace transport.
+
+Covers the auto-mode work-size heuristic (small sweeps collapse to
+serial instead of paying pool startup) and the shared-memory lifecycle:
+the parent owns the segment, workers attach zero-copy, and the segment
+is unlinked even when groups crash, retry, or fall back in-process.
+"""
+
+import os
+
+import pytest
+
+import repro.sim.schedule as schedule_module
+from repro.sim.runner import RunConfig
+from repro.sim.schedule import (
+    DEFAULT_PARALLEL_MIN_WORK,
+    PARALLEL_MIN_WORK_ENV,
+    SweepScheduler,
+    _resolve_min_work,
+)
+from repro.trace.columnar import active_shared_traces
+
+_ORIG_EXECUTE_GROUP = schedule_module._execute_group
+
+_CRASH_MARKER_ENV = "REPRO_TEST_SHM_CRASH_MARKER"
+
+
+def _configs():
+    return [
+        RunConfig("xLRU", 64, 1.0, label="x"),
+        RunConfig("Cafe", 64, 1.0, label="c"),
+    ]
+
+
+class TestMinWorkResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_MIN_WORK_ENV, raising=False)
+        assert _resolve_min_work(None) == DEFAULT_PARALLEL_MIN_WORK
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MIN_WORK_ENV, "99")
+        assert _resolve_min_work(5) == 5
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MIN_WORK_ENV, "1234")
+        assert _resolve_min_work(None) == 1234
+        assert SweepScheduler().parallel_min_work == 1234
+
+    def test_bad_env_value(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MIN_WORK_ENV, "plenty")
+        with pytest.raises(ValueError, match=PARALLEL_MIN_WORK_ENV):
+            _resolve_min_work(None)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="parallel_min_work"):
+            _resolve_min_work(-1)
+
+
+class TestAutoModeHeuristic:
+    def test_small_sweep_collapses_to_serial(self, small_trace, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        scheduler = SweepScheduler(workers=2, mode="auto")
+        results = scheduler.run(_configs(), small_trace[:300])
+        assert len(results) == 2
+        report = scheduler.last_report
+        assert report.mode == "serial" and report.workers == 1
+        assert any(e.kind == "parallel-collapsed" for e in report.events)
+        # Collapsed sweeps are planned as ONE broadcast group (a single
+        # trace pass), not a parallel split executed serially.
+        assert report.extra["groups"] == 1
+
+    def test_single_cpu_host_collapses(self, small_trace, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        scheduler = SweepScheduler(
+            workers=2, mode="auto", parallel_min_work=0
+        )
+        scheduler.run(_configs(), small_trace[:300])
+        assert scheduler.last_report.mode == "serial"
+        assert any(
+            e.kind == "parallel-collapsed"
+            for e in scheduler.last_report.events
+        )
+
+    def test_large_enough_sweep_goes_parallel(self, small_trace, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        scheduler = SweepScheduler(
+            workers=2, mode="auto", parallel_min_work=100
+        )
+        results = scheduler.run(_configs(), small_trace[:300])
+        assert len(results) == 2
+        report = scheduler.last_report
+        assert report.mode == "parallel"
+        assert not any(e.kind == "parallel-collapsed" for e in report.events)
+
+    def test_explicit_parallel_bypasses_heuristic(
+        self, small_trace, monkeypatch
+    ):
+        # Explicit mode="parallel" must use pools even for a sweep far
+        # below the threshold on a single-CPU host.
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        scheduler = SweepScheduler(workers=2, mode="parallel")
+        results = scheduler.run(_configs(), small_trace[:300])
+        assert len(results) == 2
+        report = scheduler.last_report
+        assert report.mode == "parallel"
+        assert not any(e.kind == "parallel-collapsed" for e in report.events)
+
+    def test_heuristic_run_matches_serial(self, small_trace, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        trace = small_trace[:300]
+        collapsed = SweepScheduler(workers=2, mode="auto").run(_configs(), trace)
+        serial = SweepScheduler(mode="serial").run(_configs(), trace)
+        for key in serial:
+            assert serial[key].totals == collapsed[key].totals
+
+
+def _crash_once_execute_group(kind, configs, requests, interval, progress):
+    """Die like a SIGKILLed worker the first time group ``x`` runs."""
+    marker = os.environ[_CRASH_MARKER_ENV]
+    if any(c.key == "x" for c in configs) and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(1)
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+
+
+def _always_raise_execute_group(kind, configs, requests, interval, progress):
+    """Fail every pool attempt; succeed only in the in-process fallback."""
+    if os.getpid() != int(os.environ["REPRO_TEST_SHM_MAIN_PID"]):
+        raise RuntimeError("synthetic group failure")
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+
+
+class TestSharedMemoryLifecycle:
+    def test_parallel_run_uses_shared_trace_and_cleans_up(self, small_trace):
+        trace = small_trace[:400]
+        scheduler = SweepScheduler(workers=2, mode="parallel", collapse=False)
+        results = scheduler.run(_configs(), trace)
+        serial = SweepScheduler(mode="serial", collapse=False).run(
+            _configs(), trace
+        )
+        for key in serial:
+            assert serial[key].totals == results[key].totals
+        kinds = {e.kind for e in scheduler.last_report.events}
+        assert "shared-trace" in kinds
+        assert active_shared_traces() == frozenset()
+
+    def test_offline_cells_survive_shared_transport(self, small_trace):
+        # Offline caches pickle their prepared trace back inside the
+        # result; the worker-side mapping must stay open long enough.
+        trace = small_trace[:400]
+        configs = _configs() + [RunConfig("Psychic", 64, 1.0, label="p")]
+        par = SweepScheduler(workers=2, mode="parallel", collapse=False).run(
+            configs, trace
+        )
+        serial = SweepScheduler(mode="serial", collapse=False).run(
+            configs, trace
+        )
+        for key in serial:
+            assert serial[key].totals == par[key].totals
+        assert active_shared_traces() == frozenset()
+
+    def test_segment_unlinked_after_worker_crash_and_retry(
+        self, small_trace, monkeypatch, tmp_path
+    ):
+        trace = small_trace[:300]
+        monkeypatch.setenv(_CRASH_MARKER_ENV, str(tmp_path / "crashed"))
+        monkeypatch.setattr(
+            schedule_module, "_execute_group", _crash_once_execute_group
+        )
+        scheduler = SweepScheduler(
+            workers=2, mode="parallel", collapse=False, backoff_seconds=0.01
+        )
+        results = scheduler.run(_configs(), trace)
+        assert set(results) == {"x", "c"}
+        assert scheduler.last_report.extra["group_retries"] >= 1
+        assert active_shared_traces() == frozenset()
+
+    def test_segment_unlinked_after_fallback(self, small_trace, monkeypatch):
+        trace = small_trace[:300]
+        monkeypatch.setenv("REPRO_TEST_SHM_MAIN_PID", str(os.getpid()))
+        monkeypatch.setattr(
+            schedule_module, "_execute_group", _always_raise_execute_group
+        )
+        scheduler = SweepScheduler(
+            workers=2, mode="parallel", collapse=False,
+            max_retries=0, backoff_seconds=0.01,
+        )
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            results = scheduler.run(_configs(), trace)
+        assert set(results) == {"x", "c"}
+        # The in-process fallback attached the still-linked segment; the
+        # run() finally-block must still have unlinked it afterwards.
+        assert active_shared_traces() == frozenset()
+
+    def test_segment_unlinked_when_sweep_dies(self, small_trace, monkeypatch):
+        trace = small_trace[:300]
+
+        class KilledPool:
+            def __init__(self, *a, **k):
+                raise KeyboardInterrupt  # the sweep itself is killed
+
+        monkeypatch.setattr(schedule_module, "ProcessPoolExecutor", KilledPool)
+        scheduler = SweepScheduler(workers=2, mode="parallel", collapse=False)
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.run(_configs(), trace)
+        assert active_shared_traces() == frozenset()
+
+    def test_pack_stage_reported(self, small_trace):
+        scheduler = SweepScheduler(workers=2, mode="parallel", collapse=False)
+        scheduler.run(_configs(), small_trace[:300])
+        stages = {s.name for s in scheduler.last_report.stages}
+        assert "pack" in stages and "sweep" in stages

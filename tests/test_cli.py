@@ -63,6 +63,21 @@ class TestSim:
         with pytest.raises(SystemExit):
             main_sim([str(trace_file)])
 
+    def test_profile_flag(self, trace_file, capsys):
+        code = main_sim(
+            [str(trace_file), "--disk-chunks", "64", "--profile", "5"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # cProfile table goes to stderr, the normal report to stdout.
+        assert "cumulative" in captured.err
+        assert "efficiency" in captured.out
+
+    def test_profile_flag_default_n(self, trace_file, capsys):
+        code = main_sim([str(trace_file), "--disk-chunks", "64", "--profile"])
+        assert code == 0
+        assert "cumulative" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_unknown_figure_rejected(self):

@@ -1,0 +1,161 @@
+"""Unit tests for the columnar trace representation."""
+
+import pickle
+
+import pytest
+
+from repro.trace.columnar import (
+    PackedTrace,
+    SharedTraceHandle,
+    active_shared_traces,
+    pack_trace,
+)
+from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
+
+CHUNK = 1024
+
+
+def _trace(n=50):
+    return [
+        Request(float(i) * 1.5, i % 7, (i * 37) % 4000, (i * 37) % 4000 + 900 + i)
+        for i in range(n)
+    ]
+
+
+class TestPackTrace:
+    def test_roundtrip_requests(self):
+        trace = _trace()
+        packed = pack_trace(trace, chunk_bytes=CHUNK)
+        assert len(packed) == len(trace)
+        assert list(packed) == trace
+        assert packed[0] == trace[0]
+        assert packed[-1] == trace[-1]
+
+    def test_derived_columns(self):
+        trace = _trace()
+        packed = pack_trace(trace, chunk_bytes=CHUNK)
+        for i, r in enumerate(trace):
+            c0, c1 = r.chunks(CHUNK)
+            assert packed.column("c0")[i] == c0
+            assert packed.column("c1")[i] == c1
+            assert packed.column("num_bytes")[i] == r.num_bytes
+            assert packed.column("num_chunks")[i] == r.num_chunks(CHUNK)
+
+    def test_default_chunk_bytes(self):
+        packed = pack_trace(_trace(3))
+        assert packed.chunk_bytes == DEFAULT_CHUNK_BYTES
+
+    def test_time_order_validation_mirrors_engine(self):
+        trace = [Request(5.0, 1, 0, 10), Request(1.0, 1, 0, 10)]
+        with pytest.raises(ValueError, match="trace not time-ordered at index 1"):
+            pack_trace(trace, chunk_bytes=CHUNK)
+
+    def test_rejects_nonpositive_chunk_bytes(self):
+        with pytest.raises(ValueError, match="chunk_bytes"):
+            pack_trace(_trace(2), chunk_bytes=0)
+
+    def test_pack_of_packed_is_identity(self):
+        packed = pack_trace(_trace(), chunk_bytes=CHUNK)
+        assert pack_trace(packed, chunk_bytes=CHUNK) is packed
+
+    def test_pack_of_packed_rechunks(self):
+        trace = _trace()
+        packed = pack_trace(trace, chunk_bytes=CHUNK)
+        repacked = pack_trace(packed, chunk_bytes=256)
+        assert repacked.chunk_bytes == 256
+        for i, r in enumerate(trace):
+            c0, c1 = r.chunks(256)
+            assert repacked.column("c0")[i] == c0
+            assert repacked.column("c1")[i] == c1
+            assert repacked.column("num_chunks")[i] == c1 - c0 + 1
+        # source columns are shared, not copied
+        assert list(repacked.column("b0")) == list(packed.column("b0"))
+
+    def test_empty_trace(self):
+        packed = pack_trace([], chunk_bytes=CHUNK)
+        assert len(packed) == 0
+        assert list(packed) == []
+
+
+class TestSequenceProtocol:
+    def test_slice_is_zero_copy_view(self):
+        trace = _trace()
+        packed = pack_trace(trace, chunk_bytes=CHUNK)
+        view = packed[10:20]
+        assert isinstance(view, PackedTrace)
+        assert list(view) == trace[10:20]
+        assert view.chunk_bytes == CHUNK
+
+    def test_slice_with_step(self):
+        trace = _trace()
+        packed = pack_trace(trace, chunk_bytes=CHUNK)
+        assert list(packed[::7]) == trace[::7]
+
+    def test_negative_index(self):
+        trace = _trace()
+        packed = pack_trace(trace, chunk_bytes=CHUNK)
+        assert packed[-3] == trace[-3]
+
+    def test_index_out_of_range(self):
+        packed = pack_trace(_trace(5), chunk_bytes=CHUNK)
+        with pytest.raises(IndexError):
+            packed[5]
+
+    def test_hot_columns_are_plain_lists(self):
+        packed = pack_trace(_trace(), chunk_bytes=CHUNK)
+        hot = packed.hot_columns()
+        assert len(hot) == 8
+        assert all(isinstance(col, list) for col in hot)
+        assert hot is packed.hot_columns()  # cached
+
+    def test_pickle_roundtrip(self):
+        trace = _trace()
+        packed = pack_trace(trace, chunk_bytes=CHUNK)
+        clone = pickle.loads(pickle.dumps(packed))
+        assert list(clone) == trace
+        assert clone.chunk_bytes == CHUNK
+
+
+class TestSharedMemory:
+    def test_export_attach_roundtrip(self):
+        trace = _trace()
+        packed = pack_trace(trace, chunk_bytes=CHUNK)
+        handle = packed.to_shared()
+        try:
+            assert handle.name in active_shared_traces()
+            assert len(handle) == len(trace)
+            attached = handle.attach()
+            assert list(attached) == trace
+            assert attached.chunk_bytes == CHUNK
+            attached.close()
+        finally:
+            handle.unlink()
+        assert handle.name not in active_shared_traces()
+
+    def test_handle_pickles_small(self):
+        packed = pack_trace(_trace(), chunk_bytes=CHUNK)
+        handle = packed.to_shared()
+        try:
+            blob = pickle.dumps(handle)
+            # the whole point: constant-size vs O(trace) pickling
+            assert len(blob) < 256
+            clone = pickle.loads(blob)
+            assert isinstance(clone, SharedTraceHandle)
+            assert clone.name == handle.name
+            attached = clone.attach()
+            assert attached[0] == packed[0]
+            attached.close()
+        finally:
+            handle.unlink()
+
+    def test_unlink_is_idempotent(self):
+        packed = pack_trace(_trace(5), chunk_bytes=CHUNK)
+        handle = packed.to_shared()
+        handle.unlink()
+        handle.unlink()  # second call must not raise
+        assert handle.name not in active_shared_traces()
+
+    def test_empty_trace_cannot_be_shared(self):
+        packed = pack_trace([], chunk_bytes=CHUNK)
+        with pytest.raises(ValueError, match="empty trace"):
+            packed.to_shared()

@@ -1,0 +1,115 @@
+"""Property tests: packed derived columns vs the scalar chunk model.
+
+The columnar pack derives ``c0``/``c1``/``num_bytes``/``num_chunks`` in
+bulk (vectorised when numpy is available).  These properties pin the
+bulk derivation to the scalar reference implementations in
+``repro.trace.requests`` — ``chunk_range`` and ``request_chunks`` —
+across random byte ranges, odd chunk sizes, 1-byte requests, and
+ranges ending exactly on a chunk boundary.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.columnar import pack_trace
+from repro.trace.requests import Request, chunk_range, request_chunks
+
+request_strategy = st.builds(
+    lambda t, video, b0, length: Request(t, video, b0, b0 + length - 1),
+    t=st.floats(0, 1e9, allow_nan=False, allow_infinity=False),
+    video=st.integers(0, 2**62),
+    b0=st.integers(0, 2**40),
+    length=st.integers(1, 2**30),
+)
+
+# Deliberately include pathological chunk sizes: 1 byte, odd primes,
+# powers of two, and the paper's 2 MB default.
+chunk_bytes_strategy = st.sampled_from([1, 3, 7, 13, 255, 256, 1024, 4097, 2 * 1024 * 1024])
+
+trace_strategy = st.lists(request_strategy, min_size=1, max_size=30).map(
+    lambda reqs: sorted(reqs, key=lambda r: r.t)
+)
+
+
+@given(trace=trace_strategy, chunk_bytes=chunk_bytes_strategy)
+@settings(max_examples=60, deadline=None)
+def test_derived_columns_match_chunk_range(trace, chunk_bytes):
+    packed = pack_trace(trace, chunk_bytes=chunk_bytes)
+    c0s = packed.column("c0")
+    c1s = packed.column("c1")
+    nbs = packed.column("num_bytes")
+    ncs = packed.column("num_chunks")
+    for i, r in enumerate(trace):
+        c0, c1 = chunk_range(r.b0, r.b1, chunk_bytes)
+        assert c0s[i] == c0
+        assert c1s[i] == c1
+        assert nbs[i] == r.b1 - r.b0 + 1
+        assert ncs[i] == c1 - c0 + 1
+
+
+# request_chunks materialises the full chunk-ID list, so keep ranges
+# short enough that the reference stays cheap even at chunk_bytes=1.
+short_request_strategy = st.builds(
+    lambda t, video, b0, length: Request(t, video, b0, b0 + length - 1),
+    t=st.floats(0, 1e9, allow_nan=False, allow_infinity=False),
+    video=st.integers(0, 2**62),
+    b0=st.integers(0, 2**40),
+    length=st.integers(1, 5000),
+)
+
+
+@given(
+    trace=st.lists(short_request_strategy, min_size=1, max_size=20).map(
+        lambda reqs: sorted(reqs, key=lambda r: r.t)
+    ),
+    chunk_bytes=chunk_bytes_strategy,
+)
+@settings(max_examples=40, deadline=None)
+def test_num_chunks_matches_request_chunks(trace, chunk_bytes):
+    packed = pack_trace(trace, chunk_bytes=chunk_bytes)
+    ncs = packed.column("num_chunks")
+    for i, r in enumerate(trace):
+        assert ncs[i] == len(request_chunks(r, chunk_bytes))
+
+
+@given(
+    t=st.floats(0, 1e9, allow_nan=False, allow_infinity=False),
+    video=st.integers(0, 2**62),
+    b0=st.integers(0, 2**40),
+    chunk_bytes=chunk_bytes_strategy,
+)
+@settings(max_examples=60, deadline=None)
+def test_one_byte_requests_cover_one_chunk(t, video, b0, chunk_bytes):
+    packed = pack_trace([Request(t, video, b0, b0)], chunk_bytes=chunk_bytes)
+    assert packed.column("num_bytes")[0] == 1
+    assert packed.column("num_chunks")[0] == 1
+    assert packed.column("c0")[0] == packed.column("c1")[0] == b0 // chunk_bytes
+
+
+@given(
+    t=st.floats(0, 1e9, allow_nan=False, allow_infinity=False),
+    video=st.integers(0, 2**62),
+    chunk=st.integers(0, 2**30),
+    chunk_bytes=st.sampled_from([3, 256, 1024, 4097, 2 * 1024 * 1024]),
+)
+@settings(max_examples=60, deadline=None)
+def test_chunk_boundary_b1_is_inclusive(t, video, chunk, chunk_bytes):
+    # b1 on the last byte of a chunk must NOT spill into the next chunk;
+    # b1 on the first byte of the next chunk must.
+    b0 = chunk * chunk_bytes
+    last = b0 + chunk_bytes - 1
+    packed = pack_trace(
+        [Request(t, video, b0, last), Request(t, video, b0, last + 1)],
+        chunk_bytes=chunk_bytes,
+    )
+    assert (packed.column("c0")[0], packed.column("c1")[0]) == (chunk, chunk)
+    assert packed.column("num_chunks")[0] == 1
+    assert (packed.column("c0")[1], packed.column("c1")[1]) == (chunk, chunk + 1)
+    assert packed.column("num_chunks")[1] == 2
+
+
+@given(trace=trace_strategy, chunk_bytes=chunk_bytes_strategy)
+@settings(max_examples=40, deadline=None)
+def test_packed_requests_roundtrip(trace, chunk_bytes):
+    packed = pack_trace(trace, chunk_bytes=chunk_bytes)
+    assert list(packed) == trace
