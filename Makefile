@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test verify bench bench-quick bench-sweep bench-replay experiments examples clean
+.PHONY: install test verify lint telemetry-demo bench bench-quick bench-sweep bench-replay experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -16,6 +16,29 @@ verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 	REPRO_SCALE=quick PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
 		benchmarks/test_perf_caches.py::test_sweep_throughput
+
+# Static checks (same commands the CI lint job runs; needs ruff).
+lint:
+	ruff check src tests benchmarks
+	ruff format --check src/repro/obs tests/obs
+
+# End-to-end telemetry walkthrough: generate a small trace, replay it
+# twice with cache probes on, then validate and compare the JSONL
+# artifacts with repro-report.
+telemetry-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli gen --server europe --days 4 \
+		--scale 0.05 /tmp/repro-demo-trace.csv.gz
+	PYTHONPATH=src $(PYTHON) -m repro.cli sim /tmp/repro-demo-trace.csv.gz \
+		--algorithm Cafe --disk-chunks 500 \
+		--telemetry /tmp/repro-demo-small.jsonl --snapshot-every 250
+	PYTHONPATH=src $(PYTHON) -m repro.cli sim /tmp/repro-demo-trace.csv.gz \
+		--algorithm Cafe --disk-chunks 6000 \
+		--telemetry /tmp/repro-demo-big.jsonl --snapshot-every 250
+	PYTHONPATH=src $(PYTHON) -m repro.cli report --check \
+		/tmp/repro-demo-small.jsonl /tmp/repro-demo-big.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli report /tmp/repro-demo-small.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli report \
+		/tmp/repro-demo-small.jsonl /tmp/repro-demo-big.jsonl
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

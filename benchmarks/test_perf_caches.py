@@ -26,7 +26,7 @@ from repro.core.psychic import PsychicCache
 from repro.core.xlru import XlruCache
 from repro.experiments.common import scaled_disk_chunks, server_trace
 from repro.sim.metrics import IntervalSample, MetricsCollector, _MutableCounters
-from repro.sim.runner import RunConfig, build_cache, run_matrix
+from repro.sim.runner import RunConfig, run_matrix
 
 SLICE = 5_000
 ALPHA = 2.0

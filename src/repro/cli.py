@@ -1,14 +1,17 @@
 """Command-line entry points.
 
-Five commands are installed by the package:
+Six commands are installed by the package:
 
 * ``repro-gen`` — synthesize a server trace and write it to CSV/JSONL;
-* ``repro-sim`` — replay a trace file through one algorithm;
+* ``repro-sim`` — replay a trace file through one algorithm
+  (``--telemetry out.jsonl`` exports structured run telemetry);
 * ``repro-experiment`` — run the paper-figure experiments;
 * ``repro-validate`` — validate (and optionally repair) a trace file;
 * ``repro-verify`` — differentially verify the fast cache
   implementations against their reference oracles on adversarial
-  fuzz traces (see :mod:`repro.verify`).
+  fuzz traces (see :mod:`repro.verify`);
+* ``repro-report`` — render and compare telemetry JSONL exports
+  (see :mod:`repro.obs.report`).
 """
 
 from __future__ import annotations
@@ -31,7 +34,14 @@ from repro.trace.stats import TraceStats
 from repro.workload.generator import TraceGenerator
 from repro.workload.servers import SERVER_PROFILES
 
-__all__ = ["main_gen", "main_sim", "main_experiment", "main_validate", "main_verify"]
+__all__ = [
+    "main_gen",
+    "main_sim",
+    "main_experiment",
+    "main_validate",
+    "main_verify",
+    "main_report",
+]
 
 
 def _read_trace(path: str):
@@ -124,7 +134,48 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
             "by cumulative time (default N=25)"
         ),
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="OUT",
+        default=None,
+        help=(
+            "export structured run telemetry (cache probes, periodic "
+            "snapshots, events) as JSONL to OUT (.gz ok); read it back "
+            "with repro-report"
+        ),
+    )
+    parser.add_argument(
+        "--no-probes",
+        action="store_true",
+        help="with --telemetry: skip cache-internals probes "
+        "(snapshots and traffic summaries only)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --telemetry: requests between lane snapshots "
+        "(0 disables sampling)",
+    )
     args = parser.parse_args(argv)
+
+    telemetry = None
+    if args.telemetry is not None:
+        from repro.obs import Telemetry, TelemetryOptions
+        from repro.obs.telemetry import DEFAULT_SNAPSHOT_EVERY
+
+        options = TelemetryOptions(
+            probes=not args.no_probes,
+            snapshot_every=(
+                args.snapshot_every
+                if args.snapshot_every is not None
+                else DEFAULT_SNAPSHOT_EVERY
+            ),
+        )
+        telemetry = Telemetry(options)
+    elif args.no_probes or args.snapshot_every is not None:
+        parser.error("--no-probes/--snapshot-every require --telemetry")
 
     requests = list(_read_trace(args.trace))
     cache = build_cache(args.algorithm, args.disk_chunks, alpha_f2r=args.alpha)
@@ -148,12 +199,18 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
-        result = replay(cache, requests, interval=args.interval, progress=progress)
+        result = replay(
+            cache, requests, interval=args.interval, progress=progress,
+            telemetry=telemetry, label=args.algorithm,
+        )
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.strip_dirs().sort_stats("cumulative").print_stats(args.profile)
     else:
-        result = replay(cache, requests, interval=args.interval, progress=progress)
+        result = replay(
+            cache, requests, interval=args.interval, progress=progress,
+            telemetry=telemetry, label=args.algorithm,
+        )
     steady = result.steady
     totals = result.totals
     rows = [
@@ -183,6 +240,22 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
             for s in result.metrics.series()
         ]
         print(format_table(srows, title="time series"))
+    if telemetry is not None:
+        from repro.obs import write_telemetry
+
+        telemetry.meta.update(
+            {
+                "trace": args.trace,
+                "algorithm": args.algorithm,
+                "disk_chunks": args.disk_chunks,
+                "alpha_f2r": args.alpha,
+                "label": f"{args.algorithm} ({args.trace})",
+            }
+        )
+        reports = [result.report] if result.report is not None else None
+        count = write_telemetry(args.telemetry, telemetry, reports=reports)
+        print(f"wrote {count} telemetry records to {args.telemetry}")
+        print(telemetry.describe())
     if audited is not None:
         print(audited.summary())
         for violation in audited.violations[:20]:
@@ -479,6 +552,13 @@ def main_verify(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def main_report(argv: Optional[Sequence[str]] = None) -> int:
+    """Render and compare telemetry JSONL exports (repro-report)."""
+    from repro.obs.report import main
+
+    return main(argv)
+
+
 def _dispatch() -> int:  # pragma: no cover - convenience for python -m
     prog = sys.argv[1] if len(sys.argv) > 1 else ""
     mains = {
@@ -487,10 +567,12 @@ def _dispatch() -> int:  # pragma: no cover - convenience for python -m
         "experiment": main_experiment,
         "validate": main_validate,
         "verify": main_verify,
+        "report": main_report,
     }
     if prog not in mains:
         print(
-            "usage: python -m repro.cli {gen|sim|experiment|validate|verify} ...",
+            "usage: python -m repro.cli "
+            "{gen|sim|experiment|validate|verify|report} ...",
             file=sys.stderr,
         )
         return 2

@@ -116,6 +116,12 @@ class VideoCache(ABC):
         self.disk_chunks = disk_chunks
         self.chunk_bytes = chunk_bytes
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        #: Optional telemetry probe (see :mod:`repro.obs.probes`).  The
+        #: hot paths of instrumented caches call its hooks only when it
+        #: is set, so a probe-free replay pays one ``is None`` check per
+        #: request.  Probes must be pure observers: attaching one never
+        #: changes serve/redirect decisions.
+        self.probe = None
 
     # -- lifecycle ----------------------------------------------------------
 

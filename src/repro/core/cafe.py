@@ -140,6 +140,7 @@ class CafeCache(VideoCache):
         self, t: float, video: int, b0: int, b1: int, c0: int, c1: int
     ) -> CacheResponse:
         now = t
+        probe = self.probe
         chunks = [(video, c) for c in range(c0, c1 + 1)]
 
         # Popularity tracking happens regardless of the decision (like
@@ -158,11 +159,15 @@ class CafeCache(VideoCache):
 
         if len(chunks) > self.disk_chunks:
             self._note_ghosts(chunks, now)
+            if probe is not None:
+                probe.on_redirect(now, "oversized")
             return REDIRECT
 
         missing = [c for c in chunks if c not in cached]
         if not missing:
             # Pure hit: serving costs 0, which can never lose.
+            if probe is not None:
+                probe.on_serve(now, 0, 0)
             return SERVE_HIT
 
         horizon = self._horizon if self._horizon is not None else self.cache_age(now)
@@ -177,18 +182,36 @@ class CafeCache(VideoCache):
             cost_serve += _future_term(stats.iat(chunk, now), horizon) * future_unit
 
         cost_redirect = len(chunks) * self.cost_model.redirect_cost
-        for chunk in missing:
-            cost_redirect += _future_term(self._estimate_iat(chunk, now), horizon) * future_unit
+        if probe is None:
+            for chunk in missing:
+                cost_redirect += _future_term(self._estimate_iat(chunk, now), horizon) * future_unit
+        else:
+            # Probe lane: identical arithmetic, but each estimate is
+            # classified (own history / video fallback / cold) so the
+            # IAT-estimator health counters reflect the decision path.
+            for chunk in missing:
+                iat, source = self._estimate_iat_traced(chunk, now)
+                probe.on_iat_estimate(source)
+                cost_redirect += _future_term(iat, horizon) * future_unit
+            probe.on_margin(cost_redirect - cost_serve)
 
         if cost_serve > cost_redirect:
             self._note_ghosts(chunks, now)
+            if probe is not None:
+                probe.on_redirect(now, "cost")
             return REDIRECT
 
         for chunk, _key in victims:
+            if probe is not None:
+                probe.on_evict(now, chunk, stats[chunk].t_last)
             self._evict(chunk, now)
         for chunk in missing:
             self._admit(chunk, now)
         self._collect_ghosts()
+        if probe is not None:
+            for chunk in missing:
+                probe.on_fill(now, chunk)
+            probe.on_serve(now, len(missing), len(victims))
         return serve_response(len(missing), len(victims))
 
     def __contains__(self, chunk: ChunkId) -> bool:
@@ -372,6 +395,30 @@ class CafeCache(VideoCache):
             key=lambda ch: self._cached.score(ch),
         )
         return self._stats.iat(worst, now)
+
+    def _estimate_iat_traced(self, chunk: ChunkId, now: float) -> tuple:
+        """:meth:`_estimate_iat` plus the estimate's provenance.
+
+        Returns ``(iat, source)`` with ``source`` one of ``"own"``,
+        ``"video"`` (the unseen-chunk max-IAT fallback) or ``"cold"``.
+        Kept separate from :meth:`_estimate_iat` so the probe-free hot
+        path never allocates the tuple; the arithmetic is identical.
+        """
+        own = self._stats.iat(chunk, now)
+        if not math.isinf(own):
+            return own, "own"
+        if not self._use_video_estimate:
+            return _INF, "cold"
+        video = chunk[0]
+        siblings = self._video_chunks.get(video)
+        if not siblings:
+            return _INF, "cold"
+        worst = min(
+            ((video, c) for c in siblings),
+            key=lambda ch: self._cached.score(ch),
+        )
+        iat = self._stats.iat(worst, now)
+        return iat, ("video" if not math.isinf(iat) else "cold")
 
     def _admit(self, chunk: ChunkId, now: float) -> None:
         state = self._stats[chunk]

@@ -66,18 +66,31 @@ class XlruCache(VideoCache):
     def handle_span(
         self, t: float, video: int, b0: int, b1: int, c0: int, c1: int
     ) -> CacheResponse:
+        probe = self.probe
         last = self._tracker.last_access(video)
         self._tracker.touch(video, t)
         self._maybe_cleanup_tracker(t)
 
         if last is None:
+            if probe is not None:
+                probe.on_redirect(t, "never-seen")
             return REDIRECT
+        if probe is not None:
+            # Eq. 5 admission margin: positive admits.  Observed before
+            # the test so both outcomes land in the same distribution.
+            probe.on_margin(
+                self.cache_age(t) - (t - last) * self.cost_model.alpha_f2r
+            )
         if (t - last) * self.cost_model.alpha_f2r > self.cache_age(t):
+            if probe is not None:
+                probe.on_redirect(t, "stale")
             return REDIRECT
 
         if c1 - c0 + 1 > self.disk_chunks:
             # The request alone exceeds the disk; it can never be fully
             # served from this cache, so redirect it.
+            if probe is not None:
+                probe.on_redirect(t, "oversized")
             return REDIRECT
 
         # Touch the chunks already present first so LRU eviction cannot
@@ -92,16 +105,24 @@ class XlruCache(VideoCache):
             else:
                 missing.append(chunk)
         if not missing:
+            if probe is not None:
+                probe.on_serve(t, 0, 0)
             return SERVE_HIT
 
         evicted = 0
         free = self.disk_chunks - len(disk)
         for _ in range(len(missing) - free):
-            disk.pop_oldest()
+            victim, victim_last = disk.pop_oldest()
+            if probe is not None:
+                probe.on_evict(t, victim, victim_last)
             evicted += 1
         for chunk in missing:
             touch(chunk, t)
 
+        if probe is not None:
+            for chunk in missing:
+                probe.on_fill(t, chunk)
+            probe.on_serve(t, len(missing), evicted)
         return serve_response(len(missing), evicted)
 
     def __contains__(self, chunk: ChunkId) -> bool:

@@ -1,0 +1,62 @@
+"""Telemetry subsystem: structured tracing of replay internals.
+
+The paper's analysis (Sections 4-8) hinges on *why* a cache serves or
+redirects — cache age, per-chunk IAT estimates (Eq. 8), eviction
+behaviour — yet the engine's :class:`~repro.sim.instrumentation.RunReport`
+only records end-of-run totals.  ``repro.obs`` is the observability
+layer underneath it:
+
+* :class:`~repro.obs.registry.MetricRegistry` — named counters, gauges,
+  timers and :class:`~repro.obs.sketch.HistogramSketch` distributions,
+  all mergeable across worker processes;
+* :class:`~repro.obs.probes.CacheProbe` — optional per-cache hooks
+  (eviction age / residence distributions, xLRU admission outcomes,
+  Cafe IAT-estimator health, serve/redirect decision margins) that are
+  pure observers: replays with probes attached are byte-identical to
+  probe-free replays;
+* :class:`~repro.obs.telemetry.Telemetry` — the run-level container the
+  engine threads through :class:`~repro.sim.engine.MultiReplay` (both
+  the object and the packed lanes), sampling per-cache snapshots on a
+  request cadence, at zero cost when disabled;
+* :class:`~repro.obs.events.EventLog` — a structured, level-tagged
+  event log replacing ad-hoc stderr writes in the sweep scheduler;
+* :mod:`repro.obs.jsonl` — the versioned JSONL export format plus its
+  schema validator;
+* :mod:`repro.obs.report` — the ``repro-report`` CLI: per-algorithm
+  tables and run-vs-run deltas, for humans and (via ``--json`` and exit
+  codes) for CI jobs.
+"""
+
+from repro.obs.events import EventLog, TelemetryEvent
+from repro.obs.jsonl import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    TelemetryFile,
+    read_telemetry,
+    validate_telemetry,
+    write_telemetry,
+)
+from repro.obs.probes import CacheProbe, CafeProbe, XlruProbe, probe_for
+from repro.obs.registry import MetricRegistry
+from repro.obs.sketch import HistogramSketch
+from repro.obs.telemetry import LaneTelemetry, Telemetry, TelemetryOptions
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "CacheProbe",
+    "CafeProbe",
+    "EventLog",
+    "HistogramSketch",
+    "LaneTelemetry",
+    "MetricRegistry",
+    "Telemetry",
+    "TelemetryEvent",
+    "TelemetryFile",
+    "TelemetryOptions",
+    "XlruProbe",
+    "probe_for",
+    "read_telemetry",
+    "validate_telemetry",
+    "write_telemetry",
+]

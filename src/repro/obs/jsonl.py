@@ -1,0 +1,229 @@
+"""Versioned JSONL telemetry files: export, load, schema validation.
+
+One telemetry file describes one run.  Line 1 is always the ``meta``
+record (schema name + version + run metadata); every following line is
+a self-describing record with a ``kind`` field:
+
+* ``event``    — one :class:`~repro.obs.events.TelemetryEvent`;
+* ``snapshot`` — one periodic lane sample (sim time, occupancy, probe
+  gauges);
+* ``lane``     — one end-of-run lane summary (counters, histograms,
+  traffic totals);
+* ``report``   — one :class:`~repro.sim.instrumentation.RunReport`.
+
+The format is append-friendly and newline-delimited so CI jobs can
+``grep``/``jq`` artifacts without a reader, while
+:func:`read_telemetry` gives structured access and
+:func:`validate_telemetry` checks any file against the schema (CI runs
+it on every push).  ``.gz`` paths are transparently compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "TelemetryFile",
+    "read_telemetry",
+    "validate_telemetry",
+    "write_telemetry",
+]
+
+SCHEMA_NAME = "repro.obs"
+SCHEMA_VERSION = 1
+
+#: Record kinds a conforming file may contain, and the fields each must
+#: carry.  ``meta`` is validated separately (it must also come first).
+_REQUIRED_FIELDS: Dict[str, tuple] = {
+    "meta": ("schema", "version", "created_unix"),
+    "event": ("wall", "level", "tag"),
+    "snapshot": ("lane", "t", "done", "occupancy", "disk_used"),
+    "lane": ("lane", "algorithm", "registry"),
+    "report": ("engine", "mode", "wall_seconds"),
+}
+
+
+def _open_write(path: str):
+    if str(path).endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_read(path: str):
+    if str(path).endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def write_telemetry(
+    path: str,
+    telemetry: Telemetry,
+    reports: Optional[List] = None,
+) -> int:
+    """Serialize ``telemetry`` (and optional run reports) to ``path``.
+
+    Returns the number of records written.  ``reports`` takes
+    :class:`~repro.sim.instrumentation.RunReport` objects (anything
+    with ``to_dict``).
+    """
+    records = 0
+    with _open_write(path) as stream:
+        meta = {
+            "kind": "meta",
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "meta": dict(telemetry.meta),
+            "options": {
+                "probes": telemetry.options.probes,
+                "snapshot_every": telemetry.options.snapshot_every,
+                "histogram_growth": telemetry.options.histogram_growth,
+            },
+        }
+        stream.write(json.dumps(meta) + "\n")
+        records += 1
+        for event in telemetry.events:
+            record = event.to_dict()
+            record["kind"] = "event"
+            stream.write(json.dumps(record) + "\n")
+            records += 1
+        for key, lane in telemetry.lanes.items():
+            for snapshot in lane.snapshots:
+                record = {"kind": "snapshot", "lane": key}
+                record.update(snapshot)
+                stream.write(json.dumps(record) + "\n")
+                records += 1
+        for lane in telemetry.lanes.values():
+            record = lane.to_dict()
+            record["kind"] = "lane"
+            stream.write(json.dumps(record) + "\n")
+            records += 1
+        for report in reports or []:
+            record = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+            record["kind"] = "report"
+            stream.write(json.dumps(record) + "\n")
+            records += 1
+    return records
+
+
+@dataclass
+class TelemetryFile:
+    """Structured form of one loaded telemetry JSONL file."""
+
+    path: str
+    meta: dict = field(default_factory=dict)
+    events: List[dict] = field(default_factory=list)
+    snapshots: List[dict] = field(default_factory=list)
+    #: lane key -> end-of-run lane summary record
+    lanes: Dict[str, dict] = field(default_factory=dict)
+    reports: List[dict] = field(default_factory=list)
+    #: schema violations found while loading (empty for a clean file)
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    @property
+    def label(self) -> str:
+        """Short display name: explicit run label, else the file path."""
+        return str(self.meta.get("meta", {}).get("label") or self.path)
+
+    def lane_snapshots(self, key: str) -> List[dict]:
+        return [s for s in self.snapshots if s.get("lane") == key]
+
+
+def _check_record(index: int, record: dict, issues: List[str]) -> None:
+    kind = record.get("kind")
+    if kind is None:
+        issues.append(f"line {index}: record has no 'kind' field")
+        return
+    required = _REQUIRED_FIELDS.get(kind)
+    if required is None:
+        issues.append(f"line {index}: unknown record kind {kind!r}")
+        return
+    missing = [name for name in required if name not in record]
+    if missing:
+        issues.append(f"line {index}: {kind} record missing fields {missing}")
+    if kind == "event" and record.get("level") not in (
+        "debug",
+        "info",
+        "warning",
+        "error",
+    ):
+        issues.append(f"line {index}: event has invalid level {record.get('level')!r}")
+    if kind == "lane":
+        registry = record.get("registry")
+        if not isinstance(registry, dict):
+            issues.append(f"line {index}: lane registry is not an object")
+        else:
+            for name, payload in registry.get("histograms", {}).items():
+                if not isinstance(payload, dict) or "count" not in payload:
+                    issues.append(f"line {index}: histogram {name!r} is malformed")
+
+
+def read_telemetry(path: str) -> TelemetryFile:
+    """Load ``path`` into a :class:`TelemetryFile`.
+
+    Loading is tolerant: malformed lines are recorded as issues and
+    skipped, so a partially written artifact still yields everything
+    that is intact.  Check ``.ok`` (or run :func:`validate_telemetry`)
+    when strictness matters.
+    """
+    out = TelemetryFile(path=str(path))
+    with _open_read(path) as stream:
+        for index, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                out.issues.append(f"line {index}: invalid JSON ({exc.msg})")
+                continue
+            if not isinstance(record, dict):
+                out.issues.append(f"line {index}: record is not an object")
+                continue
+            _check_record(index, record, out.issues)
+            kind = record.get("kind")
+            if kind == "meta":
+                if index != 1:
+                    out.issues.append(
+                        f"line {index}: meta record must be the first line"
+                    )
+                if record.get("schema") != SCHEMA_NAME:
+                    out.issues.append(
+                        f"line {index}: schema is {record.get('schema')!r}, "
+                        f"expected {SCHEMA_NAME!r}"
+                    )
+                elif record.get("version") != SCHEMA_VERSION:
+                    out.issues.append(
+                        f"line {index}: schema version "
+                        f"{record.get('version')!r} != {SCHEMA_VERSION}"
+                    )
+                out.meta = record
+            elif kind == "event":
+                out.events.append(record)
+            elif kind == "snapshot":
+                out.snapshots.append(record)
+            elif kind == "lane":
+                out.lanes[record.get("lane", "")] = record
+            elif kind == "report":
+                out.reports.append(record)
+    if not out.meta:
+        out.issues.insert(0, "file has no meta record")
+    return out
+
+
+def validate_telemetry(path: str) -> List[str]:
+    """Schema-check ``path``; returns the list of violations (empty = ok)."""
+    return read_telemetry(path).issues

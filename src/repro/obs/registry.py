@@ -1,0 +1,129 @@
+"""Metric registry: named counters, gauges, timers and histograms.
+
+One :class:`MetricRegistry` backs each telemetry lane.  The design
+constraints come from the engine's hot path and the sweep executor:
+
+* **cheap when hot** — ``count``/``observe`` are a dict upsert; probes
+  cache bound methods so the per-event cost is one call;
+* **mergeable** — registries from worker processes fold into the
+  parent's exactly (integer/float addition, bucket-wise histogram
+  merge, per-stage timer accumulation);
+* **serializable** — :meth:`to_dict` / :meth:`from_dict` round-trip
+  through the JSONL export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.obs.sketch import DEFAULT_GROWTH, HistogramSketch
+from repro.sim.instrumentation import StageTimer
+
+__all__ = ["MetricRegistry"]
+
+
+class MetricRegistry:
+    """Mutable collection of named metrics for one telemetry lane."""
+
+    def __init__(self, histogram_growth: float = DEFAULT_GROWTH) -> None:
+        self.histogram_growth = histogram_growth
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramSketch] = {}
+        self._timer = StageTimer()
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self.gauges[name] = value
+
+    def histogram(self, name: str) -> HistogramSketch:
+        """The sketch behind ``name``, created on first use."""
+        sketch = self.histograms.get(name)
+        if sketch is None:
+            sketch = HistogramSketch(growth=self.histogram_growth)
+            self.histograms[name] = sketch
+        return sketch
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into histogram ``name``."""
+        self.histogram(name).add(value)
+
+    def timer(self, name: str, items: int = 0) -> Iterator[None]:
+        """Context manager accumulating wall time under stage ``name``."""
+        return self._timer.stage(name, items)
+
+    def add_time(self, name: str, seconds: float, items: int = 0) -> None:
+        self._timer.add(name, seconds, items)
+
+    # -- queries -------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def rate(self, numerator: str, *denominators: str) -> Optional[float]:
+        """``numerator / sum(denominators)`` or None when undefined.
+
+        Convenience for derived health metrics like the Cafe
+        IAT-fallback rate: ``rate("iat.video", "iat.own", "iat.video",
+        "iat.cold")``.
+        """
+        denominator = sum(self.counters.get(name, 0) for name in denominators)
+        if denominator == 0:
+            return None
+        return self.counters.get(numerator, 0) / denominator
+
+    # -- composition ---------------------------------------------------------
+
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold ``other`` into this registry (exact)."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        # Latest-wins is meaningless across processes; keep the max so a
+        # merged gauge reports the high-water mark.
+        for name, value in other.gauges.items():
+            if name not in self.gauges or value > self.gauges[name]:
+                self.gauges[name] = value
+        for name, sketch in other.histograms.items():
+            self.histogram(name).merge(sketch)
+        for timing in other._timer.timings():
+            self._timer.add(timing.name, timing.seconds, timing.items)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: sketch.to_dict()
+                for name, sketch in self.histograms.items()
+            },
+            "timers": [timing.to_dict() for timing in self._timer.timings()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricRegistry":
+        registry = cls()
+        registry.counters = dict(data.get("counters", {}))
+        registry.gauges = dict(data.get("gauges", {}))
+        registry.histograms = {
+            name: HistogramSketch.from_dict(payload)
+            for name, payload in data.get("histograms", {}).items()
+        }
+        for timing in data.get("timers", []):
+            registry._timer.add(
+                timing["name"], timing["seconds"], timing.get("items", 0)
+            )
+        return registry
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms)"
+        )

@@ -1,0 +1,204 @@
+"""Log-bucketed histogram sketch: bounded memory, mergeable, quantiles.
+
+Telemetry needs whole-run distributions (eviction ages, residence
+times, decision margins) without storing every sample.  A
+:class:`HistogramSketch` maps each value to a geometric bucket —
+``floor(log(|v|) / log(growth))``, signed, with an exact bucket for
+zero — so memory is bounded by the dynamic range (a few hundred
+buckets for anything the simulator produces) while any quantile is
+recoverable to within a factor of ``growth`` (relative error
+``(growth - 1) / 2`` at the default 1.15, i.e. ~7.5%).
+
+Sketches merge exactly (bucket-wise addition), which is how per-worker
+telemetry folds back into the parent after a parallel sweep.  The
+dict form (:meth:`to_dict` / :meth:`from_dict`) round-trips through
+the JSONL export.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["HistogramSketch"]
+
+#: Default bucket growth factor: ~7.5% worst-case relative quantile error.
+DEFAULT_GROWTH = 1.15
+
+
+class HistogramSketch:
+    """A mergeable geometric-bucket histogram of finite float samples."""
+
+    __slots__ = (
+        "growth",
+        "_inv_log_growth",
+        "_pos",
+        "_neg",
+        "_zeros",
+        "count",
+        "total",
+        "min",
+        "max",
+    )
+
+    def __init__(self, growth: float = DEFAULT_GROWTH) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self.growth = growth
+        self._inv_log_growth = 1.0 / math.log(growth)
+        #: bucket index -> sample count, for positive / negative values
+        self._pos: Dict[int, int] = {}
+        self._neg: Dict[int, int] = {}
+        self._zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording -----------------------------------------------------------
+
+    def add(self, value: float, n: int = 1) -> None:
+        """Fold ``n`` observations of ``value`` into the sketch.
+
+        Non-finite values are rejected — the caller decides whether an
+        unbounded margin is a separate counter or simply dropped;
+        silently folding ``inf`` into a log bucket would corrupt
+        quantiles.
+        """
+        if not math.isfinite(value):
+            raise ValueError(f"sketch values must be finite, got {value}")
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if value > 0.0:
+            index = math.floor(math.log(value) * self._inv_log_growth)
+            self._pos[index] = self._pos.get(index, 0) + n
+        elif value < 0.0:
+            index = math.floor(math.log(-value) * self._inv_log_growth)
+            self._neg[index] = self._neg.get(index, 0) + n
+        else:
+            self._zeros += n
+        self.count += n
+        self.total += value * n
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Exact sample mean (NaN when empty)."""
+        if self.count == 0:
+            return math.nan
+        return self.total / self.count
+
+    def _bucket_values(self) -> List[tuple]:
+        """``(representative_value, count)`` pairs in ascending order.
+
+        The representative of bucket ``i`` is the geometric midpoint
+        ``growth ** (i + 0.5)``, clamped to the exact observed min/max
+        so quantile answers never leave the sampled range.
+        """
+        out: List[tuple] = []
+        for index in sorted(self._neg, reverse=True):
+            out.append((-(self.growth ** (index + 0.5)), self._neg[index]))
+        if self._zeros:
+            out.append((0.0, self._zeros))
+        for index in sorted(self._pos):
+            out.append((self.growth ** (index + 0.5), self._pos[index]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """The approximate ``q``-quantile (NaN when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * (self.count - 1)
+        seen = 0
+        for value, n in self._bucket_values():
+            seen += n
+            if seen > rank:
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    # -- composition ---------------------------------------------------------
+
+    def merge(self, other: "HistogramSketch") -> None:
+        """Fold ``other`` into this sketch (exact: bucket-wise addition)."""
+        if other.growth != self.growth:
+            raise ValueError(
+                f"cannot merge sketches with different growth factors "
+                f"({self.growth} vs {other.growth})"
+            )
+        for index, n in other._pos.items():
+            self._pos[index] = self._pos.get(index, 0) + n
+        for index, n in other._neg.items():
+            self._neg[index] = self._neg.get(index, 0) + n
+        self._zeros += other._zeros
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (bucket indexes become string keys)."""
+        out: dict = {
+            "growth": self.growth,
+            "count": self.count,
+            "total": self.total,
+            "zeros": self._zeros,
+            "pos": {str(k): v for k, v in sorted(self._pos.items())},
+            "neg": {str(k): v for k, v in sorted(self._neg.items())},
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistogramSketch":
+        sketch = cls(growth=data["growth"])
+        sketch._pos = {int(k): int(v) for k, v in data.get("pos", {}).items()}
+        sketch._neg = {int(k): int(v) for k, v in data.get("neg", {}).items()}
+        sketch._zeros = int(data.get("zeros", 0))
+        sketch.count = int(data["count"])
+        sketch.total = float(data.get("total", 0.0))
+        sketch.min = float(data.get("min", math.inf))
+        sketch.max = float(data.get("max", -math.inf))
+        return sketch
+
+    def summary(self) -> dict:
+        """Headline statistics for reports: count, mean, p50/p90/p99."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramSketch(count={self.count}, "
+            f"buckets={len(self._pos) + len(self._neg) + bool(self._zeros)})"
+        )

@@ -1,0 +1,183 @@
+"""Run-level telemetry: lanes, snapshots, and worker merging.
+
+A :class:`Telemetry` object is threaded through the engine
+(:class:`~repro.sim.engine.MultiReplay` and the
+:class:`~repro.sim.schedule.SweepScheduler`): each cache lane gets a
+:class:`LaneTelemetry` holding a metric registry, an optionally
+attached :mod:`probe <repro.obs.probes>`, and a time series of
+periodic snapshots (disk occupancy plus probe gauges) sampled on a
+request cadence during replay.
+
+Parallel sweeps run each group in a worker process: the worker builds
+its own lane telemetry (probes and registries are plain picklable
+data), ships it back inside each
+:class:`~repro.sim.engine.SimulationResult`, and the parent calls
+:meth:`Telemetry.adopt` to fold the lanes into the run-level object —
+so one ``Telemetry`` describes the whole sweep regardless of the
+execution strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.probes import CacheProbe, probe_for
+from repro.obs.registry import MetricRegistry
+from repro.obs.sketch import DEFAULT_GROWTH
+
+__all__ = ["LaneTelemetry", "Telemetry", "TelemetryOptions"]
+
+#: Default requests-per-lane between snapshots.  The packed engine lane
+#: samples at block boundaries, so its effective cadence is
+#: ``max(snapshot_every, PACKED_BLOCK)``.
+DEFAULT_SNAPSHOT_EVERY = 8192
+
+
+@dataclass(frozen=True)
+class TelemetryOptions:
+    """Picklable knobs shared by the parent and its sweep workers."""
+
+    #: attach per-cache probes (eviction/admission/margin capture);
+    #: snapshots and counters stay on either way
+    probes: bool = True
+    #: requests between periodic lane snapshots (0 disables sampling)
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY
+    #: histogram sketch bucket growth factor
+    histogram_growth: float = DEFAULT_GROWTH
+    #: hard cap on retained snapshots per lane (oldest are thinned 2:1)
+    max_snapshots: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every < 0:
+            raise ValueError(f"snapshot_every must be >= 0, got {self.snapshot_every}")
+        if self.max_snapshots < 2:
+            raise ValueError(f"max_snapshots must be >= 2, got {self.max_snapshots}")
+
+
+class LaneTelemetry:
+    """Telemetry of one cache lane (one sweep cell / one replay)."""
+
+    def __init__(
+        self,
+        key: str,
+        algorithm: str = "",
+        options: Optional[TelemetryOptions] = None,
+    ) -> None:
+        self.key = key
+        self.algorithm = algorithm
+        self.options = options if options is not None else TelemetryOptions()
+        self.registry = MetricRegistry(histogram_growth=self.options.histogram_growth)
+        self.probe: Optional[CacheProbe] = None
+        #: periodic snapshots: {"t", "done", "occupancy", "disk_used", ...}
+        self.snapshots: List[dict] = []
+        #: end-of-run traffic summaries (set by the engine)
+        self.totals: Optional[dict] = None
+        self.steady: Optional[dict] = None
+        self.num_requests = 0
+
+    def attach(self, cache) -> None:
+        """Create the lane's probe and hook it onto ``cache``."""
+        if not self.algorithm:
+            self.algorithm = getattr(cache, "name", "")
+        if self.options.probes and hasattr(cache, "probe"):
+            self.probe = probe_for(cache, self.registry)
+            cache.probe = self.probe
+
+    def sample(self, t: float, cache, done: int) -> None:
+        """Record one periodic snapshot at simulation time ``t``.
+
+        ``done`` is the number of requests replayed so far.  Reads are
+        pull-based and O(1): disk occupancy plus whatever cheap gauges
+        the probe exposes.
+        """
+        snapshot = {
+            "t": t,
+            "done": done,
+            "occupancy": len(cache),
+            "disk_used": cache.disk_used_fraction,
+        }
+        if self.probe is not None:
+            snapshot.update(self.probe.snapshot_gauges(cache))
+        self.snapshots.append(snapshot)
+        if len(self.snapshots) > self.options.max_snapshots:
+            # Thin 2:1 (keeping the newest point) instead of dropping
+            # the tail: long replays keep whole-run coverage at half
+            # resolution rather than losing their oldest history.
+            self.snapshots = self.snapshots[::2] + self.snapshots[-1:]
+
+    def finish(self, cache, totals: dict, steady: dict, num_requests: int) -> None:
+        """Seal the lane at end of run: final gauges and summaries."""
+        self.registry.gauge("occupancy", len(cache))
+        self.registry.gauge("disk_used", cache.disk_used_fraction)
+        self.totals = totals
+        self.steady = steady
+        self.num_requests = num_requests
+
+    def to_dict(self) -> dict:
+        """JSON-safe lane summary for the JSONL export."""
+        out: dict = {
+            "lane": self.key,
+            "algorithm": self.algorithm,
+            "num_requests": self.num_requests,
+            "registry": self.registry.to_dict(),
+        }
+        if self.totals is not None:
+            out["totals"] = self.totals
+        if self.steady is not None:
+            out["steady"] = self.steady
+        return out
+
+
+class Telemetry:
+    """Run-level telemetry container: lanes + events + run metadata."""
+
+    def __init__(
+        self,
+        options: Optional[TelemetryOptions] = None,
+        events: Optional[EventLog] = None,
+        meta: Optional[Mapping] = None,
+    ) -> None:
+        self.options = options if options is not None else TelemetryOptions()
+        self.events = events if events is not None else EventLog()
+        self.lanes: Dict[str, LaneTelemetry] = {}
+        #: free-form run metadata (trace path, scale, CLI args, ...)
+        self.meta: dict = dict(meta) if meta else {}
+
+    def lane(self, key: str, cache=None) -> LaneTelemetry:
+        """The lane for ``key``, created (and attached) on first use."""
+        lane = self.lanes.get(key)
+        if lane is None:
+            lane = LaneTelemetry(key, options=self.options)
+            self.lanes[key] = lane
+            if cache is not None:
+                lane.attach(cache)
+        return lane
+
+    def adopt(self, results: Mapping) -> int:
+        """Fold lane telemetry carried by ``results`` into this object.
+
+        ``results`` is a ``{key: SimulationResult}`` mapping whose
+        values may carry a ``telemetry`` lane (worker processes attach
+        them before shipping results back).  A lane that already exists
+        under the same key is replaced — worker lanes are authoritative
+        for their cell.  Returns the number of lanes adopted.
+        """
+        adopted = 0
+        for key, result in results.items():
+            lane = getattr(result, "telemetry", None)
+            if lane is not None:
+                self.lanes[key] = lane
+                adopted += 1
+        return adopted
+
+    def snapshot_count(self) -> int:
+        return sum(len(lane.snapshots) for lane in self.lanes.values())
+
+    def describe(self) -> str:
+        return (
+            f"telemetry: {len(self.lanes)} lane(s), "
+            f"{self.snapshot_count()} snapshot(s), "
+            f"{len(self.events)} event(s)"
+        )

@@ -23,13 +23,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.core.base import VideoCache
 from repro.sim.instrumentation import ProgressCallback, RunReport, StageTiming
 from repro.sim.metrics import MetricsCollector, TrafficSummary
 from repro.trace.columnar import PackedTrace, pack_trace
 from repro.trace.requests import Request
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, no runtime dep
+    from repro.obs.telemetry import LaneTelemetry, Telemetry
 
 __all__ = ["SimulationResult", "replay", "MultiReplay", "AUTO_PACK_MIN_REQUESTS"]
 
@@ -87,6 +90,11 @@ class SimulationResult:
     #: broadcast run the report (and its wall time) is shared by every
     #: cache of the pass — ``report.num_caches`` says how many.
     report: Optional[RunReport] = None
+    #: Per-lane telemetry (snapshots, probe counters/histograms) when
+    #: the replay ran with a :class:`~repro.obs.telemetry.Telemetry`
+    #: attached; None otherwise.  Riding on the result is what lets
+    #: sweep workers ship lane telemetry back to the parent.
+    telemetry: "Optional[LaneTelemetry]" = None
 
     @property
     def totals(self) -> TrafficSummary:
@@ -123,6 +131,7 @@ class MultiReplay:
         caches: Mapping[str, VideoCache],
         interval: float = 3600.0,
         collectors: Optional[Mapping[str, MetricsCollector]] = None,
+        telemetry: "Optional[Telemetry]" = None,
     ) -> None:
         if not caches:
             raise ValueError("MultiReplay needs at least one cache")
@@ -136,6 +145,17 @@ class MultiReplay:
                 self.collectors[key] = MetricsCollector(
                     cache.cost_model, chunk_bytes=cache.chunk_bytes, interval=interval
                 )
+        #: Run-level telemetry; when set, each cache gets a lane (with
+        #: a probe attached, if enabled) and the replay samples periodic
+        #: snapshots.  When None — the default — the hot paths are the
+        #: exact pre-telemetry code: no lanes, no sampling, no probes.
+        self.telemetry = telemetry
+        self._tel_lanes: "Optional[Dict[str, LaneTelemetry]]" = None
+        if telemetry is not None:
+            self._tel_lanes = {
+                key: telemetry.lane(key, cache)
+                for key, cache in self.caches.items()
+            }
 
     def run(
         self,
@@ -201,6 +221,7 @@ class MultiReplay:
 
         if packed is not None:
             count, replay_seconds = self._run_packed(packed, keys, progress)
+            self._finish_lanes(count)
             report = RunReport(
                 engine="multireplay",
                 mode="broadcast",
@@ -216,12 +237,14 @@ class MultiReplay:
             if pack_seconds:
                 report.stages.append(StageTiming("pack", pack_seconds, count))
             report.stages.append(StageTiming("replay", replay_seconds, count))
+            tel = self._tel_lanes
             return {
                 key: SimulationResult(
                     cache=self.caches[key],
                     metrics=self.collectors[key],
                     num_requests=count,
                     report=report,
+                    telemetry=tel[key] if tel is not None else None,
                 )
                 for key in keys
             }
@@ -237,6 +260,12 @@ class MultiReplay:
         # legitimately differ from the cache's — e.g. external metrics).
         chunk_sizes = [self.collectors[key].chunk_bytes for key in keys]
         uniform_k = chunk_sizes[0] if len(set(chunk_sizes)) == 1 else None
+
+        # Telemetry sampling cadence: 0 (one falsy check per request)
+        # when telemetry is disabled or sampling is turned off.
+        snap_every = 0
+        if self._tel_lanes is not None and self.telemetry is not None:
+            snap_every = self.telemetry.options.snapshot_every
 
         count = 0
         last_t = float("-inf")
@@ -259,6 +288,8 @@ class MultiReplay:
                 for handle, record in lanes:
                     record(t, nbytes, nchunks, handle(request))
                 count += 1
+                if snap_every and count % snap_every == 0:
+                    self._sample_lanes(t, count)
                 if progress is not None and count % progress_every == 0:
                     progress(count, total, time.perf_counter() - t_replay0)
         else:
@@ -277,11 +308,14 @@ class MultiReplay:
                     nchunks = request.b1 // k - request.b0 // k + 1
                     record(t, nbytes, nchunks, handle(request))
                 count += 1
+                if snap_every and count % snap_every == 0:
+                    self._sample_lanes(t, count)
                 if progress is not None and count % progress_every == 0:
                     progress(count, total, time.perf_counter() - t_replay0)
         replay_seconds = time.perf_counter() - t_replay0
         if progress is not None:
             progress(count, total, replay_seconds)
+        self._finish_lanes(count)
 
         report = RunReport(
             engine="multireplay",
@@ -297,15 +331,41 @@ class MultiReplay:
             )
         report.stages.append(StageTiming("replay", replay_seconds, count))
 
+        tel = self._tel_lanes
         return {
             key: SimulationResult(
                 cache=self.caches[key],
                 metrics=self.collectors[key],
                 num_requests=count,
                 report=report,
+                telemetry=tel[key] if tel is not None else None,
             )
             for key in keys
         }
+
+    # -- telemetry hooks ----------------------------------------------------
+
+    def _sample_lanes(self, t: float, done: int) -> None:
+        """Record one occupancy/gauge snapshot per telemetry lane."""
+        lanes = self._tel_lanes
+        if lanes is None:
+            return
+        for key, lane in lanes.items():
+            lane.sample(t, self.caches[key], done)
+
+    def _finish_lanes(self, count: int) -> None:
+        """Seal every telemetry lane with final gauges and summaries."""
+        lanes = self._tel_lanes
+        if lanes is None:
+            return
+        for key, lane in lanes.items():
+            collector = self.collectors[key]
+            lane.finish(
+                self.caches[key],
+                collector.totals().to_dict(),
+                collector.steady_state().to_dict(),
+                count,
+            )
 
     def _run_packed(
         self,
@@ -350,6 +410,14 @@ class MultiReplay:
                 (cache.handle_span, collector.record_packed, lane_c0, lane_c1, lane_nc)
             )
 
+        # Telemetry snapshots land on block boundaries: the packed lane
+        # never pays a per-request check, and a disabled run (the
+        # default) pays one falsy test per 16k-request block.
+        snap_every = 0
+        if self._tel_lanes is not None and self.telemetry is not None:
+            snap_every = self.telemetry.options.snapshot_every
+        last_snap = 0
+
         t0 = time.perf_counter()
         block = PACKED_BLOCK
         for start in range(0, n, block):
@@ -372,6 +440,11 @@ class MultiReplay:
                     )
                 )
                 record_packed(block_t, block_nb, lane_nc[start:stop], responses)
+            if snap_every and stop - last_snap >= snap_every:
+                # float() lifts numpy scalars so snapshots stay
+                # JSON-serializable regardless of the column backing.
+                self._sample_lanes(float(block_t[-1]), stop)
+                last_snap = stop
             if progress is not None:
                 progress(stop, n, time.perf_counter() - t0)
         replay_seconds = time.perf_counter() - t0
@@ -387,6 +460,8 @@ def replay(
     metrics: Optional[MetricsCollector] = None,
     on_request: Optional[Callable[[int, Request], None]] = None,
     progress: Optional[ProgressCallback] = None,
+    telemetry: "Optional[Telemetry]" = None,
+    label: Optional[str] = None,
 ) -> SimulationResult:
     """Replay ``requests`` (time-ordered) through ``cache``.
 
@@ -396,13 +471,19 @@ def replay(
     progress hook called before each request; ``progress`` receives
     periodic ``(done, total, elapsed)`` callbacks.  The result carries a
     :class:`~repro.sim.instrumentation.RunReport`.
+
+    With ``telemetry`` set, the single lane is registered under
+    ``label`` (default: the cache's algorithm name) and the result's
+    ``telemetry`` field holds its :class:`~repro.obs.telemetry.LaneTelemetry`.
     """
+    key = label if label is not None else cache.name
     engine = MultiReplay(
-        {"__only__": cache},
+        {key: cache},
         interval=interval,
-        collectors={"__only__": metrics} if metrics is not None else None,
+        collectors={key: metrics} if metrics is not None else None,
+        telemetry=telemetry,
     )
-    result = engine.run(requests, on_request=on_request, progress=progress)["__only__"]
+    result = engine.run(requests, on_request=on_request, progress=progress)[key]
     assert result.report is not None
     result.report.engine = "replay"
     result.report.mode = "serial"

@@ -41,23 +41,37 @@ class EngineEvent:
     ``t`` is producer-defined: simulation time for replay-level events
     (cache wipes), wall-clock seconds since run start for executor
     events (group crashes, retries, checkpoint resumes).  ``kind`` is a
-    short machine-friendly tag; ``detail`` is free-form context.
+    short machine-friendly tag; ``detail`` is free-form context;
+    ``level`` grades severity with the telemetry event-log levels
+    (``debug``/``info``/``warning``/``error``).
     """
 
     t: float
     kind: str
     detail: str = ""
+    level: str = "info"
 
     def to_dict(self) -> dict:
-        return {"t": self.t, "kind": self.kind, "detail": self.detail}
+        return {
+            "t": self.t,
+            "kind": self.kind,
+            "detail": self.detail,
+            "level": self.level,
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "EngineEvent":
-        return cls(t=data["t"], kind=data["kind"], detail=data.get("detail", ""))
+        return cls(
+            t=data["t"],
+            kind=data["kind"],
+            detail=data.get("detail", ""),
+            level=data.get("level", "info"),
+        )
 
     def __str__(self) -> str:
         suffix = f": {self.detail}" if self.detail else ""
-        return f"[{self.t:g}] {self.kind}{suffix}"
+        tag = f" {self.level.upper()}" if self.level != "info" else ""
+        return f"[{self.t:g}]{tag} {self.kind}{suffix}"
 
 
 @dataclass

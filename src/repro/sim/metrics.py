@@ -108,6 +108,34 @@ class TrafficSummary:
         """Served bytes that required no cache-fill."""
         return self.egress_bytes - min(self.ingress_bytes, self.egress_bytes)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form: raw counters plus the derived ratios.
+
+        NaN ratios (idle windows) serialize as ``None`` so the output
+        is valid strict JSON.  Used by the telemetry JSONL export.
+        """
+
+        def _finite(value: float):
+            return value if math.isfinite(value) else None
+
+        return {
+            "num_requests": self.num_requests,
+            "num_served": self.num_served,
+            "requested_bytes": self.requested_bytes,
+            "requested_chunks": self.requested_chunks,
+            "egress_bytes": self.egress_bytes,
+            "ingress_bytes": self.ingress_bytes,
+            "redirected_bytes": self.redirected_bytes,
+            "filled_chunks": self.filled_chunks,
+            "redirected_chunks": self.redirected_chunks,
+            "num_lost": self.num_lost,
+            "lost_bytes": self.lost_bytes,
+            "efficiency": _finite(self.efficiency),
+            "redirect_ratio": _finite(self.redirect_ratio),
+            "ingress_fraction": _finite(self.ingress_fraction),
+            "availability": _finite(self.availability),
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class IntervalSample:

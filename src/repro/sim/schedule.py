@@ -43,12 +43,21 @@ import hashlib
 import os
 import pickle
 import time
-import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.costs import CostModel
+from repro.obs.events import EventLog
 from repro.sim.engine import MultiReplay, SimulationResult, replay
 from repro.sim.instrumentation import (
     EngineEvent,
@@ -58,6 +67,9 @@ from repro.sim.instrumentation import (
 )
 from repro.trace.columnar import PackedTrace, SharedTraceHandle, pack_trace
 from repro.trace.requests import Request
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.telemetry import Telemetry, TelemetryOptions
 
 __all__ = [
     "CHECKPOINT_ENV",
@@ -165,7 +177,10 @@ class SweepCheckpoint:
     grafting foreign results.
     """
 
-    VERSION = 1
+    # Version 2: pickled results may carry telemetry lanes and
+    # level-tagged EngineEvents; version-1 journals (whose records
+    # predate those fields) are ignored rather than half-unpickled.
+    VERSION = 2
 
     def __init__(self, path: "os.PathLike | str") -> None:
         self.path = os.fspath(path)
@@ -194,12 +209,16 @@ class SweepCheckpoint:
         h.update(f"|trace={sig!r}".encode())
         return h.hexdigest()
 
-    def load(self, fingerprint: str) -> Dict[str, Dict[str, SimulationResult]]:
+    def load(
+        self, fingerprint: str, log: Optional[EventLog] = None
+    ) -> Dict[str, Dict[str, SimulationResult]]:
         """Completed groups matching ``fingerprint``: id -> results.
 
         Missing file means a fresh run (empty dict).  A corrupt or
         truncated tail — the normal aftermath of a killed sweep — stops
-        the scan; every record before it is returned.
+        the scan; every record before it is returned.  ``log`` (an
+        :class:`~repro.obs.events.EventLog`) receives structured notes
+        about skipped records and corrupt tails.
         """
         try:
             stream = open(self.path, "rb")
@@ -212,13 +231,32 @@ class SweepCheckpoint:
                     record = pickle.load(stream)
                 except EOFError:
                     break
-                except Exception:
-                    break  # truncated/corrupt tail: keep what is intact
+                except Exception as exc:
+                    # truncated/corrupt tail: keep what is intact
+                    if log is not None:
+                        log.info(
+                            "checkpoint-corrupt-tail",
+                            f"{self.path}: discarding corrupt tail after "
+                            f"{len(records)} intact record(s) ({exc!r})",
+                        )
+                    break
                 try:
                     version, fp, group_id, results = record
                 except (TypeError, ValueError):
+                    if log is not None:
+                        log.info(
+                            "checkpoint-corrupt-tail",
+                            f"{self.path}: malformed record after "
+                            f"{len(records)} intact record(s)",
+                        )
                     break
                 if version != self.VERSION or fp != fingerprint:
+                    if log is not None:
+                        log.debug(
+                            "checkpoint-foreign-record",
+                            f"{self.path}: skipping record for "
+                            f"version={version!r} fingerprint={str(fp)[:12]}...",
+                        )
                     continue
                 records[group_id] = results
         return records
@@ -309,6 +347,8 @@ class SweepScheduler:
         backoff_cap: float = 4.0,
         group_timeout: Optional[float] = None,
         parallel_min_work: Optional[int] = None,
+        telemetry: "Optional[Telemetry]" = None,
+        event_log: Optional[EventLog] = None,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -346,8 +386,41 @@ class SweepScheduler:
         #: per-group pickling would dominate.  Explicit
         #: ``mode="parallel"`` bypasses the heuristic.
         self.parallel_min_work = _resolve_min_work(parallel_min_work)
+        #: Run-level telemetry: when set, every simulated cell gets a
+        #: probe-instrumented lane (built inside the executing process,
+        #: shipped back on the result) and the scheduler folds the lanes
+        #: into ``telemetry.lanes`` after each :meth:`run`.
+        self.telemetry = telemetry
+        #: Structured operational log (checkpoint journal activity,
+        #: shared-memory lifecycle, worker crashes/fallbacks).  Defaults
+        #: to the telemetry's event log so one JSONL export captures
+        #: both; a bare scheduler gets a private log — its ``warning``
+        #: records still surface through :mod:`warnings` as before.
+        if event_log is not None:
+            self.events = event_log
+        elif telemetry is not None:
+            self.events = telemetry.events
+        else:
+            self.events = EventLog()
         #: Observability record of the last :meth:`run` (None before).
         self.last_report: Optional[RunReport] = None
+
+    # -- observability -------------------------------------------------------
+
+    def _note(
+        self,
+        events: List[EngineEvent],
+        t: float,
+        kind: str,
+        detail: str,
+        level: str = "info",
+    ) -> None:
+        """Record one occurrence in the run report *and* the event log."""
+        events.append(EngineEvent(t, kind, detail, level))
+        self.events.emit(level, kind, detail)
+
+    def _tel_options(self) -> "Optional[TelemetryOptions]":
+        return self.telemetry.options if self.telemetry is not None else None
 
     # -- planning ------------------------------------------------------------
 
@@ -476,14 +549,13 @@ class SweepScheduler:
             cpus = os.cpu_count() or 1
             if cpus < 2 or work < self.parallel_min_work:
                 mode = "serial"
-                events.append(
-                    EngineEvent(
-                        0.0,
-                        "parallel-collapsed",
-                        f"work={work} (cells x requests) below threshold "
-                        f"{self.parallel_min_work} or cpus={cpus} < 2; "
-                        "running serially",
-                    )
+                self._note(
+                    events,
+                    0.0,
+                    "parallel-collapsed",
+                    f"work={work} (cells x requests) below threshold "
+                    f"{self.parallel_min_work} or cpus={cpus} < 2; "
+                    "running serially",
                 )
 
         plan = self.plan(configs, mode)
@@ -506,7 +578,7 @@ class SweepScheduler:
         resumed = 0
         if checkpoint is not None:
             fp = checkpoint.fingerprint(plan, self.interval, requests)
-            loaded = checkpoint.load(fp)
+            loaded = checkpoint.load(fp, log=self.events)
             remaining: List[CellGroup] = []
             for group in plan.groups:
                 cached = loaded.get(_group_id(group))
@@ -517,13 +589,12 @@ class SweepScheduler:
                     remaining.append(group)
             run_groups = remaining
             if resumed:
-                events.append(
-                    EngineEvent(
-                        0.0,
-                        "checkpoint-resume",
-                        f"{resumed}/{len(plan.groups)} group(s) restored "
-                        f"from {checkpoint.path}",
-                    )
+                self._note(
+                    events,
+                    0.0,
+                    "checkpoint-resume",
+                    f"{resumed}/{len(plan.groups)} group(s) restored "
+                    f"from {checkpoint.path}",
                 )
 
             def on_group(group, group_results, _fp=fp, _ckpt=checkpoint):
@@ -552,14 +623,14 @@ class SweepScheduler:
                         shared = packed.to_shared()
                         pack_seconds = time.perf_counter() - t_pack
                         payload = shared
-                        events.append(
-                            EngineEvent(
-                                time.perf_counter() - t_start,
-                                "shared-trace",
-                                f"{len(packed)} requests -> "
-                                f"{shared.nbytes >> 10} KiB shared segment "
-                                f"{shared.name}",
-                            )
+                        self._note(
+                            events,
+                            time.perf_counter() - t_start,
+                            "shared-trace",
+                            f"{len(packed)} requests -> "
+                            f"{shared.nbytes >> 10} KiB shared segment "
+                            f"{shared.name}",
+                            level="debug",
                         )
                     except Exception as exc:
                         # Packing or shm unavailable (exotic platform,
@@ -567,19 +638,37 @@ class SweepScheduler:
                         # request objects per group, as before.
                         shared = None
                         payload = requests
-                        events.append(
-                            EngineEvent(
-                                time.perf_counter() - t_start,
-                                "shared-trace-unavailable",
-                                repr(exc),
-                            )
+                        self._note(
+                            events,
+                            time.perf_counter() - t_start,
+                            "shared-trace-unavailable",
+                            repr(exc),
+                            level="warning",
                         )
                 pool_results, parallel_used, pool_events, exec_stats = (
                     self._run_parallel(run_groups, payload, on_group)
                 )
             finally:
                 if shared is not None:
-                    shared.unlink()
+                    try:
+                        shared.unlink()
+                        self.events.debug(
+                            "shm-unlink", f"released shared segment {shared.name}"
+                        )
+                    except Exception as exc:
+                        # A failed unlink must not mask the sweep's
+                        # outcome; the leak is reported (stderr + log),
+                        # not raised.
+                        detail = f"segment {shared.name}: {exc!r}"
+                        events.append(
+                            EngineEvent(
+                                time.perf_counter() - t_start,
+                                "shm-unlink-failed",
+                                detail,
+                                "error",
+                            )
+                        )
+                        self.events.error("shm-unlink-failed", detail)
             results.update(pool_results)
             events.extend(pool_events)
         else:
@@ -619,6 +708,16 @@ class SweepScheduler:
                     "scheduler_workers", self.last_report.workers
                 )
 
+        if self.telemetry is not None:
+            # Lanes were built inside the executing process (worker or
+            # parent) and shipped back on the results; fold them into
+            # the run-level container so one export sees every cell.
+            adopted = self.telemetry.adopt(results)
+            if adopted:
+                self.events.debug(
+                    "telemetry-adopt", f"{adopted} lane(s) merged from results"
+                )
+
         # Deterministic output order: the input-config order.
         return {key: results[key] for key in plan.keys}
 
@@ -635,7 +734,8 @@ class SweepScheduler:
         results: Dict[str, SimulationResult] = {}
         for group in groups:
             group_results = _execute_group(
-                group.kind, group.configs, requests, self.interval, self.progress
+                group.kind, group.configs, requests, self.interval,
+                self.progress, self._tel_options(),
             )
             results.update(group_results)
             if on_group is not None:
@@ -681,7 +781,7 @@ class SweepScheduler:
                 future_group = {
                     pool.submit(
                         _execute_group, group.kind, group.configs, requests,
-                        self.interval, None,
+                        self.interval, None, self._tel_options(),
                     ): (index, group)
                     for index, group in pending
                 }
@@ -689,8 +789,9 @@ class SweepScheduler:
                 # The pool cannot even start (sandbox, missing fork
                 # support, ...): nothing parallel will work — route all
                 # remaining groups to the in-process fallback.
-                events.append(
-                    EngineEvent(elapsed(), "pool-unavailable", repr(exc))
+                self._note(
+                    events, elapsed(), "pool-unavailable", repr(exc),
+                    level="warning",
                 )
                 fallback.extend(pending)
                 pending = []
@@ -746,13 +847,13 @@ class SweepScheduler:
             max_attempt = 0
             for index, group, why in crashed:
                 attempts[index] += 1
-                events.append(
-                    EngineEvent(
-                        elapsed(),
-                        "group-crash",
-                        f"group {index} ({group.kind} x{len(group.configs)}) "
-                        f"attempt {attempts[index]}: {why}",
-                    )
+                self._note(
+                    events,
+                    elapsed(),
+                    "group-crash",
+                    f"group {index} ({group.kind} x{len(group.configs)}) "
+                    f"attempt {attempts[index]}: {why}",
+                    level="warning",
                 )
                 if attempts[index] > self.max_retries:
                     fallback.append((index, group))
@@ -765,33 +866,36 @@ class SweepScheduler:
                     self.backoff_cap,
                     self.backoff_seconds * (2 ** (max_attempt - 1)),
                 )
-                events.append(
-                    EngineEvent(
-                        elapsed(),
-                        "retry-backoff",
-                        f"retrying {len(pending)} group(s) after {delay:g}s",
-                    )
+                self._note(
+                    events,
+                    elapsed(),
+                    "retry-backoff",
+                    f"retrying {len(pending)} group(s) after {delay:g}s",
                 )
                 if delay > 0:
                     time.sleep(delay)
 
         if fallback:
-            warnings.warn(
+            # Still a real RuntimeWarning (callers and tests filter on
+            # it), but recorded in the structured log as well.
+            self.events.warning(
+                "parallel-fallback",
                 f"parallel sweep execution failed for {len(fallback)} "
                 "group(s); falling back to in-process execution for those "
                 f"(salvaged {len(groups) - len(fallback)} completed)",
-                RuntimeWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
             for index, group in sorted(fallback):
-                events.append(
-                    EngineEvent(
-                        elapsed(), "group-fallback", f"group {index} in-process"
-                    )
+                self._note(
+                    events,
+                    elapsed(),
+                    "group-fallback",
+                    f"group {index} in-process",
+                    level="warning",
                 )
                 group_results = _execute_group(
                     group.kind, group.configs, requests, self.interval,
-                    self.progress,
+                    self.progress, self._tel_options(),
                 )
                 results.update(group_results)
                 if on_group is not None:
@@ -838,12 +942,12 @@ class SweepScheduler:
                     )
                 except (pickle.PicklingError, TypeError, AttributeError) as exc:
                     blobs[primary_key] = None
-                    warnings.warn(
+                    self.events.warning(
+                        "clone-unpicklable",
                         f"cache state of {primary_key!r} is not picklable "
                         f"({exc!r}); materializing its alpha-collapsed "
                         "clones by dedicated replay",
-                        RuntimeWarning,
-                        stacklevel=3,
+                        stacklevel=4,
                     )
             blob = blobs[primary_key]
             if blob is None:
@@ -875,6 +979,7 @@ def _execute_group(
     requests: "Iterable[Request] | SharedTraceHandle",
     interval: float,
     progress: Optional[ProgressCallback],
+    telemetry_options: "Optional[TelemetryOptions]" = None,
 ) -> Dict[str, SimulationResult]:
     """Run one cell group (module-level so process pools can pickle it).
 
@@ -882,7 +987,17 @@ def _execute_group(
     attaches the parent's shared-memory segment (zero-copy) and releases
     its mapping when done — the parent keeps segment ownership and does
     the unlink.
+
+    ``telemetry_options`` (picklable) asks the group to build a local
+    :class:`~repro.obs.telemetry.Telemetry` whose lanes ride back to the
+    parent on each result's ``telemetry`` field — how probe data crosses
+    the process boundary.
     """
+    telemetry = None
+    if telemetry_options is not None:
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry(telemetry_options)
     attached: Optional[PackedTrace] = None
     if isinstance(requests, SharedTraceHandle):
         attached = requests.attach()
@@ -892,11 +1007,12 @@ def _execute_group(
             (config,) = configs
             return {
                 config.key: replay(
-                    config.build(), requests, interval=interval, progress=progress
+                    config.build(), requests, interval=interval,
+                    progress=progress, telemetry=telemetry, label=config.key,
                 )
             }
         caches = {config.key: config.build() for config in configs}
-        return MultiReplay(caches, interval=interval).run(
+        return MultiReplay(caches, interval=interval, telemetry=telemetry).run(
             requests, progress=progress
         )
     finally:

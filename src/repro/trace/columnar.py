@@ -27,15 +27,24 @@ instead of one pickled copy per worker.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
 
+#: Environment knob forcing the pure-``array``/``memoryview`` backing
+#: even when numpy is importable.  CI uses it to exercise the fallback
+#: lane on hosts where numpy cannot simply be uninstalled.
+NO_NUMPY_ENV = "REPRO_NO_NUMPY"
+
 try:  # pragma: no cover - exercised implicitly on numpy-equipped hosts
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None
+
+if os.environ.get(NO_NUMPY_ENV, "").strip() not in ("", "0"):
+    _np = None  # pragma: no cover - exercised by the no-numpy CI lane
 
 __all__ = [
     "PackedTrace",

@@ -6,10 +6,8 @@ import random
 import pytest
 
 from repro.cdn.faults import (
-    FAULT_KINDS,
     FaultEvent,
     FaultSchedule,
-    FaultRuntime,
 )
 from repro.cdn.multiserver import CdnSimulator
 from repro.cdn.topology import CdnServer, CdnTopology, hierarchy

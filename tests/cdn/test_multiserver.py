@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cdn.multiserver import CdnSimulator, _fill_requests
-from repro.cdn.topology import CdnServer, CdnTopology, hierarchy, peered_edges
+from repro.cdn.topology import hierarchy, peered_edges
 from repro.core.baselines import PullThroughLruCache
 from repro.core.cafe import CafeCache
 from repro.core.costs import CostModel

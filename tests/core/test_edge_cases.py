@@ -1,7 +1,5 @@
 """Cross-algorithm edge cases the main suites don't isolate."""
 
-import math
-
 import pytest
 
 from repro.core.base import Decision

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.common import (
-    DISK_SCALED_1TB,
     FULL,
     PAPER,
     QUICK,

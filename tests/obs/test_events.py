@@ -1,0 +1,61 @@
+"""EventLog: levels, warning passthrough, bounding and merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import LEVELS, EventLog, TelemetryEvent
+
+
+class TestEmission:
+    def test_levels_recorded(self):
+        log = EventLog()
+        log.debug("a")
+        log.info("b", "detail-b")
+        log.error("c")
+        assert [e.level for e in log] == ["debug", "info", "error"]
+        assert len(log) == 3
+        assert log.select("info")[0].detail == "detail-b"
+
+    def test_invalid_level_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="level"):
+            log.emit("fatal", "x")
+
+    def test_warning_raises_runtime_warning(self):
+        """warning() must keep pytest.warns/-W error semantics working."""
+        log = EventLog()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            log.warning("fallback", "parallel execution failed; falling back")
+        assert log.select("warning")[0].tag == "fallback"
+
+    def test_error_echoes_to_stderr(self, capsys):
+        EventLog().error("boom", "it broke")
+        assert "boom" in capsys.readouterr().err
+
+    def test_bounded_with_drop_count(self):
+        log = EventLog(max_records=5)
+        for i in range(12):
+            log.emit("info", f"e{i}")
+        assert len(log) == 5
+        assert log.dropped == 7
+        assert log.records[-1].tag == "e11"  # newest kept
+
+
+class TestComposition:
+    def test_merge_sorts_by_wall(self):
+        a, b = EventLog(), EventLog()
+        a.emit("info", "first", wall=1.0)
+        a.emit("info", "third", wall=3.0)
+        b.emit("info", "second", wall=2.0)
+        a.merge(b)
+        assert [e.tag for e in a] == ["first", "second", "third"]
+
+    def test_event_round_trip(self):
+        event = TelemetryEvent(wall=12.5, level="warning", tag="t", detail="d")
+        clone = TelemetryEvent.from_dict(event.to_dict())
+        assert clone == event
+        assert "[warning] t: d" == str(event)
+
+    def test_levels_constant(self):
+        assert LEVELS == ("debug", "info", "warning", "error")

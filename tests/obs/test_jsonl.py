@@ -1,0 +1,150 @@
+"""JSONL exporter: round-trips, gzip, and schema validation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Telemetry, TelemetryOptions
+from repro.obs.jsonl import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    read_telemetry,
+    validate_telemetry,
+    write_telemetry,
+)
+from repro.sim.engine import replay
+from repro.sim.runner import CACHE_FACTORIES
+
+
+def _telemetry(trace) -> Telemetry:
+    telemetry = Telemetry(TelemetryOptions(snapshot_every=200))
+    telemetry.meta.update({"trace": "unit", "label": "run-A"})
+    telemetry.events.info("setup", "unit-test run")
+    replay(CACHE_FACTORIES["xLRU"](256), trace, telemetry=telemetry)
+    replay(CACHE_FACTORIES["Cafe"](256), trace, telemetry=telemetry)
+    return telemetry
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, small_trace, tmp_path):
+        telemetry = _telemetry(small_trace)
+        path = tmp_path / "run.jsonl"
+        records = write_telemetry(path, telemetry)
+        assert records == sum(1 for _ in open(path))
+        loaded = read_telemetry(path)
+        assert loaded.ok, loaded.issues
+        assert loaded.label == "run-A"
+        assert loaded.meta["schema"] == SCHEMA_NAME
+        assert loaded.meta["version"] == SCHEMA_VERSION
+        assert set(loaded.lanes) == {"xLRU", "Cafe"}
+        assert loaded.lane_snapshots("xLRU")
+        assert any(e["tag"] == "setup" for e in loaded.events)
+        lane = loaded.lanes["xLRU"]
+        assert lane["num_requests"] == len(small_trace)
+        assert lane["registry"]["counters"]["serve"] > 0
+
+    def test_meta_is_first_line(self, small_trace, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_telemetry(path, _telemetry(small_trace))
+        first = json.loads(open(path).readline())
+        assert first["kind"] == "meta"
+        assert first["options"]["snapshot_every"] == 200
+
+    def test_gzip_transparent(self, small_trace, tmp_path):
+        telemetry = _telemetry(small_trace)
+        plain, gz = tmp_path / "run.jsonl", tmp_path / "run.jsonl.gz"
+        assert write_telemetry(plain, telemetry) == write_telemetry(gz, telemetry)
+        a, b = read_telemetry(plain), read_telemetry(gz)
+        assert b.ok
+        assert a.lanes == b.lanes
+        assert len(a.snapshots) == len(b.snapshots)
+
+    def test_reports_written(self, small_trace, tmp_path):
+        telemetry = Telemetry()
+        result = replay(
+            CACHE_FACTORIES["PullLRU"](256), small_trace, telemetry=telemetry
+        )
+        path = tmp_path / "run.jsonl"
+        write_telemetry(path, telemetry, reports=[result.report])
+        loaded = read_telemetry(path)
+        assert loaded.ok, loaded.issues
+        assert len(loaded.reports) == 1
+        assert loaded.reports[0]["engine"]
+
+
+class TestValidation:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def _meta_line(self):
+        return json.dumps(
+            {
+                "kind": "meta",
+                "schema": SCHEMA_NAME,
+                "version": SCHEMA_VERSION,
+                "created_unix": 0.0,
+            }
+        )
+
+    def test_clean_file_validates(self, small_trace, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_telemetry(path, _telemetry(small_trace))
+        assert validate_telemetry(path) == []
+
+    def test_missing_meta(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [json.dumps({"kind": "event", "wall": 1.0, "level": "info", "tag": "x"})],
+        )
+        issues = validate_telemetry(path)
+        assert any("no meta record" in issue for issue in issues)
+
+    def test_meta_not_first(self, tmp_path):
+        event = json.dumps({"kind": "event", "wall": 1.0, "level": "info", "tag": "x"})
+        path = self._write(tmp_path, [event, self._meta_line()])
+        assert any("first line" in i for i in validate_telemetry(path))
+
+    def test_bad_event_level(self, tmp_path):
+        bad = json.dumps({"kind": "event", "wall": 1.0, "level": "fatal", "tag": "x"})
+        path = self._write(tmp_path, [self._meta_line(), bad])
+        assert any("invalid level" in i for i in validate_telemetry(path))
+
+    def test_unknown_kind_and_bad_json(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [self._meta_line(), json.dumps({"kind": "mystery"}), "{not json"],
+        )
+        issues = validate_telemetry(path)
+        assert any("unknown record kind" in i for i in issues)
+        assert any("invalid JSON" in i for i in issues)
+
+    def test_missing_fields_and_wrong_version(self, tmp_path):
+        meta = json.dumps(
+            {
+                "kind": "meta",
+                "schema": SCHEMA_NAME,
+                "version": 99,
+                "created_unix": 0.0,
+            }
+        )
+        snapshot = json.dumps({"kind": "snapshot", "lane": "x"})
+        path = self._write(tmp_path, [meta, snapshot])
+        issues = validate_telemetry(path)
+        assert any("version" in i for i in issues)
+        assert any("missing fields" in i for i in issues)
+
+    def test_tolerant_reader_keeps_good_records(self, tmp_path):
+        lane = json.dumps(
+            {
+                "kind": "lane",
+                "lane": "x",
+                "algorithm": "xLRU",
+                "registry": {"counters": {}, "gauges": {}, "histograms": {}},
+            }
+        )
+        path = self._write(tmp_path, [self._meta_line(), "garbage{", lane])
+        loaded = read_telemetry(path)
+        assert not loaded.ok
+        assert set(loaded.lanes) == {"x"}

@@ -1,0 +1,76 @@
+"""MetricRegistry: recording, merging across workers, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricRegistry
+
+
+class TestRecording:
+    def test_counters_and_gauges(self):
+        registry = MetricRegistry()
+        registry.count("serve")
+        registry.count("serve", 4)
+        registry.gauge("occupancy", 10)
+        registry.gauge("occupancy", 7)  # latest wins locally
+        assert registry.counter("serve") == 5
+        assert registry.counter("missing") == 0
+        assert registry.gauges["occupancy"] == 7
+
+    def test_histogram_created_on_first_use(self):
+        registry = MetricRegistry()
+        registry.observe("age", 3.0)
+        registry.observe("age", 9.0)
+        assert registry.histogram("age").count == 2
+
+    def test_timer_accumulates(self):
+        registry = MetricRegistry()
+        with registry.timer("stage", items=10):
+            pass
+        registry.add_time("stage", 1.5, items=5)
+        timings = {t.name: t for t in registry._timer.timings()}
+        assert timings["stage"].items == 15
+        assert timings["stage"].seconds >= 1.5
+
+    def test_rate(self):
+        registry = MetricRegistry()
+        assert registry.rate("a", "a", "b") is None
+        registry.count("a", 1)
+        registry.count("b", 3)
+        assert registry.rate("a", "a", "b") == pytest.approx(0.25)
+
+
+class TestMerge:
+    def test_merge_folds_everything(self):
+        parent, worker = MetricRegistry(), MetricRegistry()
+        parent.count("serve", 2)
+        worker.count("serve", 3)
+        worker.count("redirect", 1)
+        parent.gauge("occupancy", 5)
+        worker.gauge("occupancy", 9)  # merged gauges keep the high-water mark
+        parent.observe("age", 1.0)
+        worker.observe("age", 100.0)
+        worker.add_time("replay", 2.0, items=7)
+        parent.merge(worker)
+        assert parent.counter("serve") == 5
+        assert parent.counter("redirect") == 1
+        assert parent.gauges["occupancy"] == 9
+        assert parent.histogram("age").count == 2
+        assert parent.histogram("age").max == 100.0
+        timings = {t.name: t for t in parent._timer.timings()}
+        assert timings["replay"].items == 7
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        registry = MetricRegistry()
+        registry.count("serve", 5)
+        registry.gauge("disk_used", 0.5)
+        registry.observe("age", 42.0)
+        registry.add_time("replay", 1.0, items=3)
+        clone = MetricRegistry.from_dict(registry.to_dict())
+        assert clone.counter("serve") == 5
+        assert clone.gauges["disk_used"] == 0.5
+        assert clone.histogram("age").count == 1
+        assert clone.to_dict() == registry.to_dict()

@@ -1,0 +1,131 @@
+"""HistogramSketch: quantile error bounds, exact merging, round-trips."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.obs.sketch import DEFAULT_GROWTH, HistogramSketch
+
+
+class TestRecording:
+    def test_exact_aggregates(self):
+        sketch = HistogramSketch()
+        for value in (1.0, 2.0, 3.0, -4.0, 0.0):
+            sketch.add(value)
+        assert sketch.count == 5
+        assert sketch.total == pytest.approx(2.0)
+        assert sketch.mean == pytest.approx(0.4)
+        assert sketch.min == -4.0
+        assert sketch.max == 3.0
+        assert len(sketch) == 5
+
+    def test_weighted_add(self):
+        sketch = HistogramSketch()
+        sketch.add(10.0, n=7)
+        assert sketch.count == 7
+        assert sketch.total == pytest.approx(70.0)
+
+    def test_rejects_non_finite(self):
+        sketch = HistogramSketch()
+        for bad in (math.inf, -math.inf, math.nan):
+            with pytest.raises(ValueError, match="finite"):
+                sketch.add(bad)
+        with pytest.raises(ValueError, match="positive"):
+            sketch.add(1.0, n=0)
+
+    def test_rejects_bad_growth(self):
+        with pytest.raises(ValueError, match="growth"):
+            HistogramSketch(growth=1.0)
+
+    def test_empty_queries(self):
+        sketch = HistogramSketch()
+        assert math.isnan(sketch.mean)
+        assert math.isnan(sketch.quantile(0.5))
+        assert sketch.summary() == {"count": 0}
+
+
+class TestQuantiles:
+    def test_relative_error_bound(self):
+        """Every quantile answer is within the documented relative error."""
+        rng = random.Random(7)
+        samples = [rng.uniform(0.1, 10_000.0) for _ in range(5000)]
+        sketch = HistogramSketch()
+        sketch.add_many(samples)
+        samples.sort()
+        # The sketch guarantees a factor-of-growth bucket; allow one
+        # full growth factor of slack on the exact empirical quantile.
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = samples[int(q * (len(samples) - 1))]
+            approx = sketch.quantile(q)
+            assert exact / DEFAULT_GROWTH <= approx <= exact * DEFAULT_GROWTH
+
+    def test_clamped_to_observed_range(self):
+        sketch = HistogramSketch()
+        sketch.add_many([5.0, 5.0, 5.0])
+        assert sketch.quantile(0.0) == 5.0
+        assert sketch.quantile(1.0) == 5.0
+
+    def test_signed_ordering(self):
+        sketch = HistogramSketch()
+        sketch.add_many([-100.0, -1.0, 0.0, 1.0, 100.0])
+        q = sketch.quantiles([0.0, 0.5, 1.0])
+        assert q == sorted(q)
+        assert q[0] == pytest.approx(-100.0, rel=DEFAULT_GROWTH - 1.0)
+        assert q[1] == 0.0  # the zero bucket is exact
+        assert q[2] == pytest.approx(100.0, rel=DEFAULT_GROWTH - 1.0)
+
+    def test_quantile_domain(self):
+        sketch = HistogramSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+
+class TestMerge:
+    def test_merge_is_exact(self):
+        """Merging shards equals sketching the concatenated stream."""
+        rng = random.Random(3)
+        values = [rng.uniform(-50.0, 50.0) for _ in range(2000)]
+        whole = HistogramSketch()
+        whole.add_many(values)
+        merged = HistogramSketch()
+        for start in range(0, len(values), 250):
+            shard = HistogramSketch()
+            shard.add_many(values[start : start + 250])
+            merged.merge(shard)
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        for q in (0.05, 0.5, 0.95):
+            assert merged.quantile(q) == whole.quantile(q)
+
+    def test_merge_growth_mismatch(self):
+        a, b = HistogramSketch(growth=1.15), HistogramSketch(growth=1.2)
+        with pytest.raises(ValueError, match="growth"):
+            a.merge(b)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        sketch = HistogramSketch()
+        sketch.add_many([0.0, -2.5, 17.0, 17.0, 1e6])
+        data = json.loads(json.dumps(sketch.to_dict()))
+        clone = HistogramSketch.from_dict(data)
+        assert clone.count == sketch.count
+        assert clone.total == pytest.approx(sketch.total)
+        assert clone.min == sketch.min
+        assert clone.max == sketch.max
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert clone.quantile(q) == sketch.quantile(q)
+
+    def test_summary_keys(self):
+        sketch = HistogramSketch()
+        sketch.add_many([1.0, 2.0, 4.0])
+        summary = sketch.summary()
+        assert set(summary) == {"count", "mean", "min", "p50", "p90", "p99", "max"}
+        assert summary["count"] == 3

@@ -1,7 +1,6 @@
 """Tests for the sweep scheduler: planning, execution, parallelism."""
 
 import os
-import pickle
 import time
 
 import pytest
@@ -250,16 +249,16 @@ _DONE_MARKER_ENV = "REPRO_TEST_SCHED_DONE_MARKER"
 _MAIN_PID_ENV = "REPRO_TEST_SCHED_MAIN_PID"
 
 
-def _crash_once_execute_group(kind, configs, requests, interval, progress):
+def _crash_once_execute_group(kind, configs, requests, interval, progress, *extra):
     """Die like a SIGKILLed worker the first time group ``x`` runs."""
     marker = os.environ[_CRASH_MARKER_ENV]
     if any(c.key == "x" for c in configs) and not os.path.exists(marker):
         open(marker, "w").close()
         os._exit(1)
-    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress, *extra)
 
 
-def _instrumented_execute_group(kind, configs, requests, interval, progress):
+def _instrumented_execute_group(kind, configs, requests, interval, progress, *extra):
     """Count executions per group; group ``x`` waits until the parent has
     *harvested* its sibling (signalled via the checkpoint's ``append``,
     which runs in the parent) and then dies like a killed worker."""
@@ -277,7 +276,7 @@ def _instrumented_execute_group(kind, configs, requests, interval, progress):
                 break  # don't hang the suite; crash anyway
             time.sleep(0.01)
         os._exit(1)
-    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress, *extra)
 
 
 class _SignalingCheckpoint(SweepCheckpoint):
@@ -290,12 +289,12 @@ class _SignalingCheckpoint(SweepCheckpoint):
             open(os.environ[_DONE_MARKER_ENV], "w").close()
 
 
-def _sleepy_execute_group(kind, configs, requests, interval, progress):
+def _sleepy_execute_group(kind, configs, requests, interval, progress, *extra):
     """Hang forever — but only inside a pool worker, never the parent."""
     main_pid = int(os.environ[_MAIN_PID_ENV])
     if any(c.key == "x" for c in configs) and os.getpid() != main_pid:
         time.sleep(60.0)
-    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress, *extra)
 
 
 class TestSupervisedExecutor:
@@ -423,12 +422,12 @@ class TestCheckpoint:
         path = tmp_path / "sweep.ckpt"
         calls = {"n": 0}
 
-        def dies_after_first_group(kind, configs, requests, interval, progress):
+        def dies_after_first_group(kind, configs, requests, interval, progress, *extra):
             calls["n"] += 1
             if calls["n"] > 1:
                 raise KeyboardInterrupt  # the process is killed
             return _ORIG_EXECUTE_GROUP(
-                kind, configs, requests, interval, progress
+                kind, configs, requests, interval, progress, *extra
             )
 
         monkeypatch.setattr(

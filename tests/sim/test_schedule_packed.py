@@ -114,20 +114,20 @@ class TestAutoModeHeuristic:
             assert serial[key].totals == collapsed[key].totals
 
 
-def _crash_once_execute_group(kind, configs, requests, interval, progress):
+def _crash_once_execute_group(kind, configs, requests, interval, progress, *extra):
     """Die like a SIGKILLed worker the first time group ``x`` runs."""
     marker = os.environ[_CRASH_MARKER_ENV]
     if any(c.key == "x" for c in configs) and not os.path.exists(marker):
         open(marker, "w").close()
         os._exit(1)
-    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress, *extra)
 
 
-def _always_raise_execute_group(kind, configs, requests, interval, progress):
+def _always_raise_execute_group(kind, configs, requests, interval, progress, *extra):
     """Fail every pool attempt; succeed only in the in-process fallback."""
     if os.getpid() != int(os.environ["REPRO_TEST_SHM_MAIN_PID"]):
         raise RuntimeError("synthetic group failure")
-    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress)
+    return _ORIG_EXECUTE_GROUP(kind, configs, requests, interval, progress, *extra)
 
 
 class TestSharedMemoryLifecycle:

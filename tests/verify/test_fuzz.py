@@ -1,7 +1,5 @@
 """Tests for the adversarial fuzz trace generator."""
 
-import math
-
 from repro.trace.requests import Request
 from repro.verify.fuzz import (
     TIME_STEP,

@@ -1,6 +1,5 @@
 """Tests for the video catalog generator."""
 
-import numpy as np
 import pytest
 
 from repro.workload.catalog import Video, VideoCatalog

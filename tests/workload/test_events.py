@@ -6,7 +6,6 @@ import pytest
 from repro.core.cafe import CafeCache
 from repro.core.costs import CostModel
 from repro.sim.engine import replay
-from repro.trace.requests import Request
 from repro.workload.catalog import Video
 from repro.workload.events import inject_flash_crowd, inject_rate_surge
 
