@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test verify lint telemetry-demo bench bench-quick bench-sweep bench-replay experiments examples clean
+.PHONY: install test verify lint telemetry-demo bench bench-quick bench-sweep bench-replay bench-fleet experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -20,7 +20,7 @@ verify:
 # Static checks (same commands the CI lint job runs; needs ruff).
 lint:
 	ruff check src tests benchmarks
-	ruff format --check src/repro/obs tests/obs
+	ruff format --check src/repro/obs tests/obs src/repro/cdn src/repro/trace
 
 # End-to-end telemetry walkthrough: generate a small trace, replay it
 # twice with cache probes on, then validate and compare the JSONL
@@ -60,6 +60,13 @@ bench-sweep:
 bench-replay:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
 		benchmarks/test_replay_throughput.py
+
+# Fleet-replay comparison (object lane vs packed FleetTrace lane over
+# the 6-edge hierarchy) plus the streamed-generation RSS measurement;
+# updates this scale's section of BENCH_fleet.json.
+bench-fleet:
+	PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
+		benchmarks/test_fleet_throughput.py
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

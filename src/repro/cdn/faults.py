@@ -387,7 +387,10 @@ class FaultRuntime:
         Returns the names of the servers wiped (for event logging).
         """
         wiped: List[str] = []
-        while self._wipe_index < len(self._wipes) and self._wipes[self._wipe_index][0] <= t:
+        while (
+            self._wipe_index < len(self._wipes)
+            and self._wipes[self._wipe_index][0] <= t
+        ):
             recovery_t, name = self._wipes[self._wipe_index]
             self._wipe_index += 1
             self._apply_wipe(name, recovery_t)

@@ -155,6 +155,19 @@ class VideoCache(ABC):
         """
         return self.handle(Request(t, video, b0, b1))
 
+    def handle_span_block(self, ts, videos, b0s, b1s, c0s, c1s) -> list:
+        """Handle one block of packed request columns; returns responses.
+
+        The batched replay lanes hand caches whole same-server blocks
+        (columns must be time-sorted) so hot caches can hoist loop
+        invariants — attribute lookups, method binding, structure
+        internals — out of the per-request path.  Overrides MUST be
+        observably identical to this default: same response sequence,
+        same end state, request by request.  The default simply walks
+        :meth:`handle_span`, which keeps every cache correct.
+        """
+        return list(map(self.handle_span, ts, videos, b0s, b1s, c0s, c1s))
+
     # -- introspection (shared by tests, examples and the CDN layer) --------
 
     @abstractmethod

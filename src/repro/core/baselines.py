@@ -93,6 +93,49 @@ class PullThroughLruCache(VideoCache):
             touch(chunk, t)
         return serve_response(len(missing), evicted)
 
+    def handle_span_block(self, ts, videos, b0s, b1s, c0s, c1s) -> list:
+        # Hoisted block walk: one dict probe per chunk against the raw
+        # recency dict, no per-request method dispatch.  Observably
+        # identical to handle_span element-wise (same probe/touch/evict
+        # order), which the batched-lane equivalence tests enforce.
+        disk_chunks = self.disk_chunks
+        disk = self._disk
+        entries = disk.raw_entries()
+        pop = entries.pop
+        responses: list = []
+        append = responses.append
+        last_t = None
+        for t, video, c0, c1 in zip(ts, videos, c0s, c1s):
+            if c1 - c0 + 1 > disk_chunks:
+                append(REDIRECT)
+                continue
+            last_t = t
+            missing = None
+            for c in range(c0, c1 + 1):
+                chunk = (video, c)
+                if pop(chunk, None) is None:
+                    if missing is None:
+                        missing = [chunk]
+                    else:
+                        missing.append(chunk)
+                else:
+                    entries[chunk] = t
+            if missing is None:
+                append(SERVE_HIT)
+                continue
+            evicted = len(entries) + len(missing) - disk_chunks
+            if evicted > 0:
+                for _ in range(evicted):
+                    del entries[next(iter(entries))]
+            else:
+                evicted = 0
+            for chunk in missing:
+                entries[chunk] = t
+            append(serve_response(len(missing), evicted))
+        if last_t is not None:
+            disk.advance_time(last_t)
+        return responses
+
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._disk
 

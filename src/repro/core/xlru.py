@@ -125,6 +125,92 @@ class XlruCache(VideoCache):
             probe.on_serve(t, len(missing), evicted)
         return serve_response(len(missing), evicted)
 
+    def handle_span_block(self, ts, videos, b0s, b1s, c0s, c1s) -> list:
+        """Hoisted block walk over the tracker and disk recency dicts.
+
+        Observably identical to :meth:`handle_span` element-wise — same
+        tracker touch, cleanup cadence, admission test, probe-free chunk
+        walk and eviction order — with the structure internals bound
+        once per block instead of once per request.  With a telemetry
+        probe attached the generic element-wise walk runs instead, so
+        probe hook ordering is trivially preserved.
+        """
+        if self.probe is not None:
+            return VideoCache.handle_span_block(
+                self, ts, videos, b0s, b1s, c0s, c1s
+            )
+        alpha = self.cost_model.alpha_f2r
+        disk_chunks = self.disk_chunks
+        cleanup_interval = self._cleanup_interval
+        since = self._requests_since_cleanup
+        tracker = self._tracker
+        tentries = tracker.raw_entries()
+        tpop = tentries.pop
+        disk = self._disk
+        dentries = disk.raw_entries()
+        dpop = dentries.pop
+        inf = float("inf")
+        responses: list = []
+        append = responses.append
+        last_t = None
+        for t, video, c0, c1 in zip(ts, videos, c0s, c1s):
+            last = tpop(video, None)
+            tentries[video] = t
+            last_t = t
+            since += 1
+            if since >= cleanup_interval:
+                # _maybe_cleanup_tracker, inlined: drop tracker entries
+                # that can no longer pass the admission test.
+                since = 0
+                if len(dentries) >= disk_chunks:
+                    age = t - next(iter(dentries.values()))
+                    cutoff = t - age / alpha
+                    while tentries:
+                        oldest = next(iter(tentries))
+                        if tentries[oldest] >= cutoff:
+                            break
+                        del tentries[oldest]
+            if last is None:
+                append(REDIRECT)
+                continue
+            if len(dentries) < disk_chunks:
+                age = inf
+            else:
+                age = t - next(iter(dentries.values()))
+            if (t - last) * alpha > age:
+                append(REDIRECT)
+                continue
+            if c1 - c0 + 1 > disk_chunks:
+                append(REDIRECT)
+                continue
+            missing = None
+            for c in range(c0, c1 + 1):
+                chunk = (video, c)
+                if dpop(chunk, None) is None:
+                    if missing is None:
+                        missing = [chunk]
+                    else:
+                        missing.append(chunk)
+                else:
+                    dentries[chunk] = t
+            if missing is None:
+                append(SERVE_HIT)
+                continue
+            evicted = len(dentries) + len(missing) - disk_chunks
+            if evicted > 0:
+                for _ in range(evicted):
+                    del dentries[next(iter(dentries))]
+            else:
+                evicted = 0
+            for chunk in missing:
+                dentries[chunk] = t
+            append(serve_response(len(missing), evicted))
+        self._requests_since_cleanup = since
+        if last_t is not None:
+            tracker.advance_time(last_t)
+            disk.advance_time(last_t)
+        return responses
+
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._disk
 

@@ -28,7 +28,8 @@ replay of the same topology.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
 
 from repro.cdn.faults import FaultEvent, FaultSchedule
 from repro.cdn.multiserver import CdnSimulator
@@ -39,6 +40,7 @@ from repro.experiments.cdnwide import (
     PARENT_ALPHA,
     PARENT_DISK_FACTOR,
     _edge_traces,
+    _fleet,
 )
 from repro.experiments.common import (
     DISK_SCALED_1TB,
@@ -46,6 +48,7 @@ from repro.experiments.common import (
     ExperimentScale,
 )
 from repro.sim.runner import build_cache
+from repro.sim.schedule import resolve_workers
 
 __all__ = ["run", "fault_schedule", "OUTAGE_SERVER", "RESTART_SERVER"]
 
@@ -101,67 +104,113 @@ def _build_topology(
     return hierarchy(edges, parent)
 
 
+def _fault_row(algo, clean, faulted, outage_t0, outage_t1) -> dict:
+    def edge_eff(result) -> float:
+        summaries = [result.summary(name) for name in EDGE_SERVERS]
+        return sum(s.efficiency for s in summaries) / len(summaries)
+
+    # The failover target's efficiency inside the outage window: how
+    # well the backup line of defense holds while europe is dark.
+    parent_outage = faulted.per_server["parent"].window(outage_t0, outage_t1)
+    parent_clean_outage = clean.per_server["parent"].window(
+        outage_t0, outage_t1
+    )
+    restart_stats = faulted.availability[RESTART_SERVER]
+    rewarm = restart_stats.rewarm_seconds
+    return {
+        "edge_algo": algo,
+        "eff_clean": edge_eff(clean),
+        "eff_faulted": edge_eff(faulted),
+        "eff_drop": edge_eff(clean) - edge_eff(faulted),
+        "parent_eff_in_outage": parent_outage.efficiency,
+        "parent_eff_in_outage_clean": parent_clean_outage.efficiency,
+        "requests_lost": faulted.requests_lost,
+        "availability": faulted.availability_ratio,
+        "failover_hops": sum(
+            s.failover_hops for s in faulted.availability.values()
+        ),
+        "rewarm_seconds": rewarm[0] if rewarm else float("nan"),
+        "refill_gb": restart_stats.refill_bytes / 1e9,
+        "origin_gb_clean": clean.origin_bytes / 1e9,
+        "origin_gb_faulted": faulted.origin_bytes / 1e9,
+    }
+
+
+def _run_fault_arm(payload) -> dict:
+    """Worker entry: attach the shared fleet, replay both arms of one algo."""
+    (
+        algo, handle, edge_disks, parent_disk, parent_algorithm,
+        schedule, outage_t0, outage_t1,
+    ) = payload
+    fleet = handle.attach()
+    try:
+        clean = CdnSimulator(
+            _build_topology(algo, edge_disks, parent_disk, parent_algorithm)
+        ).run(fleet)
+        faulted = CdnSimulator(
+            _build_topology(algo, edge_disks, parent_disk, parent_algorithm),
+            faults=schedule,
+        ).run(fleet)
+        return _fault_row(algo, clean, faulted, outage_t0, outage_t1)
+    finally:
+        fleet.close()
+
+
 def run(
     scale: ExperimentScale,
     edge_algorithms: Sequence[str] = ("PullLRU", "xLRU", "Cafe"),
     parent_algorithm: str = "Cafe",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Replay the hierarchy with and without faults per edge algorithm."""
+    """Replay the hierarchy with and without faults per edge algorithm.
+
+    ``workers`` (or ``REPRO_WORKERS``) > 1 fans the algorithm arms out
+    over a process pool against one shared-memory fleet export.
+    """
     traces = _edge_traces(scale)
-    edge_disks = {}
-    for name, trace in traces.items():
-        unique = set()
-        for r in trace:
-            unique.update(r.chunk_ids())
-        edge_disks[name] = max(16, int(len(unique) * DISK_SCALED_1TB))
+    edge_disks = {
+        name: max(16, int(shard.unique_chunk_count() * DISK_SCALED_1TB))
+        for name, shard in traces.items()
+    }
     parent_disk = PARENT_DISK_FACTOR * max(edge_disks.values())
-    span = max(trace[-1].t for trace in traces.values() if trace)
+    span = max(
+        float(shard.column("t")[-1]) for shard in traces.values() if len(shard)
+    )
     schedule = fault_schedule(span)
     outage_t0, outage_t1 = (f * span for f in OUTAGE_WINDOW)
+    fleet = _fleet(scale)
 
-    rows: List[dict] = []
-    for algo in edge_algorithms:
-        clean = CdnSimulator(
-            _build_topology(algo, edge_disks, parent_disk, parent_algorithm)
-        ).run(traces)
-        faulted = CdnSimulator(
-            _build_topology(algo, edge_disks, parent_disk, parent_algorithm),
-            faults=schedule,
-        ).run(traces)
-
-        def edge_eff(result) -> float:
-            summaries = [result.summary(name) for name in EDGE_SERVERS]
-            return sum(s.efficiency for s in summaries) / len(summaries)
-
-        # The failover target's efficiency inside the outage window: how
-        # well the backup line of defense holds while europe is dark.
-        parent_outage = faulted.per_server["parent"].window(
-            outage_t0, outage_t1
-        )
-        parent_clean_outage = clean.per_server["parent"].window(
-            outage_t0, outage_t1
-        )
-        restart_stats = faulted.availability[RESTART_SERVER]
-        rewarm = restart_stats.rewarm_seconds
-        rows.append(
-            {
-                "edge_algo": algo,
-                "eff_clean": edge_eff(clean),
-                "eff_faulted": edge_eff(faulted),
-                "eff_drop": edge_eff(clean) - edge_eff(faulted),
-                "parent_eff_in_outage": parent_outage.efficiency,
-                "parent_eff_in_outage_clean": parent_clean_outage.efficiency,
-                "requests_lost": faulted.requests_lost,
-                "availability": faulted.availability_ratio,
-                "failover_hops": sum(
-                    s.failover_hops for s in faulted.availability.values()
+    rows: List[dict]
+    n_workers = min(resolve_workers(workers), len(edge_algorithms))
+    if n_workers > 1:
+        handle = fleet.to_shared()
+        payloads = [
+            (
+                algo, handle, edge_disks, parent_disk, parent_algorithm,
+                schedule, outage_t0, outage_t1,
+            )
+            for algo in edge_algorithms
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                rows = list(pool.map(_run_fault_arm, payloads))
+        finally:
+            handle.unlink()
+    else:
+        rows = []
+        for algo in edge_algorithms:
+            clean = CdnSimulator(
+                _build_topology(algo, edge_disks, parent_disk, parent_algorithm)
+            ).run(fleet)
+            faulted = CdnSimulator(
+                _build_topology(
+                    algo, edge_disks, parent_disk, parent_algorithm
                 ),
-                "rewarm_seconds": rewarm[0] if rewarm else float("nan"),
-                "refill_gb": restart_stats.refill_bytes / 1e9,
-                "origin_gb_clean": clean.origin_bytes / 1e9,
-                "origin_gb_faulted": faulted.origin_bytes / 1e9,
-            }
-        )
+                faults=schedule,
+            ).run(fleet)
+            rows.append(
+                _fault_row(algo, clean, faulted, outage_t0, outage_t1)
+            )
     return ExperimentResult(
         name="Availability",
         description=(

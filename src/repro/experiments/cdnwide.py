@@ -23,7 +23,8 @@ and pull-through LRU edges are the worst of all worlds.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional, Sequence
 
 from repro.cdn.multiserver import CdnSimulator
 from repro.cdn.topology import hierarchy
@@ -33,6 +34,9 @@ from repro.experiments.common import (
     ExperimentScale,
 )
 from repro.sim.runner import build_cache
+from repro.sim.schedule import resolve_workers
+from repro.trace.columnar import PackedTrace
+from repro.trace.fleet import FleetTrace
 from repro.workload.generator import TraceGenerator
 from repro.workload.global_catalog import GlobalCatalog
 from repro.workload.servers import SERVER_PROFILES
@@ -47,15 +51,18 @@ PARENT_DISK_FACTOR = 4
 #: content the regional views share (the parent's opportunity)
 CORPUS_FACTOR = 1.5
 
-_TRACES: Dict[str, Dict[str, list]] = {}
+_TRACES: Dict[str, Dict[str, PackedTrace]] = {}
+_FLEETS: Dict[str, FleetTrace] = {}
 
 
-def _edge_traces(scale: ExperimentScale) -> Dict[str, list]:
-    """Per-edge traces drawn from one shared global corpus (memoized).
+def _edge_traces(scale: ExperimentScale) -> Dict[str, PackedTrace]:
+    """Per-edge packed shards drawn from one shared global corpus (memoized).
 
     Unlike the single-server figures, the hierarchy needs content
     identity to be globally consistent: video 5 must be the same video
     (same size) at every edge, so the parent's cache sees true overlap.
+    Shards are generated straight into columns (no ``Request`` lists),
+    which is what lets the large scales fit in memory.
     """
     if scale.name not in _TRACES:
         profiles = {
@@ -67,57 +74,118 @@ def _edge_traces(scale: ExperimentScale) -> Dict[str, list]:
             seed=77,
         )
         duration = scale.days * 86400.0
-        traces = {}
+        shards = {}
         for name, profile in profiles.items():
             view = corpus.server_view(profile, duration)
-            traces[name] = TraceGenerator(profile, catalog=view).generate(
+            shards[name] = TraceGenerator(profile, catalog=view).generate_packed(
                 days=scale.days
             )
-        _TRACES[scale.name] = traces
+        _TRACES[scale.name] = shards
     return _TRACES[scale.name]
+
+
+def _fleet(scale: ExperimentScale) -> FleetTrace:
+    """Memoized :class:`FleetTrace` over the packed shards.
+
+    The global time-merge plan is computed once per scale and shared by
+    every algorithm arm (and by :mod:`repro.experiments.availability`),
+    instead of re-merging per replay like the object lane did.
+    """
+    if scale.name not in _FLEETS:
+        _FLEETS[scale.name] = FleetTrace(_edge_traces(scale))
+    return _FLEETS[scale.name]
+
+
+def _hierarchy_topology(
+    algo: str,
+    edge_disks: Dict[str, int],
+    parent_disk: int,
+    parent_algorithm: str,
+):
+    edges = {
+        name: build_cache(algo, edge_disks[name], alpha_f2r=EDGE_ALPHA)
+        for name in EDGE_SERVERS
+    }
+    parent = build_cache(parent_algorithm, parent_disk, alpha_f2r=PARENT_ALPHA)
+    return hierarchy(edges, parent)
+
+
+def _arm_row(algo: str, result, user_bytes: int) -> dict:
+    edge_summaries = [result.summary(name) for name in EDGE_SERVERS]
+    parent_summary = result.summary("parent")
+    return {
+        "edge_algo": algo,
+        "origin_gb": result.origin_bytes / 1e9,
+        "edge_ingress_gb": sum(s.ingress_bytes for s in edge_summaries) / 1e9,
+        "edge_eff_mean": sum(s.efficiency for s in edge_summaries)
+        / len(edge_summaries),
+        "parent_requests": parent_summary.num_requests,
+        "origin_share_of_user_bytes": result.origin_bytes / user_bytes,
+    }
+
+
+def _run_arm(payload) -> dict:
+    """Worker entry: attach the shared fleet, replay one edge algorithm."""
+    algo, handle, edge_disks, parent_disk, parent_algorithm, user_bytes = payload
+    fleet = handle.attach()
+    try:
+        topology = _hierarchy_topology(
+            algo, edge_disks, parent_disk, parent_algorithm
+        )
+        return _arm_row(algo, CdnSimulator(topology).run(fleet), user_bytes)
+    finally:
+        fleet.close()
 
 
 def run(
     scale: ExperimentScale,
     edge_algorithms: Sequence[str] = ("PullLRU", "xLRU", "Cafe"),
     parent_algorithm: str = "Cafe",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Run the hierarchy with each edge algorithm; report CDN-wide traffic."""
+    """Run the hierarchy with each edge algorithm; report CDN-wide traffic.
+
+    ``workers`` (or ``REPRO_WORKERS``) > 1 fans the algorithm arms out
+    over a process pool; the packed fleet is exported to shared memory
+    once and every worker attaches zero-copy.  Rows are identical to
+    the serial path — arms are independent replays.
+    """
     traces = _edge_traces(scale)
-    edge_disks = {}
-    for name, trace in traces.items():
-        unique = set()
-        for r in trace:
-            unique.update(r.chunk_ids())
-        edge_disks[name] = max(16, int(len(unique) * DISK_SCALED_1TB))
+    edge_disks = {
+        name: max(16, int(shard.unique_chunk_count() * DISK_SCALED_1TB))
+        for name, shard in traces.items()
+    }
     parent_disk = PARENT_DISK_FACTOR * max(edge_disks.values())
     user_bytes = sum(
-        sum(r.num_bytes for r in trace) for trace in traces.values()
+        shard.total_requested_bytes() for shard in traces.values()
     )
+    fleet = _fleet(scale)
 
-    rows = []
-    for algo in edge_algorithms:
-        edges = {
-            name: build_cache(algo, edge_disks[name], alpha_f2r=EDGE_ALPHA)
-            for name in EDGE_SERVERS
-        }
-        parent = build_cache(parent_algorithm, parent_disk, alpha_f2r=PARENT_ALPHA)
-        topology = hierarchy(edges, parent)
-        result = CdnSimulator(topology).run(traces)
-
-        edge_summaries = [result.summary(name) for name in EDGE_SERVERS]
-        parent_summary = result.summary("parent")
-        rows.append(
-            {
-                "edge_algo": algo,
-                "origin_gb": result.origin_bytes / 1e9,
-                "edge_ingress_gb": sum(s.ingress_bytes for s in edge_summaries) / 1e9,
-                "edge_eff_mean": sum(s.efficiency for s in edge_summaries)
-                / len(edge_summaries),
-                "parent_requests": parent_summary.num_requests,
-                "origin_share_of_user_bytes": result.origin_bytes / user_bytes,
-            }
-        )
+    n_workers = min(resolve_workers(workers), len(edge_algorithms))
+    if n_workers > 1:
+        handle = fleet.to_shared()
+        payloads = [
+            (algo, handle, edge_disks, parent_disk, parent_algorithm, user_bytes)
+            for algo in edge_algorithms
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                rows = list(pool.map(_run_arm, payloads))
+        finally:
+            handle.unlink()
+    else:
+        rows = [
+            _arm_row(
+                algo,
+                CdnSimulator(
+                    _hierarchy_topology(
+                        algo, edge_disks, parent_disk, parent_algorithm
+                    )
+                ).run(fleet),
+                user_bytes,
+            )
+            for algo in edge_algorithms
+        ]
     return ExperimentResult(
         name="CDN-wide",
         description=(

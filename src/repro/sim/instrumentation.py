@@ -168,14 +168,32 @@ class ProgressTicker:
     ) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
+        if total is not None and total < 0:
+            raise ValueError(f"total must be >= 0 or None, got {total}")
         self.callback = callback
         self.every = every
+        #: None when the trace length is unknown up front (streaming or
+        #: generator traces) — callbacks receive ``total=None`` and must
+        #: render count-only progress.
         self.total = total
         self._t0 = time.perf_counter()
+        self._next = every
 
     def tick(self, done: int) -> None:
         """Report progress if ``done`` sits on the cadence."""
         if self.callback is not None and done % self.every == 0:
+            self.callback(done, self.total, time.perf_counter() - self._t0)
+
+    def tick_batch(self, done: int) -> None:
+        """Report progress after a batch advance of arbitrary size.
+
+        Batched replay loops move the counter by whole blocks, so
+        ``done`` may never sit exactly on the cadence; this variant
+        fires whenever at least one cadence boundary was crossed since
+        the last report.
+        """
+        if self.callback is not None and done >= self._next:
+            self._next = done - done % self.every + self.every
             self.callback(done, self.total, time.perf_counter() - self._t0)
 
     def finish(self, done: int) -> None:

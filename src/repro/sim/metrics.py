@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from repro.core.base import CacheResponse
 from repro.core.costs import CostModel
+from repro.trace.columnar import _np
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
 
 __all__ = ["TrafficSummary", "IntervalSample", "MetricsCollector"]
@@ -264,6 +265,78 @@ class MetricsCollector:
                 bucket.redirected_bytes += nb
                 bucket.redirected_chunks += nc
         self._t_last = ts[-1]
+
+    def record_packed_block(self, ts, nbytes, nchunks, responses, misses) -> None:
+        """Columnar whole-block record: vectorized bucket accounting.
+
+        Equivalent to :meth:`record_packed` but built for the fleet
+        lane's shard-sized blocks: ``ts``/``nbytes``/``nchunks`` are
+        numpy columns, and ``misses`` is the ascending index list of
+        every response that is not the interned hit (the caller already
+        computes it to drive the hop walk).  Per-bucket sums come from
+        one ``reduceat`` per column under the all-hits assumption; the
+        few non-hit responses are then patched in individually.  Falls
+        back to :meth:`record_packed` when numpy is unavailable.
+        """
+        n = len(ts)
+        if n == 0:
+            return
+        if _np is None or not isinstance(ts, _np.ndarray):
+            self.record_packed(
+                list(ts), list(nbytes), list(nchunks), responses
+            )
+            return
+        interval = self.interval
+        if self._t_first is None:
+            self._t_first = float(ts[0])
+        # Segment the block by interval bucket; empty buckets between
+        # segments are skipped, exactly as _advance_to would.
+        bucket_ids = (ts // interval).astype(_np.int64)
+        cuts = _np.flatnonzero(bucket_ids[1:] != bucket_ids[:-1]) + 1
+        starts = _np.concatenate(([0], cuts))
+        nb_sums = _np.add.reduceat(nbytes, starts)
+        nc_sums = _np.add.reduceat(nchunks, starts)
+        bounds = starts.tolist()
+        bounds.append(n)
+        chunk_bytes = self.chunk_bytes
+        num_misses = len(misses)
+        mi = 0
+        for k in range(len(bounds) - 1):
+            start_i = bounds[k]
+            stop_i = bounds[k + 1]
+            t0 = float(ts[start_i])
+            end = self._bucket_end
+            if end is None:
+                bucket_start = math.floor(t0 / interval) * interval
+                self._bucket_start = bucket_start
+                self._bucket_end = bucket_start + interval
+            elif t0 >= end:
+                self._advance_to(t0)
+            bucket = self._bucket
+            seg_requests = stop_i - start_i
+            seg_bytes = int(nb_sums[k])
+            bucket.num_requests += seg_requests
+            bucket.requested_bytes += seg_bytes
+            bucket.requested_chunks += int(nc_sums[k])
+            # All-hits assumption, patched below per non-hit response.
+            bucket.num_served += seg_requests
+            bucket.egress_bytes += seg_bytes
+            while mi < num_misses and misses[mi] < stop_i:
+                j = misses[mi]
+                mi += 1
+                response = responses[j]
+                if response.served:
+                    filled = response.filled_chunks
+                    if filled:
+                        bucket.ingress_bytes += filled * chunk_bytes
+                        bucket.filled_chunks += filled
+                else:
+                    nb = int(nbytes[j])
+                    bucket.num_served -= 1
+                    bucket.egress_bytes -= nb
+                    bucket.redirected_bytes += nb
+                    bucket.redirected_chunks += int(nchunks[j])
+        self._t_last = float(ts[-1])
 
     def record_lost(self, t: float, nbytes: int) -> None:
         """Fold one *lost* request (dropped by a faulted origin) in.

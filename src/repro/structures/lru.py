@@ -71,6 +71,27 @@ class AccessRecencyList(Generic[K]):
         entries.pop(key, None)  # one hash probe instead of contains+del
         entries[key] = now
 
+    def raw_entries(self) -> dict:
+        """The backing recency dict, for batched cache hot paths.
+
+        Callers own the invariants while mutating it directly: access
+        times must stay non-decreasing, and re-recording a key must
+        ``pop`` it first so it moves to the back (exactly what
+        :meth:`touch` does).  After a bulk update, call
+        :meth:`advance_time` with the final access time so the guard in
+        :meth:`touch` stays correct for later scalar use.
+        """
+        return self._entries
+
+    def advance_time(self, now: float) -> None:
+        """Fast-forward the recency guard after a bulk update at ``now``."""
+        if now < self._max_time:
+            raise ValueError(
+                f"access time {now} precedes current head time "
+                f"{self._max_time}; access times must be non-decreasing"
+            )
+        self._max_time = now
+
     def last_access(self, key: K) -> Optional[float]:
         """Return the last access time of ``key``, or None if untracked."""
         return self._entries.get(key)

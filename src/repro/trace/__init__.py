@@ -14,8 +14,19 @@ from repro.trace.requests import (
     chunk_range,
     request_chunks,
 )
-from repro.trace.columnar import PackedTrace, SharedTraceHandle, pack_trace
-from repro.trace.io import read_trace_csv, read_trace_jsonl, write_trace_csv, write_trace_jsonl
+from repro.trace.columnar import (
+    PackedTrace,
+    PackedTraceBuilder,
+    SharedTraceHandle,
+    pack_trace,
+)
+from repro.trace.fleet import FleetTrace, SharedFleetHandle
+from repro.trace.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
 from repro.trace.adapters import ParseStats, read_clf_log, read_tsv_log
 from repro.trace.sampling import downsample_trace, time_window
 from repro.trace.stats import TraceStats
@@ -29,6 +40,9 @@ __all__ = [
     "chunk_range",
     "request_chunks",
     "PackedTrace",
+    "PackedTraceBuilder",
+    "FleetTrace",
+    "SharedFleetHandle",
     "SharedTraceHandle",
     "pack_trace",
     "read_trace_csv",

@@ -48,6 +48,7 @@ if os.environ.get(NO_NUMPY_ENV, "").strip() not in ("", "0"):
 
 __all__ = [
     "PackedTrace",
+    "PackedTraceBuilder",
     "SharedTraceHandle",
     "active_shared_traces",
     "pack_trace",
@@ -186,6 +187,30 @@ class PackedTrace(Sequence):
         """Total payload size of the packed columns."""
         return self._n * _ITEMSIZE * len(_COLUMNS)
 
+    def total_requested_bytes(self) -> int:
+        """Sum of the ``num_bytes`` column (C-speed, no request objects)."""
+        col = self._cols["num_bytes"]
+        if _np is not None and isinstance(col, _np.ndarray):
+            return int(col.sum())
+        return sum(col)
+
+    def unique_chunk_count(self) -> int:
+        """Distinct ``(video, chunk)`` pairs touched, at this chunk size.
+
+        The columnar equivalent of ``set().update(r.chunk_ids())`` over a
+        request list — used to size disks off the trace footprint.
+        """
+        _ts, videos, _b0s, _b1s, c0s, c1s, _nb, _nc = self.hot_columns()
+        unique: set = set()
+        add = unique.add
+        for video, c0, c1 in zip(videos, c0s, c1s):
+            if c0 == c1:
+                add((video, c0))
+            else:
+                for c in range(c0, c1 + 1):
+                    add((video, c))
+        return len(unique)
+
     # -- serialization -------------------------------------------------------
 
     def __reduce__(self):
@@ -241,7 +266,9 @@ class PackedTrace(Sequence):
             pass
 
 
-def _unpack_pickled(chunk_bytes: int, n: int, payload: Tuple[bytes, ...]) -> PackedTrace:
+def _unpack_pickled(
+    chunk_bytes: int, n: int, payload: Tuple[bytes, ...]
+) -> PackedTrace:
     cols: Dict[str, object] = {}
     for (name, typecode), raw in zip(_COLUMNS, payload):
         if _np is not None:
@@ -456,3 +483,189 @@ def _rechunk(packed: PackedTrace, chunk_bytes: int) -> PackedTrace:
             "q", [hi - lo + 1 for lo, hi in zip(c0s, c1s)]
         )
     return PackedTrace(chunk_bytes, cols, len(packed))
+
+
+class PackedTraceBuilder:
+    """Streaming constructor of :class:`PackedTrace`: append + finalize.
+
+    ``append`` buffers the four source fields of one request in plain
+    lists; every ``flush_every`` rows the buffers are lowered into
+    fixed-width storage (numpy blocks, or ``array.array`` columns in the
+    fallback lane).  Building a 10M-request trace therefore holds at
+    most ``flush_every`` boxed values at a time plus the 8-byte-per-field
+    packed payload — never a list of ``Request`` objects.
+
+    ``finalize`` concatenates the blocks, stable-sorts by timestamp when
+    appends arrived out of order (the same tie behaviour as
+    ``list.sort(key=lambda r: r.t)`` on materialized requests, so a
+    streamed trace is byte-identical to packing the object trace),
+    derives the chunk columns and returns the trace.  A builder is
+    single-use: ``append`` after ``finalize`` raises.
+    """
+
+    __slots__ = (
+        "chunk_bytes",
+        "_flush_every",
+        "_ts",
+        "_videos",
+        "_b0s",
+        "_b1s",
+        "_store",
+        "_n",
+        "_sorted",
+        "_prev_t",
+        "_finalized",
+    )
+
+    def __init__(
+        self,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        flush_every: int = 65536,
+    ) -> None:
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.chunk_bytes = chunk_bytes
+        self._flush_every = flush_every
+        self._ts: List[float] = []
+        self._videos: List[int] = []
+        self._b0s: List[int] = []
+        self._b1s: List[int] = []
+        if _np is not None:
+            # list of (t, video, b0, b1) array blocks, concatenated once
+            self._store: object = []
+        else:
+            import array as _array
+
+            self._store = (
+                _array.array("d"),
+                _array.array("q"),
+                _array.array("q"),
+                _array.array("q"),
+            )
+        self._n = 0
+        self._sorted = True
+        self._prev_t = float("-inf")
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, t: float, video: int, b0: int, b1: int) -> None:
+        """Buffer one request; raises on invalid byte ranges."""
+        if self._finalized:
+            raise RuntimeError("PackedTraceBuilder already finalized")
+        if b0 < 0 or b1 < b0:
+            raise ValueError(f"invalid byte range [{b0}, {b1}] at index {self._n}")
+        if t < self._prev_t:
+            self._sorted = False
+        self._prev_t = t
+        self._ts.append(t)
+        self._videos.append(video)
+        self._b0s.append(b0)
+        self._b1s.append(b1)
+        self._n += 1
+        if len(self._ts) >= self._flush_every:
+            self._flush()
+
+    def extend(self, requests: Iterable[Request]) -> None:
+        """Buffer a request iterable (objects or ``(t, video, b0, b1)``)."""
+        append = self.append
+        for r in requests:
+            append(r.t, r.video, r.b0, r.b1)
+
+    def _flush(self) -> None:
+        ts, videos, b0s, b1s = self._ts, self._videos, self._b0s, self._b1s
+        if not ts:
+            return
+        if max(b1s) >= _INT64_MAX or max(map(abs, videos)) >= _INT64_MAX:
+            raise OverflowError("trace values exceed the packed int64 range")
+        if _np is not None:
+            self._store.append(
+                (
+                    _np.asarray(ts, dtype=_np.float64),
+                    _np.asarray(videos, dtype=_np.int64),
+                    _np.asarray(b0s, dtype=_np.int64),
+                    _np.asarray(b1s, dtype=_np.int64),
+                )
+            )
+        else:
+            cols = self._store
+            cols[0].extend(ts)
+            cols[1].extend(videos)
+            cols[2].extend(b0s)
+            cols[3].extend(b1s)
+        self._ts = []
+        self._videos = []
+        self._b0s = []
+        self._b1s = []
+
+    def finalize(self) -> PackedTrace:
+        """Lower the buffered requests into a time-ordered trace."""
+        if self._finalized:
+            raise RuntimeError("PackedTraceBuilder already finalized")
+        self._flush()
+        self._finalized = True
+        k = self.chunk_bytes
+        n = self._n
+        if _np is not None:
+            blocks = self._store
+            self._store = []
+            if blocks:
+                t_arr = _np.concatenate([b[0] for b in blocks])
+                video_arr = _np.concatenate([b[1] for b in blocks])
+                b0_arr = _np.concatenate([b[2] for b in blocks])
+                b1_arr = _np.concatenate([b[3] for b in blocks])
+            else:
+                t_arr = _np.empty(0, dtype=_np.float64)
+                video_arr = _np.empty(0, dtype=_np.int64)
+                b0_arr = _np.empty(0, dtype=_np.int64)
+                b1_arr = _np.empty(0, dtype=_np.int64)
+            if not self._sorted:
+                order = _np.argsort(t_arr, kind="stable")
+                t_arr = t_arr[order]
+                video_arr = video_arr[order]
+                b0_arr = b0_arr[order]
+                b1_arr = b1_arr[order]
+            c0_arr = b0_arr // k
+            c1_arr = b1_arr // k
+            cols: Dict[str, object] = {
+                "t": t_arr,
+                "video": video_arr,
+                "b0": b0_arr,
+                "b1": b1_arr,
+                "c0": c0_arr,
+                "c1": c1_arr,
+                "num_bytes": b1_arr - b0_arr + 1,
+                "num_chunks": c1_arr - c0_arr + 1,
+            }
+            return PackedTrace(k, cols, n)
+
+        import array as _array
+
+        ts, videos, b0s, b1s = self._store
+        self._store = ()
+        if not self._sorted:
+            order = sorted(range(n), key=ts.__getitem__)
+            ts = _array.array("d", map(ts.__getitem__, order))
+            videos = _array.array("q", map(videos.__getitem__, order))
+            b0s = _array.array("q", map(b0s.__getitem__, order))
+            b1s = _array.array("q", map(b1s.__getitem__, order))
+        c0s = [b // k for b in b0s]
+        c1s = [b // k for b in b1s]
+        cols = {
+            "t": memoryview(ts),
+            "video": memoryview(videos),
+            "b0": memoryview(b0s),
+            "b1": memoryview(b1s),
+            "c0": _make_column("q", c0s),
+            "c1": _make_column("q", c1s),
+            "num_bytes": _make_column(
+                "q", [hi - lo + 1 for lo, hi in zip(b0s, b1s)]
+            ),
+            "num_chunks": _make_column(
+                "q", [hi - lo + 1 for lo, hi in zip(c0s, c1s)]
+            ),
+        }
+        return PackedTrace(k, cols, n)

@@ -88,4 +88,6 @@ def read_trace_jsonl(path: PathLike) -> Iterator[Request]:
             if not line:
                 continue
             rec = json.loads(line)
-            yield Request(float(rec["t"]), int(rec["video"]), int(rec["b0"]), int(rec["b1"]))
+            yield Request(
+                float(rec["t"]), int(rec["video"]), int(rec["b0"]), int(rec["b1"])
+            )

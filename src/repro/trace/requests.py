@@ -29,7 +29,9 @@ DEFAULT_CHUNK_BYTES = 2 * 1024 * 1024
 ChunkId = Tuple[int, int]
 
 
-def chunk_range(b0: int, b1: int, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> Tuple[int, int]:
+def chunk_range(
+    b0: int, b1: int, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> Tuple[int, int]:
     """Map an inclusive byte range to an inclusive chunk range.
 
     ``[R.c0, R.c1] = [floor(R.b0 / K), floor(R.b1 / K)]`` — the last

@@ -14,7 +14,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.trace.requests import Request
+from repro.trace.columnar import PackedTrace, PackedTraceBuilder
+from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
 from repro.workload.catalog import VideoCatalog
 from repro.workload.diurnal import DiurnalRate
 from repro.workload.popularity import PopularityModel
@@ -57,8 +58,15 @@ class TraceGenerator:
             duration=duration,
         )
 
-    def generate(self, days: float = 30.0) -> List[Request]:
-        """Produce the time-sorted request trace of ``days`` days."""
+    def _session_plan(self, days: float):
+        """Catalog, session rng, and the (arrival, video id) lists.
+
+        The shared front half of :meth:`generate` and
+        :meth:`generate_packed`: Poisson arrivals and epoch-batched
+        popularity sampling, identical in both lanes.  Returns
+        ``(catalog, rng, arrivals, video_ids)`` with empty lists when
+        no session arrives.
+        """
         if days <= 0:
             raise ValueError(f"days must be positive, got {days}")
         duration = days * DAY
@@ -78,7 +86,7 @@ class TraceGenerator:
 
         arrivals = np.fromiter(diurnal.arrivals(duration, rng), dtype=float)
         if arrivals.size == 0:
-            return []
+            return catalog, rng, [], []
 
         # Pick videos in per-epoch batches: arrivals are time-sorted, so
         # grouping by epoch keeps PopularityModel's CDF cache hot and
@@ -94,17 +102,49 @@ class TraceGenerator:
                 float(arrivals[start]), size=end - start
             )
             start = end
+        return catalog, rng, arrivals.tolist(), video_ids.tolist()
 
+    def generate(self, days: float = 30.0) -> List[Request]:
+        """Produce the time-sorted request trace of ``days`` days."""
+        catalog, rng, arrivals, video_ids = self._session_plan(days)
         requests: List[Request] = []
-        for t0, video_id in zip(arrivals.tolist(), video_ids.tolist()):
+        session = self.session_model.generate
+        for t0, video_id in zip(arrivals, video_ids):
             video = catalog[int(video_id)]
             if video.birth > t0:
                 # Epoch-granular sampling can pick a video minutes
                 # before its birth; nudge such sessions past it.
                 t0 = video.birth
-            requests.extend(self.session_model.generate(video, t0, rng))
+            requests.extend(session(video, t0, rng))
         requests.sort(key=lambda r: r.t)
         return requests
+
+    def generate_packed(
+        self,
+        days: float = 30.0,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> PackedTrace:
+        """Stream the trace of ``days`` days straight into packed columns.
+
+        Byte-identical to ``pack_trace(self.generate(days))`` — same
+        seeds, same rng draw order, same stable time sort — but session
+        requests are appended to a :class:`PackedTraceBuilder` as they
+        are emitted, so peak memory is the flat column payload plus one
+        flush buffer, never a materialized ``Request`` list.  This is
+        what makes 10M-request fleet traces practical.
+        """
+        catalog, rng, arrivals, video_ids = self._session_plan(days)
+        builder = PackedTraceBuilder(chunk_bytes=chunk_bytes)
+        append = builder.append
+        emit = self.session_model.emit_into
+        for t0, video_id in zip(arrivals, video_ids):
+            video = catalog[int(video_id)]
+            if video.birth > t0:
+                # Epoch-granular sampling can pick a video minutes
+                # before its birth; nudge such sessions past it.
+                t0 = video.birth
+            emit(video, t0, rng, append)
+        return builder.finalize()
 
     def estimate_requests(self, days: float = 30.0) -> float:
         """Planning estimate of trace length without generating it."""

@@ -58,6 +58,26 @@ class SessionModel:
         self, video: Video, t0: float, rng: np.random.Generator
     ) -> List[Request]:
         """Emit the range requests of one session starting at ``t0``."""
+        requests: List[Request] = []
+
+        def append(t: float, vid: int, b0: int, b1: int) -> None:
+            requests.append(Request(t=t, video=vid, b0=b0, b1=b1))
+
+        self.emit_into(video, t0, rng, append)
+        return requests
+
+    def emit_into(self, video: Video, t0: float, rng, append) -> int:
+        """Stream one session's range requests into ``append``.
+
+        ``append(t, video, b0, b1)`` receives each request's source
+        fields — typically :meth:`PackedTraceBuilder.append
+        <repro.trace.columnar.PackedTraceBuilder.append>`, so a trace
+        can be generated straight into packed columns without ever
+        materializing :class:`Request` objects.  Draws from ``rng`` in
+        exactly the order :meth:`generate` does (it delegates here), so
+        the streamed and materialized traces are identical.  Returns
+        the number of requests emitted.
+        """
         size = video.size_bytes
         if rng.random() < self.seek_prob and size > 2 * self.min_watch_bytes:
             start = int(rng.uniform(0, size * 0.8))
@@ -72,22 +92,18 @@ class SessionModel:
             watched = int(remaining * fraction)
         watched = max(min(watched, remaining), min(self.min_watch_bytes, remaining))
 
-        requests: List[Request] = []
+        vid = video.video_id
+        span = self.request_span_bytes
+        bitrate = self.bitrate
+        count = 0
         offset = start
         end = start + watched
         while offset < end:
-            span_end = min(offset + self.request_span_bytes, end)
-            playback_offset = (offset - start) / self.bitrate
-            requests.append(
-                Request(
-                    t=t0 + playback_offset,
-                    video=video.video_id,
-                    b0=offset,
-                    b1=span_end - 1,
-                )
-            )
+            span_end = min(offset + span, end)
+            append(t0 + (offset - start) / bitrate, vid, offset, span_end - 1)
             offset = span_end
-        return requests
+            count += 1
+        return count
 
     def expected_requests_per_session(self, mean_video_bytes: float) -> float:
         """Rough planning estimate of requests emitted per session."""

@@ -240,13 +240,40 @@ class TestEdgeTraceValidation:
         assert "e2" in message
         assert "index 1" in message
 
-    def test_rejection_happens_before_any_replay(self):
+    def test_rejection_fails_fast_inside_the_merge_walk(self):
+        """Validation is folded into the merge: no second full pre-pass.
+
+        The disorder is detected the moment the offending request is
+        pulled from its stream — requests before it have already been
+        replayed (fail-fast, not transactional), which is what lets
+        one-shot generator traces replay in a single pass.
+        """
         topology = small_hierarchy()
         simulator = CdnSimulator(topology)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             simulator.run({"e1": [req(1.0, 1, 0), req(0.0, 1, 0)]})
-        # validation ran before the merge loop: no cache was touched
-        assert len(topology["e1"].cache) == 0
+        assert "e1" in str(excinfo.value)
+        assert "index 1" in str(excinfo.value)
+        # the in-order prefix (index 0) was replayed before the failure
+        assert len(topology["e1"].cache) > 0
+
+    def test_generator_traces_replay_in_one_pass(self):
+        """One-shot iterables work: nothing consumes them before replay."""
+        simulator = CdnSimulator(small_hierarchy())
+        seen = []
+        traces = {
+            "e1": iter([req(0.0, 1, 0), req(2.0, 1, 0)]),
+            "e2": iter([req(1.0, 2, 0)]),
+        }
+        result = simulator.run(
+            traces,
+            progress=lambda done, total, dt: seen.append((done, total)),
+            progress_every=1,
+        )
+        assert result.num_user_requests == 3
+        # generator traces have no len(): progress reports total=None
+        assert seen and all(total is None for _done, total in seen)
+        assert seen[-1][0] == 3
 
     def test_equal_timestamps_allowed(self):
         simulator = CdnSimulator(small_hierarchy())

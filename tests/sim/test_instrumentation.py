@@ -84,6 +84,37 @@ class TestProgressTicker:
         with pytest.raises(ValueError, match="every"):
             ProgressTicker(None, every=0)
 
+    def test_unknown_total_passed_through_as_none(self):
+        """Generator traces have no len(): callbacks see total=None."""
+        calls = []
+        ticker = ProgressTicker(
+            lambda d, t, e: calls.append((d, t)), every=2, total=None
+        )
+        for i in range(1, 5):
+            ticker.tick(i)
+        ticker.finish(4)
+        assert calls == [(2, None), (4, None), (4, None)]
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError, match="total"):
+            ProgressTicker(None, every=1, total=-1)
+
+    def test_tick_batch_fires_once_per_cadence_crossing(self):
+        """Block replay advances the counter by whole shards; the
+        batched tick fires when a boundary is crossed, never twice for
+        the same boundary, and not before the next one."""
+        calls = []
+        ticker = ProgressTicker(
+            lambda d, t, e: calls.append(d), every=10, total=100
+        )
+        for done in (3, 9, 10, 12, 35, 36, 40, 99):
+            ticker.tick_batch(done)
+        assert calls == [10, 35, 40, 99]
+
+    def test_tick_batch_no_callback_is_free(self):
+        ticker = ProgressTicker(None, every=4)
+        ticker.tick_batch(1000)  # must not raise
+
 
 class TestRunReport:
     def test_rates(self):

@@ -279,3 +279,84 @@ class TestTimeRegression:
         m.record(Request(3600.0, 1, 0, K - 1), SERVE_HIT)
         with pytest.raises(ValueError):
             m.record_raw(3599.875, K, 1, SERVE_HIT)
+
+
+class TestPackedBlockRecord:
+    """record_packed_block must equal element-wise record_raw."""
+
+    @staticmethod
+    def block(n=300, seed=3):
+        """A time-sorted block with bucket crossings, gaps and a mix of
+        hit / fill / redirect responses."""
+        ts, nbytes, nchunks, responses = [], [], [], []
+        t, state = 0.0, seed
+        for _ in range(n):
+            state = (state * 48271) % 2147483647
+            t += (state % 5) * 400.0  # crosses 3600s buckets, with ties
+            chunks = state % 4 + 1
+            ts.append(t)
+            nbytes.append(chunks * K - state % 100)
+            nchunks.append(chunks)
+            kind = state % 7
+            if kind < 4:
+                responses.append(SERVE_HIT)
+            elif kind < 6:
+                responses.append(
+                    CacheResponse(Decision.SERVE, filled_chunks=state % 3 + 1)
+                )
+            else:
+                responses.append(REDIRECT)
+        return ts, nbytes, nchunks, responses
+
+    @staticmethod
+    def misses_of(responses):
+        return [
+            i for i, response in enumerate(responses) if response is not SERVE_HIT
+        ]
+
+    def fill_raw(self, m, block):
+        for t, nb, nc, response in zip(*block):
+            m.record_raw(t, nb, nc, response)
+
+    def test_matches_record_raw(self):
+        block = self.block()
+        raw, packed = collector(), collector()
+        self.fill_raw(raw, block)
+        try:
+            import numpy as np
+        except ImportError:
+            ts, nbytes, nchunks, responses = block
+        else:
+            ts = np.asarray(block[0], dtype=np.float64)
+            nbytes = np.asarray(block[1], dtype=np.int64)
+            nchunks = np.asarray(block[2], dtype=np.int64)
+            responses = block[3]
+        packed.record_packed_block(
+            ts, nbytes, nchunks, responses, self.misses_of(responses)
+        )
+        assert packed.totals() == raw.totals()
+        assert packed.series() == raw.series()
+
+    def test_plain_lists_fall_back_to_record_packed(self):
+        block = self.block(120, seed=8)
+        raw, packed = collector(), collector()
+        self.fill_raw(raw, block)
+        packed.record_packed_block(*block, self.misses_of(block[3]))
+        assert packed.totals() == raw.totals()
+        assert packed.series() == raw.series()
+
+    def test_empty_block_is_a_noop(self):
+        m = collector()
+        m.record_packed_block([], [], [], [], [])
+        assert m.totals().num_requests == 0
+
+    def test_split_blocks_match_one_block(self):
+        block = self.block(200, seed=5)
+        whole, split = collector(), collector()
+        whole.record_packed_block(*block, self.misses_of(block[3]))
+        for lo in (0, 80):
+            hi = lo + 80 if lo == 0 else 200
+            part = tuple(col[lo:hi] for col in block)
+            split.record_packed_block(*part, self.misses_of(part[3]))
+        assert split.totals() == whole.totals()
+        assert split.series() == whole.series()

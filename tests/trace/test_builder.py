@@ -1,0 +1,114 @@
+"""PackedTraceBuilder: streaming append/finalize vs one-shot pack_trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.columnar import (
+    _COLUMNS,
+    PackedTrace,
+    PackedTraceBuilder,
+    pack_trace,
+)
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def columns_equal(a: PackedTrace, b: PackedTrace) -> bool:
+    if len(a) != len(b) or a.chunk_bytes != b.chunk_bytes:
+        return False
+    return all(
+        list(a.column(name)) == list(b.column(name)) for name, _ in _COLUMNS
+    )
+
+
+def sample_requests(n: int = 500) -> list:
+    """Deterministic requests with interleaved (unsorted) timestamps."""
+    requests = []
+    for i in range(n):
+        t = float((i * 7919) % 97)  # visits many ties, out of order
+        b0 = (i % 13) * K
+        b1 = b0 + (i % 5 + 1) * K - 1
+        requests.append(Request(t=t, video=i % 37, b0=b0, b1=b1))
+    return requests
+
+
+class TestBuilderEquivalence:
+    def test_matches_pack_trace_of_sorted_objects(self):
+        requests = sample_requests()
+        builder = PackedTraceBuilder(chunk_bytes=K)
+        for r in requests:
+            builder.append(r.t, r.video, r.b0, r.b1)
+        packed = builder.finalize()
+        reference = pack_trace(
+            sorted(requests, key=lambda r: r.t), chunk_bytes=K
+        )
+        assert columns_equal(packed, reference)
+
+    def test_stable_sort_preserves_tie_order(self):
+        """Equal timestamps keep append order — the same tie behaviour
+        as ``list.sort(key=lambda r: r.t)`` on materialized requests."""
+        builder = PackedTraceBuilder(chunk_bytes=K)
+        builder.append(5.0, 1, 0, K - 1)
+        builder.append(1.0, 2, 0, K - 1)
+        builder.append(1.0, 3, 0, K - 1)
+        builder.append(1.0, 4, 0, K - 1)
+        packed = builder.finalize()
+        assert list(packed.column("video")) == [2, 3, 4, 1]
+
+    def test_small_flush_blocks_match_single_block(self):
+        requests = sample_requests(300)
+        small = PackedTraceBuilder(chunk_bytes=K, flush_every=7)
+        big = PackedTraceBuilder(chunk_bytes=K, flush_every=1 << 20)
+        small.extend(requests)
+        big.extend(requests)
+        assert columns_equal(small.finalize(), big.finalize())
+
+    def test_already_sorted_input_skips_nothing(self):
+        requests = sorted(sample_requests(100), key=lambda r: r.t)
+        builder = PackedTraceBuilder(chunk_bytes=K)
+        builder.extend(requests)
+        assert columns_equal(
+            builder.finalize(), pack_trace(requests, chunk_bytes=K)
+        )
+
+    def test_empty_builder_finalizes_empty_trace(self):
+        packed = PackedTraceBuilder(chunk_bytes=K).finalize()
+        assert len(packed) == 0
+        assert packed.chunk_bytes == K
+
+
+class TestBuilderValidation:
+    def test_invalid_byte_range_rejected(self):
+        builder = PackedTraceBuilder(chunk_bytes=K)
+        with pytest.raises(ValueError, match="invalid byte range"):
+            builder.append(0.0, 1, 10, 5)
+        with pytest.raises(ValueError, match="invalid byte range"):
+            builder.append(0.0, 1, -1, 5)
+
+    def test_int64_overflow_rejected(self):
+        builder = PackedTraceBuilder(chunk_bytes=K, flush_every=1)
+        with pytest.raises(OverflowError):
+            builder.append(0.0, 1, 0, 1 << 63)
+
+    def test_single_use(self):
+        builder = PackedTraceBuilder(chunk_bytes=K)
+        builder.append(0.0, 1, 0, K - 1)
+        builder.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            builder.append(1.0, 2, 0, K - 1)
+        with pytest.raises(RuntimeError, match="finalized"):
+            builder.finalize()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PackedTraceBuilder(chunk_bytes=0)
+        with pytest.raises(ValueError):
+            PackedTraceBuilder(chunk_bytes=K, flush_every=0)
+
+    def test_len_tracks_appends(self):
+        builder = PackedTraceBuilder(chunk_bytes=K, flush_every=2)
+        for i in range(5):
+            builder.append(float(i), i, 0, K - 1)
+        assert len(builder) == 5

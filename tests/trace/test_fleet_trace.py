@@ -1,0 +1,140 @@
+"""FleetTrace: merge plan vs heapq.merge, validation, shared memory."""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+
+import pytest
+
+from repro.trace.columnar import active_shared_traces, pack_trace
+from repro.trace.fleet import FleetTrace
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def edge_requests(seed: int, n: int, step: float) -> list:
+    """Deterministic time-sorted requests for one synthetic edge."""
+    requests = []
+    t = float(seed)
+    for i in range(n):
+        t += ((seed * 31 + i * 17) % 5) * step
+        b0 = (i % 7) * K
+        b1 = b0 + ((i + seed) % 3 + 1) * K - 1
+        requests.append(Request(t=t, video=(seed * 1000) + i % 11, b0=b0, b1=b1))
+    return requests
+
+
+@pytest.fixture()
+def edge_objects():
+    return {
+        "gamma": edge_requests(3, 40, 0.5),
+        "alpha": edge_requests(1, 55, 0.25),
+        "beta": edge_requests(2, 0, 1.0),  # an empty edge
+        "delta": edge_requests(4, 30, 0.75),
+    }
+
+
+@pytest.fixture()
+def fleet(edge_objects):
+    return FleetTrace(
+        {name: pack_trace(trace, K) for name, trace in edge_objects.items()}
+    )
+
+
+def reference_merge(edge_objects):
+    """The object lane's merged order: heapq.merge over (t, i, name)."""
+
+    def stream(name, trace):
+        return ((r.t, i, name, r) for i, r in enumerate(trace))
+
+    streams = [stream(name, trace) for name, trace in edge_objects.items()]
+    return [
+        (name, r) for _t, _i, name, r in heapq.merge(*streams)
+    ]
+
+
+class TestMergePlan:
+    def test_merged_matches_heapq_reference(self, fleet, edge_objects):
+        got = [(name, r) for name, r in fleet.merged()]
+        assert got == reference_merge(edge_objects)
+
+    def test_runs_partition_the_stream(self, fleet):
+        run_edge, run_start, run_stop = fleet.merge_runs()
+        assert sum(
+            stop - start for start, stop in zip(run_start, run_stop)
+        ) == len(fleet)
+        # Consecutive runs always switch edges (runs are maximal).
+        assert all(
+            a != b for a, b in zip(run_edge, run_edge[1:])
+        )
+
+    def test_equal_timestamps_tie_break_on_name(self):
+        # Two edges, one request each at the same instant: the object
+        # lane orders by (t, position, edge name), so "a" precedes "z".
+        shard = pack_trace([Request(t=1.0, video=7, b0=0, b1=K - 1)], K)
+        fleet = FleetTrace({"z": shard, "a": shard})
+        names = [name for name, _ in fleet.merged()]
+        assert names == ["a", "z"]
+
+    def test_plan_cached(self, fleet):
+        assert fleet.merge_runs() is fleet.merge_runs()
+
+
+class TestValidation:
+    def test_unsorted_shard_rejected_with_edge_and_index(self):
+        bad = pack_trace(
+            [
+                Request(t=2.0, video=1, b0=0, b1=K - 1),
+                Request(t=1.0, video=1, b0=0, b1=K - 1),
+            ],
+            K,
+            validate=False,
+        )
+        with pytest.raises(ValueError, match=r"edge 'e1'.*index 1"):
+            FleetTrace({"e1": bad})
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FleetTrace({})
+
+    def test_non_packed_shard_rejected(self, edge_objects):
+        with pytest.raises(TypeError, match="must be a PackedTrace"):
+            FleetTrace({"alpha": edge_objects["alpha"]})
+
+
+class TestSharedMemory:
+    def test_roundtrip_through_pickled_handle(self, fleet, edge_objects):
+        handle = fleet.to_shared()
+        try:
+            clone = pickle.loads(pickle.dumps(handle))
+            attached = clone.attach()
+            try:
+                assert [(n, r) for n, r in attached.merged()] == (
+                    reference_merge(edge_objects)
+                )
+            finally:
+                attached.close()
+        finally:
+            handle.unlink()
+
+    def test_empty_shards_survive_the_roundtrip(self, fleet):
+        handle = fleet.to_shared()
+        try:
+            attached = handle.attach()
+            try:
+                assert len(attached.shards["beta"]) == 0
+                assert attached.names == fleet.names
+            finally:
+                attached.close()
+        finally:
+            handle.unlink()
+
+    def test_unlink_releases_segments(self, fleet):
+        before = active_shared_traces()
+        handle = fleet.to_shared()
+        assert len(active_shared_traces()) > len(before)
+        handle.unlink()
+        assert active_shared_traces() == before
+        handle.unlink()  # idempotent

@@ -95,3 +95,38 @@ class TestServerDiversityShows:
             days=2.0
         )
         assert europe != africa
+
+
+class TestPackedGeneration:
+    """generate_packed streams sessions straight into columns; the
+    result must be byte-identical to packing the materialized trace."""
+
+    def test_columns_match_packed_object_trace(self):
+        from repro.trace.columnar import _COLUMNS, pack_trace
+
+        profile = tiny_profile()
+        packed = TraceGenerator(profile).generate_packed(days=3.0)
+        objects = TraceGenerator(profile).generate(days=3.0)
+        reference = pack_trace(objects, chunk_bytes=packed.chunk_bytes)
+        assert len(packed) == len(reference) == len(objects)
+        for name, _typecode in _COLUMNS:
+            assert list(packed.column(name)) == list(reference.column(name))
+
+    def test_custom_chunk_bytes(self):
+        from repro.trace.columnar import pack_trace
+
+        profile = tiny_profile()
+        packed = TraceGenerator(profile).generate_packed(
+            days=1.0, chunk_bytes=4096
+        )
+        reference = pack_trace(
+            TraceGenerator(profile).generate(days=1.0), chunk_bytes=4096
+        )
+        assert packed.chunk_bytes == 4096
+        assert list(packed.column("c1")) == list(reference.column("c1"))
+
+    def test_deterministic_for_seed(self):
+        a = TraceGenerator(tiny_profile()).generate_packed(days=1.0)
+        b = TraceGenerator(tiny_profile()).generate_packed(days=1.0)
+        assert list(a.column("t")) == list(b.column("t"))
+        assert list(a.column("video")) == list(b.column("video"))
