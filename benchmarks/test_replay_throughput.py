@@ -167,9 +167,7 @@ def test_replay_throughput(benchmark, report, strict, scale, trace, disk):
         "packed_single_pass": seed_seconds / packed_seconds,
         "parallel_2_workers": seed_seconds / parallel_seconds,
     }
-    payload = {
-        "bench": "replay_throughput",
-        "scale": scale.name,
+    section = {
         "cpu_count": cpus,
         "trace_requests": len(trace),
         "disk_chunks": disk,
@@ -201,6 +199,15 @@ def test_replay_throughput(benchmark, report, strict, scale, trace, disk):
             },
         },
     }
+    # One section per REPRO_SCALE (the fleet bench's layout): the CI
+    # quick job gates against the committed quick section, full runs
+    # against full — never across scales, whose speedups legitimately
+    # differ (fixed pack/setup overheads amortize over trace length).
+    if baseline is not None and "scales" in baseline:
+        payload = dict(baseline)
+    else:
+        payload = {"bench": "replay_throughput"}
+    payload.setdefault("scales", {})[scale.name] = section
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     report(
@@ -218,9 +225,10 @@ def test_replay_throughput(benchmark, report, strict, scale, trace, disk):
 
     assert speedups["packed_single_pass"] > speedups["object_single_pass"] * 0.9
     if strict:
-        assert speedups["packed_single_pass"] >= 3.0, (
+        # floor raised from 3x when the decision kernels landed
+        assert speedups["packed_single_pass"] >= 3.5, (
             f"packed lane {speedups['packed_single_pass']:.2f}x vs seed; "
-            "expected >= 3x"
+            "expected >= 3.5x"
         )
         # On a multi-CPU host the pool must not lose to the serial pass;
         # on one CPU the heuristic collapses both to the same path, so
@@ -231,8 +239,9 @@ def test_replay_throughput(benchmark, report, strict, scale, trace, disk):
             f"single-pass {packed_seconds:.3f}s"
         )
 
-    if os.environ.get(REGRESSION_ENV, "").strip() and baseline is not None:
-        committed = baseline["modes"]["packed_single_pass"]["speedup_vs_seed"]
+    committed_scale = (baseline or {}).get("scales", {}).get(scale.name)
+    if os.environ.get(REGRESSION_ENV, "").strip() and committed_scale:
+        committed = committed_scale["modes"]["packed_single_pass"]["speedup_vs_seed"]
         measured = speedups["packed_single_pass"]
         assert measured >= 0.8 * committed, (
             f"packed speedup regressed: measured {measured:.2f}x vs "

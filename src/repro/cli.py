@@ -440,9 +440,11 @@ def main_verify(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.verify.differential import (
+        KERNEL_ALGORITHMS,
         dump_counterexample,
         replay_counterexample,
         verify_algorithm,
+        verify_kernel_lane,
     )
     from repro.verify.fuzz import scenario_matrix
     from repro.verify.oracles import ORACLE_FACTORIES
@@ -503,6 +505,37 @@ def main_verify(argv: Optional[Sequence[str]] = None) -> int:
         )
     print(format_table(rows, title=f"differential verification ({args.requests} req/trace)"))
 
+    # Kernel-lane equivalence: replay the same adversarial scenarios
+    # through the vectorized block kernels against the scalar block
+    # walk (responses, miss lists, occupancy, metric totals).
+    kernel_failures = 0
+    kernel_algorithms = [a for a in algorithms if a in KERNEL_ALGORITHMS]
+    if kernel_algorithms:
+        kernel_rows = []
+        for algorithm in kernel_algorithms:
+            bad = 0
+            for scenario in scenarios:
+                result = verify_kernel_lane(algorithm, scenario)
+                if not result.ok:
+                    kernel_failures += 1
+                    bad += 1
+                    print(f"KERNEL-FAIL {algorithm} on {scenario.label}:")
+                    print(f"  {result.divergence}")
+            kernel_rows.append(
+                {
+                    "algorithm": algorithm,
+                    "scenarios": len(scenarios),
+                    "divergences": bad,
+                    "status": "ok" if bad == 0 else "FAIL",
+                }
+            )
+        print(
+            format_table(
+                kernel_rows,
+                title="kernel-lane equivalence (vectorized vs scalar)",
+            )
+        )
+
     fault_failures = 0
     if args.fault_seeds > 0:
         from repro.verify.faultcheck import DEFAULT_ALGORITHMS, run_fault_fuzz
@@ -542,9 +575,11 @@ def main_verify(argv: Optional[Sequence[str]] = None) -> int:
             )
         )
 
-    if failures or fault_failures:
+    if failures or fault_failures or kernel_failures:
         if failures:
             print(f"{failures} failing case(s); artifacts under {args.dump_dir}/")
+        if kernel_failures:
+            print(f"{kernel_failures} failing kernel-lane case(s)")
         if fault_failures:
             print(f"{fault_failures} failing fault scenario(s)")
         return 1

@@ -168,6 +168,43 @@ class VideoCache(ABC):
         """
         return list(map(self.handle_span, ts, videos, b0s, b1s, c0s, c1s))
 
+    def handle_span_block_kernel(self, block) -> "tuple[list, list]":
+        """Vectorized-decision entry point for one packed block.
+
+        ``block`` is a :class:`~repro.trace.columnar.BlockView` whose
+        chunk columns match this cache's ``chunk_bytes``.  Returns
+        ``(responses, misses)``: the per-request responses plus the
+        ascending index list of every response that is not the interned
+        ``SERVE_HIT`` — precomputed because kernels know which requests
+        they screened, sparing the accounting layer a full scan
+        (:meth:`~repro.sim.metrics.MetricsCollector.record_packed_block`
+        patches exactly those indices).
+
+        Kernel overrides classify as much of the block as possible in
+        whole-column numpy passes (admission pre-screens, residency
+        summaries), apply the induced mutations in batches, and walk
+        only the undecided residue through the scalar per-request code.
+        They MUST be observably identical to :meth:`handle_span_block`
+        — same responses, same end state — and MUST fall back to it
+        when ``block.vectorized`` is false or a telemetry probe is
+        attached (probe hook ordering is per-request).
+
+        This default is that fallback: the scalar block walk plus a
+        miss scan.
+        """
+        responses = self.handle_span_block(
+            block.ts_l,
+            block.videos_l,
+            block.b0s_l,
+            block.b1s_l,
+            block.c0s_l,
+            block.c1s_l,
+        )
+        misses = [
+            i for i, response in enumerate(responses) if response is not SERVE_HIT
+        ]
+        return responses, misses
+
     # -- introspection (shared by tests, examples and the CDN layer) --------
 
     @abstractmethod

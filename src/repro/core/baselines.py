@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Deque, Dict, Optional, Sequence
 
+from repro.core import kernels
 from repro.core.base import (
     REDIRECT,
     SERVE_HIT,
@@ -34,7 +35,7 @@ from repro.core.base import (
 )
 from repro.core.costs import CostModel
 from repro.structures.lru import AccessRecencyList
-from repro.structures.treap import TreapMap
+from repro.structures.scoreheap import ScoreHeap
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
 
 __all__ = ["PullThroughLruCache", "LfuAdmissionCache", "BeladyCache"]
@@ -136,6 +137,91 @@ class PullThroughLruCache(VideoCache):
             disk.advance_time(last_t)
         return responses
 
+    def handle_span_block_kernel(self, block) -> "tuple[list, list]":
+        """Residency pre-screen over one packed block.
+
+        Two block-wide classifications from snapshots taken at block
+        start:
+
+        * **oversized** spans redirect with zero mutation;
+        * spans **fully resident** at block start stay resident until
+          the first in-block eviction (fills only add chunks), so until
+          then a screened request is a guaranteed hit whose only
+          mutation is the grouped LRU touch of its own chunks — the
+          membership walk and fill/evict bookkeeping are skipped.  The
+          first eviction demotes the remaining screened hits back to
+          the scalar residue walk.
+
+        Observably identical to :meth:`handle_span_block` (the fallback
+        when the block is not vectorized).
+        """
+        if self.probe is not None or not block.vectorized:
+            return VideoCache.handle_span_block_kernel(self, block)
+        disk_chunks = self.disk_chunks
+        disk = self._disk
+        entries = disk.raw_entries()
+        pop = entries.pop
+
+        uniq, _order, _starts = block.video_groups()
+        arrays = kernels.residency_arrays(uniq, kernels.chunks_by_video(entries))
+        sizes = block.c1s - block.c0s + 1
+        counts = kernels.span_resident_counts(block, arrays)
+        # 0 undecided, 1 redirect, 2 guaranteed hit
+        screen = (counts == sizes).view(kernels._np.int8) * 2
+        screen[sizes > disk_chunks] = 1
+        screen_l = screen.tolist()
+
+        responses: list = []
+        append = responses.append
+        misses: list = []
+        miss = misses.append
+        hits_valid = True
+        i = -1
+        last_t = None
+        for t, video, c0, c1, scr in zip(
+            block.ts_l, block.videos_l, block.c0s_l, block.c1s_l, screen_l
+        ):
+            i += 1
+            if scr == 1:
+                append(REDIRECT)
+                miss(i)
+                continue
+            last_t = t
+            if scr == 2 and hits_valid:
+                for c in range(c0, c1 + 1):
+                    chunk = (video, c)
+                    pop(chunk)
+                    entries[chunk] = t
+                append(SERVE_HIT)
+                continue
+            missing = None
+            for c in range(c0, c1 + 1):
+                chunk = (video, c)
+                if pop(chunk, None) is None:
+                    if missing is None:
+                        missing = [chunk]
+                    else:
+                        missing.append(chunk)
+                else:
+                    entries[chunk] = t
+            if missing is None:
+                append(SERVE_HIT)
+                continue
+            evicted = len(entries) + len(missing) - disk_chunks
+            if evicted > 0:
+                hits_valid = False
+                for _ in range(evicted):
+                    del entries[next(iter(entries))]
+            else:
+                evicted = 0
+            for chunk in missing:
+                entries[chunk] = t
+            append(serve_response(len(missing), evicted))
+            miss(i)
+        if last_t is not None:
+            disk.advance_time(last_t)
+        return responses, misses
+
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._disk
 
@@ -175,7 +261,7 @@ class LfuAdmissionCache(VideoCache):
         self.aging_interval = aging_interval
         self._video_hits: Counter = Counter()
         self._freq: Dict[ChunkId, float] = {}
-        self._cached: TreapMap[ChunkId] = TreapMap(seed=treap_seed)
+        self._cached: ScoreHeap[ChunkId] = ScoreHeap(seed=treap_seed)
         self._handled = 0
 
     def handle(self, request: Request) -> CacheResponse:
@@ -220,9 +306,7 @@ class LfuAdmissionCache(VideoCache):
         need = len(missing) - free
         if need > 0:
             exclude = {(video, c) for c in range(c0, c1 + 1)}
-            victims = cached.n_smallest(need, exclude=exclude)
-            for chunk, _score in victims:
-                cached.remove(chunk)
+            for chunk, _score in cached.pop_n_smallest(need, exclude=exclude):
                 freq.pop(chunk, None)
                 evicted += 1
         for chunk in missing:
@@ -230,6 +314,167 @@ class LfuAdmissionCache(VideoCache):
             freq[chunk] = score
             cached.insert(chunk, score)
         return serve_response(len(missing), evicted)
+
+    def handle_span_block(self, ts, videos, b0s, b1s, c0s, c1s) -> list:
+        # Hoisted block walk: the aging cadence, hit counter, frequency
+        # dict and frequency-set internals bound once per block instead
+        # of once per request.  Observably identical to handle_span
+        # element-wise, which the batched-lane equivalence tests
+        # enforce; membership runs against the ScoreHeap's live index
+        # dict (read-only — mutations go through insert/remove).
+        disk_chunks = self.disk_chunks
+        min_hits = self.min_video_hits
+        aging_interval = self.aging_interval
+        handled = self._handled
+        video_hits = self._video_hits
+        cached = self._cached
+        insert = cached.insert
+        index = cached.raw_index()
+        freq = self._freq
+        get_freq = freq.get
+        responses: list = []
+        append = responses.append
+        for t, video, c0, c1 in zip(ts, videos, c0s, c1s):
+            handled += 1
+            if handled % aging_interval == 0:
+                self._handled = handled
+                self._age()
+            video_hits[video] += 1
+            missing = None
+            for c in range(c0, c1 + 1):
+                chunk = (video, c)
+                if chunk in index:
+                    score = get_freq(chunk, 0.0) + 1.0
+                    freq[chunk] = score
+                    insert(chunk, score)
+                elif missing is None:
+                    missing = [chunk]
+                else:
+                    missing.append(chunk)
+            if c1 - c0 + 1 > disk_chunks:
+                append(REDIRECT)
+                continue
+            if video_hits[video] < min_hits:
+                append(REDIRECT)
+                continue
+            if missing is None:
+                append(SERVE_HIT)
+                continue
+            evicted = 0
+            need = len(missing) - (disk_chunks - len(index))
+            if need > 0:
+                exclude = {(video, c) for c in range(c0, c1 + 1)}
+                for chunk, _score in cached.pop_n_smallest(need, exclude=exclude):
+                    freq.pop(chunk, None)
+                    evicted += 1
+            for chunk in missing:
+                score = get_freq(chunk, 0.0) + 1.0
+                freq[chunk] = score
+                insert(chunk, score)
+            append(serve_response(len(missing), evicted))
+        self._handled = handled
+        return responses
+
+    def handle_span_block_kernel(self, block) -> "tuple[list, list]":
+        """Unproven-video pre-screen over one packed block.
+
+        A request is *provably* redirected with no per-chunk work when,
+        at block start,
+
+        * it is its video's first in-block occurrence (so no in-block
+          hit raised the count),
+        * the video's snapshot hit count ``s`` satisfies ``s + 1 <
+          min_video_hits`` (aging only lowers counts, so the live test
+          fails a fortiori), and
+        * none of its span is resident (evictions only shrink a video's
+          resident set, and its own fills can only happen at *later*
+          occurrences), so the per-chunk re-key walk would do nothing.
+
+        Such requests reduce to the counter bumps plus the interned
+        REDIRECT; everything else walks the scalar hoisted path.
+        Observably identical to :meth:`handle_span_block` (the fallback
+        when the block is not vectorized).
+        """
+        if self.probe is not None or not block.vectorized:
+            return VideoCache.handle_span_block_kernel(self, block)
+        np = kernels._np
+        cached = self._cached
+        index = cached.raw_index()
+
+        uniq, _order, _starts = block.video_groups()
+        snap_hits = kernels.snapshot_counts(uniq, self._video_hits)
+        arrays = kernels.residency_arrays(uniq, kernels.chunks_by_video(index))
+        counts = kernels.span_resident_counts(block, arrays)
+        inv = block.video_inverse()
+        screen = (
+            block.first_occurrence()
+            & (snap_hits[inv] + 1 < self.min_video_hits)
+            & (counts == 0)
+        ).tolist()
+
+        disk_chunks = self.disk_chunks
+        min_hits = self.min_video_hits
+        aging_interval = self.aging_interval
+        handled = self._handled
+        video_hits = self._video_hits
+        insert = cached.insert
+        freq = self._freq
+        get_freq = freq.get
+        responses: list = []
+        append = responses.append
+        misses: list = []
+        miss = misses.append
+        i = -1
+        for t, video, c0, c1, scr in zip(
+            block.ts_l, block.videos_l, block.c0s_l, block.c1s_l, screen
+        ):
+            i += 1
+            handled += 1
+            if handled % aging_interval == 0:
+                self._handled = handled
+                self._age()
+            video_hits[video] += 1
+            if scr:
+                append(REDIRECT)
+                miss(i)
+                continue
+            missing = None
+            for c in range(c0, c1 + 1):
+                chunk = (video, c)
+                if chunk in index:
+                    score = get_freq(chunk, 0.0) + 1.0
+                    freq[chunk] = score
+                    insert(chunk, score)
+                elif missing is None:
+                    missing = [chunk]
+                else:
+                    missing.append(chunk)
+            if c1 - c0 + 1 > disk_chunks:
+                append(REDIRECT)
+                miss(i)
+                continue
+            if video_hits[video] < min_hits:
+                append(REDIRECT)
+                miss(i)
+                continue
+            if missing is None:
+                append(SERVE_HIT)
+                continue
+            evicted = 0
+            need = len(missing) - (disk_chunks - len(index))
+            if need > 0:
+                exclude = {(video, c) for c in range(c0, c1 + 1)}
+                for chunk, _score in cached.pop_n_smallest(need, exclude=exclude):
+                    freq.pop(chunk, None)
+                    evicted += 1
+            for chunk in missing:
+                score = get_freq(chunk, 0.0) + 1.0
+                freq[chunk] = score
+                insert(chunk, score)
+            append(serve_response(len(missing), evicted))
+            miss(i)
+        self._handled = handled
+        return responses, misses
 
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._cached
@@ -274,7 +519,7 @@ class BeladyCache(VideoCache):
     ) -> None:
         super().__init__(disk_chunks, chunk_bytes, cost_model)
         self._future: Dict[ChunkId, Deque[float]] = {}
-        self._cached: TreapMap[ChunkId] = TreapMap(seed=treap_seed)
+        self._cached: ScoreHeap[ChunkId] = ScoreHeap(seed=treap_seed)
         self._prepared: Optional[Sequence[Request]] = None
         self._cursor = 0
 

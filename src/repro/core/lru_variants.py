@@ -40,7 +40,7 @@ from repro.core.base import (
     serve_response,
 )
 from repro.core.costs import CostModel
-from repro.structures.treap import TreapMap
+from repro.structures.scoreheap import ScoreHeap
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
 
 __all__ = ["LruKCache", "GreedyDualSizeCache"]
@@ -78,7 +78,7 @@ class LruKCache(VideoCache):
         self._history: Dict[int, Deque[float]] = {}
         self._max_history = max(1, int(history_factor * disk_chunks))
         #: cached chunks scored by their video's K-th-most-recent access
-        self._cached: TreapMap[ChunkId] = TreapMap(seed=treap_seed)
+        self._cached: ScoreHeap[ChunkId] = ScoreHeap(seed=treap_seed)
         self._video_chunks: Dict[int, set] = {}
 
     # -- VideoCache interface ------------------------------------------------
@@ -210,7 +210,7 @@ class GreedyDualSizeCache(VideoCache):
         treap_seed: int = 0,
     ) -> None:
         super().__init__(disk_chunks, chunk_bytes, cost_model)
-        self._cached: TreapMap[ChunkId] = TreapMap(seed=treap_seed)
+        self._cached: ScoreHeap[ChunkId] = ScoreHeap(seed=treap_seed)
         self._inflation = 0.0
 
     def handle(self, request: Request) -> CacheResponse:

@@ -28,7 +28,7 @@ from typing import Deque, Dict, Optional, Sequence
 
 from repro.core.base import CacheResponse, Decision, VideoCache
 from repro.core.costs import CostModel
-from repro.structures.treap import TreapMap
+from repro.structures.scoreheap import ScoreHeap
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
 
 __all__ = ["PsychicCache"]
@@ -66,7 +66,7 @@ class PsychicCache(VideoCache):
         self._future: Dict[ChunkId, Deque[float]] = {}
         #: cached chunks keyed by -(next request time): never-requested-
         #: again chunks (key -inf) are evicted first, then farthest-next.
-        self._cached: TreapMap[ChunkId] = TreapMap(seed=treap_seed)
+        self._cached: ScoreHeap[ChunkId] = ScoreHeap(seed=treap_seed)
         self._admit_time: Dict[ChunkId, float] = {}
         self._prepared: Optional[Sequence[Request]] = None
         self._cursor = 0

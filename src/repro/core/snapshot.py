@@ -142,14 +142,14 @@ def _load_xlru(cache: XlruCache, state: dict) -> None:
 def _load_cafe(cache: CafeCache, state: dict) -> None:
     from repro.structures.ewma import EwmaIat, IatEstimator
     from repro.structures.lru import AccessRecencyList
-    from repro.structures.treap import TreapMap
+    from repro.structures.scoreheap import ScoreHeap
 
     stats: IatEstimator = IatEstimator(float(state["gamma"]))
     for v, c, dt, t_last in state["stats"]:
         stats[(int(v), int(c))] = EwmaIat(
             dt=_decode_float(dt), t_last=float(t_last)
         )
-    cached: TreapMap = TreapMap(seed=0)
+    cached: ScoreHeap = ScoreHeap(seed=0)
     video_chunks: dict[int, set] = {}
     for v, c in state["cached"]:
         chunk = (int(v), int(c))

@@ -24,6 +24,7 @@ is evicted until the disk is full.
 
 from __future__ import annotations
 
+from repro.core import kernels
 from repro.core.base import REDIRECT, SERVE_HIT, CacheResponse, VideoCache, serve_response
 from repro.core.costs import CostModel
 from repro.structures.lru import AccessRecencyList
@@ -210,6 +211,151 @@ class XlruCache(VideoCache):
             tracker.advance_time(last_t)
             disk.advance_time(last_t)
         return responses
+
+    def handle_span_block_kernel(self, block) -> "tuple[list, list]":
+        """Vectorized admission pre-screen over one packed block.
+
+        Every xLRU request whose response is REDIRECT mutates only the
+        popularity tracker (the touch plus the cleanup cadence), never
+        the disk — so any request *proven* redirected from block-start
+        snapshots can skip the admission arithmetic, the disk-age read
+        and the whole chunk walk.  Three screens are exact:
+
+        * **never-seen** — the video's first in-block occurrence with no
+          tracker-snapshot entry: the tracker cannot have gained it
+          (touches only add videos requested earlier; cleanup only
+          deletes), so ``last is None`` holds at the request.
+        * **definitely-stale** — with the disk full at block start and
+          oldest access ``o0``, the disk-oldest access only advances
+          (fills append newest, evictions drop oldest), so the live
+          cache age at request ``i`` is at most ``t_i - o0``; then
+          ``(t_i - last) * alpha > t_i - o0`` implies the live test
+          fails.  ``last`` here is the exact last access (in-block
+          predecessor, else snapshot); if cleanup dropped the entry
+          meanwhile the true response is REDIRECT anyway (never-seen).
+        * **oversized** — spans larger than the disk redirect on every
+          admission path.
+
+        The scalar walk then runs with screened requests reduced to the
+        tracker touch + interned REDIRECT.  Observably identical to
+        :meth:`handle_span_block`, which remains the reference (and the
+        fallback when the block is not vectorized or a probe is
+        attached).
+        """
+        if self.probe is not None or not block.vectorized:
+            return VideoCache.handle_span_block_kernel(self, block)
+        np = kernels._np
+        alpha = self.cost_model.alpha_f2r
+        disk_chunks = self.disk_chunks
+        tracker = self._tracker
+        tentries = tracker.raw_entries()
+        tpop = tentries.pop
+        disk = self._disk
+        dentries = disk.raw_entries()
+        dpop = dentries.pop
+
+        uniq, _order, _starts = block.video_groups()
+        snap = kernels.snapshot_times(uniq, tentries)
+        prev = block.prev_t()
+        last_eff = np.where(np.isnan(prev), snap[block.video_inverse()], prev)
+        redirect = np.isnan(last_eff)
+        if len(dentries) >= disk_chunks:
+            o0 = next(iter(dentries.values()))
+            ts = block.ts
+            redirect |= (ts - last_eff) * alpha > (ts - o0)
+        redirect |= (block.c1s - block.c0s + 1) > disk_chunks
+        screen = redirect.tolist()
+
+        cleanup_interval = self._cleanup_interval
+        since = self._requests_since_cleanup
+        inf = float("inf")
+        responses: list = []
+        append = responses.append
+        misses: list = []
+        miss = misses.append
+        # Cached (key, access time) of the disk-recency head: the oldest
+        # entry changes only when it is itself touched or evicted, so
+        # the admission age read is O(1) amortized instead of a fresh
+        # next(iter(...)) per request.
+        head_key = None
+        head_t = 0.0
+        i = -1
+        last_t = None
+        for t, video, c0, c1, scr in zip(
+            block.ts_l, block.videos_l, block.c0s_l, block.c1s_l, screen
+        ):
+            i += 1
+            last = tpop(video, None)
+            tentries[video] = t
+            last_t = t
+            since += 1
+            if since >= cleanup_interval:
+                # _maybe_cleanup_tracker, inlined (see handle_span_block)
+                since = 0
+                if len(dentries) >= disk_chunks:
+                    if head_key is None:
+                        head_key = next(iter(dentries))
+                        head_t = dentries[head_key]
+                    cutoff = t - (t - head_t) / alpha
+                    while tentries:
+                        oldest = next(iter(tentries))
+                        if tentries[oldest] >= cutoff:
+                            break
+                        del tentries[oldest]
+            if scr:
+                append(REDIRECT)
+                miss(i)
+                continue
+            if last is None:
+                append(REDIRECT)
+                miss(i)
+                continue
+            if len(dentries) < disk_chunks:
+                age = inf
+            else:
+                if head_key is None:
+                    head_key = next(iter(dentries))
+                    head_t = dentries[head_key]
+                age = t - head_t
+            if (t - last) * alpha > age:
+                append(REDIRECT)
+                miss(i)
+                continue
+            if c1 - c0 + 1 > disk_chunks:
+                append(REDIRECT)
+                miss(i)
+                continue
+            missing = None
+            for c in range(c0, c1 + 1):
+                chunk = (video, c)
+                if dpop(chunk, None) is None:
+                    if missing is None:
+                        missing = [chunk]
+                    else:
+                        missing.append(chunk)
+                else:
+                    dentries[chunk] = t
+                    if chunk == head_key:
+                        head_key = None
+            if missing is None:
+                append(SERVE_HIT)
+                continue
+            evicted = len(dentries) + len(missing) - disk_chunks
+            if evicted > 0:
+                head_key = None
+                for _ in range(evicted):
+                    del dentries[next(iter(dentries))]
+            else:
+                evicted = 0
+            for chunk in missing:
+                dentries[chunk] = t
+            append(serve_response(len(missing), evicted))
+            miss(i)
+        self._requests_since_cleanup = since
+        if last_t is not None:
+            tracker.advance_time(last_t)
+            disk.advance_time(last_t)
+        return responses, misses
 
     def __contains__(self, chunk: ChunkId) -> bool:
         return chunk in self._disk

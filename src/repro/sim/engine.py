@@ -21,6 +21,7 @@ broadcasts stream straight through.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, Mapping, Optional, Sequence
@@ -60,6 +61,50 @@ def _span_native(cache: VideoCache) -> bool:
     return (
         getattr(type(cache), "handle_span", None) is not VideoCache.handle_span
         and getattr(cache, "handle_span", None) is not None
+    )
+
+
+#: Environment knob disabling the vectorized decision kernels: the
+#: packed lane then drives every cache through its scalar
+#: ``handle_span_block`` walk (the reference implementation).  CI's
+#: equivalence matrix and A/B benchmarking use it; the knob is read per
+#: run so tests can flip it.
+NO_KERNELS_ENV = "REPRO_NO_KERNELS"
+
+
+def _kernels_enabled() -> bool:
+    return os.environ.get(NO_KERNELS_ENV, "").strip() in ("", "0")
+
+
+def _kernel_native(cache: VideoCache) -> bool:
+    """Whether ``cache`` overrides the block decision kernel.
+
+    The base-class kernel is the scalar walk plus a Python miss scan;
+    routing non-kernel caches through it would cost more than the
+    per-request accounting it saves, so the engine only dispatches
+    kernels that caches actually implement.
+    """
+    return (
+        getattr(type(cache), "handle_span_block_kernel", None)
+        is not VideoCache.handle_span_block_kernel
+    )
+
+
+def _block_collector_ok(collector: MetricsCollector) -> bool:
+    """Whether whole-block accounting preserves ``collector`` semantics.
+
+    ``record_packed_block``'s vectorized path bypasses ``record_packed``
+    /``record_raw``; a subclass overriding any record entry point
+    without also owning ``record_packed_block`` must keep the
+    per-request path.
+    """
+    cls = type(collector)
+    if cls.record_packed_block is not MetricsCollector.record_packed_block:
+        return True
+    return (
+        cls.record_packed is MetricsCollector.record_packed
+        and cls.record_raw is MetricsCollector.record_raw
+        and cls.record is MetricsCollector.record
     )
 
 
@@ -385,10 +430,16 @@ class MultiReplay:
         ts, videos, b0s, b1s, c0s, c1s, num_bytes, num_chunks = packed.hot_columns()
         n = len(ts)
         pk = packed.chunk_bytes
+        kernels_on = _kernels_enabled()
 
         # Per-lane column adaptation: chunk columns follow the cache's
         # chunk size, the byte-accounting column follows the collector's
-        # (they may legitimately differ from the packed trace's).
+        # (they may legitimately differ from the packed trace's).  A
+        # lane whose chunk sizes all match the trace's — the common
+        # case — dispatches through the cache's decision kernel
+        # (handle_span_block_kernel + record_packed_block); mismatched
+        # lanes and record-overriding collectors take the scalar block
+        # walk with per-request accounting.
         lanes = []
         for key in keys:
             cache = self.caches[key]
@@ -406,8 +457,25 @@ class MultiReplay:
                 lane_nc = [hi - lo + 1 for lo, hi in zip(lane_c0, lane_c1)]
             else:
                 lane_nc = [b1 // mk - b0 // mk + 1 for b0, b1 in zip(b0s, b1s)]
+            kernel = None
+            if (
+                kernels_on
+                and ck == pk
+                and mk == pk
+                and _kernel_native(cache)
+                and _block_collector_ok(collector)
+            ):
+                kernel = cache.handle_span_block_kernel
             lanes.append(
-                (cache.handle_span, collector.record_packed, lane_c0, lane_c1, lane_nc)
+                (
+                    kernel,
+                    cache.handle_span_block,
+                    collector.record_packed_block,
+                    collector.record_packed,
+                    lane_c0,
+                    lane_c1,
+                    lane_nc,
+                )
             )
 
         # Telemetry snapshots land on block boundaries: the packed lane
@@ -422,24 +490,35 @@ class MultiReplay:
         block = PACKED_BLOCK
         for start in range(0, n, block):
             stop = min(start + block, n)
-            block_t = ts[start:stop]
-            block_video = videos[start:stop]
-            block_b0 = b0s[start:stop]
-            block_b1 = b1s[start:stop]
+            view = packed.block_view(start, stop)
+            block_t = view.ts_l
             block_nb = num_bytes[start:stop]
-            for handle_span, record_packed, lane_c0, lane_c1, lane_nc in lanes:
-                responses = list(
-                    map(
-                        handle_span,
+            for (
+                kernel,
+                handle_block,
+                record_block,
+                record_packed,
+                lane_c0,
+                lane_c1,
+                lane_nc,
+            ) in lanes:
+                if kernel is not None and view.vectorized:
+                    responses, misses = kernel(view)
+                    record_block(
+                        view.ts, view.num_bytes, view.num_chunks, responses, misses
+                    )
+                else:
+                    responses = handle_block(
                         block_t,
-                        block_video,
-                        block_b0,
-                        block_b1,
+                        view.videos_l,
+                        view.b0s_l,
+                        view.b1s_l,
                         lane_c0[start:stop],
                         lane_c1[start:stop],
                     )
-                )
-                record_packed(block_t, block_nb, lane_nc[start:stop], responses)
+                    record_packed(
+                        block_t, block_nb, lane_nc[start:stop], responses
+                    )
             if snap_every and stop - last_snap >= snap_every:
                 # float() lifts numpy scalars so snapshots stay
                 # JSON-serializable regardless of the column backing.

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import List, Optional
 
-from repro.core.base import CacheResponse
+from repro.core.base import REDIRECT, CacheResponse
 from repro.core.costs import CostModel
 from repro.trace.columnar import _np
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, Request
@@ -299,7 +299,28 @@ class MetricsCollector:
         bounds = starts.tolist()
         bounds.append(n)
         chunk_bytes = self.chunk_bytes
-        num_misses = len(misses)
+        # Interned redirects — the bulk of the misses on redirect-heavy
+        # lanes — are patched per segment from prefix sums; only serves
+        # with fills and non-interned responses walk the scalar loop.
+        if misses:
+            red_mask = _np.fromiter(
+                (responses[j] is REDIRECT for j in misses),
+                dtype=bool,
+                count=len(misses),
+            )
+            midx = _np.fromiter(misses, dtype=_np.int64, count=len(misses))
+            ridx = midx[red_mask]
+            red_nb = _np.concatenate(([0], _np.cumsum(nbytes[ridx])))
+            red_nc = _np.concatenate(([0], _np.cumsum(nchunks[ridx])))
+            seg_lo = _np.searchsorted(ridx, starts).tolist()
+            seg_hi = seg_lo[1:]
+            seg_hi.append(len(ridx))
+            slow = midx[~red_mask].tolist()
+        else:
+            seg_lo = seg_hi = ()
+            slow = []
+        num_misses = len(slow)
+        misses = slow
         mi = 0
         for k in range(len(bounds) - 1):
             start_i = bounds[k]
@@ -321,6 +342,15 @@ class MetricsCollector:
             # All-hits assumption, patched below per non-hit response.
             bucket.num_served += seg_requests
             bucket.egress_bytes += seg_bytes
+            if seg_lo:
+                lo = seg_lo[k]
+                hi = seg_hi[k]
+                if hi > lo:
+                    rb = int(red_nb[hi] - red_nb[lo])
+                    bucket.num_served -= hi - lo
+                    bucket.egress_bytes -= rb
+                    bucket.redirected_bytes += rb
+                    bucket.redirected_chunks += int(red_nc[hi] - red_nc[lo])
             while mi < num_misses and misses[mi] < stop_i:
                 j = misses[mi]
                 mi += 1

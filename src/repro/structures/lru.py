@@ -22,6 +22,7 @@ entry.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
 
 K = TypeVar("K", bound=Hashable)
@@ -70,6 +71,44 @@ class AccessRecencyList(Generic[K]):
         entries = self._entries
         entries.pop(key, None)  # one hash probe instead of contains+del
         entries[key] = now
+
+    def touch_all(self, keys, now: float) -> None:
+        """Record an access of every key in ``keys`` at time ``now``.
+
+        The grouped form of :meth:`touch` for the batched decision
+        kernels: one guard check and one bound method per *run* of
+        touches instead of per key.  Keys end up most-recent in
+        iteration order, exactly as successive ``touch(key, now)``
+        calls would leave them.
+        """
+        if now < self._max_time:
+            raise ValueError(
+                f"access time {now} precedes current head time "
+                f"{self._max_time}; access times must be non-decreasing"
+            )
+        self._max_time = now
+        entries = self._entries
+        pop = entries.pop
+        for key in keys:
+            pop(key, None)
+            entries[key] = now
+
+    def pop_oldest_n(self, n: int) -> list[Tuple[K, float]]:
+        """Remove and return the ``n`` least recently used entries.
+
+        The epoch-batched eviction primitive: one call per eviction run
+        rather than one :meth:`pop_oldest` per victim.  Returns the
+        evicted ``(key, access_time)`` pairs oldest first; fewer than
+        ``n`` when the list runs out.
+        """
+        entries = self._entries
+        if n >= len(entries):
+            evicted = list(entries.items())
+            entries.clear()
+            return evicted
+        victims = list(islice(iter(entries), n))
+        pop = entries.pop
+        return [(key, pop(key)) for key in victims]
 
     def raw_entries(self) -> dict:
         """The backing recency dict, for batched cache hot paths.

@@ -47,6 +47,7 @@ if os.environ.get(NO_NUMPY_ENV, "").strip() not in ("", "0"):
     _np = None  # pragma: no cover - exercised by the no-numpy CI lane
 
 __all__ = [
+    "BlockView",
     "PackedTrace",
     "PackedTraceBuilder",
     "SharedTraceHandle",
@@ -181,6 +182,18 @@ class PackedTrace(Sequence):
                 hot.append(col.tolist())
             self._hot = tuple(hot)
         return self._hot
+
+    def block_view(self, start: int, stop: int) -> "BlockView":
+        """One engine-block :class:`BlockView` over ``[start, stop)``.
+
+        The view carries both list slices (for the scalar block walks)
+        and, on numpy-backed traces, zero-copy array slices plus the
+        lazily derived per-block columns the decision kernels consume.
+        """
+        hot = self.hot_columns()
+        cols = self._cols
+        vectorized = _np is not None and isinstance(cols["t"], _np.ndarray)
+        return BlockView(self.chunk_bytes, start, stop, hot, cols if vectorized else None)
 
     @property
     def nbytes(self) -> int:
@@ -370,6 +383,162 @@ class SharedTraceHandle:
         except FileNotFoundError:  # pragma: no cover - already unlinked
             pass
         _ACTIVE_SEGMENTS.discard(self.name)
+
+
+class BlockView:
+    """One engine block of packed request columns, in both backings.
+
+    The replay lanes hand whole blocks to the per-cache decision
+    kernels (:meth:`~repro.core.base.VideoCache.handle_span_block_kernel`).
+    A view exposes the same slice twice — plain list slices for the
+    scalar block walks, zero-copy numpy slices for vectorized
+    pre-screens — plus *derived per-block columns* that are computed
+    lazily, once, and shared by every lane replaying the block:
+
+    * the stable per-video grouping (``video_groups``), the basis of
+      per-video residency summaries and batched touch condensation;
+    * the previous same-video occurrence time within the block
+      (``prev_t``, NaN at a video's first in-block occurrence) and the
+      matching ``first_occurrence`` mask — what admission pre-screens
+      join against their tracker snapshots.
+
+    On the array-fallback lane (``REPRO_NO_NUMPY``) only the list
+    slices exist and :attr:`vectorized` is False; kernels must fall
+    back to their scalar reference walk.
+    """
+
+    __slots__ = (
+        "chunk_bytes",
+        "n",
+        "ts",
+        "videos",
+        "b0s",
+        "b1s",
+        "c0s",
+        "c1s",
+        "num_bytes",
+        "num_chunks",
+        "ts_l",
+        "videos_l",
+        "b0s_l",
+        "b1s_l",
+        "c0s_l",
+        "c1s_l",
+        "_order",
+        "_starts",
+        "_uniq",
+        "_inverse",
+        "_prev_t",
+        "_first",
+    )
+
+    def __init__(
+        self,
+        chunk_bytes: int,
+        start: int,
+        stop: int,
+        hot: Tuple[list, ...],
+        np_cols: "Optional[Dict[str, object]]",
+    ) -> None:
+        self.chunk_bytes = chunk_bytes
+        self.n = stop - start
+        ts, videos, b0s, b1s, c0s, c1s, _nb, _nc = hot
+        self.ts_l = ts[start:stop]
+        self.videos_l = videos[start:stop]
+        self.b0s_l = b0s[start:stop]
+        self.b1s_l = b1s[start:stop]
+        self.c0s_l = c0s[start:stop]
+        self.c1s_l = c1s[start:stop]
+        if np_cols is not None:
+            self.ts = np_cols["t"][start:stop]
+            self.videos = np_cols["video"][start:stop]
+            self.b0s = np_cols["b0"][start:stop]
+            self.b1s = np_cols["b1"][start:stop]
+            self.c0s = np_cols["c0"][start:stop]
+            self.c1s = np_cols["c1"][start:stop]
+            self.num_bytes = np_cols["num_bytes"][start:stop]
+            self.num_chunks = np_cols["num_chunks"][start:stop]
+        else:
+            self.ts = None
+            self.videos = None
+            self.b0s = None
+            self.b1s = None
+            self.c0s = None
+            self.c1s = None
+            self.num_bytes = None
+            self.num_chunks = None
+        self._order = None
+        self._starts = None
+        self._uniq = None
+        self._inverse = None
+        self._prev_t = None
+        self._first = None
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether numpy column slices (and derived columns) exist."""
+        return self.ts is not None
+
+    def video_groups(self) -> Tuple["object", "object", "object"]:
+        """``(uniq, order, starts)``: the stable per-video grouping.
+
+        ``order`` is the stable argsort of the video column; requests of
+        unique video ``uniq[j]`` occupy ``order[starts[j]:starts[j+1]]``
+        in ascending request order (stability keeps time order within
+        each group).  Computed once per block, shared across lanes.
+        """
+        if self._order is None:
+            videos = self.videos
+            order = _np.argsort(videos, kind="stable")
+            sv = videos[order]
+            cuts = _np.flatnonzero(sv[1:] != sv[:-1]) + 1
+            starts = _np.concatenate(([0], cuts, [self.n])).astype(_np.int64)
+            self._order = order
+            self._starts = starts
+            self._uniq = sv[starts[:-1]] if self.n else sv
+        return self._uniq, self._order, self._starts
+
+    def video_inverse(self) -> "object":
+        """Per-request index into ``video_groups()[0]`` (np.unique-style)."""
+        if self._inverse is None:
+            uniq, order, starts = self.video_groups()
+            counts = _np.diff(starts)
+            inverse = _np.empty(self.n, dtype=_np.int64)
+            inverse[order] = _np.repeat(
+                _np.arange(len(uniq), dtype=_np.int64), counts
+            )
+            self._inverse = inverse
+        return self._inverse
+
+    def prev_t(self) -> "object":
+        """Previous same-video occurrence time within the block.
+
+        ``prev_t[i]`` is the timestamp of the latest ``j < i`` with
+        ``videos[j] == videos[i]``, or NaN when ``i`` is its video's
+        first in-block occurrence — the in-block part of a "last access"
+        column that admission pre-screens complete from their tracker
+        snapshot at the block boundary.
+        """
+        if self._prev_t is None:
+            _uniq, order, starts = self.video_groups()
+            tsorted = self.ts[order]
+            prev_sorted = _np.empty(self.n, dtype=_np.float64)
+            if self.n:
+                prev_sorted[1:] = tsorted[:-1]
+            prev_sorted[starts[:-1]] = _np.nan
+            prev = _np.empty(self.n, dtype=_np.float64)
+            prev[order] = prev_sorted
+            self._prev_t = prev
+        return self._prev_t
+
+    def first_occurrence(self) -> "object":
+        """Mask of each video's first in-block occurrence."""
+        if self._first is None:
+            _uniq, order, starts = self.video_groups()
+            first = _np.zeros(self.n, dtype=bool)
+            first[order[starts[:-1]]] = True
+            self._first = first
+        return self._first
 
 
 def pack_trace(

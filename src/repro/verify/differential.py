@@ -38,10 +38,17 @@ __all__ = [
     "diff_replay",
     "shrink_trace",
     "verify_algorithm",
+    "verify_kernel_lane",
+    "KERNEL_ALGORITHMS",
     "dump_counterexample",
     "load_counterexample",
     "replay_counterexample",
 ]
+
+#: Online algorithms with a vectorized block decision kernel
+#: (:meth:`~repro.core.base.VideoCache.handle_span_block_kernel`
+#: override) whose equivalence the fuzzer matrix must also cover.
+KERNEL_ALGORITHMS = ("xLRU", "Cafe", "PullLRU", "LFU")
 
 #: (decision value, filled_chunks, evicted_chunks, occupancy after)
 Outcome = Tuple[str, int, int, int]
@@ -250,6 +257,139 @@ def verify_algorithm(
     result = diff_replay(f, o, minimal, interval=interval)
     result.num_requests = len(minimal)
     return result, minimal
+
+
+#: Metric totals compared counter-by-counter between replay lanes.
+_TOTALS_COUNTERS = (
+    "num_requests",
+    "num_served",
+    "requested_bytes",
+    "requested_chunks",
+    "egress_bytes",
+    "ingress_bytes",
+    "redirected_bytes",
+    "filled_chunks",
+    "redirected_chunks",
+)
+
+
+def verify_kernel_lane(
+    algorithm: str,
+    scenario: FuzzScenario,
+    block_size: int = 128,
+    interval: float = 3600.0,
+    build_fast: Optional[Callable[..., VideoCache]] = None,
+) -> DifferentialResult:
+    """Verify the vectorized block kernel against the scalar block walk.
+
+    Twin caches replay one fuzz scenario block by block: the reference
+    cache through :meth:`~repro.core.base.VideoCache.handle_span_block`
+    feeding ``record_packed``, the other through
+    :meth:`~repro.core.base.VideoCache.handle_span_block_kernel`
+    feeding ``record_packed_block`` — the exact pairing the engine's
+    packed single-pass lane dispatches.  Compared per block: every
+    response (decision and both chunk counts), the kernel's miss index
+    list, disk occupancy, and at the end the metric totals counter by
+    counter.  On the ``REPRO_NO_NUMPY`` lane the kernel falls back to
+    the scalar walk and the check degenerates to fallback parity.
+    """
+    from repro.sim.runner import build_cache
+    from repro.trace.columnar import pack_trace
+
+    if build_fast is None:
+        build_fast = build_cache
+    kwargs = scenario.cache_kwargs.get(algorithm, {})
+
+    def make() -> VideoCache:
+        return build_fast(
+            algorithm,
+            scenario.disk_chunks,
+            alpha_f2r=scenario.alpha_f2r,
+            chunk_bytes=scenario.chunk_bytes,
+            **kwargs,
+        )
+
+    trace = scenario.trace()
+    packed = pack_trace(trace, chunk_bytes=scenario.chunk_bytes)
+    scalar = make()
+    kernel = make()
+    scalar_metrics = MetricsCollector(
+        scalar.cost_model, chunk_bytes=scalar.chunk_bytes, interval=interval
+    )
+    kernel_metrics = MetricsCollector(
+        kernel.cost_model, chunk_bytes=kernel.chunk_bytes, interval=interval
+    )
+    result = DifferentialResult(
+        algorithm=f"{algorithm}/kernel", num_requests=len(trace)
+    )
+
+    from repro.core.base import SERVE_HIT
+
+    n = len(packed)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        view = packed.block_view(start, stop)
+        nbytes = [b1 - b0 + 1 for b0, b1 in zip(view.b0s_l, view.b1s_l)]
+        nchunks = [c1 - c0 + 1 for c0, c1 in zip(view.c0s_l, view.c1s_l)]
+        expected = scalar.handle_span_block(
+            view.ts_l, view.videos_l, view.b0s_l, view.b1s_l, view.c0s_l, view.c1s_l
+        )
+        got, misses = kernel.handle_span_block_kernel(view)
+        scalar_metrics.record_packed(view.ts_l, nbytes, nchunks, expected)
+        if view.vectorized:
+            kernel_metrics.record_packed_block(
+                view.ts, view.num_bytes, view.num_chunks, got, misses
+            )
+        else:
+            kernel_metrics.record_packed(view.ts_l, nbytes, nchunks, got)
+        for offset, (a, b) in enumerate(zip(expected, got)):
+            if (
+                a.decision is not b.decision
+                or a.filled_chunks != b.filled_chunks
+                or a.evicted_chunks != b.evicted_chunks
+            ):
+                index = start + offset
+                result.divergence = Divergence(
+                    index,
+                    trace[index],
+                    (b.decision.value, b.filled_chunks, b.evicted_chunks, len(kernel)),
+                    (a.decision.value, a.filled_chunks, a.evicted_chunks, len(scalar)),
+                    kind="kernel-response",
+                )
+                return result
+        expected_misses = [i for i, r in enumerate(got) if r is not SERVE_HIT]
+        if misses != expected_misses:
+            result.divergence = Divergence(
+                start,
+                trace[start],
+                ("misses", len(misses), 0, 0),
+                ("misses", len(expected_misses), 0, 0),
+                kind="kernel-misses",
+            )
+            return result
+        if len(scalar) != len(kernel):
+            result.divergence = Divergence(
+                stop - 1,
+                trace[stop - 1],
+                ("occupancy", len(kernel), 0, 0),
+                ("occupancy", len(scalar), 0, 0),
+                kind="kernel-occupancy",
+            )
+            return result
+    totals_scalar = scalar_metrics.totals()
+    totals_kernel = kernel_metrics.totals()
+    for counter in _TOTALS_COUNTERS:
+        a, b = getattr(totals_scalar, counter), getattr(totals_kernel, counter)
+        if a != b:
+            result.divergence = Divergence(
+                n - 1,
+                trace[-1],
+                (counter, b, 0, 0),
+                (counter, a, 0, 0),
+                kind=f"kernel-totals:{counter}",
+            )
+            break
+    return result
 
 
 def dump_counterexample(

@@ -1,11 +1,11 @@
 """handle_span_block: the batched lane must mirror scalar handle_span.
 
-PullLRU and xLRU override :meth:`VideoCache.handle_span_block` with
-hoisted-invariant hot loops for the fleet replay lane; the contract is
-*observable identity* with the scalar path — same response sequence,
-same end state, request by request.  These tests drive both lanes over
-the same randomized time-sorted stream and compare responses, disk
-contents and subsequent scalar behaviour.
+PullLRU, xLRU and LFU override :meth:`VideoCache.handle_span_block`
+with hoisted-invariant hot loops for the fleet replay lane; the
+contract is *observable identity* with the scalar path — same response
+sequence, same end state, request by request.  These tests drive both
+lanes over the same randomized time-sorted stream and compare
+responses, disk contents and subsequent scalar behaviour.
 """
 
 from __future__ import annotations
@@ -15,10 +15,10 @@ import pytest
 from repro.sim.runner import build_cache
 
 K = 1024
-BLOCK_ALGOS = ["PullLRU", "xLRU"]
+BLOCK_ALGOS = ["PullLRU", "xLRU", "LFU"]
 #: Algorithms relying on the default (scalar-delegating) block method —
 #: exercised to pin the base-class contract itself.
-DEFAULT_ALGOS = ["Cafe", "LFU"]
+DEFAULT_ALGOS = ["Cafe"]
 
 
 def request_columns(n: int = 400, videos: int = 23, seed: int = 11):

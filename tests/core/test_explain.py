@@ -58,6 +58,51 @@ class TestExplainPredictsHandle:
             cache.handle(r)
 
 
+class TestExplainFuzzParity:
+    """Satellite audit: explain() vs handle() on adversarial fuzz traces.
+
+    For every request the explained verdict must match what ``handle``
+    does on a *fresh clone* of the cache, and — because explain is a
+    pure dry run — the live cache must then produce the byte-identical
+    response the clone did.  The adversarial generator covers the
+    awkward corners: b1 chunk boundaries, oversized spans, ghost
+    re-admission and exact-tie timestamps.
+    """
+
+    @pytest.mark.parametrize("seed,disk,alpha", [
+        (301, 2, 0.5),
+        (302, 3, 1.0),
+        (303, 7, 2.0),
+        (304, 5, 4.0),
+    ])
+    def test_explain_predicts_handle_on_fuzz_trace(self, seed, disk, alpha):
+        import copy
+
+        from repro.verify.fuzz import adversarial_trace
+
+        trace = adversarial_trace(seed=seed, num_requests=350, disk_chunks=disk)
+        cache = CafeCache(disk, chunk_bytes=K, cost_model=CostModel(alpha))
+        oversized = ghosted = 0
+        for r in trace:
+            clone = copy.deepcopy(cache)
+            explanation = cache.explain(r)
+            clone_response = clone.handle(r)
+            live_response = cache.handle(r)
+            assert explanation.decision is live_response.decision, r
+            # explain mutated nothing: the live cache replays the clone.
+            assert live_response == clone_response, r
+            if explanation.margin < 0:
+                assert explanation.decision is Decision.REDIRECT
+            if math.isinf(explanation.cost_serve):
+                oversized += 1
+                if not math.isinf(explanation.cost_redirect):
+                    assert explanation.decision is Decision.REDIRECT
+            ghosted += bool(cache.ghost_chunks)
+        # the generator actually exercised the corners this test is for
+        assert oversized > 0
+        assert ghosted > 0
+
+
 class TestExplainContents:
     def test_pure_hit(self):
         cache = make_cache()

@@ -48,10 +48,17 @@ def object_baseline(trace):
 
 
 class TestPackedEquivalence:
+    @pytest.mark.parametrize("kernels", ["on", "off"])
     @pytest.mark.parametrize("algo", ALL)
     def test_explicit_packed_trace_matches_objects(
-        self, algo, packed, object_baseline
+        self, algo, kernels, packed, object_baseline, monkeypatch
     ):
+        # both gears of the packed lane — the vectorized decision
+        # kernels and the scalar block walk — must be byte-identical
+        # to the object path, regardless of the CI job's env.
+        monkeypatch.setenv(
+            engine_module.NO_KERNELS_ENV, "1" if kernels == "off" else "0"
+        )
         result = replay(build_cache(algo, DISK, alpha_f2r=2.0), packed)
         baseline = object_baseline[algo]
         assert result.totals == baseline.totals, algo

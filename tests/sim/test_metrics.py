@@ -337,6 +337,52 @@ class TestPackedBlockRecord:
         assert packed.totals() == raw.totals()
         assert packed.series() == raw.series()
 
+    @pytest.mark.parametrize("seed", [3, 5, 13])
+    @pytest.mark.parametrize("redirect_heavy", [False, True])
+    def test_matches_record_packed_on_mixed_block(self, seed, redirect_heavy):
+        """Satellite audit: the non-hit patching (vectorized interned
+        redirects + scalar walk for fills) equals record_packed on a
+        mixed hit / redirect / fill block."""
+        np = pytest.importorskip("numpy")
+        block = self.block(250, seed=seed)
+        if redirect_heavy:
+            # the interned REDIRECT, so the vectorized prefix-sum patch
+            # (not the scalar walk) absorbs the bulk of the misses
+            from repro.core.base import REDIRECT as INTERNED_REDIRECT
+
+            ts, nbytes, nchunks, responses = block
+            responses = [
+                INTERNED_REDIRECT if i % 3 else response
+                for i, response in enumerate(responses)
+            ]
+            block = ts, nbytes, nchunks, responses
+        loop, vec = collector(), collector()
+        loop.record_packed(*block)
+        vec.record_packed_block(
+            np.asarray(block[0], dtype=np.float64),
+            np.asarray(block[1], dtype=np.int64),
+            np.asarray(block[2], dtype=np.int64),
+            block[3],
+            self.misses_of(block[3]),
+        )
+        assert vec.totals() == loop.totals()
+        assert vec.series() == loop.series()
+
+    def test_no_numpy_lane_matches_record_packed(self, monkeypatch):
+        """Satellite audit: with numpy disabled (REPRO_NO_NUMPY lane)
+        record_packed_block must route to record_packed and stay
+        byte-identical on a mixed hit / redirect block."""
+        from repro.sim import metrics as metrics_mod
+
+        block = self.block(180, seed=21)
+        loop = collector()
+        loop.record_packed(*block)
+        monkeypatch.setattr(metrics_mod, "_np", None)
+        fallback = collector()
+        fallback.record_packed_block(*block, self.misses_of(block[3]))
+        assert fallback.totals() == loop.totals()
+        assert fallback.series() == loop.series()
+
     def test_plain_lists_fall_back_to_record_packed(self):
         block = self.block(120, seed=8)
         raw, packed = collector(), collector()
