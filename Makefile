@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test verify lint telemetry-demo bench bench-quick bench-sweep bench-replay bench-fleet experiments examples clean
+.PHONY: install test verify lint telemetry-demo bench bench-quick bench-sweep bench-replay bench-fleet bench-serve serve-soak experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -67,6 +67,23 @@ bench-replay:
 bench-fleet:
 	PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
 		benchmarks/test_fleet_throughput.py
+
+# Serve-daemon SLO bench (decision latency quantiles + sustained QPS
+# over a unix socket); updates this scale's section of BENCH_serve.json.
+bench-serve:
+	PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
+		benchmarks/test_serve_latency.py
+
+# Fault soak: SIGKILL a live repro-serve daemon mid-trace (twice),
+# inject malformed lines, resume from snapshots, and exit non-zero
+# unless final totals are byte-identical to the batch replay.
+serve-soak:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.soak \
+		--scale 1.0 --days 4 --requests 20000 \
+		--restarts 2 --malformed-every 500 \
+		--telemetry /tmp/repro-serve-soak.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli report --check \
+		/tmp/repro-serve-soak.jsonl
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

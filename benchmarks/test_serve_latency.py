@@ -1,0 +1,127 @@
+"""Serve-daemon SLO bench: decision latency quantiles + sustained QPS.
+
+Drives a real ``repro-serve`` subprocess over a unix socket with
+pipelined windows of sequenced requests, then reads the daemon's own
+SLO block (``repro.obs`` histogram sketches — the same numbers the
+telemetry export carries) and writes them to ``BENCH_serve.json``.
+
+With ``REPRO_BENCH_REGRESSION=1`` the measured p99 and sustained QPS
+are gated against the committed baseline with generous tolerances
+(latency on shared CI runners is noisy: 3x on p99, 1/3 on QPS).
+"""
+
+import json
+import os
+import random
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+REGRESSION_ENV = "REPRO_BENCH_REGRESSION"
+
+K = 1024
+WINDOW = 512
+
+
+def _trace(n, seed=29):
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    for _ in range(n):
+        t += rng.uniform(0.001, 0.2)
+        c0 = rng.randrange(0, 16)
+        span = rng.randrange(1, 4)
+        out.append((t, rng.randrange(0, 200), c0 * K, (c0 + span) * K - 1))
+    return out
+
+
+def test_serve_decision_latency(report, strict, scale, tmp_path):
+    from repro.serve.daemon import ServeConfig
+    from repro.serve.soak import DaemonProcess
+
+    n = 20_000 if strict else 2_000
+    requests = _trace(n)
+    config = ServeConfig(
+        algorithm="xLRU",
+        disk_chunks=2048,
+        chunk_bytes=K,
+        publish_interval=0.0,
+    )
+    daemon = DaemonProcess(str(tmp_path / "bench.sock"), config)
+    daemon.start()
+    try:
+        client = daemon.connect()
+        assert client.hello()["watermark"] == 0
+        seq = 1
+        while seq <= n:
+            count = min(WINDOW, n - seq + 1)
+            for offset in range(count):
+                t, video, b0, b1 = requests[seq - 1 + offset]
+                client.send(
+                    {"seq": seq + offset, "t": t, "video": video,
+                     "b0": b0, "b1": b1}
+                )
+            client.flush()
+            for _ in range(count):
+                response = client.read_response()
+                assert response.get("ok"), response
+            seq += count
+        stats = client.stats()
+        client.shutdown()
+        client.close()
+        daemon.wait()
+    finally:
+        daemon.kill()
+
+    assert stats["watermark"] == n
+    slo = stats["slo"]
+    latency = slo["latency_ms"]
+    qps = slo["sustained_qps"]
+    assert slo["decisions"] == n
+    assert latency["p50"] is not None and latency["p99"] is not None
+
+    baseline = None
+    if BENCH_PATH.exists():
+        baseline = json.loads(BENCH_PATH.read_text())
+    if baseline is not None and "scales" in baseline:
+        payload = dict(baseline)
+    else:
+        payload = {"bench": "serve_latency"}
+    payload.setdefault("scales", {})[scale.name] = {
+        "requests": n,
+        "window": WINDOW,
+        "algorithm": config.algorithm,
+        "disk_chunks": config.disk_chunks,
+        "latency_ms": latency,
+        "sustained_qps": qps,
+        "cpu_count": os.cpu_count() or 1,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report(
+        f"serve decision latency ({n} requests over one unix socket):",
+        f"  p50  : {latency['p50']:.3f} ms",
+        f"  p99  : {latency['p99']:.3f} ms",
+        f"  p999 : {latency['p999']:.3f} ms"
+        if latency["p999"] is not None
+        else "  p999 : n/a",
+        f"  sustained: {qps:,.0f} decisions/s",
+        f"  wrote {BENCH_PATH.name}",
+    )
+
+    if strict:
+        # SLO sanity floors, deliberately loose for shared runners
+        assert latency["p99"] < 250.0, f"p99 {latency['p99']:.1f}ms"
+        assert qps > 200.0, f"sustained {qps:.0f} qps"
+
+    committed = (baseline or {}).get("scales", {}).get(scale.name)
+    if os.environ.get(REGRESSION_ENV, "").strip() and committed:
+        committed_p99 = committed["latency_ms"]["p99"]
+        committed_qps = committed["sustained_qps"]
+        assert latency["p99"] <= committed_p99 * 3.0 + 1.0, (
+            f"p99 regressed: {latency['p99']:.2f}ms vs committed "
+            f"{committed_p99:.2f}ms (>3x)"
+        )
+        assert qps >= committed_qps / 3.0, (
+            f"sustained QPS regressed: {qps:.0f} vs committed "
+            f"{committed_qps:.0f} (<1/3)"
+        )

@@ -89,6 +89,91 @@ def main_gen(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def _profiled(top_n, fn):
+    """Run ``fn()``, under cProfile when ``top_n`` is not None.
+
+    Shared by the single-cache and fleet lanes of ``repro-sim`` so
+    ``--profile`` attributes time in whichever replay actually ran.
+    """
+    if top_n is None:
+        return fn()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top_n)
+    return result
+
+
+def _sim_fleet(args, requests, progress) -> int:
+    """Replay ``requests`` through the packed-batched fleet lane.
+
+    The trace is sharded round-robin across ``args.fleet_edges`` edge
+    caches (a subsequence of a time-ordered trace stays time-ordered)
+    behind one parent sized to the aggregate edge capacity, and the
+    whole fleet replays through ``CdnSimulator``'s batched packed
+    path — the lane ``--profile`` previously could not reach.
+    """
+    from repro.cdn.multiserver import CdnSimulator
+    from repro.cdn.topology import hierarchy
+    from repro.trace.columnar import pack_trace
+    from repro.trace.fleet import FleetTrace
+
+    edges = args.fleet_edges
+    names = [f"edge{i:02d}" for i in range(edges)]
+    split: dict = {name: [] for name in names}
+    for i, request in enumerate(requests):
+        split[names[i % edges]].append(request)
+    fleet = FleetTrace(
+        {name: pack_trace(shard) for name, shard in split.items()},
+        validate=False,
+    )
+
+    edge_caches = {
+        name: build_cache(args.algorithm, args.disk_chunks, alpha_f2r=args.alpha)
+        for name in names
+    }
+    parent = build_cache(
+        args.algorithm, args.disk_chunks * edges, alpha_f2r=args.alpha
+    )
+    simulator = CdnSimulator(hierarchy(edge_caches, parent))
+    result = _profiled(args.profile, lambda: simulator.run(
+        fleet, interval=args.interval, progress=progress,
+    ))
+
+    rows = []
+    for name in [*names, "parent"]:
+        summary = result.summary(name)
+        rows.append(
+            {"server": name, "efficiency": summary.efficiency,
+             "redirect_ratio": summary.redirect_ratio,
+             "ingress_fraction": summary.ingress_fraction,
+             "requests": summary.num_requests}
+        )
+    title = (
+        f"fleet: {edges} x {args.algorithm}({args.disk_chunks}) -> "
+        f"parent {args.algorithm}({args.disk_chunks * edges})"
+    )
+    print(format_table(rows, title=title))
+    print(
+        f"origin offload: {result.origin_offload:.4f} "
+        f"({result.num_user_requests} user requests, "
+        f"{result.origin_requests} ended at origin)"
+    )
+    if result.report is not None:
+        print(result.report.describe())
+        for stage in result.report.stages:
+            rate = f", {stage.rate:,.0f} items/s" if stage.rate else ""
+            print(f"  {stage.name}: {stage.seconds:.3f}s{rate}")
+    return 0
+
+
 def main_sim(argv: Optional[Sequence[str]] = None) -> int:
     """Replay a trace file through one caching algorithm."""
     parser = argparse.ArgumentParser(prog="repro-sim", description=main_sim.__doc__)
@@ -135,6 +220,20 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--fleet-edges",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "replay through the packed-batched fleet lane instead of "
+            "the single-cache engine: the trace is sharded round-robin "
+            "across N edge caches (each --disk-chunks large) behind a "
+            "parent of the same algorithm sized N*--disk-chunks; "
+            "combine with --profile to attribute time inside the "
+            "batched fleet replay"
+        ),
+    )
+    parser.add_argument(
         "--telemetry",
         metavar="OUT",
         default=None,
@@ -177,14 +276,16 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
     elif args.no_probes or args.snapshot_every is not None:
         parser.error("--no-probes/--snapshot-every require --telemetry")
 
-    requests = list(_read_trace(args.trace))
-    cache = build_cache(args.algorithm, args.disk_chunks, alpha_f2r=args.alpha)
-    audited = None
-    if args.audit:
-        from repro.verify.audit import AuditedCache
+    if args.fleet_edges is not None:
+        if args.fleet_edges < 1:
+            parser.error("--fleet-edges must be >= 1")
+        if args.telemetry or args.audit or args.series:
+            parser.error(
+                "--fleet-edges replays the multi-server lane and does "
+                "not combine with --telemetry/--audit/--series"
+            )
 
-        audited = AuditedCache(cache, strict=False)
-        cache = audited
+    requests = list(_read_trace(args.trace))
 
     progress = None
     if args.progress:
@@ -193,24 +294,21 @@ def main_sim(argv: Optional[Sequence[str]] = None) -> int:
             where = f"{done}/{total}" if total is not None else str(done)
             print(f"  replayed {where} requests in {elapsed:.1f}s", file=sys.stderr)
 
-    if args.profile is not None:
-        import cProfile
-        import pstats
+    if args.fleet_edges is not None:
+        return _sim_fleet(args, requests, progress)
 
-        profiler = cProfile.Profile()
-        profiler.enable()
-        result = replay(
-            cache, requests, interval=args.interval, progress=progress,
-            telemetry=telemetry, label=args.algorithm,
-        )
-        profiler.disable()
-        stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.strip_dirs().sort_stats("cumulative").print_stats(args.profile)
-    else:
-        result = replay(
-            cache, requests, interval=args.interval, progress=progress,
-            telemetry=telemetry, label=args.algorithm,
-        )
+    cache = build_cache(args.algorithm, args.disk_chunks, alpha_f2r=args.alpha)
+    audited = None
+    if args.audit:
+        from repro.verify.audit import AuditedCache
+
+        audited = AuditedCache(cache, strict=False)
+        cache = audited
+
+    result = _profiled(args.profile, lambda: replay(
+        cache, requests, interval=args.interval, progress=progress,
+        telemetry=telemetry, label=args.algorithm,
+    ))
     steady = result.steady
     totals = result.totals
     rows = [
@@ -594,6 +692,13 @@ def main_report(argv: Optional[Sequence[str]] = None) -> int:
     return main(argv)
 
 
+def main_serve(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the live decision daemon (repro-serve)."""
+    from repro.serve.cli import main
+
+    return main(argv)
+
+
 def _dispatch() -> int:  # pragma: no cover - convenience for python -m
     prog = sys.argv[1] if len(sys.argv) > 1 else ""
     mains = {
@@ -603,11 +708,12 @@ def _dispatch() -> int:  # pragma: no cover - convenience for python -m
         "validate": main_validate,
         "verify": main_verify,
         "report": main_report,
+        "serve": main_serve,
     }
     if prog not in mains:
         print(
             "usage: python -m repro.cli "
-            "{gen|sim|experiment|validate|verify|report} ...",
+            "{gen|sim|experiment|validate|verify|report|serve} ...",
             file=sys.stderr,
         )
         return 2

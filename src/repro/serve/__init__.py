@@ -1,0 +1,46 @@
+"""``repro.serve`` — the cache as a service, not a batch job.
+
+A long-running asyncio daemon (``repro-serve``) that answers
+serve/redirect decisions over a JSONL stream (unix socket, TCP, or
+stdin), with the robustness pillars the paper's "lines of defense"
+story implies for production: admission control + backpressure, atomic
+watermarked crash recovery, a supervised decision worker with bounded
+retries, SLO measurement through ``repro.obs``, and a fault-soak
+harness proving exactly-once accounting across SIGKILLs.
+
+See DESIGN.md §13 for the architecture and failure matrix.
+"""
+
+from repro.serve.client import ServeClient, connect_with_retry
+from repro.serve.daemon import (
+    DecisionService,
+    ServeConfig,
+    ServeDaemon,
+    TransientDecisionError,
+)
+from repro.serve.limiter import TokenBucket
+from repro.serve.protocol import (
+    ProtocolError,
+    decide_and_account,
+    new_totals,
+    parse_line,
+)
+from repro.serve.slo import ServeSLO
+from repro.serve.snapshotter import RestoredState, SnapshotStore
+
+__all__ = [
+    "DecisionService",
+    "ProtocolError",
+    "RestoredState",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeSLO",
+    "SnapshotStore",
+    "TokenBucket",
+    "TransientDecisionError",
+    "connect_with_retry",
+    "decide_and_account",
+    "new_totals",
+    "parse_line",
+]

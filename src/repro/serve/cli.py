@@ -1,0 +1,136 @@
+"""``repro-serve``: run the live decision daemon from the command line."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence, Tuple
+
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.sim.runner import CACHE_FACTORIES
+from repro.trace.requests import DEFAULT_CHUNK_BYTES
+
+__all__ = ["main"]
+
+
+def _parse_tcp(value: str) -> Tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"--tcp needs HOST:PORT, got {value!r}"
+        )
+    return host, int(port)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Serve live serve/redirect decisions over a JSONL stream."""
+    parser = argparse.ArgumentParser(prog="repro-serve", description=main.__doc__)
+    endpoints = parser.add_argument_group("endpoints (at least one)")
+    endpoints.add_argument(
+        "--socket", metavar="PATH", default=None, help="unix socket to bind"
+    )
+    endpoints.add_argument(
+        "--tcp", metavar="HOST:PORT", type=_parse_tcp, default=None
+    )
+    endpoints.add_argument(
+        "--stdin",
+        action="store_true",
+        help="speak the protocol on stdin/stdout (EOF stops the daemon)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="xLRU",
+        choices=sorted(
+            name
+            for name, factory in CACHE_FACTORIES.items()
+            if not getattr(factory, "offline", False)
+        ),
+    )
+    parser.add_argument("--disk-chunks", type=int, default=4096)
+    parser.add_argument("--chunk-bytes", type=int, default=DEFAULT_CHUNK_BYTES)
+    parser.add_argument("--alpha", type=float, default=2.0, dest="alpha")
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="admission tokens/second (0 = unlimited)",
+    )
+    parser.add_argument("--burst", type=float, default=256.0)
+    parser.add_argument("--queue-limit", type=int, default=1024)
+    parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="enable crash recovery: atomic watermarked snapshots here",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=5000,
+        help="applied requests between periodic snapshots (0 = final only)",
+    )
+    parser.add_argument("--snapshot-keep", type=int, default=2)
+    parser.add_argument("--request-timeout", type=float, default=5.0)
+    parser.add_argument("--max-retries", type=int, default=3)
+    parser.add_argument(
+        "--publish-interval",
+        type=float,
+        default=1.0,
+        help="seconds between telemetry pushes to subscribers (0 = off)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="OUT",
+        default=None,
+        help="write repro.obs JSONL telemetry at graceful shutdown",
+    )
+    parser.add_argument(
+        "--test-hooks",
+        action="store_true",
+        help="enable test-only ops (crash-worker) and fault injection",
+    )
+    parser.add_argument("--fault-rate", type=float, default=0.0)
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument(
+        "--echo-events", action="store_true", help="echo events to stderr"
+    )
+    args = parser.parse_args(argv)
+
+    if not (args.socket or args.tcp or args.stdin):
+        parser.error("need at least one endpoint: --socket, --tcp or --stdin")
+    if args.fault_rate > 0 and not args.test_hooks:
+        parser.error("--fault-rate requires --test-hooks")
+
+    config = ServeConfig(
+        algorithm=args.algorithm,
+        disk_chunks=args.disk_chunks,
+        chunk_bytes=args.chunk_bytes,
+        alpha_f2r=args.alpha,
+        rate=args.rate,
+        burst=args.burst,
+        queue_limit=args.queue_limit,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_every=args.snapshot_every,
+        snapshot_keep=args.snapshot_keep,
+        request_timeout=args.request_timeout,
+        max_retries=args.max_retries,
+        publish_interval=args.publish_interval,
+        telemetry_path=args.telemetry,
+        test_hooks=args.test_hooks,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+    )
+
+    from repro.obs.events import EventLog
+
+    daemon = ServeDaemon(config, events=EventLog(echo=args.echo_events))
+    try:
+        return asyncio.run(
+            daemon.run(unix_path=args.socket, tcp=args.tcp, stdio=args.stdin)
+        )
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""A small synchronous client for the ``repro-serve`` wire protocol.
+
+Used by the soak harness, the latency benchmark and the CI smoke job;
+deliberately dependency-free (stdlib sockets) so it also serves as the
+reference implementation of the client side of the exactly-once
+protocol: connect, ``hello`` for the watermark, send from
+``watermark + 1``, and on any failure reconnect and ask again.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Optional, Tuple, Union
+
+__all__ = ["ServeClient", "connect_with_retry"]
+
+
+class ServeClient:
+    """One connection speaking line-oriented JSON to the daemon."""
+
+    def __init__(self, sock: socket.socket, timeout: float = 30.0) -> None:
+        sock.settimeout(timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def connect_unix(cls, path: str, timeout: float = 30.0) -> "ServeClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+        except OSError:
+            sock.close()
+            raise
+        return cls(sock, timeout=timeout)
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, timeout: float = 30.0
+    ) -> "ServeClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock, timeout=timeout)
+
+    def close(self) -> None:
+        for closer in (self._file.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw line I/O --------------------------------------------------------
+
+    def send_raw(self, line: str) -> None:
+        """Send one already-encoded line (no trailing newline needed)."""
+        self._file.write(line.encode() + b"\n")
+
+    def send(self, obj: dict) -> None:
+        self._file.write(json.dumps(obj).encode() + b"\n")
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def read_response(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    # -- conveniences --------------------------------------------------------
+
+    def op(self, name: str) -> dict:
+        self.send({"op": name})
+        self.flush()
+        return self.read_response()
+
+    def hello(self) -> dict:
+        return self.op("hello")
+
+    def stats(self) -> dict:
+        return self.op("stats")
+
+    def shutdown(self) -> dict:
+        return self.op("shutdown")
+
+    def request(
+        self, t: float, video: int, b0: int, b1: int, seq: Optional[int] = None
+    ) -> dict:
+        message: dict = {"t": t, "video": video, "b0": b0, "b1": b1}
+        if seq is not None:
+            message["seq"] = seq
+        self.send(message)
+        self.flush()
+        return self.read_response()
+
+
+def connect_with_retry(
+    target: Union[str, Tuple[str, int]],
+    timeout: float = 30.0,
+    retry_for: float = 10.0,
+    interval: float = 0.05,
+) -> ServeClient:
+    """Connect to a unix path or ``(host, port)``, retrying while the
+    daemon is (re)starting.  Raises the last error after ``retry_for``
+    seconds."""
+    deadline = time.monotonic() + retry_for
+    last: Optional[Exception] = None
+    while True:
+        try:
+            if isinstance(target, str):
+                return ServeClient.connect_unix(target, timeout=timeout)
+            host, port = target
+            return ServeClient.connect_tcp(host, port, timeout=timeout)
+        except OSError as exc:
+            last = exc
+            if time.monotonic() >= deadline:
+                raise ConnectionError(
+                    f"could not reach daemon at {target!r} within "
+                    f"{retry_for:g}s: {last!r}"
+                ) from last
+            time.sleep(interval)

@@ -1,0 +1,67 @@
+"""Token-bucket admission control for the serve daemon.
+
+The first line of defense against overload is refusing work *early*:
+a request that will only time out in the queue is cheaper to reject at
+the door with a Retry-After hint.  The bucket refills continuously at
+``rate`` tokens/second up to ``burst``; admission takes one token.
+``try_acquire`` never sleeps — it either grants now or answers "come
+back in this many seconds", which the daemon forwards verbatim in the
+``overloaded`` response.
+
+The clock is injectable so tests drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (``rate <= 0`` disables limiting)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate > 0 and burst < 1.0:
+            raise ValueError(f"burst must be >= 1 token, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens if available.
+
+        Returns ``0.0`` on success, otherwise the seconds until the
+        bucket will hold ``n`` tokens again (the Retry-After hint).
+        The failed call consumes nothing.
+        """
+        if self.rate <= 0:
+            return 0.0
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (after refill) — for tests/telemetry."""
+        if self.rate <= 0:
+            return float("inf")
+        self._refill()
+        return self._tokens

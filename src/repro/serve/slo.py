@@ -1,0 +1,93 @@
+"""Serve-side SLO measurement: decision latency and sustained QPS.
+
+Every admitted request's decision latency (dequeue to response built)
+feeds a :class:`~repro.obs.sketch.HistogramSketch` inside a standard
+:class:`~repro.obs.registry.MetricRegistry`, so the daemon's SLOs ride
+the existing ``repro.obs`` machinery — same sketches, same JSONL
+schema, same ``repro-report`` tooling — instead of a parallel metrics
+stack.  Latencies are recorded in *microseconds* (decisions run tens
+of µs) to keep the log-bucket resolution comfortable.
+
+p50/p99/p999 and the sustained decision rate are exported in the lane
+summary and gated by ``benchmarks/test_serve_latency.py``
+(``BENCH_serve.json``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricRegistry
+from repro.obs.sketch import DEFAULT_GROWTH
+
+__all__ = ["ServeSLO"]
+
+_LATENCY = "decision_us"
+
+#: quantiles the summary reports, with their field names
+QUANTILES = (("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
+
+
+class ServeSLO:
+    """Latency/throughput accounting for one daemon lifetime."""
+
+    def __init__(self, histogram_growth: float = DEFAULT_GROWTH) -> None:
+        self.registry = MetricRegistry(histogram_growth=histogram_growth)
+        self._first_decision: Optional[float] = None
+        self._last_decision: Optional[float] = None
+        self._decisions = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.registry.count(name, n)
+
+    def counter(self, name: str) -> float:
+        return self.registry.counter(name)
+
+    def observe_decision(self, seconds: float) -> None:
+        """Fold one decision latency (seconds) into the sketch."""
+        now = time.perf_counter()
+        if self._first_decision is None:
+            self._first_decision = now
+        self._last_decision = now
+        self._decisions += 1
+        self.registry.observe(_LATENCY, seconds * 1e6)
+
+    # -- queries -------------------------------------------------------------
+
+    def latency_ms(self) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p99": ..., "p999": ...}`` in milliseconds.
+
+        Quantiles are ``None`` until the first decision lands — ``NaN``
+        is not valid JSON, and these dicts go straight onto the wire.
+        """
+        sketch = self.registry.histograms.get(_LATENCY)
+        out: Dict[str, Optional[float]] = {}
+        for name, q in QUANTILES:
+            value = sketch.quantile(q) if sketch is not None else math.nan
+            out[name] = value / 1e3 if math.isfinite(value) else None
+        return out
+
+    def sustained_qps(self) -> float:
+        """Decisions per second between the first and last decision."""
+        if (
+            self._decisions < 2
+            or self._first_decision is None
+            or self._last_decision is None
+        ):
+            return 0.0
+        span = self._last_decision - self._first_decision
+        if span <= 0:
+            return 0.0
+        return (self._decisions - 1) / span
+
+    def summary(self) -> dict:
+        """JSON-safe SLO block for the ``stats`` op and telemetry."""
+        return {
+            "decisions": self._decisions,
+            "latency_ms": self.latency_ms(),
+            "sustained_qps": self.sustained_qps(),
+        }

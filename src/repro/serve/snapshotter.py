@@ -1,0 +1,191 @@
+"""Crash-safe cache snapshots for the serve daemon.
+
+The daemon periodically persists ``(cache state, traffic totals,
+request-sequence watermark)`` as one atomic unit, so a restart resumes
+warm and the exactly-once ledger stays consistent: every request at or
+below the watermark is *in* the snapshot, everything above it is *not*
+— there is no third state.
+
+Durability discipline:
+
+* the payload is written to a temp file in the snapshot directory,
+  fsync'd, then ``rename``\\ d into place (atomic on POSIX);
+* a versioned ``MANIFEST.json`` naming the latest payload is replaced
+  the same way, and the directory is fsync'd so both names survive a
+  power cut;
+* the manifest binds snapshots to one daemon configuration via a
+  fingerprint — restarting with a different algorithm/geometry fails
+  fast instead of silently resuming foreign state.
+
+A corrupt or missing payload degrades to a cold start (reported, never
+fatal): the exactly-once protocol makes a cold start *correct*, just
+slower — the client resends from watermark 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.core.base import VideoCache
+from repro.core.snapshot import load_state_dict, state_dict
+
+__all__ = ["RestoredState", "SnapshotStore"]
+
+_MANIFEST = "MANIFEST.json"
+_MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RestoredState:
+    """What a successful :meth:`SnapshotStore.load` hands back."""
+
+    watermark: int
+    totals: Dict[str, int]
+    last_t: float
+    path: str
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_atomic(path: Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class SnapshotStore:
+    """Atomic, watermarked snapshots under one directory."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        keep: int = 2,
+        on_warning: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._warn = on_warning or (lambda tag, detail: None)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST
+
+    def save(
+        self,
+        cache: VideoCache,
+        watermark: int,
+        totals: Dict[str, int],
+        last_t: float,
+        fingerprint: str,
+    ) -> Path:
+        """Persist one snapshot; returns the payload path."""
+        name = f"state-{watermark:012d}.json"
+        path = self.directory / name
+        _write_atomic(
+            path,
+            {
+                "version": _MANIFEST_VERSION,
+                "fingerprint": fingerprint,
+                "watermark": watermark,
+                "totals": dict(totals),
+                "last_t": last_t,
+                "cache": state_dict(cache),
+            },
+        )
+        _write_atomic(
+            self.manifest_path,
+            {
+                "version": _MANIFEST_VERSION,
+                "fingerprint": fingerprint,
+                "watermark": watermark,
+                "latest": name,
+            },
+        )
+        _fsync_dir(self.directory)
+        self._prune(keep_name=name)
+        return path
+
+    def load(
+        self, cache: VideoCache, fingerprint: str
+    ) -> Optional[RestoredState]:
+        """Restore the latest snapshot into ``cache``.
+
+        Returns ``None`` for a cold start (no manifest, or corrupt
+        artifacts — reported via ``on_warning``).  A *fingerprint
+        mismatch* raises ``ValueError``: that is a configuration error,
+        not a crash artifact, and resuming would silently corrupt the
+        exactly-once ledger.
+        """
+        try:
+            with open(self.manifest_path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError) as exc:
+            self._warn("snapshot-manifest-corrupt", f"{self.manifest_path}: {exc!r}")
+            return None
+        if manifest.get("version") != _MANIFEST_VERSION:
+            self._warn(
+                "snapshot-manifest-version",
+                f"unsupported manifest version {manifest.get('version')!r}",
+            )
+            return None
+        if manifest.get("fingerprint") != fingerprint:
+            raise ValueError(
+                "snapshot directory belongs to a differently configured "
+                f"daemon (manifest fingerprint {manifest.get('fingerprint')!r}, "
+                f"ours {fingerprint!r}); refusing to resume"
+            )
+        path = self.directory / str(manifest.get("latest"))
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("fingerprint") != fingerprint:
+                raise ValueError("payload fingerprint mismatch")
+            load_state_dict(cache, payload["cache"])
+        except FileNotFoundError:
+            self._warn("snapshot-payload-missing", str(path))
+            return None
+        except (ValueError, KeyError, TypeError) as exc:
+            self._warn("snapshot-payload-corrupt", f"{path}: {exc!r}")
+            return None
+        return RestoredState(
+            watermark=int(payload["watermark"]),
+            totals={k: int(v) for k, v in payload["totals"].items()},
+            last_t=float(payload["last_t"]),
+            path=str(path),
+        )
+
+    def _prune(self, keep_name: str) -> None:
+        """Drop old payloads beyond ``keep`` (newest-first by name)."""
+        payloads = sorted(
+            (p for p in self.directory.glob("state-*.json")),
+            key=lambda p: p.name,
+            reverse=True,
+        )
+        for stale in payloads[self.keep :]:
+            if stale.name == keep_name:
+                continue
+            try:
+                stale.unlink()
+            except OSError:
+                pass

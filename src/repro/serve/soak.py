@@ -1,0 +1,447 @@
+"""Fault-soak harness: traffic + kills against a live ``repro-serve``.
+
+The soak replays a (diurnal) trace against a daemon subprocess while a
+seeded :class:`~repro.cdn.faults.FaultSchedule` of ``restart`` events
+SIGKILLs and restarts it mid-run, injecting malformed lines along the
+way.  The pass criterion is exactness, not survival alone: the final
+traffic totals must be **byte-identical** to an uninterrupted batch
+replay of the same trace (both sides run
+:func:`repro.serve.protocol.decide_and_account`), the request-sequence
+watermark must equal the trace length (nothing double-counted, nothing
+lost), and every malformed line must have been answered.
+
+Runnable directly — the CI ``serve-smoke`` job and ``make serve-soak``
+both call ``python -m repro.serve.soak``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cdn.faults import FaultEvent, FaultSchedule
+from repro.serve.client import ServeClient, connect_with_retry
+from repro.serve.daemon import ServeConfig
+from repro.serve.protocol import decide_and_account, new_totals
+from repro.sim.runner import build_cache
+from repro.trace.requests import Request
+
+__all__ = [
+    "DaemonProcess",
+    "SoakOutcome",
+    "batch_totals",
+    "kill_schedule",
+    "run_soak",
+    "main",
+]
+
+
+def batch_totals(config: ServeConfig, requests: Sequence[Request]) -> Dict[str, int]:
+    """The uninterrupted batch replay the daemon must match exactly."""
+    cache = build_cache(
+        config.algorithm,
+        config.disk_chunks,
+        alpha_f2r=config.alpha_f2r,
+        chunk_bytes=config.chunk_bytes,
+    )
+    totals = new_totals()
+    last_t = float("-inf")
+    for r in requests:
+        _, last_t = decide_and_account(
+            cache, totals, r.t, r.video, r.b0, r.b1, last_t
+        )
+    return totals
+
+
+def kill_schedule(
+    requests: Sequence[Request], restarts: int, seed: int
+) -> FaultSchedule:
+    """Seeded restart events inside the middle 80% of the trace span."""
+    events: List[FaultEvent] = []
+    if restarts > 0 and len(requests) >= 2:
+        rng = random.Random(seed)
+        t0, t1 = requests[0].t, requests[-1].t
+        span = max(t1 - t0, 1.0)
+        for _ in range(restarts):
+            events.append(
+                FaultEvent(
+                    kind="restart",
+                    server="serve",
+                    t=t0 + span * rng.uniform(0.1, 0.9),
+                    duration=1.0,
+                )
+            )
+    return FaultSchedule(events, seed=seed)
+
+
+class DaemonProcess:
+    """A ``repro-serve`` subprocess bound to one unix socket."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        config: ServeConfig,
+        telemetry_path: Optional[str] = None,
+    ) -> None:
+        self.socket_path = socket_path
+        self.config = config
+        self.telemetry_path = telemetry_path
+        self.proc: Optional[subprocess.Popen] = None
+        self.starts = 0
+
+    def args(self) -> List[str]:
+        config = self.config
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.serve.cli",
+            "--socket",
+            self.socket_path,
+            "--algorithm",
+            config.algorithm,
+            "--disk-chunks",
+            str(config.disk_chunks),
+            "--chunk-bytes",
+            str(config.chunk_bytes),
+            "--alpha",
+            str(config.alpha_f2r),
+            "--rate",
+            str(config.rate),
+            "--queue-limit",
+            str(config.queue_limit),
+            "--snapshot-every",
+            str(config.snapshot_every),
+            "--publish-interval",
+            str(config.publish_interval),
+        ]
+        if config.snapshot_dir:
+            argv += ["--snapshot-dir", config.snapshot_dir]
+        if self.telemetry_path:
+            argv += ["--telemetry", self.telemetry_path]
+        if config.test_hooks:
+            argv += ["--test-hooks"]
+        return argv
+
+    def start(self) -> None:
+        # stale socket from a SIGKILLed predecessor must not block bind
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        self.proc = subprocess.Popen(self.args())
+        self.starts += 1
+
+    def kill(self) -> None:
+        """SIGKILL — the crash the snapshot watermark must survive."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=30)
+
+    def wait(self, timeout: float = 30.0) -> Optional[int]:
+        if self.proc is None:
+            return None
+        return self.proc.wait(timeout=timeout)
+
+    def connect(self, retry_for: float = 20.0) -> ServeClient:
+        return connect_with_retry(self.socket_path, retry_for=retry_for)
+
+
+@dataclass
+class SoakOutcome:
+    """What one soak run produced (see :func:`run_soak`)."""
+
+    sent: int = 0
+    watermark: int = 0
+    restarts: int = 0
+    resumed_restarts: int = 0
+    malformed_sent: int = 0
+    malformed_acked: int = 0
+    shed: int = 0
+    duplicates: int = 0
+    recoveries: int = 0
+    totals: Dict[str, int] = field(default_factory=dict)
+    batch: Dict[str, int] = field(default_factory=dict)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def exact(self) -> bool:
+        return self.totals == self.batch and self.watermark == self.sent
+
+    @property
+    def ok(self) -> bool:
+        return self.exact and self.malformed_acked == self.malformed_sent
+
+    def describe(self) -> str:
+        lines = [
+            f"soak: {self.sent} requests, {self.restarts} kill(s) "
+            f"({self.resumed_restarts} warm resume(s)), "
+            f"{self.malformed_sent} malformed line(s) "
+            f"({self.malformed_acked} acked), {self.duplicates} duplicate "
+            f"ack(s), {self.shed} shed, {self.recoveries} recover(ies)",
+            f"watermark: {self.watermark} (expected {self.sent})",
+            f"totals exact vs batch replay: {self.totals == self.batch}",
+        ]
+        if self.totals != self.batch:
+            for key in sorted(set(self.totals) | set(self.batch)):
+                a, b = self.totals.get(key), self.batch.get(key)
+                if a != b:
+                    lines.append(f"  MISMATCH {key}: daemon={a} batch={b}")
+        return "\n".join(lines)
+
+
+_MALFORMED_LINE = '{"t": "not-a-number", "video": -3'
+
+
+def run_soak(
+    requests: Sequence[Request],
+    config: ServeConfig,
+    restarts: int = 1,
+    fault_seed: int = 20140413,
+    malformed_every: int = 0,
+    window: int = 256,
+    socket_path: Optional[str] = None,
+    telemetry_path: Optional[str] = None,
+    progress: bool = False,
+) -> SoakOutcome:
+    """Drive the full soak; returns the outcome (caller asserts ``.ok``).
+
+    ``requests`` must be time-sorted.  ``config.snapshot_dir`` should
+    be set when ``restarts > 0`` — without it a kill falls back to a
+    cold start, which is still *exact* (the client resends everything)
+    but no longer tests warm recovery.
+    """
+    outcome = SoakOutcome(sent=len(requests), restarts=0)
+    outcome.batch = batch_totals(config, requests)
+
+    schedule = kill_schedule(requests, restarts, fault_seed)
+    kill_times = [event.t for event in schedule.events if event.kind == "restart"]
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-soak-") as workdir:
+        sock = socket_path or os.path.join(workdir, "serve.sock")
+        daemon = DaemonProcess(sock, config, telemetry_path=telemetry_path)
+        daemon.start()
+        client = daemon.connect()
+        hello = client.hello()
+        next_seq = hello["watermark"] + 1
+        kill_index = 0
+        since_malformed = 0
+
+        try:
+            while next_seq <= len(requests):
+                # the fault schedule fires between windows: SIGKILL,
+                # restart, reconnect, resume from the restored watermark
+                if (
+                    kill_index < len(kill_times)
+                    and requests[next_seq - 1].t >= kill_times[kill_index]
+                ):
+                    kill_index += 1
+                    outcome.restarts += 1
+                    client.close()
+                    daemon.kill()
+                    daemon.start()
+                    client = daemon.connect()
+                    hello = client.hello()
+                    if hello.get("resumed"):
+                        outcome.resumed_restarts += 1
+                    next_seq = hello["watermark"] + 1
+                    if progress:
+                        print(
+                            f"  killed + restarted at seq {next_seq - 1} "
+                            f"(warm={hello.get('resumed')})",
+                            file=sys.stderr,
+                        )
+
+                count = min(window, len(requests) - next_seq + 1)
+                if kill_index < len(kill_times):
+                    # never let a window jump past a pending kill: clamp
+                    # it to the requests before the kill time so the
+                    # next loop iteration fires the restart
+                    boundary = kill_times[kill_index]
+                    ahead = 0
+                    while (
+                        ahead < count
+                        and requests[next_seq - 1 + ahead].t < boundary
+                    ):
+                        ahead += 1
+                    count = max(ahead, 1)
+                injected = 0
+                try:
+                    for offset in range(count):
+                        r = requests[next_seq - 1 + offset]
+                        client.send(
+                            {
+                                "seq": next_seq + offset,
+                                "t": r.t,
+                                "video": r.video,
+                                "b0": r.b0,
+                                "b1": r.b1,
+                            }
+                        )
+                        since_malformed += 1
+                        if malformed_every and since_malformed >= malformed_every:
+                            since_malformed = 0
+                            injected += 1
+                            outcome.malformed_sent += 1
+                            client.send_raw(_MALFORMED_LINE)
+                    client.flush()
+                    retry_after = 0.0
+                    clean = True
+                    for _ in range(count + injected):
+                        response = client.read_response()
+                        if response.get("ok"):
+                            if response.get("kind") == "duplicate":
+                                outcome.duplicates += 1
+                            continue
+                        code = response.get("error")
+                        if code == "malformed":
+                            outcome.malformed_acked += 1
+                            continue
+                        clean = False
+                        if code == "overloaded":
+                            outcome.shed += 1
+                            retry_after = max(
+                                retry_after, response.get("retry_after", 0.0)
+                            )
+                    if clean:
+                        next_seq += count
+                    else:
+                        # something was shed/gapped/failed: the watermark
+                        # is the one source of truth for where to resume
+                        if retry_after > 0:
+                            time.sleep(min(retry_after, 1.0))
+                        next_seq = client.hello()["watermark"] + 1
+                        outcome.recoveries += 1
+                except (ConnectionError, OSError, ValueError):
+                    # daemon died mid-window (or a kill raced us):
+                    # reconnect — possibly to a restarted process — and
+                    # resume from its watermark
+                    client.close()
+                    if daemon.proc is not None and daemon.proc.poll() is not None:
+                        daemon.start()
+                        outcome.restarts += 1
+                    client = daemon.connect()
+                    hello = client.hello()
+                    if hello.get("resumed"):
+                        outcome.resumed_restarts += 1
+                    next_seq = hello["watermark"] + 1
+                    outcome.recoveries += 1
+
+            stats = client.stats()
+            outcome.stats = stats
+            outcome.watermark = stats["watermark"]
+            outcome.totals = {k: int(v) for k, v in stats["totals"].items()}
+            client.shutdown()
+            client.close()
+            daemon.wait()
+        finally:
+            try:
+                daemon.kill()
+            except Exception:
+                pass
+    return outcome
+
+
+def _generate(server: str, scale: float, days: float, seed: int) -> List[Request]:
+    from repro.workload.generator import TraceGenerator
+    from repro.workload.servers import SERVER_PROFILES
+
+    profile = SERVER_PROFILES[server].scaled(scale)
+    return list(TraceGenerator(profile, seed=seed).generate(days=days))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Soak/smoke a live daemon against the batch replay (exactness gate)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.soak", description=main.__doc__
+    )
+    parser.add_argument("--trace", default=None, help="replay this trace file")
+    parser.add_argument(
+        "--server", default="europe", help="generated-trace profile"
+    )
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--days", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--requests", type=int, default=None, help="truncate the trace"
+    )
+    parser.add_argument("--algorithm", default="xLRU")
+    parser.add_argument("--disk-chunks", type=int, default=2048)
+    parser.add_argument("--alpha", type=float, default=2.0)
+    parser.add_argument(
+        "--restarts", type=int, default=1, help="seeded SIGKILL count"
+    )
+    parser.add_argument("--fault-seed", type=int, default=20140413)
+    parser.add_argument(
+        "--malformed-every",
+        type=int,
+        default=0,
+        help="inject one malformed line every N requests",
+    )
+    parser.add_argument("--window", type=int, default=256)
+    parser.add_argument("--snapshot-every", type=int, default=1000)
+    parser.add_argument(
+        "--telemetry", default=None, help="daemon telemetry JSONL output"
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        from repro.trace.io import read_trace_csv, read_trace_jsonl
+
+        reader = read_trace_jsonl if ".jsonl" in args.trace else read_trace_csv
+        requests = list(reader(args.trace))
+    else:
+        requests = _generate(args.server, args.scale, args.days, args.seed)
+    if args.requests is not None:
+        requests = requests[: args.requests]
+    if not requests:
+        print("empty trace", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-snap-") as snapdir:
+        config = ServeConfig(
+            algorithm=args.algorithm,
+            disk_chunks=args.disk_chunks,
+            alpha_f2r=args.alpha,
+            snapshot_dir=snapdir,
+            snapshot_every=args.snapshot_every,
+            publish_interval=0.5,
+        )
+        t0 = time.perf_counter()
+        outcome = run_soak(
+            requests,
+            config,
+            restarts=args.restarts,
+            fault_seed=args.fault_seed,
+            malformed_every=args.malformed_every,
+            window=args.window,
+            telemetry_path=args.telemetry,
+            progress=True,
+        )
+        wall = time.perf_counter() - t0
+
+    print(outcome.describe())
+    print(
+        f"wall: {wall:.1f}s "
+        f"({outcome.sent / wall:,.0f} req/s end-to-end incl. restarts)"
+    )
+    if args.telemetry:
+        print(f"telemetry: {args.telemetry}")
+    if not outcome.ok:
+        print("SOAK FAILED", file=sys.stderr)
+        print(json.dumps({"totals": outcome.totals, "batch": outcome.batch}))
+        return 1
+    print("soak ok: totals byte-identical, watermark exact")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -42,7 +42,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import (
@@ -276,6 +279,111 @@ class SweepCheckpoint:
             )
             stream.flush()
             os.fsync(stream.fileno())
+
+    def sync(self) -> None:
+        """Force the journal and its directory entry to stable storage.
+
+        :meth:`append` already fsyncs each record into the file; this
+        additionally fsyncs the *containing directory*, so a freshly
+        created journal survives a crash that happens right after the
+        first append.  Signal handlers call it before killing the
+        process.  A missing journal is not an error.
+        """
+        try:
+            fd = os.open(self.path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        try:
+            dfd = os.open(os.path.dirname(self.path) or ".", os.O_RDONLY)
+        except OSError:  # pragma: no cover - unreadable parent dir
+            return
+        try:
+            os.fsync(dfd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(dfd)
+
+
+@contextmanager
+def _terminal_signal_cleanup(shared, checkpoint, log):
+    """SIGTERM/SIGINT handlers that release sweep resources first.
+
+    SIGTERM's default disposition kills the process without unwinding
+    ``finally`` blocks, which would leak the parent-owned ``/dev/shm``
+    trace segment and leave a just-created checkpoint journal's
+    directory entry unsynced.  While a parallel sweep is running, the
+    installed handler unlinks the segment, syncs the journal, then
+    exits with the conventional ``128 + signum`` status (``os._exit``,
+    so it never blocks on process-pool teardown).  SIGINT performs the
+    same cleanup but raises :class:`KeyboardInterrupt`, preserving the
+    existing Ctrl-C semantics; ``SharedTraceHandle.unlink`` is
+    idempotent, so the outer ``finally`` unlinking again is harmless.
+    Signal handlers can only be installed from the main thread —
+    elsewhere this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    # Forked pool workers inherit these handlers; only the installing
+    # process owns the segment, so a signalled worker must fall back to
+    # the default disposition instead of unlinking it out from under
+    # its siblings.
+    owner_pid = os.getpid()
+
+    def _cleanup(signum: int) -> None:
+        if shared is not None:
+            try:
+                shared.unlink()
+            except Exception:  # pragma: no cover - nothing left to do
+                pass
+        if checkpoint is not None:
+            try:
+                checkpoint.sync()
+            except Exception:  # pragma: no cover
+                pass
+        if log is not None:
+            try:
+                log.info(
+                    "signal-cleanup",
+                    f"signal {signum}: shared trace released, "
+                    f"checkpoint journal synced",
+                )
+            except Exception:  # pragma: no cover
+                pass
+
+    def _on_term(signum, frame):
+        if os.getpid() != owner_pid:
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        _cleanup(signum)
+        os._exit(128 + signum)
+
+    def _on_int(signum, frame):
+        if os.getpid() == owner_pid:
+            _cleanup(signum)
+        raise KeyboardInterrupt
+
+    previous = {}
+    try:
+        previous[signal.SIGTERM] = signal.signal(signal.SIGTERM, _on_term)
+        previous[signal.SIGINT] = signal.signal(signal.SIGINT, _on_int)
+    except (ValueError, OSError):  # pragma: no cover - exotic runtime
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        yield
+        return
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 @dataclass
@@ -761,7 +869,23 @@ class SweepScheduler:
         that exhaust ``max_retries`` run in-process at the end, which
         doubles as the fallback when process pools are unavailable
         altogether.
+
+        While the pool runs, SIGTERM/SIGINT are intercepted so an
+        external kill still releases the shared trace segment and syncs
+        the checkpoint journal (see :func:`_terminal_signal_cleanup`).
         """
+        shared = requests if isinstance(requests, SharedTraceHandle) else None
+        with _terminal_signal_cleanup(shared, self.checkpoint, self.events):
+            return self._run_parallel_pool(groups, requests, on_group)
+
+    def _run_parallel_pool(
+        self,
+        groups: Sequence[CellGroup],
+        requests: "Sequence[Request] | SharedTraceHandle",
+        on_group: Optional[
+            Callable[[CellGroup, Dict[str, SimulationResult]], None]
+        ] = None,
+    ) -> Tuple[Dict[str, SimulationResult], bool, List[EngineEvent], Dict[str, int]]:
         t0 = time.perf_counter()
         results: Dict[str, SimulationResult] = {}
         events: List[EngineEvent] = []

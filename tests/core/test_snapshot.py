@@ -2,14 +2,18 @@
 
 import pytest
 
+from repro.core.baselines import LfuAdmissionCache, PullThroughLruCache
 from repro.core.cafe import CafeCache
 from repro.core.costs import CostModel
 from repro.core.psychic import PsychicCache
 from repro.core.snapshot import (
+    SNAPSHOT_KINDS,
     load_snapshot,
     load_state_dict,
     save_snapshot,
+    snapshot_kind,
     state_dict,
+    supports_snapshot,
 )
 from repro.core.xlru import XlruCache
 from repro.trace.requests import Request
@@ -46,10 +50,34 @@ def continuation(small_trace):
     return small_trace[600:1000]
 
 
+class TestRegistry:
+    def test_registry_covers_four_kinds(self):
+        assert set(SNAPSHOT_KINDS) == {"xlru", "cafe", "pull-lru", "lfu"}
+
+    def test_supports_snapshot(self):
+        assert supports_snapshot(XlruCache(8, chunk_bytes=K))
+        assert supports_snapshot(PullThroughLruCache(8, chunk_bytes=K))
+        assert supports_snapshot(LfuAdmissionCache(8, chunk_bytes=K))
+        assert not supports_snapshot(PsychicCache(8))
+
+    def test_kind_tags(self):
+        assert snapshot_kind(PullThroughLruCache(8, chunk_bytes=K)) == "pull-lru"
+        assert snapshot_kind(LfuAdmissionCache(8, chunk_bytes=K)) == "lfu"
+
+
 class TestUnsupported:
     def test_offline_cache_rejected(self):
         with pytest.raises(TypeError, match="support"):
             state_dict(PsychicCache(8))
+
+    def test_error_names_supported_set_and_requested_type(self):
+        """The rejection must say what IS supported and what was asked."""
+        with pytest.raises(TypeError) as excinfo:
+            snapshot_kind(PsychicCache(8))
+        message = str(excinfo.value)
+        assert "PsychicCache" in message
+        for cls in SNAPSHOT_KINDS.values():
+            assert cls.__name__ in message
 
     def test_load_into_wrong_kind(self):
         state = state_dict(XlruCache(8, chunk_bytes=K))
@@ -144,3 +172,82 @@ class TestCafeRoundtrip:
         load_state_dict(restored, state_dict(original))
         assert restored.cost_model.alpha_f2r == 4.0
         assert len(restored) == len(original)
+
+
+class TestPullLruRoundtrip:
+    def test_contents_restored(self, warm_trace):
+        original = warm(PullThroughLruCache(64), warm_trace)
+        restored = PullThroughLruCache(64)
+        load_state_dict(restored, state_dict(original))
+        assert len(restored) == len(original)
+        assert list(restored._disk.items()) == list(original._disk.items())
+
+    def test_decisions_continue_identically(self, warm_trace, continuation):
+        original = warm(PullThroughLruCache(64), warm_trace)
+        restored = PullThroughLruCache(64)
+        load_state_dict(restored, state_dict(original))
+        continue_identically(original, restored, continuation)
+
+    def test_json_file_roundtrip(self, tmp_path, warm_trace):
+        original = warm(PullThroughLruCache(64), warm_trace)
+        path = tmp_path / "pull-lru.json"
+        save_snapshot(original, path)
+        restored = PullThroughLruCache(64)
+        load_snapshot(restored, path)
+        assert list(restored._disk.items()) == list(original._disk.items())
+
+    def test_oversized_snapshot_rejected(self, warm_trace):
+        original = warm(PullThroughLruCache(64), warm_trace)
+        state = state_dict(original)
+        state["disk_chunks"] = 2
+        with pytest.raises(ValueError):
+            load_state_dict(
+                PullThroughLruCache(2, chunk_bytes=original.chunk_bytes), state
+            )
+
+
+class TestLfuRoundtrip:
+    def _cache(self, **kw):
+        kw.setdefault("aging_interval", 200)
+        return LfuAdmissionCache(64, **kw)
+
+    def test_contents_restored(self, warm_trace):
+        original = warm(self._cache(), warm_trace)
+        restored = self._cache()
+        load_state_dict(restored, state_dict(original))
+        assert len(restored) == len(original)
+        assert restored._video_hits == original._video_hits
+        assert restored._freq == original._freq
+        assert restored._handled == original._handled
+        assert list(restored._cached.items_ascending()) == list(
+            original._cached.items_ascending()
+        )
+
+    def test_decisions_continue_identically(self, warm_trace, continuation):
+        # aging_interval small enough that the continuation crosses at
+        # least one aging boundary on both sides
+        original = warm(self._cache(aging_interval=150), warm_trace)
+        restored = self._cache(aging_interval=150)
+        load_state_dict(restored, state_dict(original))
+        continue_identically(original, restored, continuation)
+        assert restored._handled == original._handled
+
+    def test_json_file_roundtrip(self, tmp_path, warm_trace):
+        original = warm(self._cache(), warm_trace)
+        path = tmp_path / "lfu.json"
+        save_snapshot(original, path)
+        restored = self._cache()
+        load_snapshot(restored, path)
+        assert restored._freq == original._freq  # dyadic floats: exact
+
+    def test_admission_mismatch_rejected(self, warm_trace):
+        original = warm(self._cache(min_video_hits=2), warm_trace)
+        state = state_dict(original)
+        with pytest.raises(ValueError, match="admission/aging"):
+            load_state_dict(self._cache(min_video_hits=3), state)
+
+    def test_aging_mismatch_rejected(self, warm_trace):
+        original = warm(self._cache(aging_interval=200), warm_trace)
+        state = state_dict(original)
+        with pytest.raises(ValueError, match="admission/aging"):
+            load_state_dict(self._cache(aging_interval=100), state)

@@ -1,0 +1,69 @@
+"""Token-bucket admission with a deterministic fake clock."""
+
+import pytest
+
+from repro.serve.limiter import TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_burst_then_refusal():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    wait = bucket.try_acquire()
+    assert wait == pytest.approx(0.1)  # 1 token at 10/s
+
+
+def test_failed_acquire_consumes_nothing():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=1.0, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    before = bucket.tokens
+    assert bucket.try_acquire() > 0.0
+    assert bucket.tokens == before
+
+
+def test_refill_restores_admission():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=1.0, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0.0
+    clock.advance(0.1)
+    assert bucket.try_acquire() == 0.0
+
+
+def test_refill_caps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+    clock.advance(60.0)
+    assert bucket.tokens == 3.0
+
+
+def test_rate_zero_disables_limiting():
+    bucket = TokenBucket(rate=0.0, burst=1.0, clock=FakeClock())
+    for _ in range(1000):
+        assert bucket.try_acquire() == 0.0
+    assert bucket.tokens == float("inf")
+
+
+def test_retry_after_scales_with_deficit():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+    bucket.try_acquire()
+    assert bucket.try_acquire() == pytest.approx(0.5)
+
+
+def test_sub_token_burst_rejected():
+    with pytest.raises(ValueError, match="burst"):
+        TokenBucket(rate=1.0, burst=0.5)

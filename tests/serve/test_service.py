@@ -1,0 +1,184 @@
+"""The synchronous decision core: exactly-once discipline + recovery."""
+
+import random
+
+import pytest
+
+from repro.serve.daemon import DecisionService, ServeConfig, TransientDecisionError
+from repro.serve.protocol import new_totals
+from repro.serve.soak import batch_totals
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def _config(**kw):
+    kw.setdefault("algorithm", "xLRU")
+    kw.setdefault("disk_chunks", 64)
+    kw.setdefault("chunk_bytes", K)
+    return ServeConfig(**kw)
+
+
+def _request(seq, t, video=1, b0=0, b1=K - 1):
+    return {"seq": seq, "t": t, "video": video, "b0": b0, "b1": b1}
+
+
+def _trace(n, seed=7):
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    for _ in range(n):
+        t += rng.uniform(0.01, 5.0)
+        c0 = rng.randrange(0, 6)
+        span = rng.randrange(1, 3)
+        out.append(Request(t, rng.randrange(0, 12), c0 * K, (c0 + span) * K - 1))
+    return out
+
+
+def _apply_trace(service, requests, start_seq=1):
+    for offset, r in enumerate(requests):
+        response = service.apply(
+            {"seq": start_seq + offset, "t": r.t, "video": r.video,
+             "b0": r.b0, "b1": r.b1}
+        )
+        assert response["ok"], response
+
+
+class TestSequenceDiscipline:
+    def test_contiguous_applies_advance_watermark(self):
+        service = DecisionService(_config())
+        for seq in (1, 2, 3):
+            response = service.apply(_request(seq, float(seq)))
+            assert response["ok"] and response["kind"] == "decision"
+            assert response["seq"] == seq
+        assert service.watermark == 3
+
+    def test_duplicate_is_acked_not_reapplied(self):
+        service = DecisionService(_config())
+        service.apply(_request(1, 1.0))
+        totals_before = dict(service.totals)
+        response = service.apply(_request(1, 1.0))
+        assert response["kind"] == "duplicate"
+        assert response["watermark"] == 1
+        assert service.totals == totals_before
+        assert service.watermark == 1
+
+    def test_gap_is_an_error_and_not_applied(self):
+        service = DecisionService(_config())
+        service.apply(_request(1, 1.0))
+        totals_before = dict(service.totals)
+        response = service.apply(_request(5, 5.0))
+        assert response["ok"] is False
+        assert response["error"] == "sequence-gap"
+        assert "resend from 2" in response["detail"]
+        assert service.totals == totals_before
+        assert service.watermark == 1
+
+    def test_unsequenced_requests_are_implicitly_next(self):
+        service = DecisionService(_config())
+        service.apply({"seq": None, "t": 1.0, "video": 1, "b0": 0, "b1": K - 1})
+        assert service.watermark == 1
+
+    def test_stale_timestamp_consumes_seq(self):
+        service = DecisionService(_config())
+        service.apply(_request(1, 10.0))
+        response = service.apply(_request(2, 3.0))  # clock went backwards
+        assert response["ok"]  # consumed: the ledger moves on
+        assert response["decision"] == "rejected"
+        assert service.watermark == 2
+        assert service.totals["rejected_stale"] == 1
+
+
+class TestFailureAtomicity:
+    def test_armed_crash_fires_before_mutation(self):
+        service = DecisionService(_config(test_hooks=True))
+        service.apply(_request(1, 1.0))
+        service.arm_crash()
+        totals_before = dict(service.totals)
+        with pytest.raises(RuntimeError, match="injected"):
+            service.apply(_request(2, 2.0))
+        assert service.watermark == 1
+        assert service.totals == totals_before
+        # the retry lands exactly once
+        response = service.apply(_request(2, 2.0))
+        assert response["ok"] and service.watermark == 2
+
+    def test_injected_transient_fault_fires_before_mutation(self):
+        service = DecisionService(_config(test_hooks=True, fault_rate=1.0))
+        with pytest.raises(TransientDecisionError):
+            service.apply(_request(1, 1.0))
+        assert service.watermark == 0
+        assert service.totals == new_totals()
+
+
+class TestBatchEquivalence:
+    def test_totals_match_batch_replay(self):
+        config = _config()
+        trace = _trace(300)
+        service = DecisionService(config)
+        _apply_trace(service, trace)
+        assert service.totals == batch_totals(config, trace)
+        assert service.watermark == len(trace)
+
+
+class TestCrashRecovery:
+    def test_snapshot_resume_continues_identically(self, tmp_path):
+        trace = _trace(400)
+        cut = 250
+        config = _config(snapshot_dir=str(tmp_path), snapshot_every=0)
+
+        interrupted = DecisionService(config)
+        _apply_trace(interrupted, trace[:cut])
+        assert interrupted.snapshot_now() is not None
+
+        # "crash": a brand-new service restores from the directory
+        resumed = DecisionService(config)
+        assert resumed.resumed is True
+        assert resumed.watermark == cut
+        _apply_trace(resumed, trace[cut:], start_seq=cut + 1)
+
+        assert resumed.totals == batch_totals(config, trace)
+        assert resumed.watermark == len(trace)
+
+    def test_resume_replays_nothing_twice(self, tmp_path):
+        trace = _trace(100)
+        config = _config(snapshot_dir=str(tmp_path), snapshot_every=0)
+        service = DecisionService(config)
+        _apply_trace(service, trace)
+        service.snapshot_now()
+
+        resumed = DecisionService(config)
+        totals_before = dict(resumed.totals)
+        # the client, unaware of the crash point, resends the tail
+        for seq in range(90, 101):
+            response = resumed.apply(
+                {"seq": seq, "t": trace[seq - 1].t, "video": trace[seq - 1].video,
+                 "b0": trace[seq - 1].b0, "b1": trace[seq - 1].b1}
+            )
+            assert response["kind"] == "duplicate"
+        assert resumed.totals == totals_before
+
+    def test_periodic_snapshots_by_applied_count(self, tmp_path):
+        config = _config(snapshot_dir=str(tmp_path), snapshot_every=10)
+        service = DecisionService(config)
+        for seq in range(1, 10):
+            service.apply(_request(seq, float(seq)))
+            assert not service.snapshot_due()
+        service.apply(_request(10, 10.0))
+        assert service.snapshot_due()
+        service.snapshot_now()
+        assert not service.snapshot_due()
+
+    def test_config_change_refuses_to_resume(self, tmp_path):
+        config = _config(snapshot_dir=str(tmp_path), snapshot_every=0)
+        service = DecisionService(config)
+        _apply_trace(service, _trace(50))
+        service.snapshot_now()
+        with pytest.raises(ValueError, match="refusing to resume"):
+            DecisionService(_config(algorithm="Cafe", snapshot_dir=str(tmp_path)))
+
+    def test_cold_start_without_directory(self):
+        service = DecisionService(_config())
+        assert service.store is None
+        assert service.snapshot_now() is None
+        assert not service.snapshot_due()

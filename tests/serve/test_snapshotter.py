@@ -1,0 +1,114 @@
+"""Atomic watermarked snapshots: durability, corruption, pruning."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import new_totals
+from repro.serve.snapshotter import SnapshotStore
+from repro.sim.runner import build_cache
+
+K = 1024
+FP = "fp-abcdef"
+
+
+def _cache():
+    return build_cache("PullLRU", 16, alpha_f2r=1.0, chunk_bytes=K)
+
+
+def _warm(cache, n=5):
+    for i in range(n):
+        cache.handle_span(float(i), i, 0, K - 1, 0, 0)
+    return cache
+
+
+def _save(store, cache, watermark):
+    totals = new_totals()
+    totals["requests"] = watermark
+    return store.save(cache, watermark, totals, float(watermark), FP)
+
+
+class TestRoundtrip:
+    def test_save_then_load(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        original = _warm(_cache())
+        _save(store, original, 5)
+
+        restored_cache = _cache()
+        restored = SnapshotStore(tmp_path).load(restored_cache, FP)
+        assert restored is not None
+        assert restored.watermark == 5
+        assert restored.totals["requests"] == 5
+        assert restored.last_t == 5.0
+        assert len(restored_cache) == len(original)
+
+    def test_empty_directory_is_cold_start(self, tmp_path):
+        assert SnapshotStore(tmp_path).load(_cache(), FP) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        _save(store, _warm(_cache()), 1)
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCorruption:
+    def test_corrupt_manifest_degrades_to_cold_start(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        _save(store, _warm(_cache()), 3)
+        store.manifest_path.write_text("{ half a manifest")
+        warnings = []
+        store = SnapshotStore(tmp_path, on_warning=lambda *a: warnings.append(a))
+        assert store.load(_cache(), FP) is None
+        assert any("manifest" in tag for tag, _ in warnings)
+
+    def test_corrupt_payload_degrades_to_cold_start(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        path = _save(store, _warm(_cache()), 3)
+        path.write_text('{"version": 1, "fingerprint": "' + FP + '"}')
+        warnings = []
+        store = SnapshotStore(tmp_path, on_warning=lambda *a: warnings.append(a))
+        assert store.load(_cache(), FP) is None
+        assert warnings
+
+    def test_missing_payload_degrades_to_cold_start(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        path = _save(store, _warm(_cache()), 3)
+        path.unlink()
+        warnings = []
+        store = SnapshotStore(tmp_path, on_warning=lambda *a: warnings.append(a))
+        assert store.load(_cache(), FP) is None
+        assert warnings
+
+    def test_fingerprint_mismatch_fails_fast(self, tmp_path):
+        """A config mismatch is an operator error, not a crash artifact."""
+        store = SnapshotStore(tmp_path)
+        _save(store, _warm(_cache()), 3)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            SnapshotStore(tmp_path).load(_cache(), "other-fingerprint")
+
+    def test_unsupported_manifest_version(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        _save(store, _warm(_cache()), 3)
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["version"] = 99
+        store.manifest_path.write_text(json.dumps(manifest))
+        warnings = []
+        store = SnapshotStore(tmp_path, on_warning=lambda *a: warnings.append(a))
+        assert store.load(_cache(), FP) is None
+
+
+class TestPruning:
+    def test_keeps_only_newest(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        cache = _warm(_cache())
+        for watermark in (10, 20, 30, 40):
+            _save(store, cache, watermark)
+        names = sorted(p.name for p in tmp_path.glob("state-*.json"))
+        assert names == ["state-000000000030.json", "state-000000000040.json"]
+        # the manifest still points at a surviving payload
+        restored = SnapshotStore(tmp_path).load(_cache(), FP)
+        assert restored is not None and restored.watermark == 40
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            SnapshotStore(tmp_path, keep=0)

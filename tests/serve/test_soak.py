@@ -1,0 +1,74 @@
+"""End-to-end fault soak: SIGKILL a live daemon subprocess mid-trace
+and require byte-identical totals vs the uninterrupted batch replay."""
+
+import random
+
+from repro.serve.daemon import ServeConfig
+from repro.serve.soak import batch_totals, kill_schedule, run_soak
+from repro.trace.requests import Request
+
+K = 1024
+
+
+def _trace(n, seed=11):
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    for _ in range(n):
+        t += rng.uniform(0.05, 2.0)
+        c0 = rng.randrange(0, 8)
+        span = rng.randrange(1, 4)
+        out.append(
+            Request(t, rng.randrange(0, 40), c0 * K, (c0 + span) * K - 1)
+        )
+    return out
+
+
+def test_kill_schedule_is_seeded_and_inside_span():
+    trace = _trace(100)
+    schedule = kill_schedule(trace, restarts=3, seed=42)
+    again = kill_schedule(trace, restarts=3, seed=42)
+    times = [e.t for e in schedule.events]
+    assert times == [e.t for e in again.events]
+    assert len(times) == 3
+    span = trace[-1].t - trace[0].t
+    for t in times:
+        assert trace[0].t + 0.1 * span <= t <= trace[0].t + 0.9 * span
+
+
+def test_batch_totals_counts_everything():
+    trace = _trace(200)
+    config = ServeConfig(algorithm="xLRU", disk_chunks=128, chunk_bytes=K)
+    totals = batch_totals(config, trace)
+    assert totals["requests"] == 200
+    assert totals["served"] + totals["redirected"] == 200
+    assert totals["requested_bytes"] == sum(r.b1 - r.b0 + 1 for r in trace)
+
+
+def test_soak_with_kill_is_exact(tmp_path):
+    """One SIGKILL mid-run; totals must equal the batch replay exactly
+    and the watermark must cover every request exactly once."""
+    trace = _trace(1500)
+    config = ServeConfig(
+        algorithm="xLRU",
+        disk_chunks=256,
+        chunk_bytes=K,
+        snapshot_dir=str(tmp_path / "snaps"),
+        snapshot_every=200,
+        publish_interval=0.0,
+    )
+    outcome = run_soak(
+        trace,
+        config,
+        restarts=1,
+        fault_seed=20140413,
+        malformed_every=100,
+        window=128,
+        socket_path=str(tmp_path / "serve.sock"),
+    )
+    assert outcome.restarts >= 1, "the fault schedule never fired"
+    assert outcome.malformed_sent > 0
+    assert outcome.malformed_acked == outcome.malformed_sent
+    assert outcome.watermark == len(trace)
+    assert outcome.totals == outcome.batch, outcome.describe()
+    assert outcome.ok

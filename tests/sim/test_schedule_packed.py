@@ -210,3 +210,108 @@ class TestSharedMemoryLifecycle:
         scheduler.run(_configs(), small_trace[:300])
         stages = {s.name for s in scheduler.last_report.stages}
         assert "pack" in stages and "sweep" in stages
+
+
+# -- signal-driven exit -------------------------------------------------------
+
+_SIGNAL_CHILD = '''
+"""Child for the SIGTERM leak test: a parallel sweep that never finishes."""
+import os
+import sys
+import time
+
+import repro.sim.schedule as schedule_module
+from repro.sim.runner import RunConfig
+from repro.sim.schedule import SweepScheduler
+from repro.trace.requests import Request
+
+
+def _stall_execute_group(*args):
+    # Park the (forked) worker until it is orphaned by the parent\'s
+    # death, then exit quietly -- keeps the pool "busy" for the whole
+    # test without leaving 60s stragglers behind.
+    deadline = time.monotonic() + 60.0
+    while os.getppid() != 1 and time.monotonic() < deadline:
+        time.sleep(0.05)
+    os._exit(0)
+
+
+schedule_module._execute_group = _stall_execute_group
+
+journal = sys.argv[1]
+requests = [Request(float(i), i % 7, 0, 2) for i in range(400)]
+configs = [
+    RunConfig("xLRU", 64, 1.0, label="x"),
+    RunConfig("Cafe", 64, 1.0, label="c"),
+]
+sched = SweepScheduler(
+    workers=2, mode="parallel", collapse=False, checkpoint=journal
+)
+sched.run(configs, requests)
+'''
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="needs a POSIX /dev/shm"
+)
+def test_sigterm_releases_segments_and_exits_cleanly(tmp_path):
+    """SIGTERM mid-sweep must not leak /dev/shm segments.
+
+    The default SIGTERM disposition kills the process without running
+    ``finally`` blocks, so the parent-owned shared trace segment would
+    outlive the sweep.  The installed handler unlinks it, syncs the
+    checkpoint journal, and exits ``128 + SIGTERM``.
+    """
+    import signal as signal_module
+    import subprocess
+    import sys as sys_module
+    import time as time_module
+
+    import repro
+
+    script = tmp_path / "sweep_child.py"
+    script.write_text(_SIGNAL_CHILD)
+    journal = tmp_path / "sweep.ckpt"
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+    before = set(os.listdir("/dev/shm"))
+    proc = subprocess.Popen(
+        [sys_module.executable, str(script), str(journal)], env=env
+    )
+    try:
+        observed = set()
+        deadline = time_module.monotonic() + 30.0
+        while time_module.monotonic() < deadline:
+            observed = {
+                name
+                for name in set(os.listdir("/dev/shm")) - before
+                if name.startswith("psm_")
+            }
+            if observed:
+                break
+            assert proc.poll() is None, "sweep child died before sharing"
+            time_module.sleep(0.02)
+        assert observed, "sweep child never created a shared trace segment"
+        proc.send_signal(signal_module.SIGTERM)
+        code = proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    assert code == 128 + signal_module.SIGTERM
+    leftover = observed & set(os.listdir("/dev/shm"))
+    assert leftover == set(), f"leaked shared segments: {sorted(leftover)}"
+
+
+def test_checkpoint_sync_tolerates_missing_and_flushes(tmp_path):
+    from repro.sim.schedule import SweepCheckpoint
+
+    ckpt = SweepCheckpoint(tmp_path / "none.ckpt")
+    ckpt.sync()  # missing journal: no-op, no error
+    ckpt = SweepCheckpoint(tmp_path / "sweep.ckpt")
+    ckpt.append("fp", "gid", {})
+    ckpt.sync()
+    assert ckpt.load("fp") == {"gid": {}}

@@ -78,6 +78,40 @@ class TestSim:
         assert code == 0
         assert "cumulative" in capsys.readouterr().err
 
+    def test_fleet_lane(self, trace_file, capsys):
+        code = main_sim(
+            [str(trace_file), "--algorithm", "Cafe", "--disk-chunks", "64",
+             "--fleet-edges", "3"]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "edge00" in captured and "edge02" in captured
+        assert "parent" in captured
+        assert "origin offload" in captured
+
+    def test_profile_covers_fleet_lane(self, trace_file, capsys):
+        code = main_sim(
+            [str(trace_file), "--disk-chunks", "64",
+             "--fleet-edges", "2", "--profile", "40"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # The profile must attribute time inside the batched fleet
+        # replay, not just the single-cache engine.
+        assert "_replay_fleet_batched" in captured.err
+        assert "efficiency" in captured.out
+
+    def test_fleet_rejects_single_lane_flags(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main_sim(
+                [str(trace_file), "--disk-chunks", "64", "--fleet-edges", "2",
+                 "--telemetry", str(tmp_path / "t.jsonl")]
+            )
+        with pytest.raises(SystemExit):
+            main_sim(
+                [str(trace_file), "--disk-chunks", "64", "--fleet-edges", "0"]
+            )
+
 
 class TestExperiment:
     def test_unknown_figure_rejected(self):
