@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test verify lint telemetry-demo bench bench-quick bench-sweep bench-replay bench-fleet bench-serve serve-soak experiments examples clean
+.PHONY: install test verify lint telemetry-demo bench bench-quick bench-sweep bench-replay bench-fleet bench-serve serve-soak serve-shard-soak experiments examples clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -84,6 +84,18 @@ serve-soak:
 		--telemetry /tmp/repro-serve-soak.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro.cli report --check \
 		/tmp/repro-serve-soak.jsonl
+
+# Sharded-fleet fault soak: 4 workers behind the video-hash router,
+# SIGKILL one worker AND the router mid-trace; exit non-zero unless the
+# merged totals are byte-identical to the sharded batch replay and the
+# merged telemetry passes repro-report --check.
+serve-shard-soak:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.soak \
+		--workers 4 --scale 1.0 --days 2 --requests 8000 \
+		--restarts 2 --malformed-every 500 --snapshot-every 500 \
+		--telemetry /tmp/repro-serve-shard-soak.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli report --check \
+		/tmp/repro-serve-shard-soak.jsonl
 
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

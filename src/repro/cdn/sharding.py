@@ -22,7 +22,7 @@ from typing import List, Sequence
 from repro.core.base import CacheResponse, VideoCache
 from repro.trace.requests import ChunkId, Request
 
-__all__ = ["bucket_of", "ShardedServer"]
+__all__ = ["bucket_of", "shard_of", "ShardedServer"]
 
 DEFAULT_NUM_BUCKETS = 1024
 
@@ -40,6 +40,27 @@ def bucket_of(video: int, num_buckets: int = DEFAULT_NUM_BUCKETS) -> int:
         video.to_bytes(8, "little", signed=False), digest_size=8
     ).digest()
     return int.from_bytes(digest, "little") % num_buckets
+
+
+def shard_of(
+    video: int, num_shards: int, num_buckets: int = DEFAULT_NUM_BUCKETS
+) -> int:
+    """The shard a video belongs to: ``bucket_of(video) % num_shards``.
+
+    This is the *single* routing function shared by the offline
+    :class:`ShardedServer`, the live serve router, the sharded client
+    and the soak comparator — every request for a video always lands on
+    the same shard, in every process, on every run, so per-video cache
+    state stays coherent and no chunk is duplicated across shards.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if num_buckets < num_shards:
+        raise ValueError(
+            f"need at least as many buckets ({num_buckets}) as shards "
+            f"({num_shards})"
+        )
+    return bucket_of(video, num_buckets) % num_shards
 
 
 class ShardedServer:
@@ -80,7 +101,7 @@ class ShardedServer:
         return sum(s.disk_chunks for s in self.shards)
 
     def shard_index(self, video: int) -> int:
-        return bucket_of(video, self.num_buckets) % len(self.shards)
+        return shard_of(video, len(self.shards), self.num_buckets)
 
     def handle(self, request: Request) -> CacheResponse:
         index = self.shard_index(request.video)

@@ -108,6 +108,21 @@ class MetricRegistry:
         }
 
     @classmethod
+    def from_merged(cls, payloads) -> "MetricRegistry":
+        """One registry folding several ``to_dict`` payloads exactly.
+
+        The cross-process merge primitive: counters and timers sum,
+        gauges keep their high-water mark, histogram sketches merge
+        bucket-wise (no quantile approximation error is introduced by
+        the merge itself).  Used by the serve router to fold per-shard
+        SLO registries and by the fleet telemetry merger.
+        """
+        merged = cls()
+        for payload in payloads:
+            merged.merge(cls.from_dict(payload))
+        return merged
+
+    @classmethod
     def from_dict(cls, data: dict) -> "MetricRegistry":
         registry = cls()
         registry.counters = dict(data.get("counters", {}))

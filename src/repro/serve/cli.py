@@ -1,12 +1,22 @@
-"""``repro-serve``: run the live decision daemon from the command line."""
+"""``repro-serve``: run the live decision daemon from the command line.
+
+``--workers 1`` (the default) runs the single daemon exactly as PR 8
+shipped it — same wire, same snapshot lineage.  ``--workers N`` (N>1)
+runs the sharded fleet instead: this process becomes the supervisor
+(:mod:`repro.serve.fleet`), which spawns N worker daemons (each one
+re-entering this CLI with the hidden ``--shard``/``--num-shards``
+flags) and the video-hash router (:mod:`repro.serve.router`) owning the
+public endpoint.
+"""
 
 from __future__ import annotations
 
 import argparse
 import asyncio
 import sys
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.cdn.sharding import DEFAULT_NUM_BUCKETS
 from repro.serve.daemon import ServeConfig, ServeDaemon
 from repro.sim.runner import CACHE_FACTORIES
 from repro.trace.requests import DEFAULT_CHUNK_BYTES
@@ -21,6 +31,37 @@ def _parse_tcp(value: str) -> Tuple[str, int]:
             f"--tcp needs HOST:PORT, got {value!r}"
         )
     return host, int(port)
+
+
+def _worker_passthrough(args: argparse.Namespace) -> List[str]:
+    """The argv tail every fleet worker shares (decision knobs only).
+
+    Endpoints, snapshot dirs and telemetry paths are *derived* per
+    shard by the fleet, never passed through.  ``--rate`` and
+    ``--queue-limit`` are deliberately per-shard: each worker owns its
+    own token bucket and bounded queue (DESIGN.md §14).
+    """
+    passthrough = [
+        "--algorithm", args.algorithm,
+        "--disk-chunks", str(args.disk_chunks),
+        "--chunk-bytes", str(args.chunk_bytes),
+        "--alpha", str(args.alpha),
+        "--rate", str(args.rate),
+        "--burst", str(args.burst),
+        "--queue-limit", str(args.queue_limit),
+        "--snapshot-every", str(args.snapshot_every),
+        "--snapshot-keep", str(args.snapshot_keep),
+        "--request-timeout", str(args.request_timeout),
+        "--max-retries", str(args.max_retries),
+        "--publish-interval", str(args.publish_interval),
+    ]
+    if args.test_hooks:
+        passthrough.append("--test-hooks")
+    if args.fault_rate > 0:
+        passthrough += ["--fault-rate", str(args.fault_rate)]
+    if args.fault_seed:
+        passthrough += ["--fault-seed", str(args.fault_seed)]
+    return passthrough
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -54,14 +95,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--rate",
         type=float,
         default=0.0,
-        help="admission tokens/second (0 = unlimited)",
+        help="admission tokens/second, per worker (0 = unlimited)",
     )
     parser.add_argument("--burst", type=float, default=256.0)
     parser.add_argument("--queue-limit", type=int, default=1024)
     parser.add_argument(
         "--snapshot-dir",
         default=None,
-        help="enable crash recovery: atomic watermarked snapshots here",
+        help="enable crash recovery: atomic watermarked snapshots here "
+        "(sharded fleets use one subdirectory per shard)",
     )
     parser.add_argument(
         "--snapshot-every",
@@ -82,7 +124,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--telemetry",
         metavar="OUT",
         default=None,
-        help="write repro.obs JSONL telemetry at graceful shutdown",
+        help="write repro.obs JSONL telemetry at graceful shutdown "
+        "(sharded fleets merge per-worker files into this path)",
+    )
+    sharding = parser.add_argument_group("sharded fleet")
+    sharding.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs the sharded fleet: one event "
+        "loop per core, requests routed by video hash",
+    )
+    sharding.add_argument(
+        "--num-buckets",
+        type=int,
+        default=DEFAULT_NUM_BUCKETS,
+        help="video-hash bucket space for shard routing",
+    )
+    sharding.add_argument(
+        "--run-dir",
+        default=None,
+        help="fleet scratch dir for worker sockets, logs and the "
+        "pidfile (default: <socket>.fleet)",
+    )
+    sharding.add_argument(
+        "--pidfile",
+        default=None,
+        help="atomic JSON role->pid map (default: <run-dir>/fleet.json)",
+    )
+    # hidden worker-mode flags: the fleet re-enters this CLI with the
+    # shard coordinates; humans never pass these
+    parser.add_argument("--shard", type=int, default=None, help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--num-shards", type=int, default=None, help=argparse.SUPPRESS
     )
     parser.add_argument(
         "--test-hooks",
@@ -100,6 +174,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("need at least one endpoint: --socket, --tcp or --stdin")
     if args.fault_rate > 0 and not args.test_hooks:
         parser.error("--fault-rate requires --test-hooks")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if (args.shard is None) != (args.num_shards is None):
+        parser.error("--shard and --num-shards go together")
+    if args.shard is not None and args.workers > 1:
+        parser.error("--shard is a worker-mode flag; it excludes --workers")
+
+    if args.workers > 1:
+        if args.stdin:
+            parser.error("--stdin needs --workers 1 (one loop, one pipe)")
+        from repro.obs.events import EventLog
+        from repro.serve.fleet import FleetConfig, ServeFleet
+
+        fleet = ServeFleet(
+            FleetConfig(
+                workers=args.workers,
+                socket=args.socket,
+                tcp=args.tcp,
+                run_dir=args.run_dir,
+                num_buckets=args.num_buckets,
+                snapshot_dir=args.snapshot_dir,
+                telemetry_path=args.telemetry,
+                pidfile=args.pidfile,
+                worker_args=tuple(_worker_passthrough(args)),
+                echo_events=args.echo_events,
+            ),
+            events=EventLog(echo=args.echo_events),
+        )
+        return fleet.run()
 
     config = ServeConfig(
         algorithm=args.algorithm,
@@ -119,6 +222,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         test_hooks=args.test_hooks,
         fault_rate=args.fault_rate,
         fault_seed=args.fault_seed,
+        shard_id=args.shard,
+        num_shards=args.num_shards if args.num_shards is not None else 1,
+        num_buckets=args.num_buckets,
     )
 
     from repro.obs.events import EventLog

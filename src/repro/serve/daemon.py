@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Set, Tuple
 
+from repro.cdn.sharding import shard_of
 from repro.obs.events import EventLog
 from repro.serve.limiter import TokenBucket
 from repro.serve.protocol import (
@@ -99,12 +100,29 @@ class ServeConfig:
     #: injected transient-failure probability per decision attempt
     fault_rate: float = 0.0
     fault_seed: int = 0
+    #: sharded-fleet identity: ``None`` = unsharded (PR 8 wire, v1
+    #: fingerprint); otherwise this worker owns the videos with
+    #: ``shard_of(video, num_shards, num_buckets) == shard_id``
+    shard_id: Optional[int] = None
+    num_shards: int = 1
+    num_buckets: int = 1024
 
     def fingerprint(self) -> str:
-        """Binds snapshots to the decision-relevant configuration."""
+        """Binds snapshots to the decision-relevant configuration.
+
+        A sharded worker bakes its shard coordinates into the
+        fingerprint, so a resumed fleet can never cross-load state: a
+        snapshot written by shard 2-of-4 refuses to restore into shard
+        2-of-8 (or into shard 3), loudly, at startup.
+        """
         text = (
             f"serve-v1|{self.algorithm}|{self.disk_chunks}|{self.chunk_bytes}"
         )
+        if self.shard_id is not None:
+            text += (
+                f"|shard={self.shard_id}/{self.num_shards}"
+                f"|buckets={self.num_buckets}"
+            )
         return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
@@ -161,6 +179,21 @@ class DecisionService:
         failures and injected crashes fire *before* any mutation, so a
         retry or a restart replays safely).
         """
+        if self.config.shard_id is not None:
+            owner = shard_of(
+                request["video"], self.config.num_shards, self.config.num_buckets
+            )
+            if owner != self.config.shard_id:
+                # defense in depth against a buggy router: a misrouted
+                # video must never enter this shard's cache or consume
+                # its sequence space (it belongs to another stream)
+                return error_response(
+                    "misrouted",
+                    f"video {request['video']} belongs to shard {owner}, "
+                    f"this is shard {self.config.shard_id}/"
+                    f"{self.config.num_shards}",
+                    request["seq"],
+                )
         seq = request["seq"]
         if seq is None:
             seq = self.watermark + 1
@@ -220,7 +253,7 @@ class DecisionService:
         return str(path)
 
     def stats(self) -> dict:
-        return {
+        out = {
             "watermark": self.watermark,
             "totals": dict(self.totals),
             "occupancy": len(self.cache),
@@ -228,6 +261,10 @@ class DecisionService:
             "snapshots_written": self.snapshots_written,
             "resumed": self.resumed,
         }
+        if self.config.shard_id is not None:
+            out["shard"] = self.config.shard_id
+            out["num_shards"] = self.config.num_shards
+        return out
 
 
 #: one queued request: (parsed request, reply writer, enqueue perf time)
@@ -449,19 +486,21 @@ class ServeDaemon:
         config = self.config
         service = self.service
         if op == "hello":
-            await self._send(
-                writer,
-                {
-                    "ok": True,
-                    "kind": "hello",
-                    "watermark": service.watermark,
-                    "algorithm": config.algorithm,
-                    "disk_chunks": config.disk_chunks,
-                    "chunk_bytes": config.chunk_bytes,
-                    "alpha_f2r": config.alpha_f2r,
-                    "resumed": service.resumed,
-                },
-            )
+            hello = {
+                "ok": True,
+                "kind": "hello",
+                "watermark": service.watermark,
+                "algorithm": config.algorithm,
+                "disk_chunks": config.disk_chunks,
+                "chunk_bytes": config.chunk_bytes,
+                "alpha_f2r": config.alpha_f2r,
+                "resumed": service.resumed,
+            }
+            if config.shard_id is not None:
+                hello["shard"] = config.shard_id
+                hello["num_shards"] = config.num_shards
+                hello["num_buckets"] = config.num_buckets
+            await self._send(writer, hello)
         elif op == "stats":
             stats = service.stats()
             stats.update(
@@ -477,6 +516,10 @@ class ServeDaemon:
                     "degraded": self.state.degraded,
                     "worker_restarts": self.state.worker_restarts,
                     "uptime_seconds": time.perf_counter() - self._started_perf,
+                    # full registry (histogram sketches included) so a
+                    # fronting router can merge SLOs *exactly* via the
+                    # repro.obs cross-process sketch merge
+                    "registry": self.slo.registry.to_dict(),
                 }
             )
             await self._send(writer, stats)
@@ -599,7 +642,7 @@ class ServeDaemon:
     def _lane_snapshot(self) -> dict:
         service = self.service
         last_t = service.last_t
-        return {
+        out = {
             "t": last_t if last_t != float("-inf") else 0.0,
             "done": service.watermark,
             "occupancy": len(service.cache),
@@ -610,6 +653,9 @@ class ServeDaemon:
             "degraded": int(self.state.degraded),
             "worker_restarts": self.state.worker_restarts,
         }
+        if self.config.shard_id is not None:
+            out["shard"] = self.config.shard_id
+        return out
 
     async def _publisher(self) -> None:
         interval = self.config.publish_interval
@@ -651,6 +697,14 @@ class ServeDaemon:
                 "disk_chunks": self.config.disk_chunks,
                 "watermark": service.watermark,
                 "resumed": service.resumed,
+                **(
+                    {
+                        "shard": self.config.shard_id,
+                        "num_shards": self.config.num_shards,
+                    }
+                    if self.config.shard_id is not None
+                    else {}
+                ),
             },
         )
         lane = telemetry.lane("serve")

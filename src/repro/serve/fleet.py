@@ -1,0 +1,504 @@
+"""Fleet supervisor: N sharded workers + 1 router, restart on crash.
+
+``repro-serve --workers N`` runs this supervisor.  It spawns N worker
+daemons (one event loop per core, each owning a private unix socket, a
+private cache shard, a private snapshot lineage and a private telemetry
+file) plus one :mod:`~repro.serve.router` process owning the public
+endpoint, then babysits the tree:
+
+* a worker that exits **non-zero** (crash, SIGKILL) is restarted from
+  its *own* snapshot directory without disturbing its siblings — the
+  shard id is baked into the snapshot fingerprint, so a worker can
+  never resume from another shard's state;
+* a router that dies the same way is restarted immediately; it holds no
+  exactly-once state (DESIGN.md §14), so nothing is lost — clients see
+  a connection reset, reconnect, and resume from worker watermarks;
+* exit code **zero** means a deliberate shutdown: a worker that was
+  told to stop is left down, and a router exiting zero (it scattered a
+  ``shutdown`` op to every shard first) ends the whole fleet.
+
+The supervisor maintains an atomic JSON pidfile mapping roles to live
+pids so out-of-band tooling (the soak harness, ops scripts) can SIGKILL
+a *specific* worker or the router without guessing.  After the fleet
+drains, the per-shard telemetry files are folded into one
+``repro.obs``-schema JSONL — histogram sketches merged exactly, totals
+summed — so ``repro-report --check`` sees a single coherent artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdn.sharding import DEFAULT_NUM_BUCKETS
+from repro.obs.events import EventLog
+
+__all__ = ["FleetConfig", "ServeFleet", "merge_shard_telemetry", "shard_telemetry_path"]
+
+
+def shard_telemetry_path(base: str, shard: int) -> str:
+    """Per-worker telemetry file name: ``<base>.shard-<k>``.
+
+    The suffix goes *after* any ``.gz`` so the worker's writer still
+    sees its compression hint — merge strips the suffix back off.
+    """
+    return f"{base}.shard-{shard}"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything the supervisor needs to build and babysit the tree."""
+
+    workers: int
+    socket: Optional[str] = None
+    tcp: Optional[Tuple[str, int]] = None
+    #: holds worker sockets + pidfile; derived from ``socket`` if unset
+    run_dir: Optional[str] = None
+    num_buckets: int = DEFAULT_NUM_BUCKETS
+    #: fleet-level snapshot root; worker ``k`` uses ``<dir>/shard-k``
+    snapshot_dir: Optional[str] = None
+    #: merged telemetry target; worker ``k`` writes ``<path>.shard-k``
+    telemetry_path: Optional[str] = None
+    #: atomic JSON role->pid map (defaults to ``<run_dir>/fleet.json``)
+    pidfile: Optional[str] = None
+    #: verbatim argv tail shared by every worker (algorithm, limits, ...)
+    worker_args: Tuple[str, ...] = ()
+    echo_events: bool = False
+    #: pause before respawning a crashed child (avoids a tight fork loop)
+    restart_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.num_buckets < self.workers:
+            raise ValueError(
+                f"need at least as many buckets ({self.num_buckets}) as "
+                f"workers ({self.workers})"
+            )
+        if not (self.socket or self.tcp):
+            raise ValueError("fleet needs a public endpoint (socket or tcp)")
+        if self.run_dir is None and self.socket is None:
+            raise ValueError("tcp-only fleets must set run_dir explicitly")
+
+    @property
+    def effective_run_dir(self) -> str:
+        return self.run_dir if self.run_dir is not None else f"{self.socket}.fleet"
+
+    @property
+    def effective_pidfile(self) -> str:
+        if self.pidfile is not None:
+            return self.pidfile
+        return os.path.join(self.effective_run_dir, "fleet.json")
+
+
+@dataclass
+class _Child:
+    """One supervised subprocess and its respawn recipe."""
+
+    role: str
+    argv: List[str]
+    #: unix socket the child binds — unlinked before every (re)spawn so
+    #: a SIGKILLed predecessor's stale inode can't block the bind
+    socket_path: Optional[str] = None
+    proc: Optional[subprocess.Popen] = None
+    restarts: int = 0
+    #: exited zero on purpose; never respawned
+    done: bool = False
+    log: Optional[object] = field(default=None, repr=False)
+
+
+class ServeFleet:
+    """Spawn, supervise and drain one sharded serving fleet."""
+
+    def __init__(self, config: FleetConfig, events: Optional[EventLog] = None):
+        self.config = config
+        self.events = events if events is not None else EventLog()
+        self.run_dir = config.effective_run_dir
+        self.pidfile = config.effective_pidfile
+        self.workers: List[_Child] = []
+        self.router: Optional[_Child] = None
+        self._terminate = False
+
+    # -- layout --------------------------------------------------------------
+
+    def worker_socket(self, shard: int) -> str:
+        return os.path.join(self.run_dir, f"worker-{shard}.sock")
+
+    def worker_argv(self, shard: int) -> List[str]:
+        config = self.config
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.serve.cli",
+            "--socket",
+            self.worker_socket(shard),
+            "--shard",
+            str(shard),
+            "--num-shards",
+            str(config.workers),
+            "--num-buckets",
+            str(config.num_buckets),
+        ]
+        if config.snapshot_dir is not None:
+            argv += [
+                "--snapshot-dir",
+                os.path.join(config.snapshot_dir, f"shard-{shard}"),
+            ]
+        if config.telemetry_path is not None:
+            argv += [
+                "--telemetry",
+                shard_telemetry_path(config.telemetry_path, shard),
+            ]
+        if config.echo_events:
+            argv.append("--echo-events")
+        argv.extend(config.worker_args)
+        return argv
+
+    def router_argv(self) -> List[str]:
+        config = self.config
+        argv = [sys.executable, "-m", "repro.serve.router"]
+        if config.socket is not None:
+            argv += ["--socket", config.socket]
+        if config.tcp is not None:
+            host, port = config.tcp
+            argv += ["--tcp", f"{host}:{port}"]
+        for shard in range(config.workers):
+            argv += ["--worker", self.worker_socket(shard)]
+        argv += ["--num-buckets", str(config.num_buckets)]
+        if config.echo_events:
+            argv.append("--echo-events")
+        return argv
+
+    # -- pidfile -------------------------------------------------------------
+
+    def write_pidfile(self) -> None:
+        """Atomically publish the live role->pid map.
+
+        Rewritten after every respawn, so a reader always sees pids it
+        can actually signal (modulo the inherent race of pid reuse).
+        """
+        payload = {
+            "supervisor": os.getpid(),
+            "socket": self.config.socket,
+            "tcp": list(self.config.tcp) if self.config.tcp else None,
+            "router": {
+                "pid": (
+                    self.router.proc.pid
+                    if self.router and self.router.proc
+                    else None
+                ),
+                "restarts": self.router.restarts if self.router else 0,
+            },
+            "workers": [
+                {
+                    "shard": shard,
+                    "pid": child.proc.pid if child.proc else None,
+                    "socket": self.worker_socket(shard),
+                    "restarts": child.restarts,
+                    "done": child.done,
+                }
+                for shard, child in enumerate(self.workers)
+            ],
+        }
+        tmp = self.pidfile + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+        os.replace(tmp, self.pidfile)
+
+    # -- process management --------------------------------------------------
+
+    def _spawn(self, child: _Child) -> None:
+        if child.socket_path is not None:
+            try:
+                os.unlink(child.socket_path)
+            except OSError:
+                pass
+        child.proc = subprocess.Popen(
+            child.argv,
+            stdin=subprocess.DEVNULL,
+            stdout=child.log or subprocess.DEVNULL,
+            stderr=child.log or subprocess.DEVNULL,
+        )
+
+    def start(self) -> None:
+        os.makedirs(self.run_dir, exist_ok=True)
+        config = self.config
+        if config.snapshot_dir is not None:
+            os.makedirs(config.snapshot_dir, exist_ok=True)
+        for shard in range(config.workers):
+            log = open(
+                os.path.join(self.run_dir, f"worker-{shard}.log"), "ab"
+            )
+            child = _Child(
+                role=f"worker-{shard}",
+                argv=self.worker_argv(shard),
+                socket_path=self.worker_socket(shard),
+                log=log,
+            )
+            self._spawn(child)
+            self.workers.append(child)
+        router_log = open(os.path.join(self.run_dir, "router.log"), "ab")
+        self.router = _Child(
+            role="router",
+            argv=self.router_argv(),
+            socket_path=config.socket,
+            log=router_log,
+        )
+        self._spawn(self.router)
+        self.write_pidfile()
+        self.events.info(
+            "fleet-start",
+            f"{config.workers} worker(s) + router "
+            f"(pidfile {self.pidfile})",
+        )
+
+    def request_stop(self) -> None:
+        self._terminate = True
+
+    def _respawn(self, child: _Child) -> None:
+        time.sleep(self.config.restart_delay)
+        child.restarts += 1
+        self._spawn(child)
+        self.write_pidfile()
+
+    def poll_once(self) -> bool:
+        """One supervision step.  Returns False when the fleet is over."""
+        for child in self.workers:
+            if child.done or child.proc is None:
+                continue
+            rc = child.proc.poll()
+            if rc is None:
+                continue
+            if rc == 0:
+                child.done = True
+                self.events.info(f"{child.role}-stopped", "deliberate shutdown")
+                self.write_pidfile()
+            else:
+                self.events.error(
+                    f"{child.role}-crash",
+                    f"rc={rc}; restarting from its own snapshots",
+                )
+                self._respawn(child)
+        router = self.router
+        if router is not None and router.proc is not None:
+            rc = router.proc.poll()
+            if rc is not None:
+                if rc == 0:
+                    # the router scattered shutdown to every shard
+                    # before exiting: this is the fleet-wide stop signal
+                    router.done = True
+                    self.events.info("router-stopped", "fleet shutdown")
+                    return False
+                self.events.error(
+                    "router-crash", f"rc={rc}; restarting (stateless)"
+                )
+                self._respawn(router)
+        if all(child.done for child in self.workers):
+            return False
+        return True
+
+    def _wait_child(self, child: _Child, deadline: float) -> None:
+        if child.proc is None:
+            return
+        while child.proc.poll() is None:
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.02)
+
+    def drain(self, timeout: float = 15.0) -> None:
+        """Stop everything still alive, gracefully first.
+
+        SIGTERM triggers each daemon's graceful shutdown (final
+        snapshot + telemetry flush), so even a supervisor-initiated stop
+        produces complete artifacts.  SIGKILL only after ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        alive = [c for c in self.workers if c.proc and c.proc.poll() is None]
+        router = self.router
+        if router and router.proc and router.proc.poll() is None:
+            alive.append(router)
+        for child in alive:
+            try:
+                child.proc.send_signal(signal.SIGTERM)
+            except (ProcessLookupError, OSError):
+                pass
+        for child in alive:
+            self._wait_child(child, deadline)
+        for child in alive:
+            if child.proc.poll() is None:
+                self.events.error(
+                    f"{child.role}-stuck", "SIGKILL after drain timeout"
+                )
+                try:
+                    child.proc.kill()
+                except (ProcessLookupError, OSError):
+                    pass
+                child.proc.wait()
+        for child in self.workers + ([router] if router else []):
+            if child.log is not None:
+                try:
+                    child.log.close()
+                except Exception:
+                    pass
+
+    def run(self, poll_interval: float = 0.05) -> int:
+        """Start, supervise until shutdown or signal, drain, merge."""
+        self.start()
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    signal.signal(signum, lambda *_: self.request_stop())
+                except ValueError:
+                    # not the main thread (tests drive run() directly)
+                    break
+        except Exception:
+            pass
+        try:
+            while not self._terminate:
+                if not self.poll_once():
+                    break
+                time.sleep(poll_interval)
+        finally:
+            self.drain()
+            if self.config.telemetry_path is not None:
+                try:
+                    records = self.merge_telemetry()
+                    if records:
+                        self.events.info(
+                            "fleet-telemetry-merged",
+                            f"{records} record(s) -> "
+                            f"{self.config.telemetry_path}",
+                        )
+                except Exception as exc:
+                    self.events.error("fleet-telemetry-merge-failed", repr(exc))
+            try:
+                os.unlink(self.pidfile)
+            except OSError:
+                pass
+        return 0
+
+    # -- telemetry merge -----------------------------------------------------
+
+    def merge_telemetry(self) -> int:
+        config = self.config
+        paths = [
+            shard_telemetry_path(config.telemetry_path, shard)
+            for shard in range(config.workers)
+        ]
+        return merge_shard_telemetry(
+            config.telemetry_path,
+            [path for path in paths if os.path.exists(path)],
+            workers=config.workers,
+            router_restarts=self.router.restarts if self.router else 0,
+            worker_restarts=[child.restarts for child in self.workers],
+        )
+
+
+def merge_shard_telemetry(
+    out_path: str,
+    shard_paths: Sequence[str],
+    workers: int = 0,
+    router_restarts: int = 0,
+    worker_restarts: Optional[Sequence[int]] = None,
+) -> int:
+    """Fold per-shard telemetry JSONLs into one schema-valid artifact.
+
+    The merge mirrors the router's live ``stats`` fold, applied to the
+    at-rest artifacts: lane registries merge exactly (bucket-wise
+    histogram merge via :meth:`MetricRegistry.from_merged`), traffic
+    totals sum field-wise, per-shard lane snapshots concatenate in time
+    order (each already tagged with its shard id by its worker), and
+    one merged run report carries fleet-level extras.  Returns the
+    record count written, 0 when ``shard_paths`` is empty.
+    """
+    from repro.obs import Telemetry, TelemetryOptions
+    from repro.obs.events import TelemetryEvent
+    from repro.obs.jsonl import read_telemetry, write_telemetry
+    from repro.obs.registry import MetricRegistry
+
+    if not shard_paths:
+        return 0
+    files = [read_telemetry(path) for path in shard_paths]
+    events = EventLog(max_records=10_000 * max(1, len(files)))
+    for file in files:
+        for record in file.events:
+            payload = {k: v for k, v in record.items() if k != "kind"}
+            event = TelemetryEvent.from_dict(payload)
+            events.emit(event.level, event.tag, event.detail, wall=event.wall)
+    events.records.sort(key=lambda record: record.wall)
+
+    lane_records = [file.lanes.get("serve", {}) for file in files]
+    totals: Dict[str, float] = {}
+    for record in lane_records:
+        for key, value in (record.get("totals") or {}).items():
+            totals[key] = totals.get(key, 0) + value
+    registry = MetricRegistry.from_merged(
+        [record.get("registry", {}) for record in lane_records]
+    )
+
+    snapshots: List[dict] = []
+    for file in files:
+        for snapshot in file.lane_snapshots("serve"):
+            snapshots.append(
+                {k: v for k, v in snapshot.items() if k not in ("kind", "lane")}
+            )
+    snapshots.sort(key=lambda s: (s.get("t", 0.0), s.get("shard", 0)))
+
+    watermark = sum(
+        file.meta.get("meta", {}).get("watermark", 0) for file in files
+    )
+    telemetry = Telemetry(
+        options=TelemetryOptions(probes=False),
+        events=events,
+        meta={
+            "source": "repro-serve-fleet",
+            "workers": workers or len(files),
+            "shards_merged": len(files),
+            "watermark": watermark,
+            "router_restarts": router_restarts,
+            "worker_restarts": list(worker_restarts or []),
+            "algorithm": files[0].meta.get("meta", {}).get("algorithm"),
+        },
+    )
+    lane = telemetry.lane("serve")
+    lane.algorithm = str(files[0].meta.get("meta", {}).get("algorithm") or "")
+    lane.registry = registry
+    lane.snapshots = snapshots
+    lane.totals = totals
+    lane.num_requests = int(totals.get("requests", 0))
+
+    wall = 0.0
+    per_shard = []
+    for path, file in zip(shard_paths, files):
+        for report in file.reports:
+            wall = max(wall, report.get("wall_seconds", 0.0))
+            per_shard.append(
+                {
+                    "path": path,
+                    "watermark": report.get("extra", {}).get("watermark", 0),
+                    "sustained_qps": report.get("extra", {}).get(
+                        "sustained_qps", 0.0
+                    ),
+                    "num_requests": report.get("num_requests", 0),
+                }
+            )
+    report = {
+        "engine": "serve",
+        "mode": "fleet",
+        "wall_seconds": wall,
+        "num_requests": int(totals.get("requests", 0)),
+        "extra": {
+            "watermark": watermark,
+            "sustained_qps": sum(s["sustained_qps"] for s in per_shard),
+            "router_restarts": router_restarts,
+            "worker_restarts": list(worker_restarts or []),
+            "per_shard": per_shard,
+        },
+    }
+    return write_telemetry(out_path, telemetry, reports=[report])

@@ -39,6 +39,7 @@ from repro.core.base import Decision, VideoCache
 __all__ = [
     "ERROR_CODES",
     "OPS",
+    "PROTOCOL_VERSION",
     "ProtocolError",
     "parse_line",
     "decision_response",
@@ -48,6 +49,14 @@ __all__ = [
     "decide_and_account",
     "new_totals",
 ]
+
+#: Wire protocol version.  Version 1 is the single-worker daemon of
+#: DESIGN.md §13; version 2 adds the sharded router handshake
+#: (``hello`` gains ``workers``/``num_buckets``/``shards`` and ``seq``
+#: becomes per-shard contiguous when ``workers > 1``).  A ``--workers
+#: 1`` daemon still speaks version 1 unchanged — that is the documented
+#: downgrade path for clients that assign one global sequence.
+PROTOCOL_VERSION = 2
 
 #: Operations a client may issue instead of a decision request.
 OPS = (
@@ -68,6 +77,8 @@ ERROR_CODES = (
     "decision-failed", # transient failure survived all retries
     "timeout",         # per-request deadline exceeded
     "unsupported",     # unknown op, or op not enabled
+    "misrouted",       # video does not hash to this shard (not applied)
+    "worker-down",     # a fan-out op could not reach a worker shard
 )
 
 

@@ -22,12 +22,41 @@ from typing import Dict, Optional
 from repro.obs.registry import MetricRegistry
 from repro.obs.sketch import DEFAULT_GROWTH
 
-__all__ = ["ServeSLO"]
+__all__ = ["ServeSLO", "merged_summary"]
 
 _LATENCY = "decision_us"
 
 #: quantiles the summary reports, with their field names
 QUANTILES = (("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
+
+
+def _latency_ms_from(sketch) -> Dict[str, Optional[float]]:
+    """Quantile block (ms, JSON-safe) from one latency sketch (or None)."""
+    out: Dict[str, Optional[float]] = {}
+    for name, q in QUANTILES:
+        value = sketch.quantile(q) if sketch is not None else math.nan
+        out[name] = value / 1e3 if math.isfinite(value) else None
+    return out
+
+
+def merged_summary(registries, sustained_qps) -> dict:
+    """Fold per-shard SLOs into one summary — *exactly*, not averaged.
+
+    ``registries`` are worker ``MetricRegistry.to_dict`` payloads (the
+    ``registry`` field of each worker's ``stats`` reply): their latency
+    sketches merge bucket-wise via the standard ``repro.obs``
+    cross-process merge, so the fleet-wide p99 is the true quantile of
+    the union of all decisions, not an average of per-shard quantiles.
+    Sustained QPS is summed — shards decide concurrently.  Returns the
+    same shape as :meth:`ServeSLO.summary`.
+    """
+    registry = MetricRegistry.from_merged(registries)
+    sketch = registry.histograms.get(_LATENCY)
+    return {
+        "decisions": int(sketch.count) if sketch is not None else 0,
+        "latency_ms": _latency_ms_from(sketch),
+        "sustained_qps": float(sum(sustained_qps)),
+    }
 
 
 class ServeSLO:
@@ -64,12 +93,7 @@ class ServeSLO:
         Quantiles are ``None`` until the first decision lands — ``NaN``
         is not valid JSON, and these dicts go straight onto the wire.
         """
-        sketch = self.registry.histograms.get(_LATENCY)
-        out: Dict[str, Optional[float]] = {}
-        for name, q in QUANTILES:
-            value = sketch.quantile(q) if sketch is not None else math.nan
-            out[name] = value / 1e3 if math.isfinite(value) else None
-        return out
+        return _latency_ms_from(self.registry.histograms.get(_LATENCY))
 
     def sustained_qps(self) -> float:
         """Decisions per second between the first and last decision."""

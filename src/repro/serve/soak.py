@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.cdn.faults import FaultEvent, FaultSchedule
+from repro.cdn.sharding import DEFAULT_NUM_BUCKETS, shard_of
 from repro.serve.client import ServeClient, connect_with_retry
 from repro.serve.daemon import ServeConfig
 from repro.serve.protocol import decide_and_account, new_totals
@@ -37,10 +38,14 @@ from repro.trace.requests import Request
 
 __all__ = [
     "DaemonProcess",
+    "FleetProcess",
     "SoakOutcome",
     "batch_totals",
     "kill_schedule",
     "run_soak",
+    "run_sharded_soak",
+    "shard_plan",
+    "sharded_batch_totals",
     "main",
 ]
 
@@ -59,6 +64,71 @@ def batch_totals(config: ServeConfig, requests: Sequence[Request]) -> Dict[str, 
         _, last_t = decide_and_account(
             cache, totals, r.t, r.video, r.b0, r.b1, last_t
         )
+    return totals
+
+
+def shard_plan(
+    requests: Sequence[Request],
+    workers: int,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+):
+    """Precomputed per-shard routing/sequencing of one trace.
+
+    Returns ``(shards, seqs, positions)`` where ``shards[i]`` is the
+    owning shard of request ``i``, ``seqs[i]`` its 1-based per-shard
+    sequence number (the seq a sharded client must attach — fixed for
+    the whole soak, resends included), and ``positions[k][n]`` the
+    global index of shard ``k``'s ``(n+1)``-th request (the resume
+    cursor map: after a crash, replay restarts at the minimum over
+    shards of ``positions[k][watermark_k]``).
+    """
+    shards: List[int] = []
+    seqs: List[int] = []
+    positions: List[List[int]] = [[] for _ in range(workers)]
+    for index, r in enumerate(requests):
+        shard = shard_of(r.video, workers, num_buckets)
+        shards.append(shard)
+        positions[shard].append(index)
+        seqs.append(len(positions[shard]))
+    return shards, seqs, positions
+
+
+def sharded_batch_totals(
+    config: ServeConfig,
+    requests: Sequence[Request],
+    workers: int,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+) -> Dict[str, int]:
+    """The uninterrupted *sharded* replay the fleet must match exactly.
+
+    N independent caches (one per shard, each sized ``disk_chunks``
+    like its live counterpart), each with its own stale-timestamp
+    cursor, fed through the same :func:`shard_of` routing the router
+    applies — then totals summed.  This is the fleet's ground truth;
+    it intentionally differs from the single-cache :func:`batch_totals`
+    (different cache partitioning ⇒ different hit patterns).
+    """
+    caches = [
+        build_cache(
+            config.algorithm,
+            config.disk_chunks,
+            alpha_f2r=config.alpha_f2r,
+            chunk_bytes=config.chunk_bytes,
+        )
+        for _ in range(workers)
+    ]
+    per_shard = [new_totals() for _ in range(workers)]
+    last_t = [float("-inf")] * workers
+    for r in requests:
+        shard = shard_of(r.video, workers, num_buckets)
+        _, last_t[shard] = decide_and_account(
+            caches[shard], per_shard[shard], r.t, r.video, r.b0, r.b1,
+            last_t[shard],
+        )
+    totals: Dict[str, int] = {}
+    for shard_totals in per_shard:
+        for key, value in shard_totals.items():
+            totals[key] = totals.get(key, 0) + value
     return totals
 
 
@@ -155,6 +225,130 @@ class DaemonProcess:
         return connect_with_retry(self.socket_path, retry_for=retry_for)
 
 
+class FleetProcess:
+    """A ``repro-serve --workers N`` supervisor tree on one unix socket.
+
+    The supervisor's pidfile names every role's live pid, so the soak
+    can SIGKILL a *specific* worker or the router — the two fleet
+    deaths the acceptance gate requires — and let the supervisor's
+    restart logic (not the harness) bring the victim back.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        run_dir: str,
+        config: ServeConfig,
+        workers: int,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+        telemetry_path: Optional[str] = None,
+    ) -> None:
+        self.socket_path = socket_path
+        self.run_dir = run_dir
+        self.config = config
+        self.workers = workers
+        self.num_buckets = num_buckets
+        self.telemetry_path = telemetry_path
+        self.pidfile = os.path.join(run_dir, "fleet.json")
+        self.proc: Optional[subprocess.Popen] = None
+
+    def args(self) -> List[str]:
+        config = self.config
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.serve.cli",
+            "--socket",
+            self.socket_path,
+            "--workers",
+            str(self.workers),
+            "--num-buckets",
+            str(self.num_buckets),
+            "--run-dir",
+            self.run_dir,
+            "--algorithm",
+            config.algorithm,
+            "--disk-chunks",
+            str(config.disk_chunks),
+            "--chunk-bytes",
+            str(config.chunk_bytes),
+            "--alpha",
+            str(config.alpha_f2r),
+            "--rate",
+            str(config.rate),
+            "--queue-limit",
+            str(config.queue_limit),
+            "--snapshot-every",
+            str(config.snapshot_every),
+            "--publish-interval",
+            str(config.publish_interval),
+        ]
+        if config.snapshot_dir:
+            argv += ["--snapshot-dir", config.snapshot_dir]
+        if self.telemetry_path:
+            argv += ["--telemetry", self.telemetry_path]
+        if config.test_hooks:
+            argv += ["--test-hooks"]
+        return argv
+
+    def start(self) -> None:
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        self.proc = subprocess.Popen(self.args())
+
+    def pidmap(self, retry_for: float = 20.0) -> dict:
+        """The supervisor's role->pid map, waiting out startup races."""
+        deadline = time.monotonic() + retry_for
+        while True:
+            try:
+                with open(self.pidfile, "r", encoding="utf-8") as stream:
+                    return json.load(stream)
+            except (OSError, json.JSONDecodeError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def _sigkill(self, pid: Optional[int]) -> bool:
+        if not pid:
+            return False
+        try:
+            os.kill(pid, signal.SIGKILL)
+            return True
+        except (ProcessLookupError, OSError):
+            return False
+
+    def kill_worker(self, shard: int) -> bool:
+        """SIGKILL one worker; the supervisor warm-restarts it alone."""
+        entries = self.pidmap().get("workers", [])
+        for entry in entries:
+            if entry.get("shard") == shard:
+                return self._sigkill(entry.get("pid"))
+        return False
+
+    def kill_router(self) -> bool:
+        """SIGKILL the router; stateless, so nothing is lost."""
+        return self._sigkill(self.pidmap().get("router", {}).get("pid"))
+
+    def connect(self, retry_for: float = 30.0) -> ServeClient:
+        return connect_with_retry(self.socket_path, retry_for=retry_for)
+
+    def wait(self, timeout: float = 60.0) -> Optional[int]:
+        if self.proc is None:
+            return None
+        return self.proc.wait(timeout=timeout)
+
+    def terminate(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+
+
 @dataclass
 class SoakOutcome:
     """What one soak run produced (see :func:`run_soak`)."""
@@ -163,6 +357,10 @@ class SoakOutcome:
     watermark: int = 0
     restarts: int = 0
     resumed_restarts: int = 0
+    #: sharded-soak extras (zero / empty in single-daemon soaks)
+    workers: int = 1
+    worker_kills: int = 0
+    router_kills: int = 0
     malformed_sent: int = 0
     malformed_acked: int = 0
     shed: int = 0
@@ -183,7 +381,13 @@ class SoakOutcome:
     def describe(self) -> str:
         lines = [
             f"soak: {self.sent} requests, {self.restarts} kill(s) "
-            f"({self.resumed_restarts} warm resume(s)), "
+            + (
+                f"[{self.workers} workers: {self.worker_kills} worker, "
+                f"{self.router_kills} router] "
+                if self.workers > 1
+                else ""
+            )
+            + f"({self.resumed_restarts} warm resume(s)), "
             f"{self.malformed_sent} malformed line(s) "
             f"({self.malformed_acked} acked), {self.duplicates} duplicate "
             f"ack(s), {self.shed} shed, {self.recoveries} recover(ies)",
@@ -350,6 +554,216 @@ def run_soak(
     return outcome
 
 
+def _fleet_op(
+    fleet: "FleetProcess",
+    client: ServeClient,
+    name: str,
+    retry_for: float = 30.0,
+):
+    """One router fan-out op, healing the connection as needed.
+
+    Two failure modes are expected and retried: a ``worker-down``
+    refusal (the router answers it while a SIGKILLed shard is being
+    restarted by the supervisor), and a dead connection — SIGKILL
+    delivery is asynchronous, so a reconnect issued right after
+    ``kill_router`` can still land on the dying process and get reset
+    on first read.  Returns ``(client, response)`` with ``client``
+    possibly replaced by a fresh connection.
+    """
+    deadline = time.monotonic() + retry_for
+    while True:
+        try:
+            response = client.op(name)
+            if response.get("ok"):
+                return client, response
+        except (ConnectionError, OSError, ValueError):
+            response = None
+            client.close()
+            client = fleet.connect(
+                retry_for=max(deadline - time.monotonic(), 1.0)
+            )
+        if time.monotonic() >= deadline:
+            raise RuntimeError(f"fleet op {name!r} kept failing: {response}")
+        time.sleep(0.1)
+
+
+def _resume_cursor(hello: dict, positions: Sequence[Sequence[int]], n: int) -> int:
+    """Global resume index from a router ``hello``'s per-shard watermarks.
+
+    Each shard k must next receive its ``(watermark_k + 1)``-th request;
+    the global cursor is the *earliest* of those positions.  Requests
+    before other shards' positions get resent and acked as duplicates —
+    per-shard watermark independence makes the overlap harmless, and
+    the duplicate count proves nothing was applied twice.
+    """
+    cursor = n
+    for entry in hello.get("shards", []):
+        pos = positions[entry["shard"]]
+        watermark = entry.get("watermark", 0)
+        if watermark < len(pos):
+            cursor = min(cursor, pos[watermark])
+    return cursor
+
+
+def run_sharded_soak(
+    requests: Sequence[Request],
+    config: ServeConfig,
+    workers: int,
+    restarts: int = 2,
+    fault_seed: int = 20140413,
+    malformed_every: int = 0,
+    window: int = 256,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    socket_path: Optional[str] = None,
+    telemetry_path: Optional[str] = None,
+    progress: bool = False,
+) -> SoakOutcome:
+    """Soak a sharded fleet, SIGKILLing workers *and* the router.
+
+    Same exactness contract as :func:`run_soak`, against the sharded
+    ground truth: merged fleet totals must be byte-identical to
+    :func:`sharded_batch_totals` and the summed watermark must equal
+    the trace length.  Kill events alternate victim — first a randomly
+    chosen worker (supervisor warm-restarts it from its own snapshots),
+    then the router (stateless; clients reconnect and resume from
+    worker watermarks) — so one soak exercises both failure rows of the
+    DESIGN.md §14 matrix.
+    """
+    outcome = SoakOutcome(sent=len(requests), workers=workers)
+    outcome.batch = sharded_batch_totals(config, requests, workers, num_buckets)
+    _, seqs, positions = shard_plan(requests, workers, num_buckets)
+
+    schedule = kill_schedule(requests, restarts, fault_seed)
+    kill_times = sorted(event.t for event in schedule.events)
+    kill_rng = random.Random(fault_seed + 1)
+    n = len(requests)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-fleet-soak-") as workdir:
+        sock = socket_path or os.path.join(workdir, "fleet.sock")
+        fleet = FleetProcess(
+            sock,
+            os.path.join(workdir, "run"),
+            config,
+            workers,
+            num_buckets=num_buckets,
+            telemetry_path=telemetry_path,
+        )
+        fleet.start()
+        client = fleet.connect()
+        client, hello = _fleet_op(fleet, client, "hello")
+        cursor = _resume_cursor(hello, positions, n)
+        kill_index = 0
+        since_malformed = 0
+
+        try:
+            while cursor < n:
+                if kill_index < len(kill_times) and (
+                    requests[cursor].t >= kill_times[kill_index]
+                ):
+                    target_router = kill_index % 2 == 1
+                    kill_index += 1
+                    outcome.restarts += 1
+                    if target_router:
+                        if fleet.kill_router():
+                            outcome.router_kills += 1
+                    else:
+                        shard = kill_rng.randrange(workers)
+                        if fleet.kill_worker(shard):
+                            outcome.worker_kills += 1
+                    client, hello = _fleet_op(fleet, client, "hello")
+                    if hello.get("resumed"):
+                        outcome.resumed_restarts += 1
+                    cursor = _resume_cursor(hello, positions, n)
+                    if progress:
+                        victim = "router" if target_router else f"worker-{shard}"
+                        print(
+                            f"  SIGKILLed {victim}, resumed at index {cursor} "
+                            f"(warm={hello.get('resumed')})",
+                            file=sys.stderr,
+                        )
+
+                count = min(window, n - cursor)
+                if kill_index < len(kill_times):
+                    boundary = kill_times[kill_index]
+                    ahead = 0
+                    while ahead < count and requests[cursor + ahead].t < boundary:
+                        ahead += 1
+                    count = max(ahead, 1)
+                injected = 0
+                try:
+                    for offset in range(count):
+                        r = requests[cursor + offset]
+                        client.send(
+                            {
+                                "seq": seqs[cursor + offset],
+                                "t": r.t,
+                                "video": r.video,
+                                "b0": r.b0,
+                                "b1": r.b1,
+                            }
+                        )
+                        since_malformed += 1
+                        if malformed_every and since_malformed >= malformed_every:
+                            since_malformed = 0
+                            injected += 1
+                            outcome.malformed_sent += 1
+                            client.send_raw(_MALFORMED_LINE)
+                    client.flush()
+                    retry_after = 0.0
+                    clean = True
+                    for _ in range(count + injected):
+                        response = client.read_response()
+                        if response.get("ok"):
+                            if response.get("kind") == "duplicate":
+                                outcome.duplicates += 1
+                            continue
+                        code = response.get("error")
+                        if code == "malformed":
+                            outcome.malformed_acked += 1
+                            continue
+                        clean = False
+                        if code == "overloaded":
+                            outcome.shed += 1
+                            retry_after = max(
+                                retry_after, response.get("retry_after", 0.0)
+                            )
+                    if clean:
+                        cursor += count
+                    else:
+                        # a shard refused (shed / gap while its worker
+                        # restarts): jittered wait, then the per-shard
+                        # watermarks say exactly where to resume
+                        if retry_after > 0:
+                            time.sleep(
+                                min(client.backoff(retry_after), 1.0)
+                            )
+                        client, hello = _fleet_op(fleet, client, "hello")
+                        cursor = _resume_cursor(hello, positions, n)
+                        outcome.recoveries += 1
+                except (ConnectionError, OSError, ValueError):
+                    # the router died mid-window (or a kill raced us):
+                    # reconnect through the restarted router and resume
+                    client, hello = _fleet_op(fleet, client, "hello")
+                    if hello.get("resumed"):
+                        outcome.resumed_restarts += 1
+                    cursor = _resume_cursor(hello, positions, n)
+                    outcome.recoveries += 1
+
+            client, stats = _fleet_op(fleet, client, "stats")
+            outcome.stats = stats
+            outcome.watermark = stats["watermark"]
+            outcome.totals = {k: int(v) for k, v in stats["totals"].items()}
+            client, _ = _fleet_op(fleet, client, "shutdown")
+            client.close()
+            fleet.wait()
+        finally:
+            try:
+                fleet.terminate()
+            except Exception:
+                pass
+    return outcome
+
+
 def _generate(server: str, scale: float, days: float, seed: int) -> List[Request]:
     from repro.workload.generator import TraceGenerator
     from repro.workload.servers import SERVER_PROFILES
@@ -379,6 +793,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--restarts", type=int, default=1, help="seeded SIGKILL count"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=">1 soaks the sharded fleet (kills alternate worker/router)",
+    )
+    parser.add_argument("--num-buckets", type=int, default=DEFAULT_NUM_BUCKETS)
     parser.add_argument("--fault-seed", type=int, default=20140413)
     parser.add_argument(
         "--malformed-every",
@@ -416,16 +837,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             publish_interval=0.5,
         )
         t0 = time.perf_counter()
-        outcome = run_soak(
-            requests,
-            config,
-            restarts=args.restarts,
-            fault_seed=args.fault_seed,
-            malformed_every=args.malformed_every,
-            window=args.window,
-            telemetry_path=args.telemetry,
-            progress=True,
-        )
+        if args.workers > 1:
+            outcome = run_sharded_soak(
+                requests,
+                config,
+                workers=args.workers,
+                restarts=args.restarts,
+                fault_seed=args.fault_seed,
+                malformed_every=args.malformed_every,
+                window=args.window,
+                num_buckets=args.num_buckets,
+                telemetry_path=args.telemetry,
+                progress=True,
+            )
+        else:
+            outcome = run_soak(
+                requests,
+                config,
+                restarts=args.restarts,
+                fault_seed=args.fault_seed,
+                malformed_every=args.malformed_every,
+                window=args.window,
+                telemetry_path=args.telemetry,
+                progress=True,
+            )
         wall = time.perf_counter() - t0
 
     print(outcome.describe())

@@ -1,0 +1,94 @@
+"""Client-side behaviours that never touch a socket: jittered backoff
+(no retry herds) and the per-shard sequence discipline."""
+
+import socket
+
+import pytest
+
+from repro.cdn.sharding import shard_of
+from repro.serve.client import ServeClient, ShardedSeq
+
+BUCKETS = 64
+
+
+def _client(jitter_seed=None):
+    """A ServeClient over a dead socketpair — backoff needs no wire."""
+    a, b = socket.socketpair()
+    b.close()
+    return ServeClient(a, jitter_seed=jitter_seed)
+
+
+class TestJitteredBackoff:
+    def test_two_clients_with_same_hint_do_not_collide(self):
+        """Two clients shed in the same instant with the same
+        ``retry_after`` must not retry at the identical instant."""
+        one = _client(jitter_seed=1)
+        two = _client(jitter_seed=2)
+        waits_one = [one.backoff(0.25) for _ in range(20)]
+        waits_two = [two.backoff(0.25) for _ in range(20)]
+        assert waits_one != waits_two
+        assert all(a != b for a, b in zip(waits_one, waits_two))
+        one.close()
+        two.close()
+
+    def test_backoff_bounds_and_growth(self):
+        client = _client(jitter_seed=7)
+        for attempt in range(8):
+            wait = client.backoff(0.2, attempt)
+            assert 0.1 <= wait < 0.2 * 1.5 * (2 ** min(attempt, 6))
+        # zero/negative hints are floored, never a busy-loop of 0 waits
+        assert client.backoff(0.0) > 0.0
+        client.close()
+
+    def test_seeded_backoff_is_reproducible(self):
+        a = _client(jitter_seed=99)
+        b = _client(jitter_seed=99)
+        assert [a.backoff(1.0, i) for i in range(5)] == [
+            b.backoff(1.0, i) for i in range(5)
+        ]
+        a.close()
+        b.close()
+
+
+class TestShardedSeq:
+    def test_hands_out_contiguous_per_shard_streams(self):
+        seq = ShardedSeq(2, num_buckets=BUCKETS)
+        per_shard = {0: 0, 1: 0}
+        for video in range(40):
+            shard, n = seq.next_seq(video)
+            assert shard == shard_of(video, 2, BUCKETS)
+            per_shard[shard] += 1
+            assert n == per_shard[shard]
+
+    def test_resume_rewinds_each_shard_independently(self):
+        seq = ShardedSeq(2, num_buckets=BUCKETS)
+        for video in range(40):
+            seq.next_seq(video)
+        seq.resume(
+            {"shards": [
+                {"shard": 0, "watermark": 3},
+                {"shard": 1, "watermark": 11},
+            ]}
+        )
+        next_by_shard = {}
+        video = 0
+        while len(next_by_shard) < 2:
+            shard = seq.shard(video)
+            if shard not in next_by_shard:
+                next_by_shard[shard] = seq.next_seq(video)[1]
+            video += 1
+        assert next_by_shard == {0: 4, 1: 12}
+
+    def test_single_shard_matches_global_seq(self):
+        """--workers 1 wire-compat: one shard's stream is the PR 8
+        global contiguous seq."""
+        seq = ShardedSeq(1, num_buckets=BUCKETS)
+        for expect, video in enumerate(range(25), start=1):
+            shard, n = seq.next_seq(video)
+            assert (shard, n) == (0, expect)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ShardedSeq(0)
+        with pytest.raises(ValueError):
+            ShardedSeq(8, num_buckets=4)

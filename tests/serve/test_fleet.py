@@ -1,0 +1,294 @@
+"""Fleet supervisor tests: config/argv plumbing, snapshot lineage
+isolation, telemetry merging, and one live supervisor tree with a
+worker SIGKILL and a router SIGKILL."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cdn.sharding import shard_of
+from repro.obs.jsonl import validate_telemetry
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.fleet import (
+    FleetConfig,
+    ServeFleet,
+    merge_shard_telemetry,
+    shard_telemetry_path,
+)
+
+K = 1024
+BUCKETS = 64
+
+
+def videos_for_shard(shard, workers, count=5):
+    out = []
+    video = 0
+    while len(out) < count:
+        if shard_of(video, workers, BUCKETS) == shard:
+            out.append(video)
+        video += 1
+    return out
+
+
+class TestFleetConfig:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="workers"):
+            FleetConfig(workers=0, socket="/tmp/x.sock")
+        with pytest.raises(ValueError, match="buckets"):
+            FleetConfig(workers=8, num_buckets=4, socket="/tmp/x.sock")
+        with pytest.raises(ValueError, match="endpoint"):
+            FleetConfig(workers=2)
+        with pytest.raises(ValueError, match="run_dir"):
+            FleetConfig(workers=2, tcp=("127.0.0.1", 9999))
+
+    def test_derived_paths(self):
+        config = FleetConfig(workers=2, socket="/tmp/pub.sock")
+        assert config.effective_run_dir == "/tmp/pub.sock.fleet"
+        assert config.effective_pidfile == "/tmp/pub.sock.fleet/fleet.json"
+
+
+class TestArgvPlumbing:
+    def test_worker_argv_carries_shard_coordinates(self, tmp_path):
+        fleet = ServeFleet(
+            FleetConfig(
+                workers=2,
+                socket=str(tmp_path / "pub.sock"),
+                run_dir=str(tmp_path / "run"),
+                num_buckets=BUCKETS,
+                snapshot_dir=str(tmp_path / "snaps"),
+                telemetry_path=str(tmp_path / "telemetry.jsonl"),
+                worker_args=("--algorithm", "PullLRU"),
+            )
+        )
+        argv = fleet.worker_argv(1)
+        text = " ".join(argv)
+        assert "--shard 1" in text
+        assert "--num-shards 2" in text
+        assert f"--num-buckets {BUCKETS}" in text
+        assert str(tmp_path / "snaps" / "shard-1") in text
+        assert (
+            shard_telemetry_path(str(tmp_path / "telemetry.jsonl"), 1) in text
+        )
+        assert "--algorithm PullLRU" in text
+        # endpoints are derived, never inherited from the supervisor
+        assert str(tmp_path / "pub.sock") not in text
+
+    def test_router_argv_lists_workers_in_shard_order(self, tmp_path):
+        fleet = ServeFleet(
+            FleetConfig(
+                workers=3,
+                socket=str(tmp_path / "pub.sock"),
+                run_dir=str(tmp_path / "run"),
+            )
+        )
+        argv = fleet.router_argv()
+        sockets = [
+            argv[i + 1] for i, arg in enumerate(argv) if arg == "--worker"
+        ]
+        assert sockets == [fleet.worker_socket(k) for k in range(3)]
+
+
+class TestSnapshotLineage:
+    def test_fingerprint_binds_shard_coordinates(self):
+        base = dict(algorithm="PullLRU", disk_chunks=64, chunk_bytes=K)
+        unsharded = ServeConfig(**base)
+        s0 = ServeConfig(shard_id=0, num_shards=4, num_buckets=BUCKETS, **base)
+        s1 = ServeConfig(shard_id=1, num_shards=4, num_buckets=BUCKETS, **base)
+        s0_of_8 = ServeConfig(
+            shard_id=0, num_shards=8, num_buckets=BUCKETS, **base
+        )
+        s0_rebucketed = ServeConfig(
+            shard_id=0, num_shards=4, num_buckets=BUCKETS * 2, **base
+        )
+        prints = {
+            unsharded.fingerprint(),
+            s0.fingerprint(),
+            s1.fingerprint(),
+            s0_of_8.fingerprint(),
+            s0_rebucketed.fingerprint(),
+        }
+        assert len(prints) == 5, "every lineage must be distinct"
+        # and the unsharded fingerprint is unchanged by the new fields
+        # (PR 8 snapshot directories keep resuming)
+        assert unsharded.fingerprint() == ServeConfig(**base).fingerprint()
+
+    def test_resumed_fleet_never_cross_loads_state(self, tmp_path):
+        from repro.serve.daemon import DecisionService
+
+        snapdir = str(tmp_path / "shard-snaps")
+        base = dict(
+            algorithm="PullLRU",
+            disk_chunks=64,
+            chunk_bytes=K,
+            snapshot_dir=snapdir,
+            num_shards=2,
+            num_buckets=BUCKETS,
+        )
+        service = DecisionService(ServeConfig(shard_id=0, **base))
+        video = videos_for_shard(0, 2)[0]
+        service.apply(
+            {"seq": 1, "t": 1.0, "video": video, "b0": 0, "b1": K - 1}
+        )
+        service.snapshot_now()
+
+        # same shard id: resumes warm
+        again = DecisionService(ServeConfig(shard_id=0, **base))
+        assert again.resumed and again.watermark == 1
+
+        # another shard pointed at this directory: refuses, loudly
+        with pytest.raises(ValueError, match="refusing to resume"):
+            DecisionService(ServeConfig(shard_id=1, **base))
+
+
+class TestTelemetryMerge:
+    def _daemon_with_traffic(self, tmp_path, shard, workers=2, count=6):
+        config = ServeConfig(
+            algorithm="PullLRU",
+            disk_chunks=64,
+            chunk_bytes=K,
+            publish_interval=0.0,
+            shard_id=shard,
+            num_shards=workers,
+            num_buckets=BUCKETS,
+        )
+        daemon = ServeDaemon(config)
+        for index, video in enumerate(
+            videos_for_shard(shard, workers, count), start=1
+        ):
+            daemon.service.apply(
+                {
+                    "seq": index,
+                    "t": float(index),
+                    "video": video,
+                    "b0": 0,
+                    "b1": K - 1,
+                }
+            )
+            daemon.slo.observe_decision(0.0001 * index)
+        return daemon
+
+    def test_merged_artifact_is_schema_valid_and_exact(self, tmp_path):
+        out = str(tmp_path / "telemetry.jsonl")
+        paths = []
+        decisions = 0
+        requests = 0
+        for shard in (0, 1):
+            daemon = self._daemon_with_traffic(tmp_path, shard, count=4 + shard)
+            path = shard_telemetry_path(out, shard)
+            daemon.write_telemetry(path)
+            paths.append(path)
+            decisions += daemon.slo.summary()["decisions"]
+            requests += daemon.service.totals["requests"]
+
+        records = merge_shard_telemetry(
+            out, paths, workers=2, router_restarts=1, worker_restarts=[2, 0]
+        )
+        assert records > 0
+        assert validate_telemetry(out) == []
+
+        from repro.obs.jsonl import read_telemetry
+
+        merged = read_telemetry(out)
+        assert merged.meta["meta"]["source"] == "repro-serve-fleet"
+        assert merged.meta["meta"]["workers"] == 2
+        assert merged.meta["meta"]["watermark"] == requests
+        lane = merged.lanes["serve"]
+        assert lane["totals"]["requests"] == requests
+        # exact sketch merge: the merged latency histogram holds every
+        # decision either shard recorded
+        sketch = lane["registry"]["histograms"]["decision_us"]
+        assert sketch["count"] == decisions
+        report = merged.reports[0]
+        assert report["mode"] == "fleet"
+        assert report["extra"]["router_restarts"] == 1
+        assert report["extra"]["worker_restarts"] == [2, 0]
+        assert len(report["extra"]["per_shard"]) == 2
+
+    def test_merge_with_no_inputs_is_a_noop(self, tmp_path):
+        out = str(tmp_path / "telemetry.jsonl")
+        assert merge_shard_telemetry(out, []) == 0
+        assert not os.path.exists(out)
+
+
+class TestLiveSupervisor:
+    def test_fleet_survives_worker_and_router_sigkill(self, tmp_path):
+        from repro.serve.soak import FleetProcess, _fleet_op
+
+        telemetry = str(tmp_path / "fleet-telemetry.jsonl")
+        config = ServeConfig(
+            algorithm="PullLRU",
+            disk_chunks=64,
+            chunk_bytes=K,
+            snapshot_dir=str(tmp_path / "snaps"),
+            snapshot_every=2,
+            publish_interval=0.0,
+        )
+        fleet = FleetProcess(
+            str(tmp_path / "pub.sock"),
+            str(tmp_path / "run"),
+            config,
+            workers=2,
+            num_buckets=BUCKETS,
+            telemetry_path=telemetry,
+        )
+        fleet.start()
+        try:
+            client = fleet.connect()
+            client, hello = _fleet_op(fleet, client, "hello")
+            assert hello["workers"] == 2
+
+            # a few sequenced requests so shard 0 has state to resume
+            seqs = [1, 1]
+            for video in range(10):
+                shard = shard_of(video, 2, BUCKETS)
+                response = client.request(
+                    float(video), video, 0, K - 1, seq=seqs[shard]
+                )
+                assert response.get("ok"), response
+                seqs[shard] += 1
+
+            pid0 = fleet.pidmap()["workers"][0]["pid"]
+            assert fleet.kill_worker(0)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                entry = fleet.pidmap()["workers"][0]
+                if entry["pid"] not in (None, pid0) and entry["restarts"] >= 1:
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("supervisor never restarted worker 0")
+
+            # the restarted worker resumed its own lineage: hello again
+            client, hello = _fleet_op(fleet, client, "hello")
+            by_shard = {s["shard"]: s for s in hello["shards"]}
+            assert by_shard[0]["watermark"] == seqs[0] - 1
+            assert by_shard[0]["resumed"] is True
+            # sibling untouched: same pid, no restarts
+            assert fleet.pidmap()["workers"][1]["restarts"] == 0
+
+            router_pid = fleet.pidmap()["router"]["pid"]
+            assert fleet.kill_router()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                entry = fleet.pidmap()["router"]
+                if entry["pid"] not in (None, router_pid):
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("supervisor never restarted the router")
+
+            client, stats = _fleet_op(fleet, client, "stats")
+            assert stats["watermark"] == 10
+            client, _ = _fleet_op(fleet, client, "shutdown")
+            client.close()
+            assert fleet.wait(timeout=60) == 0
+        finally:
+            fleet.terminate()
+
+        assert os.path.exists(telemetry)
+        assert validate_telemetry(telemetry) == []
+        merged = json.loads(open(telemetry).readline())
+        assert merged["meta"]["source"] == "repro-serve-fleet"
+        assert not os.path.exists(fleet.pidfile)

@@ -1,0 +1,73 @@
+"""Routing determinism: the video-hash shard map must be identical
+across processes, daemon restarts, and the numpy on/off toggle —
+otherwise a resumed fleet would route the same video to a different
+shard and re-apply (or lose) requests."""
+
+import json
+import subprocess
+import sys
+
+from repro.cdn.sharding import DEFAULT_NUM_BUCKETS, bucket_of, shard_of
+
+PROBE_VIDEOS = [0, 1, 7, 41, 1023, 65537, 2**31 - 1, 123456789]
+
+_PROBE_SCRIPT = """\
+import json, sys
+from repro.cdn.sharding import bucket_of, shard_of
+videos = json.loads(sys.argv[1])
+print(json.dumps({
+    "buckets": [bucket_of(v) for v in videos],
+    "shards": [shard_of(v, 4, 64) for v in videos],
+}))
+"""
+
+
+def _probe(extra_env=None):
+    """Compute the shard map in a fresh interpreter (a 'restart')."""
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    if extra_env:
+        env.update(extra_env)
+    out = subprocess.run(
+        [sys.executable, "-c", _PROBE_SCRIPT, json.dumps(PROBE_VIDEOS)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        timeout=60,
+    )
+    return json.loads(out.stdout)
+
+
+def test_shard_of_is_bucket_of_mod_workers():
+    for video in PROBE_VIDEOS:
+        for workers in (1, 2, 4, 7):
+            assert (
+                shard_of(video, workers, DEFAULT_NUM_BUCKETS)
+                == bucket_of(video, DEFAULT_NUM_BUCKETS) % workers
+            )
+    # single shard: everything routes to 0 (the --workers 1 wire path)
+    assert all(shard_of(v, 1) == 0 for v in PROBE_VIDEOS)
+
+
+def test_bucket_of_matches_golden_values():
+    """Pinned outputs: any change to the hash breaks every snapshot
+    lineage in the field, so drift must fail loudly."""
+    got = [bucket_of(v, 64) for v in PROBE_VIDEOS]
+    assert got == [10, 51, 55, 63, 48, 32, 56, 0], got
+
+
+def test_shard_map_survives_daemon_restarts():
+    first = _probe()
+    second = _probe()  # fresh interpreter = restarted daemon
+    assert first == second
+    assert first["buckets"] == [bucket_of(v) for v in PROBE_VIDEOS]
+    assert first["shards"] == [shard_of(v, 4, 64) for v in PROBE_VIDEOS]
+
+
+def test_shard_map_identical_with_numpy_disabled():
+    with_numpy = _probe({"REPRO_NO_NUMPY": "0"})
+    without_numpy = _probe({"REPRO_NO_NUMPY": "1"})
+    assert with_numpy == without_numpy

@@ -72,3 +72,71 @@ def test_soak_with_kill_is_exact(tmp_path):
     assert outcome.watermark == len(trace)
     assert outcome.totals == outcome.batch, outcome.describe()
     assert outcome.ok
+
+
+def test_shard_plan_per_shard_seqs_are_contiguous():
+    from repro.serve.soak import shard_plan
+
+    trace = _trace(300)
+    shards, seqs, positions = shard_plan(trace, 4, num_buckets=64)
+    assert len(shards) == len(seqs) == 300
+    # per-shard seq streams are each 1, 2, 3, ... with no gaps
+    streams = {}
+    for shard, seq in zip(shards, seqs):
+        streams.setdefault(shard, []).append(seq)
+    for shard, stream in streams.items():
+        assert stream == list(range(1, len(stream) + 1))
+        assert positions[shard] == [
+            i for i, s in enumerate(shards) if s == shard
+        ]
+    assert sum(len(p) for p in positions) == 300
+
+
+def test_sharded_batch_totals_partitions_the_trace():
+    from repro.serve.soak import sharded_batch_totals
+
+    trace = _trace(400)
+    config = ServeConfig(algorithm="xLRU", disk_chunks=128, chunk_bytes=K)
+    totals = sharded_batch_totals(config, trace, 2, num_buckets=64)
+    assert totals["requests"] == 400
+    assert totals["served"] + totals["redirected"] == 400
+    assert totals["requested_bytes"] == sum(r.b1 - r.b0 + 1 for r in trace)
+    # deterministic: same routing, same caches, same answer
+    assert totals == sharded_batch_totals(config, trace, 2, num_buckets=64)
+
+
+def test_sharded_soak_with_worker_and_router_kills_is_exact(tmp_path):
+    """Multi-worker soak: SIGKILL one worker AND the router mid-trace;
+    merged totals must equal the sharded batch replay byte-for-byte and
+    the per-shard watermarks must cover every request exactly once (a
+    resumed sharded fleet replays nothing twice — duplicates on the
+    resume overlap are acked, never re-applied)."""
+    from repro.serve.soak import run_sharded_soak
+
+    trace = _trace(600)
+    config = ServeConfig(
+        algorithm="xLRU",
+        disk_chunks=128,
+        chunk_bytes=K,
+        snapshot_dir=str(tmp_path / "snaps"),
+        snapshot_every=50,
+        publish_interval=0.0,
+    )
+    outcome = run_sharded_soak(
+        trace,
+        config,
+        workers=2,
+        restarts=2,
+        fault_seed=20140413,
+        malformed_every=100,
+        window=64,
+        num_buckets=64,
+        socket_path=str(tmp_path / "pub.sock"),
+    )
+    assert outcome.workers == 2
+    assert outcome.worker_kills >= 1, outcome.describe()
+    assert outcome.router_kills >= 1, outcome.describe()
+    assert outcome.malformed_acked == outcome.malformed_sent > 0
+    assert outcome.watermark == len(trace)
+    assert outcome.totals == outcome.batch, outcome.describe()
+    assert outcome.ok
