@@ -20,7 +20,8 @@ verify:
 # Static checks (same commands the CI lint job runs; needs ruff).
 lint:
 	ruff check src tests benchmarks
-	ruff format --check src/repro/obs tests/obs src/repro/cdn src/repro/trace
+	ruff format --check src/repro/obs tests/obs src/repro/cdn src/repro/trace \
+		src/repro/core/policy
 
 # End-to-end telemetry walkthrough: generate a small trace, replay it
 # twice with cache probes on, then validate and compare the JSONL

@@ -1,0 +1,100 @@
+"""Render BENCH_*.json deltas as a GitHub-flavored markdown table.
+
+Usage (from a CI bench job, after the bench pytest run rewrote the
+workspace copy of the JSON)::
+
+    python benchmarks/bench_summary.py BENCH_replay.json >> "$GITHUB_STEP_SUMMARY"
+
+For each file the script loads the fresh workspace copy, fetches the
+committed baseline with ``git show HEAD:<file>``, flattens both to
+dotted numeric leaves (``scales.quick.modes.packed.requests_per_second``)
+and prints one table row per metric with the percent delta.  Missing
+baselines (a brand-new bench file) degrade to a current-only table
+rather than failing the job.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Tuple
+
+#: metadata leaves that are numeric but meaningless to diff
+_SKIP_LEAVES = {"timestamp", "pid", "seed"}
+
+
+def _numeric_leaves(node: object, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    if isinstance(node, dict):
+        for key in sorted(node):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _numeric_leaves(node[key], path)
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        leaf = prefix.rsplit(".", 1)[-1]
+        if leaf not in _SKIP_LEAVES:
+            yield prefix, float(node)
+
+
+def _baseline(path: Path) -> Dict[str, float]:
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{path.as_posix()}"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return dict(_numeric_leaves(json.loads(blob)))
+    except (subprocess.CalledProcessError, json.JSONDecodeError, OSError):
+        return {}
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def summarize(path: Path) -> str:
+    current = dict(_numeric_leaves(json.loads(path.read_text())))
+    baseline = _baseline(path)
+    lines = [
+        f"### {path.name}",
+        "",
+        "| metric | baseline | current | delta |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for metric in sorted(current):
+        now = current[metric]
+        base = baseline.get(metric)
+        if base is None:
+            delta = "new"
+        elif base == 0:
+            delta = "—" if now == 0 else "n/a"
+        else:
+            delta = f"{100.0 * (now - base) / abs(base):+.1f}%"
+        lines.append(
+            f"| `{metric}` | {'—' if base is None else _fmt(base)}"
+            f" | {_fmt(now)} | {delta} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print("usage: bench_summary.py BENCH_file.json [...]", file=sys.stderr)
+        return 2
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            print(f"### {path.name}\n\n_missing — bench did not produce it_\n")
+            continue
+        print(summarize(path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

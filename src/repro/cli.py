@@ -509,6 +509,15 @@ def main_verify(argv: Optional[Sequence[str]] = None) -> int:
         help="subset of online algorithms to verify (default: all with oracles)",
     )
     parser.add_argument(
+        "--policies",
+        action="store_true",
+        help=(
+            "verify every registered policy kernel (the policy registry "
+            "drives the list, so new plugins are covered automatically); "
+            "mutually exclusive with --algorithms"
+        ),
+    )
+    parser.add_argument(
         "--dump-dir",
         default="verify-failures",
         help="directory for minimized counterexample artifacts",
@@ -558,7 +567,14 @@ def main_verify(argv: Optional[Sequence[str]] = None) -> int:
             print(violation)
         return 1
 
-    algorithms = args.algorithms or sorted(ORACLE_FACTORIES)
+    if args.policies and args.algorithms:
+        parser.error("--policies and --algorithms are mutually exclusive")
+    if args.policies:
+        from repro.core.policy import POLICY_REGISTRY
+
+        algorithms = sorted(POLICY_REGISTRY)
+    else:
+        algorithms = args.algorithms or sorted(ORACLE_FACTORIES)
     unknown = [a for a in algorithms if a not in ORACLE_FACTORIES]
     if unknown:
         parser.error(

@@ -1,0 +1,62 @@
+"""Pluggable policy kernels: one file per policy, every lane for free.
+
+``repro.core.policy`` turns algorithm work from five-subsystem surgery
+(object lane, packed lane, vectorized kernels, oracles, probes) into a
+single-file plugin: subclass
+:class:`~repro.core.policy.kernel.PolicyKernel`, register a
+:class:`~repro.core.policy.registry.PolicySpec`, and the registry wires
+the policy into ``CACHE_FACTORIES``, ``ORACLE_FACTORIES``,
+``KERNEL_ALGORITHMS``, ``SNAPSHOT_KINDS``, the fuzz matrix and the CI
+``policy-matrix`` job.  See DESIGN.md §15 for the porting recipe.
+
+Built-in policies:
+
+* ``LFU-PK`` — the LFU baseline ported byte-identically (its oracle is
+  the hand-written :class:`~repro.core.baselines.LfuAdmissionCache`);
+* ``Retention`` — retention-aware chunk caching (arXiv:1512.03274);
+* ``qLRU`` — tunable insertion-position LRU (arXiv:1806.10853).
+"""
+
+from repro.core.baselines import LfuAdmissionCache
+from repro.core.policy.kernel import KernelCache, OracleKernelCache, PolicyKernel
+from repro.core.policy.lfu_port import LfuKernelPolicy
+from repro.core.policy.qlru import TunableLruPolicy
+from repro.core.policy.registry import (
+    POLICY_REGISTRY,
+    PolicySpec,
+    cache_factories,
+    kernel_algorithm_names,
+    oracle_factories,
+    policy_for,
+    register_policy,
+    snapshot_kinds,
+)
+from repro.core.policy.retention import RetentionAwarePolicy
+
+__all__ = [
+    "PolicyKernel",
+    "KernelCache",
+    "OracleKernelCache",
+    "PolicySpec",
+    "POLICY_REGISTRY",
+    "register_policy",
+    "policy_for",
+    "cache_factories",
+    "oracle_factories",
+    "kernel_algorithm_names",
+    "snapshot_kinds",
+    "LfuKernelPolicy",
+    "RetentionAwarePolicy",
+    "TunableLruPolicy",
+]
+
+# The LFU port is differentially verified against the hand-written
+# production cache itself — the strongest byte-identity pin available.
+register_policy(
+    PolicySpec(name="LFU-PK", kind="lfu", policy_cls=LfuKernelPolicy,
+               oracle=LfuAdmissionCache)
+)
+register_policy(
+    PolicySpec(name="Retention", kind="retention", policy_cls=RetentionAwarePolicy)
+)
+register_policy(PolicySpec(name="qLRU", kind="qlru", policy_cls=TunableLruPolicy))

@@ -36,6 +36,8 @@ from typing import Dict, Tuple, Type, Union
 from repro.core.baselines import LfuAdmissionCache, PullThroughLruCache
 from repro.core.base import VideoCache
 from repro.core.cafe import CafeCache
+from repro.core.policy import POLICY_REGISTRY, KernelCache
+from repro.core.policy import snapshot_kinds as _policy_snapshot_kinds
 from repro.core.xlru import XlruCache
 
 __all__ = [
@@ -57,6 +59,11 @@ SNAPSHOT_KINDS: Dict[str, Type[VideoCache]] = {
     "pull-lru": PullThroughLruCache,
     "lfu": LfuAdmissionCache,
 }
+# Every registered policy kernel snapshots through the generic
+# KernelCache dumper/loader under the kind tag ``policy:<kind>``.
+SNAPSHOT_KINDS.update(_policy_snapshot_kinds())
+
+_POLICY_KIND_TAGS = {spec.kind: name for name, spec in POLICY_REGISTRY.items()}
 
 
 def snapshot_kind(cache: VideoCache) -> str:
@@ -66,12 +73,22 @@ def snapshot_kind(cache: VideoCache) -> str:
     a caller wiring an unsupported algorithm (e.g. an offline cache)
     into the snapshot path learns exactly what is allowed.
     """
+    if isinstance(cache, KernelCache):
+        # dispatch on the bound policy, not the (shared) engine type
+        if cache.policy.kind in _POLICY_KIND_TAGS:
+            return f"policy:{cache.policy.kind}"
+        raise TypeError(
+            f"policy kind {cache.policy.kind!r} is not registered; "
+            f"registered: {sorted(_POLICY_KIND_TAGS)}"
+        )
     for kind, cls in SNAPSHOT_KINDS.items():
         # exact-type match: subclasses may add state the base-kind
         # serializer would silently drop
         if type(cache) is cls:
             return kind
-    supported = ", ".join(cls.__name__ for cls in SNAPSHOT_KINDS.values())
+    supported = ", ".join(
+        sorted({cls.__name__ for cls in SNAPSHOT_KINDS.values()})
+    )
     raise TypeError(
         f"snapshots support {{{supported}}}, not {type(cache).__name__}"
     )
@@ -79,6 +96,8 @@ def snapshot_kind(cache: VideoCache) -> str:
 
 def supports_snapshot(cache: VideoCache) -> bool:
     """True when :func:`state_dict` accepts ``cache``."""
+    if isinstance(cache, KernelCache):
+        return cache.policy.kind in _POLICY_KIND_TAGS
     return type(cache) in SNAPSHOT_KINDS.values()
 
 
@@ -278,12 +297,46 @@ def _load_lfu(cache: LfuAdmissionCache, state: dict) -> None:
     cache._handled = int(state["handled"])
 
 
+def _dump_policy(cache: KernelCache) -> dict:
+    # ``cached`` carries explicit scores in ascending (score, seq)
+    # order; the loader reinserts in that order, preserving the
+    # relative eviction order among equal-scored chunks.  The policy's
+    # own state rides along via its state_dict contract.
+    return {
+        "policy": cache.policy.kind,
+        "policy_state": cache.policy.state_dict(),
+        "cached": [
+            [v, c, _encode_float(score)]
+            for (v, c), score in cache._cached.items_ascending()
+        ],
+    }
+
+
+def _load_policy(cache: KernelCache, state: dict) -> None:
+    from repro.structures.scoreheap import ScoreHeap
+
+    if state["policy"] != cache.policy.kind:
+        raise ValueError(
+            f"snapshot policy kind {state['policy']!r} cannot load into "
+            f"{cache.policy.kind!r}"
+        )
+    # load_state validates immutable knobs before any engine mutation
+    cache.policy.load_state(state["policy_state"])
+    cached: ScoreHeap = ScoreHeap(seed=0)
+    for v, c, score in state["cached"]:
+        cached.insert((int(v), int(c)), _decode_float(score))
+    if len(cached) > cache.disk_chunks:
+        raise ValueError("snapshot holds more chunks than the disk fits")
+    cache._cached = cached
+
+
 _DUMPERS = {
     "xlru": _dump_xlru,
     "cafe": _dump_cafe,
     "pull-lru": _dump_pull_lru,
     "lfu": _dump_lfu,
 }
+_DUMPERS.update({tag: _dump_policy for tag in _policy_snapshot_kinds()})
 
 _LOADERS = {
     "xlru": _load_xlru,
@@ -291,3 +344,4 @@ _LOADERS = {
     "pull-lru": _load_pull_lru,
     "lfu": _load_lfu,
 }
+_LOADERS.update({tag: _load_policy for tag in _policy_snapshot_kinds()})

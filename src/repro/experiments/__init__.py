@@ -31,6 +31,7 @@ from repro.experiments import (
     fig6,
     fig7,
     lp_tightness,
+    policies,
     proactive,
     robustness,
 )
@@ -48,6 +49,7 @@ ALL_FIGURES = {
     "robustness": robustness,
     "lp_tightness": lp_tightness,
     "availability": availability,
+    "policies": policies,
 }
 
 __all__ = [
@@ -70,4 +72,5 @@ __all__ = [
     "robustness",
     "lp_tightness",
     "availability",
+    "policies",
 ]

@@ -139,18 +139,30 @@ def alpha_sweep_cached(
     alphas: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     disk_fraction: float = DISK_SCALED_1TB,
     workers: Optional[int] = None,
+    algorithms: Optional[Sequence[str]] = None,
 ) -> Mapping[float, Dict[str, SimulationResult]]:
-    """Run (or reuse) the xLRU/Cafe/Psychic alpha sweep on a server.
+    """Run (or reuse) an algorithm/alpha sweep on a server.
 
-    ``workers`` is forwarded to the sweep scheduler (it also honours
-    the ``REPRO_WORKERS`` environment variable); the cache key ignores
-    it because the results are execution-strategy independent.
+    ``algorithms`` defaults to the paper trio (xLRU/Cafe/Psychic, the
+    Figure 4/5 matrix); the policy-family experiment passes its own
+    lineup.  ``workers`` is forwarded to the sweep scheduler (it also
+    honours the ``REPRO_WORKERS`` environment variable); the cache key
+    ignores it because the results are execution-strategy independent.
     """
-    key = (server, scale.name, tuple(alphas), disk_fraction)
+    key = (
+        server,
+        scale.name,
+        tuple(alphas),
+        disk_fraction,
+        None if algorithms is None else tuple(algorithms),
+    )
     if key not in _SWEEP_CACHE:
         trace = server_trace(server, scale)
         disk = scaled_disk_chunks(server, scale, disk_fraction)
-        _SWEEP_CACHE[key] = _sweep_alpha(trace, disk, alphas=alphas, workers=workers)
+        kwargs = {} if algorithms is None else {"algorithms": tuple(algorithms)}
+        _SWEEP_CACHE[key] = _sweep_alpha(
+            trace, disk, alphas=alphas, workers=workers, **kwargs
+        )
     return _SWEEP_CACHE[key]
 
 

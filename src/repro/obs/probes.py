@@ -32,7 +32,7 @@ from typing import Dict, Optional
 from repro.obs.registry import MetricRegistry
 from repro.trace.requests import ChunkId
 
-__all__ = ["CacheProbe", "CafeProbe", "XlruProbe", "probe_for"]
+__all__ = ["CacheProbe", "CafeProbe", "PolicyProbe", "XlruProbe", "probe_for"]
 
 
 class CacheProbe:
@@ -147,6 +147,24 @@ class CafeProbe(CacheProbe):
         return gauges
 
 
+class PolicyProbe(CacheProbe):
+    """Policy-kernel probe: the base hooks (the generic
+    :class:`~repro.core.policy.kernel.KernelCache` pipeline calls every
+    outcome and lifetime hook, with per-reason redirect breakdowns from
+    the policy's ``admit``) plus whatever numeric gauges the bound
+    policy exposes through ``gauges()``."""
+
+    kind = "policy"
+
+    def snapshot_gauges(self, cache) -> dict:
+        gauges = super().snapshot_gauges(cache)
+        policy = getattr(cache, "policy", None)
+        if policy is not None:
+            for key, value in policy.gauges().items():
+                gauges[f"policy.{key}"] = value
+        return gauges
+
+
 def probe_for(cache, registry: Optional[MetricRegistry] = None) -> CacheProbe:
     """The most specific probe for ``cache``, chosen by algorithm name.
 
@@ -154,10 +172,14 @@ def probe_for(cache, registry: Optional[MetricRegistry] = None) -> CacheProbe:
     so wrappers and duck-typed caches that forward ``name`` still get
     the right probe; unknown algorithms get the generic base probe
     (outcome/lifetime hooks only fire if the cache calls them).
+    Policy-kernel caches (anything carrying a bound ``policy`` object)
+    get :class:`PolicyProbe`, which mirrors the policy's gauges.
     """
     name = getattr(cache, "name", "")
     if name == "xLRU":
         return XlruProbe(registry)
     if name == "Cafe":
         return CafeProbe(registry)
+    if getattr(cache, "policy", None) is not None:
+        return PolicyProbe(registry)
     return CacheProbe(registry)

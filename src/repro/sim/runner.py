@@ -57,6 +57,13 @@ CACHE_FACTORIES: Dict[str, Callable[..., VideoCache]] = {
 #: The paper's trio, in figure order (left-to-right bars of Figs. 4, 7).
 PAPER_ALGORITHMS = ("xLRU", "Cafe", "Psychic")
 
+# Registered policy kernels ride in through the registry: each entry is
+# a KernelCache factory carrying the offline/cost_sensitive attributes
+# the scheduler and equivalence suite read off factory values.
+from repro.core.policy import cache_factories as _policy_cache_factories  # noqa: E402
+
+CACHE_FACTORIES.update(_policy_cache_factories())
+
 
 def build_cache(
     algorithm: str,

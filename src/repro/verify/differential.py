@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import VideoCache
+from repro.core.policy import kernel_algorithm_names as _policy_kernel_names
 from repro.sim.metrics import MetricsCollector
 from repro.trace.requests import Request
 from repro.trace.io import read_trace_jsonl, write_trace_jsonl
@@ -48,7 +49,10 @@ __all__ = [
 #: Online algorithms with a vectorized block decision kernel
 #: (:meth:`~repro.core.base.VideoCache.handle_span_block_kernel`
 #: override) whose equivalence the fuzzer matrix must also cover.
-KERNEL_ALGORITHMS = ("xLRU", "Cafe", "PullLRU", "LFU")
+#: Every registered policy kernel qualifies: KernelCache overrides the
+#: kernel entry point at class level (screen-less policies fall back to
+#: the scalar block walk inside it, which is still worth pinning).
+KERNEL_ALGORITHMS = ("xLRU", "Cafe", "PullLRU", "LFU") + _policy_kernel_names()
 
 #: (decision value, filled_chunks, evicted_chunks, occupancy after)
 Outcome = Tuple[str, int, int, int]

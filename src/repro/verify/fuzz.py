@@ -156,6 +156,12 @@ def scenario_matrix(
             kwargs = {
                 "xLRU": {"tracker_cleanup_interval": 97},
                 "LFU": {"aging_interval": 89},
+                # policy kernels: tiny aging cadence for the LFU port,
+                # fast-decaying retention boost, off-default insertion
+                # position for tunable LRU
+                "LFU-PK": {"aging_interval": 89},
+                "Retention": {"boost": 7.0, "halflife": 2.0},
+                "qLRU": {"q": 0.25},
             }
         yield FuzzScenario(
             seed=1000 + i,

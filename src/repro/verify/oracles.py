@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.base import REDIRECT, SERVE_HIT, CacheResponse, Decision, VideoCache
 from repro.core.costs import CostModel
+from repro.core.policy import oracle_factories as _policy_oracle_factories
 from repro.trace.requests import DEFAULT_CHUNK_BYTES, ChunkId, Request
 
 __all__ = [
@@ -716,6 +717,12 @@ ORACLE_FACTORIES = {
     "LRU-K": OracleLruK,
     "GDS": OracleGds,
 }
+
+# Registered policy kernels bring their own oracles: an explicit
+# hand-written reference (the LFU-PK port pins itself against the
+# production LfuAdmissionCache) or the auto-derived OracleKernelCache —
+# the same policy object replayed on plain dicts and linear min-scans.
+ORACLE_FACTORIES.update(_policy_oracle_factories())
 
 
 def build_oracle(

@@ -51,8 +51,13 @@ def continuation(small_trace):
 
 
 class TestRegistry:
-    def test_registry_covers_four_kinds(self):
-        assert set(SNAPSHOT_KINDS) == {"xlru", "cafe", "pull-lru", "lfu"}
+    def test_registry_covers_hand_written_and_policy_kinds(self):
+        from repro.core.policy import POLICY_REGISTRY
+
+        expected = {"xlru", "cafe", "pull-lru", "lfu"} | {
+            f"policy:{spec.kind}" for spec in POLICY_REGISTRY.values()
+        }
+        assert set(SNAPSHOT_KINDS) == expected
 
     def test_supports_snapshot(self):
         assert supports_snapshot(XlruCache(8, chunk_bytes=K))

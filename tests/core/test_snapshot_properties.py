@@ -17,6 +17,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.baselines import LfuAdmissionCache, PullThroughLruCache
 from repro.core.cafe import CafeCache
 from repro.core.costs import CostModel
+from repro.core.policy import POLICY_REGISTRY, KernelCache
 from repro.core.snapshot import (
     SNAPSHOT_KINDS,
     load_snapshot,
@@ -40,6 +41,24 @@ _BUILDERS = {
         DISK, chunk_bytes=K, min_video_hits=2, aging_interval=20
     ),
 }
+
+# Every registered policy kernel joins the cut-point property via the
+# generic KernelCache snapshot path — a new plugin is covered with no
+# edit here.  Stress kwargs keep the housekeeping paths (LFU-PK aging)
+# inside hypothesis-sized traces.
+_POLICY_KWARGS = {"LFU-PK": {"aging_interval": 20}}
+_BUILDERS.update(
+    {
+        f"policy:{spec.kind}": (
+            lambda spec=spec: KernelCache(
+                spec.policy_cls(**_POLICY_KWARGS.get(spec.name, {})),
+                DISK,
+                chunk_bytes=K,
+            )
+        )
+        for spec in POLICY_REGISTRY.values()
+    }
+)
 
 
 @st.composite

@@ -9,7 +9,7 @@ import math
 
 import pytest
 
-from repro.experiments import QUICK, fig2, fig3, fig4, fig5, fig6, fig7
+from repro.experiments import QUICK, fig2, fig3, fig4, fig5, fig6, fig7, policies
 
 
 class TestFig2:
@@ -143,3 +143,31 @@ class TestFig7:
     def test_concentrated_server_more_efficient(self, result):
         by_server = {r["server"]: r for r in result.rows}
         assert by_server["asia"]["Cafe"] > by_server["south_america"]["Cafe"]
+
+
+class TestPolicies:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return policies.run(QUICK, alphas=(2.0, 0.5))
+
+    def test_row_per_alpha_per_algorithm(self, result):
+        got = [(r["alpha"], r["algorithm"]) for r in result.rows]
+        want = [(a, algo) for a in (2.0, 0.5) for algo in policies.ALGORITHMS]
+        assert got == want
+
+    def test_registry_exposes_the_experiment(self):
+        from repro.experiments import ALL_FIGURES
+
+        assert "policies" in ALL_FIGURES
+
+    def test_admission_gated_policies_ingress_below_pull_lru(self, result):
+        for alpha in (2.0, 0.5):
+            rows = {r["algorithm"]: r for r in result.rows if r["alpha"] == alpha}
+            for algo in ("LFU-PK", "Retention"):
+                assert (
+                    rows[algo]["ingress_fraction"] < rows["PullLRU"]["ingress_fraction"]
+                ), (alpha, algo)
+
+    def test_retention_beats_pull_lru_at_costly_ingress(self, result):
+        at2 = {r["algorithm"]: r for r in result.rows if r["alpha"] == 2.0}
+        assert at2["Retention"]["efficiency"] > at2["PullLRU"]["efficiency"]
